@@ -1,0 +1,239 @@
+// Package willump_test hosts the repository-root benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (section 6), each delegating to the internal/experiments package. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment's rows once per iteration;
+// b.ReportMetric surfaces one headline number per experiment (the figure's
+// primary speedup or the table's primary reduction).
+package willump_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"willump/internal/experiments"
+)
+
+// benchSetup is the scale used by the testing.B harness.
+func benchSetup() experiments.Setup { return experiments.Quick() }
+
+func BenchmarkFig5BatchThroughput(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "product" && r.PythonThroughput > 0 {
+				b.ReportMetric(r.CompiledThroughput/r.PythonThroughput, "product-compile-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6PointLatency(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "product" && r.CompiledLatency > 0 {
+				b.ReportMetric(float64(r.PythonLatency)/float64(r.CompiledLatency), "product-latency-x")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2RemoteRequests(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Tables23(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "music" && r.Config == "feature-cache+cascades" {
+				b.ReportMetric(r.RequestReduction, "music-req-red-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3RemoteLatency(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Tables23(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var unopt, both float64
+		for _, r := range rows {
+			if r.Benchmark == "music" {
+				switch r.Config {
+				case "unoptimized":
+					unopt = float64(r.Latency)
+				case "feature-cache+cascades":
+					both = float64(r.Latency)
+				}
+			}
+		}
+		if both > 0 {
+			b.ReportMetric(unopt/both, "music-latency-x")
+		}
+	}
+}
+
+func BenchmarkTable4TopK(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "toxic" && r.CompiledThroughput > 0 {
+				b.ReportMetric(r.FilteredThroughput/r.CompiledThroughput, "toxic-filter-x")
+			}
+		}
+	}
+}
+
+func BenchmarkTable5Sampling(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "music" {
+				b.ReportMetric(r.FilteredPrecision-r.SampledPrecision, "music-prec-gain")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6Clipper(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "product" && r.BatchSize == 100 && r.WillumpLatency > 0 {
+				b.ReportMetric(float64(r.ClipperLatency)/float64(r.WillumpLatency), "product-b100-x")
+			}
+		}
+	}
+}
+
+func BenchmarkTable7SubsetSweep(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "toxic" && r.SubsetPercent == 20 {
+				b.ReportMetric(r.Precision, "toxic-20pct-precision")
+			}
+		}
+	}
+}
+
+func BenchmarkTable8Selection(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table8(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "product" && r.Strategy == "willump" && r.OrigThroughput > 0 {
+				b.ReportMetric(r.CascThroughput/r.OrigThroughput, "product-willump-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7Tradeoff(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig7(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var full, t9 float64
+		for _, p := range pts {
+			if p.Benchmark != "product" {
+				continue
+			}
+			switch {
+			case math.IsInf(p.Threshold, 1):
+				full = p.Throughput
+			case p.Threshold == 0.9:
+				t9 = p.Throughput
+			}
+		}
+		if full > 0 && t9 > 0 {
+			b.ReportMetric(t9/full, "product-t0.9-x")
+		}
+	}
+}
+
+func BenchmarkFig8Parallel(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var best float64
+		for _, r := range rows {
+			if r.Benchmark == "synthetic" && r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		b.ReportMetric(best, "synthetic-best-x")
+	}
+}
+
+func BenchmarkMicroDrivers(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MicroDrivers(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "credit" {
+				b.ReportMetric(100*r.OverheadFraction, "credit-driver-%")
+			}
+		}
+	}
+}
+
+func BenchmarkMicroOptTime(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MicroOptTime(io.Discard, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, r := range rows {
+			if r.Duration.Seconds() > worst {
+				worst = r.Duration.Seconds()
+			}
+		}
+		b.ReportMetric(worst, "worst-opt-seconds")
+	}
+}

@@ -1,0 +1,126 @@
+// Quickstart: build a small ML inference pipeline, hand it to Willump, and
+// serve batch, point, and cascaded predictions.
+//
+// The pipeline classifies short reviews as positive or negative from two
+// independent feature vectors: an expensive TF-IDF bag of words and a cheap
+// keyword/length statistic vector. Willump's cascades learn to answer the
+// easy reviews from the cheap features alone.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"willump/internal/core"
+	"willump/internal/graph"
+	"willump/internal/model"
+	"willump/internal/ops"
+	"willump/internal/value"
+)
+
+func main() {
+	// 1. Generate a toy labeled corpus: reviews containing "awful" or
+	// "terrible" are negative (easy); otherwise sentiment hides in word
+	// combinations (hard).
+	texts, labels := makeCorpus(3000)
+
+	// 2. Describe the pipeline as a transformation graph: raw input ->
+	// features -> concatenation. The model consumes the concatenation.
+	b := graph.NewBuilder()
+	review := b.Input("review")
+	clean := b.Add("clean", ops.NewClean(), review)
+	tok := b.Add("tokenize", ops.NewTokenize(), clean)
+	tfidf := b.Add("tfidf", ops.NewTFIDF(800, ops.NormL2), tok)
+	stats := b.Add("stats", ops.NewTextStats([]string{"awful", "terrible"}), review)
+	concat := b.Add("concat", ops.NewConcat(), tfidf, stats)
+	b.SetOutput(concat)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Split data and optimize. Optimize trains the model, profiles the
+	// feature generators, builds the cascade, and compiles the pipeline.
+	train := core.Dataset{
+		Inputs: map[string]value.Value{"review": value.NewStrings(texts[:2000])},
+		Y:      labels[:2000],
+	}
+	valid := core.Dataset{
+		Inputs: map[string]value.Value{"review": value.NewStrings(texts[2000:2500])},
+		Y:      labels[2000:2500],
+	}
+	test := core.Dataset{
+		Inputs: map[string]value.Value{"review": value.NewStrings(texts[2500:])},
+		Y:      labels[2500:],
+	}
+	pipe := &core.Pipeline{
+		Graph: g,
+		Model: model.NewLogistic(model.LinearConfig{Epochs: 8, Seed: 42}),
+	}
+	optimized, report, err := core.Optimize(pipe, train, valid, core.Options{
+		Cascades:       true,
+		AccuracyTarget: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized in %v: %d IFVs, cascade=%v (threshold %.1f, efficient set %v)\n",
+		report.OptimizeTime.Round(1e6), report.NumIFVs, report.CascadeBuilt,
+		report.CascadeThreshold, report.EfficientIFVs)
+
+	// 4. Batch predictions through the cascade.
+	preds, err := optimized.PredictBatch(test.Inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test accuracy: %.3f over %d reviews\n",
+		model.Accuracy(preds, test.Y), len(preds))
+
+	// 5. An example-at-a-time query.
+	p, err := optimized.PredictPoint(map[string]value.Value{
+		"review": value.NewStrings([]string{"what an awful product truly terrible"}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(positive | 'awful ... terrible') = %.3f\n", p)
+}
+
+// makeCorpus builds the toy labeled reviews.
+func makeCorpus(n int) ([]string, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	good := []string{"great", "excellent", "wonderful", "superb", "delightful"}
+	bad := []string{"awful", "terrible"}
+	subtleBad := []string{"returned", "refund", "broke"}
+	neutral := []string{"the", "product", "arrived", "today", "box", "color",
+		"size", "ordered", "shipping", "price", "quality", "works"}
+	texts := make([]string, n)
+	labels := make([]float64, n)
+	for i := range texts {
+		var words []string
+		for j := 0; j < 5+rng.Intn(8); j++ {
+			words = append(words, neutral[rng.Intn(len(neutral))])
+		}
+		switch r := rng.Float64(); {
+		case r < 0.35: // easy negative
+			words = append(words, bad[rng.Intn(len(bad))])
+			labels[i] = 0
+		case r < 0.70: // easy positive
+			words = append(words, good[rng.Intn(len(good))], good[rng.Intn(len(good))])
+			labels[i] = 1
+		case r < 0.85: // hard negative
+			words = append(words, subtleBad[rng.Intn(len(subtleBad))])
+			labels[i] = 0
+		default: // hard positive
+			words = append(words, good[rng.Intn(len(good))])
+			labels[i] = 1
+		}
+		rng.Shuffle(len(words), func(a, b int) { words[a], words[b] = words[b], words[a] })
+		texts[i] = strings.Join(words, " ")
+	}
+	return texts, labels
+}

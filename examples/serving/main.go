@@ -1,0 +1,88 @@
+// Serving: host a Willump-optimized pipeline behind the Clipper-like model
+// serving frontend (paper section 6.3, Table 6).
+//
+// The example starts two HTTP serving frontends over the same Product
+// pipeline — one hosting the unoptimized interpreted pipeline (what a
+// black-box serving system sees), one hosting the Willump-optimized pipeline
+// (compiled + cascades) — and compares end-to-end RPC latency at increasing
+// client batch sizes. Improvement grows with batch size as the frontend's
+// fixed RPC overheads amortize while Willump shrinks per-row compute.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/pipeline"
+	"willump/internal/serving"
+)
+
+func main() {
+	bench, err := pipeline.Product(pipeline.Config{Seed: 17, N: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bench.Close()
+
+	optimized, report, err := core.Optimize(bench.Pipeline, bench.Train, bench.Valid,
+		core.Options{Cascades: true, AccuracyTarget: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline optimized: cascade=%v threshold=%.1f\n",
+		report.CascadeBuilt, report.CascadeThreshold)
+
+	// Frontend A: Clipper alone — the unoptimized pipeline as a black box.
+	clipper := serving.NewServer(serving.PredictorFunc(optimized.PredictInterpreted), serving.Options{})
+	clipperURL, err := clipper.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clipper.Close()
+
+	// Frontend B: the same frontend hosting the Willump-optimized pipeline.
+	willump := serving.NewServer(serving.PredictorFunc(optimized.PredictBatch), serving.Options{})
+	willumpURL, err := willump.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer willump.Close()
+
+	measure := func(url string, batch int) time.Duration {
+		cli := serving.NewClient(url)
+		const reps = 20
+		// Warmup.
+		if _, err := cli.Predict(bench.Test.Gather(rows(0, batch)).Inputs); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			off := (i * batch) % (bench.Test.Len() - batch)
+			if _, err := cli.Predict(bench.Test.Gather(rows(off, batch)).Inputs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start) / reps
+	}
+
+	fmt.Printf("\n%8s %16s %18s %10s\n", "batch", "clipper", "clipper+willump", "speedup")
+	for _, batch := range []int{1, 10, 100} {
+		c := measure(clipperURL, batch)
+		w := measure(willumpURL, batch)
+		fmt.Printf("%8d %16s %18s %9.1fx\n", batch,
+			c.Round(10*time.Microsecond), w.Round(10*time.Microsecond),
+			float64(c)/float64(w))
+	}
+}
+
+func rows(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Toxic top-K: moderate a feed by finding the K comments most likely to be
+// toxic, using Willump's automatically constructed top-K filter model
+// (paper section 4.3).
+//
+// The filter model — trained on the cheap, important features Algorithm 1
+// selects — scores the whole feed, keeps a small top-scoring subset, and
+// only that subset pays for the full TF-IDF pipeline and model. The example
+// compares the filtered query's speed and ranking accuracy against the
+// exact query and against random sampling at matched cost (the paper's
+// Tables 4 and 5).
+//
+// Run with: go run ./examples/toxic_topk
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/pipeline"
+	"willump/internal/topk"
+)
+
+func main() {
+	bench, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 6000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bench.Close()
+
+	optimized, report, err := core.Optimize(bench.Pipeline, bench.Train, bench.Valid,
+		core.Options{TopK: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline optimized: %d IFVs, filter model on efficient set %v\n",
+		report.NumIFVs, report.EfficientIFVs)
+
+	const k = 25
+	feed := bench.Test.Inputs
+	n := bench.Test.Len()
+
+	// Exact query: full pipeline over the whole feed.
+	start := time.Now()
+	exact, scores, err := optimized.TopKExact(feed, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactTime := time.Since(start)
+
+	// Filtered query: filter model + full model on the subset.
+	start = time.Now()
+	filtered, err := optimized.TopK(feed, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filteredTime := time.Since(start)
+
+	// Random sampling at matched cost.
+	subset := optimized.Filter.SubsetSize(n, k)
+	ratio := float64(n) / float64(subset)
+	sampled, err := optimized.Filter.SampledTopK(feed, k, ratio, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfeed of %d comments, top-%d most-toxic query\n", n, k)
+	fmt.Printf("%-10s %12s %10s %6s %10s\n", "method", "time", "precision", "mAP", "avg score")
+	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "exact",
+		exactTime.Round(time.Millisecond), 1.0, 1.0, topk.AverageValue(exact, scores))
+	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "filtered",
+		filteredTime.Round(time.Millisecond),
+		topk.Precision(filtered, exact),
+		topk.MeanAveragePrecision(filtered, exact),
+		topk.AverageValue(filtered, scores))
+	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "sampled",
+		"~"+filteredTime.Round(time.Millisecond).String(),
+		topk.Precision(sampled, exact),
+		topk.MeanAveragePrecision(sampled, exact),
+		topk.AverageValue(sampled, scores))
+	fmt.Printf("\nspeedup over exact: %.1fx\n", float64(exactTime)/float64(filteredTime))
+}

@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"strconv"
+	"testing"
+
+	"willump/internal/value"
+)
+
+func BenchmarkLRUGetPut(b *testing.B) {
+	c := NewLRU(1024)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = strconv.Itoa(i)
+	}
+	val := []float64{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, val)
+		}
+	}
+}
+
+func BenchmarkRowKey(b *testing.B) {
+	cols := []value.Value{
+		value.NewInts([]int64{123456}),
+		value.NewStrings([]string{"user-abc"}),
+		value.NewFloats([]float64{3.14159}),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RowKey(cols, 0)
+	}
+}

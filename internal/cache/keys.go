@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+
+	"willump/internal/value"
+)
+
+// RowKey encodes row r of the given source columns into a cache key. It is
+// used both by the feature-level cache (sources = the IFV generator's raw
+// inputs) and by the end-to-end cache (sources = all pipeline inputs).
+func RowKey(sources []value.Value, r int) string {
+	var b strings.Builder
+	for i, src := range sources {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator avoids ambiguous concatenation
+		}
+		switch src.Kind {
+		case value.Strings:
+			b.WriteString(src.Strings[r])
+		case value.Ints:
+			b.WriteString(strconv.FormatInt(src.Ints[r], 10))
+		case value.Floats:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(src.Floats[r]))
+			b.Write(buf[:])
+		case value.Tokens:
+			for j, tok := range src.Tokens[r] {
+				if j > 0 {
+					b.WriteByte(0x1e)
+				}
+				b.WriteString(tok)
+			}
+		}
+	}
+	return b.String()
+}

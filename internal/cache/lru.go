@@ -1,0 +1,96 @@
+// Package cache implements the caching layers of the paper's section 4.5:
+// a generic fixed-size LRU, the feature-level cache (one LRU per independent
+// feature vector, keyed by the raw-input sources of the IFV's feature
+// generator), and the Clipper-style end-to-end prediction cache used as the
+// baseline in Tables 2 and 3.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a thread-safe fixed-capacity least-recently-used cache. Capacity
+// <= 0 means unbounded (the "unlimited cache size" configuration of the
+// paper's remote-feature experiments).
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses int64
+}
+
+type entry struct {
+	key string
+	val []float64
+}
+
+// NewLRU returns an LRU holding at most capacity entries (unbounded if
+// capacity <= 0).
+func NewLRU(capacity int) *LRU {
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and whether it was present. A hit refreshes
+// recency. The returned slice is shared; callers must not mutate it.
+func (c *LRU) Get(key string) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// if over capacity.
+func (c *LRU) Put(key string, val []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, val: val})
+	c.items[key] = el
+	if c.capacity > 0 && c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		if last != nil {
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*entry).key)
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset clears contents and statistics.
+func (c *LRU) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = list.New()
+	c.items = make(map[string]*list.Element)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,262 @@
+package cascade
+
+import (
+	"fmt"
+	"math"
+
+	"willump/internal/feature"
+	"willump/internal/model"
+	"willump/internal/value"
+	"willump/internal/weld"
+)
+
+// Config controls cascade construction.
+type Config struct {
+	// AccuracyTarget is the maximum allowed validation accuracy loss versus
+	// the full model (paper default in the evaluation: 0.001, i.e. < 0.1%).
+	AccuracyTarget float64
+	// Gamma is the stopping constant of Algorithm 1: selection stops once
+	// the next IFV's cost-effectiveness falls below Gamma times the running
+	// average of the efficient set. Default 0.25.
+	Gamma float64
+	// DisableGammaRule turns off the stopping rule (the section 6.4
+	// ablation), keeping only the half-total-cost budget.
+	DisableGammaRule bool
+	// Selection overrides the IFV selection strategy (for the Table 8
+	// comparison). Nil selects Algorithm 1.
+	Selection func(stats []IFVStat) []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AccuracyTarget <= 0 {
+		c.AccuracyTarget = 0.001
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.25
+	}
+	return c
+}
+
+// Approx is the approximate-model half of a cascade: the small model trained
+// on the efficient IFVs. It is also the filter model of the top-K
+// optimization (section 4.3), which shares stages 1-3 of cascade
+// construction but needs no confidence threshold.
+type Approx struct {
+	Prog *weld.Program
+	// Small is the approximate model, trained on the efficient IFVs'
+	// concatenation.
+	Small model.Model
+	// Efficient and Rest partition the program's IFV indices.
+	Efficient []int
+	Rest      []int
+	// Stats are the per-IFV statistics selection was based on.
+	Stats []IFVStat
+}
+
+// BuildApprox runs cascade stages 1-3: compute IFV statistics, select the
+// efficient set, and train the small model from the efficient feature
+// vectors. fullModel must already be trained on the full feature matrix x.
+func BuildApprox(prog *weld.Program, fullModel model.Model, trainInputs map[string]value.Value, x feature.Matrix, y []float64, cfg Config) (*Approx, error) {
+	cfg = cfg.withDefaults()
+	stats, err := ComputeStats(prog, fullModel, x, y)
+	if err != nil {
+		return nil, err
+	}
+	var efficient []int
+	switch {
+	case cfg.Selection != nil:
+		efficient = cfg.Selection(stats)
+	case cfg.DisableGammaRule:
+		efficient = EfficientIFVs(stats, 0)
+	default:
+		efficient = EfficientIFVs(stats, cfg.Gamma)
+	}
+	if len(efficient) == 0 || len(efficient) == len(stats) {
+		return nil, fmt.Errorf("cascade: degenerate efficient set (%d of %d IFVs)", len(efficient), len(stats))
+	}
+	run, err := prog.NewRun(trainInputs)
+	if err != nil {
+		return nil, err
+	}
+	effX, err := run.Matrix(efficient)
+	if err != nil {
+		return nil, fmt.Errorf("cascade: computing efficient training features: %w", err)
+	}
+	small := fullModel.Fresh()
+	if err := small.Train(effX, y); err != nil {
+		return nil, fmt.Errorf("cascade: training small model: %w", err)
+	}
+	return &Approx{
+		Prog:      prog,
+		Small:     small,
+		Efficient: efficient,
+		Rest:      Complement(stats, efficient),
+		Stats:     stats,
+	}, nil
+}
+
+// Cascade is a deployed end-to-end cascade: small model on efficient IFVs,
+// full model on everything, and the confidence threshold that routes between
+// them.
+type Cascade struct {
+	*Approx
+	// Full is the full model over the complete feature vector.
+	Full model.Model
+	// Threshold is the cascade threshold t_c: a small-model prediction is
+	// returned when its confidence strictly exceeds Threshold. A threshold
+	// above 1 sends every input to the full model.
+	Threshold float64
+	// FullAccuracy and CascadeAccuracy are the validation accuracies
+	// recorded during threshold selection.
+	FullAccuracy    float64
+	CascadeAccuracy float64
+}
+
+// thresholdCandidates are the integer multiples of 0.1 the paper restricts
+// thresholds to, avoiding overfitting to the validation set. Confidences lie
+// in [0.5, 1], so candidates below 0.5 are redundant with 0.5.
+var thresholdCandidates = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Train builds a complete cascade: BuildApprox plus threshold selection on
+// the validation set (cascade stage 4). fullModel must be a trained
+// classifier.
+func Train(prog *weld.Program, fullModel model.Model,
+	trainInputs map[string]value.Value, trainX feature.Matrix, trainY []float64,
+	validInputs map[string]value.Value, validY []float64, cfg Config) (*Cascade, error) {
+	cfg = cfg.withDefaults()
+	if fullModel.Task() != model.Classification {
+		return nil, fmt.Errorf("cascade: end-to-end cascades require a classification model")
+	}
+	approx, err := BuildApprox(prog, fullModel, trainInputs, trainX, trainY, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cascade{Approx: approx, Full: fullModel}
+	if err := c.selectThreshold(validInputs, validY, cfg.AccuracyTarget); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// selectThreshold implements cascade stage 4: the threshold is the lowest
+// candidate such that routing confident inputs to the small model keeps
+// validation accuracy within the target of the full model's accuracy.
+func (c *Cascade) selectThreshold(validInputs map[string]value.Value, validY []float64, target float64) error {
+	run, err := c.Prog.NewRun(validInputs)
+	if err != nil {
+		return err
+	}
+	effX, err := run.Matrix(c.Efficient)
+	if err != nil {
+		return err
+	}
+	fullX, err := run.Matrix(c.Prog.AllIFVs())
+	if err != nil {
+		return err
+	}
+	smallP := c.Small.Predict(effX)
+	fullP := c.Full.Predict(fullX)
+	c.FullAccuracy = model.Accuracy(fullP, validY)
+
+	chosen := math.Inf(1)
+	chosenAcc := c.FullAccuracy
+	for _, t := range thresholdCandidates {
+		mixed := make([]float64, len(smallP))
+		for i := range mixed {
+			if model.Confidence(smallP[i]) > t {
+				mixed[i] = smallP[i]
+			} else {
+				mixed[i] = fullP[i]
+			}
+		}
+		acc := model.Accuracy(mixed, validY)
+		if acc >= c.FullAccuracy-target {
+			chosen = t
+			chosenAcc = acc
+			break // candidates ascend; the first valid is the lowest
+		}
+	}
+	c.Threshold = chosen
+	c.CascadeAccuracy = chosenAcc
+	return nil
+}
+
+// ServeStats reports how a batch was served.
+type ServeStats struct {
+	// Total rows in the batch.
+	Total int
+	// SmallOnly rows were answered by the small model alone.
+	SmallOnly int
+	// Cascaded rows required the full model.
+	Cascaded int
+}
+
+// PredictBatch serves a batch through the cascade (cascade stage 5): compute
+// efficient IFVs, predict with the small model, return confident predictions
+// directly, and cascade only the unconfident rows to the full model —
+// computing the remaining IFVs for those rows alone.
+func (c *Cascade) PredictBatch(inputs map[string]value.Value) ([]float64, ServeStats, error) {
+	return c.PredictBatchThreshold(inputs, c.Threshold)
+}
+
+// PredictBatchThreshold serves a batch using an explicit threshold (the
+// Figure 7 threshold sweep).
+func (c *Cascade) PredictBatchThreshold(inputs map[string]value.Value, threshold float64) ([]float64, ServeStats, error) {
+	run, err := c.Prog.NewRun(inputs)
+	if err != nil {
+		return nil, ServeStats{}, err
+	}
+	effX, err := run.Matrix(c.Efficient)
+	if err != nil {
+		return nil, ServeStats{}, err
+	}
+	out := c.Small.Predict(effX)
+	stats := ServeStats{Total: len(out)}
+	var hardRows []int
+	for i, p := range out {
+		if model.Confidence(p) > threshold {
+			stats.SmallOnly++
+		} else {
+			hardRows = append(hardRows, i)
+		}
+	}
+	stats.Cascaded = len(hardRows)
+	if len(hardRows) > 0 {
+		sub := run.SubsetRun(hardRows)
+		fullX, err := sub.Matrix(c.Prog.AllIFVs())
+		if err != nil {
+			return nil, ServeStats{}, err
+		}
+		fullP := c.Full.Predict(fullX)
+		for k, row := range hardRows {
+			out[row] = fullP[k]
+		}
+	}
+	return out, stats, nil
+}
+
+// PredictPoint serves one example-at-a-time query through the cascade.
+func (c *Cascade) PredictPoint(inputs map[string]value.Value) (float64, error) {
+	preds, _, err := c.PredictBatch(inputs)
+	if err != nil {
+		return 0, err
+	}
+	if len(preds) != 1 {
+		return 0, fmt.Errorf("cascade: point query got %d rows", len(preds))
+	}
+	return preds[0], nil
+}
+
+// SmallOnlyPredict runs only the small model over a batch (the orange-X
+// point of Figure 7 and the first stage of top-K filtering).
+func (a *Approx) SmallOnlyPredict(inputs map[string]value.Value) ([]float64, error) {
+	run, err := a.Prog.NewRun(inputs)
+	if err != nil {
+		return nil, err
+	}
+	effX, err := run.Matrix(a.Efficient)
+	if err != nil {
+		return nil, err
+	}
+	return a.Small.Predict(effX), nil
+}

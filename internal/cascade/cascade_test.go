@@ -1,0 +1,338 @@
+package cascade
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"willump/internal/fixture"
+	"willump/internal/model"
+	"willump/internal/value"
+)
+
+// pointInput extracts row i of a fixture split as a single-row input map.
+func pointInput(d fixture.Data, i int) map[string]value.Value {
+	out := make(map[string]value.Value, len(d.Inputs))
+	for k, v := range d.Inputs {
+		out[k] = v.Gather([]int{i})
+	}
+	return out
+}
+
+func TestEfficientIFVsAlgorithm1(t *testing.T) {
+	// IFV 0: cheap and important (CE 10); IFV 1: expensive, some importance
+	// (CE 0.2); IFV 2: cheap, low importance (CE 2).
+	stats := []IFVStat{
+		{Index: 0, Importance: 10, Cost: 1},
+		{Index: 1, Importance: 2, Cost: 10},
+		{Index: 2, Importance: 1, Cost: 0.5},
+	}
+	got := EfficientIFVs(stats, 0.25)
+	// Total cost 11.5, budget 5.75. Queue by CE: 0 (10), 2 (2), 1 (0.2).
+	// Add 0 (cost 1). avgCE=10; IFV 2 CE=2 < 0.25*10=2.5 -> stop.
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("EfficientIFVs = %v, want [0]", got)
+	}
+	// Without the gamma rule, IFV 2 joins (budget still allows it) but IFV 1
+	// would blow the half-cost budget.
+	got = EfficientIFVs(stats, 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("EfficientIFVs(gamma=0) = %v, want [0 2]", got)
+	}
+}
+
+func TestEfficientIFVsHalfCostBudget(t *testing.T) {
+	stats := []IFVStat{
+		{Index: 0, Importance: 100, Cost: 6}, // CE ~16.7 but over half of total 10
+		{Index: 1, Importance: 1, Cost: 4},
+	}
+	got := EfficientIFVs(stats, 0.25)
+	// IFV 0 costs 6 > 10/2: skipped (continue). IFV 1 costs 4 <= 5: added.
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("EfficientIFVs = %v, want [1] (half-cost rule skips 0)", got)
+	}
+}
+
+func TestEfficientIFVsZeroCost(t *testing.T) {
+	stats := []IFVStat{
+		{Index: 0, Importance: 1, Cost: 0},
+		{Index: 1, Importance: 5, Cost: 10},
+	}
+	got := EfficientIFVs(stats, 0.25)
+	// The free IFV is infinitely cost-effective and within budget.
+	found := false
+	for _, i := range got {
+		if i == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("EfficientIFVs = %v, want to include free IFV 0", got)
+	}
+}
+
+func TestSelectionBaselines(t *testing.T) {
+	stats := []IFVStat{
+		{Index: 0, Importance: 10, Cost: 4},
+		{Index: 1, Importance: 5, Cost: 1},
+		{Index: 2, Importance: 1, Cost: 4},
+	}
+	// Total 9, budget 4.5.
+	imp := SelectMostImportant(stats)
+	if len(imp) != 1 || imp[0] != 0 {
+		t.Errorf("SelectMostImportant = %v, want [0]", imp)
+	}
+	cheap := SelectCheapest(stats)
+	// Cheapest: 1 (1), then 0 and 2 both cost 4 -> 1+4 > 4.5 skip both.
+	if len(cheap) != 1 || cheap[0] != 1 {
+		t.Errorf("SelectCheapest = %v, want [1]", cheap)
+	}
+	rest := Complement(stats, imp)
+	if len(rest) != 2 || rest[0] != 1 || rest[1] != 2 {
+		t.Errorf("Complement = %v, want [1 2]", rest)
+	}
+}
+
+// Property: Algorithm 1's efficient set always respects the half-total-cost
+// budget and never selects duplicates.
+func TestEfficientIFVsInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		stats := make([]IFVStat, n)
+		var total float64
+		for i := range stats {
+			stats[i] = IFVStat{
+				Index:      i,
+				Importance: rng.Float64() * 10,
+				Cost:       rng.Float64()*5 + 0.01,
+			}
+			total += stats[i].Cost
+		}
+		sel := EfficientIFVs(stats, rng.Float64())
+		seen := make(map[int]bool)
+		var selCost float64
+		for _, i := range sel {
+			if seen[i] || i < 0 || i >= n {
+				return false
+			}
+			seen[i] = true
+			selCost += stats[i].Cost
+		}
+		return selCost <= total/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newFixture(t *testing.T) *fixture.Classification {
+	t.Helper()
+	fx, err := fixture.NewClassification(11, 1500, 600, 600, 0.7, 400)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	if err := fx.Check(); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return fx
+}
+
+func TestComputeStatsCostsAndImportances(t *testing.T) {
+	fx := newFixture(t)
+	stats, err := ComputeStats(fx.Prog, fx.Model, fx.TrainX, fx.Train.Y)
+	if err != nil {
+		t.Fatalf("ComputeStats: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d IFVs, want 2", len(stats))
+	}
+	// The heavy generator must be measurably more expensive.
+	if stats[1].Cost <= stats[0].Cost {
+		t.Errorf("heavy IFV cost %v <= cheap IFV cost %v", stats[1].Cost, stats[0].Cost)
+	}
+	// Both carry importance; the cheap one decides most labels.
+	if stats[0].Importance <= 0 || stats[1].Importance <= 0 {
+		t.Errorf("importances = %+v, want both positive", stats)
+	}
+	if stats[0].Importance <= stats[1].Importance {
+		t.Errorf("cheap importance %v should exceed heavy %v (70%% easy rows)",
+			stats[0].Importance, stats[1].Importance)
+	}
+}
+
+func TestBuildApproxSelectsCheapIFV(t *testing.T) {
+	fx := newFixture(t)
+	approx, err := BuildApprox(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y, Config{})
+	if err != nil {
+		t.Fatalf("BuildApprox: %v", err)
+	}
+	if len(approx.Efficient) != 1 || approx.Efficient[0] != 0 {
+		t.Errorf("Efficient = %v, want [0] (the cheap, important IFV)", approx.Efficient)
+	}
+	if len(approx.Rest) != 1 || approx.Rest[0] != 1 {
+		t.Errorf("Rest = %v, want [1]", approx.Rest)
+	}
+	if approx.Small.NumFeatures() != 2 {
+		t.Errorf("small model trained on %d features, want 2", approx.Small.NumFeatures())
+	}
+}
+
+func TestTrainCascadeMeetsAccuracyTarget(t *testing.T) {
+	fx := newFixture(t)
+	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if c.CascadeAccuracy < c.FullAccuracy-0.01 {
+		t.Errorf("cascade accuracy %.4f below target (full %.4f)", c.CascadeAccuracy, c.FullAccuracy)
+	}
+	// Evaluate on held-out test data: accuracy loss should stay small and a
+	// meaningful fraction should be served by the small model.
+	preds, stats, err := c.PredictBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAcc := model.Accuracy(fx.Model.Predict(fullX), fx.Test.Y)
+	cascAcc := model.Accuracy(preds, fx.Test.Y)
+	if cascAcc < fullAcc-0.05 {
+		t.Errorf("test cascade accuracy %.4f far below full %.4f", cascAcc, fullAcc)
+	}
+	if !math.IsInf(c.Threshold, 1) && stats.SmallOnly == 0 {
+		t.Error("cascade never used the small model despite a finite threshold")
+	}
+	if stats.Total != stats.SmallOnly+stats.Cascaded {
+		t.Errorf("stats don't add up: %+v", stats)
+	}
+}
+
+func TestCascadeThresholdSemantics(t *testing.T) {
+	fx := newFixture(t)
+	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Threshold above 1: every row cascades; predictions equal the full model.
+	preds, stats, err := c.PredictBatchThreshold(fx.Test.Inputs, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SmallOnly != 0 || stats.Cascaded != stats.Total {
+		t.Errorf("threshold 1.5 should cascade everything: %+v", stats)
+	}
+	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullP := fx.Model.Predict(fullX)
+	for i := range preds {
+		if preds[i] != fullP[i] {
+			t.Fatalf("row %d: cascade-all prediction %v != full %v", i, preds[i], fullP[i])
+		}
+	}
+	// Threshold 0 (below min confidence 0.5): every row is small-only.
+	_, statsZero, err := c.PredictBatchThreshold(fx.Test.Inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsZero.Cascaded != 0 {
+		t.Errorf("threshold 0 should never cascade: %+v", statsZero)
+	}
+}
+
+func TestCascadeReducesHeavyLookups(t *testing.T) {
+	fx := newFixture(t)
+	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if math.IsInf(c.Threshold, 1) {
+		t.Skip("threshold selection chose never-small; no reduction to measure")
+	}
+	before := fx.HeavyTable.Requests()
+	_, stats, err := c.PredictBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyLookups := fx.HeavyTable.Requests() - before
+	if stats.SmallOnly > 0 && heavyLookups >= int64(stats.Total) {
+		t.Errorf("heavy lookups = %d for %d rows with %d small-only; cascade did not skip work",
+			heavyLookups, stats.Total, stats.SmallOnly)
+	}
+}
+
+func TestPredictPoint(t *testing.T) {
+	fx := newFixture(t)
+	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	one := pointInput(fx.Test, 0)
+	p, err := c.PredictPoint(one)
+	if err != nil {
+		t.Fatalf("PredictPoint: %v", err)
+	}
+	if p < 0 || p > 1 {
+		t.Errorf("point prediction %v outside [0,1]", p)
+	}
+}
+
+func TestTrainRejectsRegression(t *testing.T) {
+	fx := newFixture(t)
+	reg := model.NewGBDT(model.GBDTConfig{Task: model.Regression})
+	_, err := Train(fx.Prog, reg, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{})
+	if err == nil {
+		t.Error("want error training a cascade on a regression model")
+	}
+}
+
+func TestOracleSelectFindsValidSubset(t *testing.T) {
+	fx := newFixture(t)
+	subset, err := OracleSelect(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, 0.01)
+	if err != nil {
+		t.Fatalf("OracleSelect: %v", err)
+	}
+	if len(subset) == 0 || len(subset) >= 2 {
+		t.Errorf("oracle subset = %v, want exactly one of two IFVs", subset)
+	}
+	// The oracle should agree with Algorithm 1 here: the cheap IFV.
+	if subset[0] != 0 {
+		t.Errorf("oracle picked %v, expected the cheap IFV [0]", subset)
+	}
+}
+
+func TestThresholdRobustAcrossValidationSets(t *testing.T) {
+	// Section 6.4: choose threshold on one validation set, evaluate accuracy
+	// on another; loss must stay within the target band (plus sampling
+	// slack).
+	fx := newFixture(t)
+	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	preds, _, err := c.PredictBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAcc := model.Accuracy(fx.Model.Predict(fullX), fx.Test.Y)
+	cascAcc := model.Accuracy(preds, fx.Test.Y)
+	if cascAcc < fullAcc-0.05 {
+		t.Errorf("held-out accuracy %.4f not robust vs full %.4f", cascAcc, fullAcc)
+	}
+}

@@ -1,0 +1,286 @@
+// Package core is Willump's public API: the statistically-aware end-to-end
+// optimizer for ML inference pipelines (the paper's primary contribution).
+//
+// A user supplies a Pipeline — a transformation graph from raw inputs to a
+// feature vector, plus a model — and training/validation data. Optimize runs
+// the paper's three stages:
+//
+//	dataflow:     build and analyze the transformation graph (IFVs, feature
+//	              generators, preprocessing);
+//	optimization: automatic end-to-end cascades, top-K filter models,
+//	              feature-level caching, query-aware parallelization;
+//	compilation:  block sorting, operator fusion, driver generation via the
+//	              weld package.
+//
+// The result is an Optimized pipeline with the same prediction signature as
+// the original, plus query-modality-specific entry points (PredictBatch,
+// PredictPoint, TopK).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"willump/internal/cascade"
+	"willump/internal/feature"
+	"willump/internal/graph"
+	"willump/internal/model"
+	"willump/internal/topk"
+	"willump/internal/value"
+	"willump/internal/weld"
+)
+
+// Pipeline is an unoptimized ML inference pipeline: what the user hands to
+// Willump.
+type Pipeline struct {
+	// Graph transforms raw inputs into the model's feature vector.
+	Graph *graph.Graph
+	// Model is the (untrained) model executed on the feature vector.
+	Model model.Model
+}
+
+// Dataset pairs pipeline inputs with labels.
+type Dataset struct {
+	Inputs map[string]value.Value
+	Y      []float64
+}
+
+// Len returns the number of rows (0 for an empty dataset).
+func (d Dataset) Len() int {
+	for _, v := range d.Inputs {
+		return v.Len()
+	}
+	return 0
+}
+
+// Gather returns the dataset restricted to the given rows.
+func (d Dataset) Gather(rows []int) Dataset {
+	out := Dataset{Inputs: make(map[string]value.Value, len(d.Inputs))}
+	for k, v := range d.Inputs {
+		out.Inputs[k] = v.Gather(rows)
+	}
+	if d.Y != nil {
+		out.Y = make([]float64, len(rows))
+		for i, r := range rows {
+			out.Y[i] = d.Y[r]
+		}
+	}
+	return out
+}
+
+// Row returns a single-row dataset (an example-at-a-time query).
+func (d Dataset) Row(i int) Dataset { return d.Gather([]int{i}) }
+
+// Options selects which optimizations Optimize applies.
+type Options struct {
+	// Cascades enables automatic end-to-end cascades (classification only;
+	// silently skipped for regression models, as in the paper).
+	Cascades bool
+	// AccuracyTarget is the maximum validation accuracy loss for cascades
+	// (default 0.001, i.e. less than 0.1%).
+	AccuracyTarget float64
+	// Gamma is Algorithm 1's stopping constant (default 0.25).
+	Gamma float64
+	// TopK enables automatic top-K filter-model construction.
+	TopK bool
+	// CK is the filter subset multiplier (default 10).
+	CK int
+	// MinSubsetFrac is the filter's minimum subset fraction (default 0.05).
+	MinSubsetFrac float64
+	// FeatureCache enables per-IFV feature-level LRU caching.
+	FeatureCache bool
+	// FeatureCacheCapacity bounds each IFV cache (<= 0 for unbounded).
+	FeatureCacheCapacity int
+	// Workers sets the thread count for query-aware parallelization of
+	// example-at-a-time queries (<= 1 disables).
+	Workers int
+}
+
+// Report summarizes what Optimize did, including the optimization time the
+// section 6.4 microbenchmark bounds.
+type Report struct {
+	// OptimizeTime is the wall-clock cost of Optimize (compile + fit +
+	// train + cascade construction).
+	OptimizeTime time.Duration
+	// NumIFVs is the number of independent feature vectors found.
+	NumIFVs int
+	// CascadeBuilt reports whether a cascade was deployed.
+	CascadeBuilt bool
+	// CascadeThreshold is the selected confidence threshold (Inf when every
+	// input cascades).
+	CascadeThreshold float64
+	// EfficientIFVs are the IFV indices of the approximate model, when one
+	// was built.
+	EfficientIFVs []int
+	// TrainAccuracy or TrainMSE describe full-model fit quality.
+	TrainAccuracy float64
+	TrainMSE      float64
+}
+
+// Optimized is the optimized pipeline Optimize returns. It has the same
+// logical signature as the input pipeline: raw inputs to predictions.
+type Optimized struct {
+	Prog  *weld.Program
+	Model model.Model
+
+	Cascade *cascade.Cascade // nil unless cascades were built
+	Approx  *cascade.Approx  // non-nil when cascades or top-K filters exist
+	Filter  *topk.Filter     // nil unless top-K was enabled
+
+	opts Options
+}
+
+// Optimize trains and optimizes a pipeline end-to-end.
+func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Report, error) {
+	start := time.Now()
+	if p == nil || p.Graph == nil || p.Model == nil {
+		return nil, nil, fmt.Errorf("core: nil pipeline, graph, or model")
+	}
+	if train.Len() == 0 {
+		return nil, nil, fmt.Errorf("core: empty training set")
+	}
+	prog, err := weld.Compile(p.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := prog.Fit(train.Inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := out.AsMatrix()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.Model.Train(x, train.Y); err != nil {
+		return nil, nil, fmt.Errorf("core: training full model: %w", err)
+	}
+
+	o := &Optimized{Prog: prog, Model: p.Model, opts: opts}
+	rep := &Report{NumIFVs: len(prog.A.IFVs)}
+	preds := p.Model.Predict(x)
+	if p.Model.Task() == model.Classification {
+		rep.TrainAccuracy = model.Accuracy(preds, train.Y)
+	} else {
+		rep.TrainMSE = model.MSE(preds, train.Y)
+	}
+
+	ccfg := cascade.Config{AccuracyTarget: opts.AccuracyTarget, Gamma: opts.Gamma}
+	needApprox := (opts.Cascades && p.Model.Task() == model.Classification) || opts.TopK
+	if needApprox && len(prog.A.IFVs) > 1 {
+		if opts.Cascades && p.Model.Task() == model.Classification {
+			if valid.Len() == 0 {
+				return nil, nil, fmt.Errorf("core: cascades require a validation set")
+			}
+			c, err := cascade.Train(prog, p.Model, train.Inputs, x, train.Y,
+				valid.Inputs, valid.Y, ccfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: building cascade: %w", err)
+			}
+			o.Cascade = c
+			o.Approx = c.Approx
+			rep.CascadeBuilt = true
+			rep.CascadeThreshold = c.Threshold
+			rep.EfficientIFVs = c.Efficient
+		} else {
+			a, err := cascade.BuildApprox(prog, p.Model, train.Inputs, x, train.Y, ccfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: building filter model: %w", err)
+			}
+			o.Approx = a
+			rep.EfficientIFVs = a.Efficient
+		}
+	}
+	if opts.TopK {
+		if o.Approx == nil {
+			return nil, nil, fmt.Errorf("core: top-K filter models need at least two IFVs")
+		}
+		o.Filter = topk.NewFilter(o.Approx, p.Model, topk.Config{CK: opts.CK, MinSubsetFrac: opts.MinSubsetFrac})
+	}
+	if opts.FeatureCache {
+		prog.EnableFeatureCaching(opts.FeatureCacheCapacity, nil)
+	}
+	rep.OptimizeTime = time.Since(start)
+	return o, rep, nil
+}
+
+// Features computes the full feature matrix for a batch on the compiled
+// path (no cascades).
+func (o *Optimized) Features(inputs map[string]value.Value) (feature.Matrix, error) {
+	return o.Prog.RunBatch(inputs)
+}
+
+// PredictBatch predicts a batch of inputs, through the cascade when one is
+// deployed and through the compiled full pipeline otherwise.
+func (o *Optimized) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
+	if o.Cascade != nil {
+		preds, _, err := o.Cascade.PredictBatch(inputs)
+		return preds, err
+	}
+	x, err := o.Prog.RunBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return o.Model.Predict(x), nil
+}
+
+// PredictFull predicts a batch with the compiled full pipeline, bypassing
+// any cascade (the "Willump Compilation" configuration of Figures 5 and 6).
+func (o *Optimized) PredictFull(inputs map[string]value.Value) ([]float64, error) {
+	x, err := o.Prog.RunBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return o.Model.Predict(x), nil
+}
+
+// PredictPoint answers one example-at-a-time query, applying query-aware
+// parallelization when Workers > 1 and cascades when deployed.
+func (o *Optimized) PredictPoint(inputs map[string]value.Value) (float64, error) {
+	if o.Cascade != nil {
+		return o.Cascade.PredictPoint(inputs)
+	}
+	var (
+		x   feature.Matrix
+		err error
+	)
+	if o.opts.Workers > 1 {
+		x, err = o.Prog.RunPointParallel(inputs, o.opts.Workers)
+	} else {
+		x, err = o.Prog.RunPoint(inputs)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if x.Rows() != 1 {
+		return 0, fmt.Errorf("core: point query got %d rows", x.Rows())
+	}
+	return o.Model.PredictRow(x, 0), nil
+}
+
+// PredictInterpreted predicts a batch on the interpreted ("Python") path:
+// the unoptimized baseline of every end-to-end experiment.
+func (o *Optimized) PredictInterpreted(inputs map[string]value.Value) ([]float64, error) {
+	x, err := o.Prog.RunInterpreted(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return o.Model.Predict(x), nil
+}
+
+// TopK answers a top-K query with the automatically constructed filter
+// model. It requires Options.TopK at Optimize time.
+func (o *Optimized) TopK(inputs map[string]value.Value, k int) ([]int, error) {
+	if o.Filter == nil {
+		return nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
+	}
+	return o.Filter.TopK(inputs, k)
+}
+
+// TopKExact answers a top-K query with the unoptimized full pipeline
+// (ground truth for filter accuracy).
+func (o *Optimized) TopKExact(inputs map[string]value.Value, k int) ([]int, []float64, error) {
+	if o.Filter == nil {
+		return nil, nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
+	}
+	return o.Filter.ExactTopK(inputs, k)
+}

@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// TextDataset is a generated text-classification or text-regression corpus.
+type TextDataset struct {
+	Texts []string
+	Y     []float64
+	// Keywords are the planted "important yet inexpensive" signal words
+	// (spam words for Product, curse words for Toxic) that cheap text
+	// statistics can count.
+	Keywords []string
+}
+
+// ProductTitles synthesizes the Product benchmark (Lazada title quality):
+// classify product titles as concise (1) or not (0).
+//
+// Planted structure:
+//   - titles containing spam words are never concise (easy negatives a
+//     keyword counter catches);
+//   - overlong titles are never concise (easy negatives a length feature
+//     catches);
+//   - the remaining titles are concise only when they pair a brand word
+//     with a type word and avoid filler — detectable only through n-gram
+//     features (hard cases requiring TF-IDF).
+func ProductTitles(seed int64, n int) *TextDataset {
+	rng := rand.New(rand.NewSource(seed))
+	brands := wordList("brand", 40)
+	types := wordList("type", 60)
+	fillers := wordList("filler", 120)
+	spam := []string{"cheapest", "promo", "bestprice", "discount", "freebie", "megasale"}
+
+	texts := make([]string, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var words []string
+		r := rng.Float64()
+		switch {
+		case r < 0.25: // spammy: easy negative
+			words = append(words, pick(rng, brands), pick(rng, types))
+			words = append(words, spam[rng.Intn(len(spam))])
+			for j := 0; j < 2+rng.Intn(5); j++ {
+				words = append(words, pick(rng, fillers))
+			}
+			y[i] = 0
+		case r < 0.45: // overlong: easy negative
+			words = append(words, pick(rng, brands))
+			for j := 0; j < 14+rng.Intn(8); j++ {
+				words = append(words, pick(rng, fillers))
+			}
+			y[i] = 0
+		case r < 0.75: // clean concise: brand + type + few fillers
+			words = append(words, pick(rng, brands), pick(rng, types))
+			for j := 0; j < rng.Intn(3); j++ {
+				words = append(words, pick(rng, fillers))
+			}
+			y[i] = 1
+		default: // hard: moderate length, label depends on brand+type pairing
+			hasBrand := rng.Float64() < 0.5
+			if hasBrand {
+				words = append(words, pick(rng, brands), pick(rng, types))
+				y[i] = 1
+			} else {
+				words = append(words, pick(rng, fillers), pick(rng, types))
+				y[i] = 0
+			}
+			for j := 0; j < 4+rng.Intn(4); j++ {
+				words = append(words, pick(rng, fillers))
+			}
+		}
+		rng.Shuffle(len(words), func(a, b int) { words[a], words[b] = words[b], words[a] })
+		texts[i] = strings.Join(words, " ")
+	}
+	return &TextDataset{Texts: texts, Y: y, Keywords: spam}
+}
+
+// ToxicComments synthesizes the Toxic benchmark (Jigsaw toxic comments):
+// classify comments as toxic (1) or not (0).
+//
+// Planted structure mirrors the paper's own example (section 1): the
+// presence of curse words quickly classifies many comments as toxic, while
+// other comments need the expensive TF-IDF features (subtle toxic phrase
+// combinations).
+func ToxicComments(seed int64, n int) *TextDataset {
+	rng := rand.New(rand.NewSource(seed))
+	neutral := wordList("word", 200)
+	curses := []string{"dammit", "jerkface", "idiotic", "scumbag", "moronic"}
+	subtleToxic := wordList("sneer", 30) // toxic only in pairs
+	friendly := wordList("kind", 30)
+
+	texts := make([]string, n)
+	y := make([]float64, n)
+	addNeutral := func(words []string, k int) []string {
+		for j := 0; j < k; j++ {
+			words = append(words, pick(rng, neutral))
+		}
+		return words
+	}
+	for i := 0; i < n; i++ {
+		var words []string
+		r := rng.Float64()
+		switch {
+		case r < 0.30: // easy toxic: contains curse words (any length)
+			words = addNeutral(words, 8+rng.Intn(12))
+			k := 1 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				words = append(words, curses[rng.Intn(len(curses))])
+			}
+			y[i] = 1
+		case r < 0.70: // easy negative: short, friendly, curse-free — the
+			// length and keyword statistics decide these confidently
+			words = addNeutral(words, 3+rng.Intn(5))
+			words = append(words, pick(rng, friendly))
+			y[i] = 0
+		case r < 0.85: // hard toxic: long, two subtle sneers, no curses
+			words = addNeutral(words, 10+rng.Intn(10))
+			words = append(words, pick(rng, subtleToxic), pick(rng, subtleToxic))
+			y[i] = 1
+		default: // hard negative: long, one sneer balanced by kindness
+			words = addNeutral(words, 10+rng.Intn(10))
+			words = append(words, pick(rng, subtleToxic), pick(rng, friendly))
+			y[i] = 0
+		}
+		rng.Shuffle(len(words), func(a, b int) { words[a], words[b] = words[b], words[a] })
+		texts[i] = strings.Join(words, " ")
+	}
+	return &TextDataset{Texts: texts, Y: y, Keywords: curses}
+}
+
+// PriceListing is one Mercari-style product listing.
+type PriceListing struct {
+	Name      string
+	Category  string
+	Brand     string
+	Condition float64 // 1 (poor) .. 5 (new)
+	Shipping  float64 // 1 if seller pays shipping
+}
+
+// PriceDataset is the Price benchmark corpus: predict log-price.
+type PriceDataset struct {
+	Listings []PriceListing
+	Y        []float64 // log price
+}
+
+// PriceListings synthesizes the Price benchmark (Mercari price suggestion):
+// regression on listing features. Price is driven by category base price,
+// brand multiplier, condition, shipping, and premium words in the name.
+func PriceListings(seed int64, n int) *PriceDataset {
+	rng := rand.New(rand.NewSource(seed))
+	categories := wordList("cat", 12)
+	brands := wordList("brand", 30)
+	nameWords := wordList("item", 150)
+	premium := wordList("premium", 10)
+
+	catBase := make(map[string]float64, len(categories))
+	for i, c := range categories {
+		catBase[c] = 2.0 + 0.25*float64(i)
+	}
+	brandMult := make(map[string]float64, len(brands))
+	for i, b := range brands {
+		brandMult[b] = 0.8 + 0.04*float64(i)
+	}
+
+	ds := &PriceDataset{
+		Listings: make([]PriceListing, n),
+		Y:        make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		cat := pick(rng, categories)
+		brand := pick(rng, brands)
+		cond := float64(1 + rng.Intn(5))
+		ship := float64(rng.Intn(2))
+		var words []string
+		nPrem := 0
+		for j := 0; j < 3+rng.Intn(5); j++ {
+			if rng.Float64() < 0.15 {
+				words = append(words, pick(rng, premium))
+				nPrem++
+			} else {
+				words = append(words, pick(rng, nameWords))
+			}
+		}
+		logPrice := catBase[cat]*brandMult[brand] +
+			0.15*cond + 0.1*ship + 0.3*float64(nPrem) +
+			0.1*rng.NormFloat64()
+		ds.Listings[i] = PriceListing{
+			Name:      strings.Join(words, " "),
+			Category:  cat,
+			Brand:     brand,
+			Condition: cond,
+			Shipping:  ship,
+		}
+		ds.Y[i] = logPrice
+	}
+	return ds
+}

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// qs is the shared quick setup for experiment shape tests.
+func qs() Setup { return Quick() }
+
+func TestFig5Shapes(t *testing.T) {
+	rows, err := Fig5(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 benchmarks", len(rows))
+	}
+	byName := make(map[string]Fig5Row)
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		if r.PythonThroughput <= 0 || r.CompiledThroughput <= 0 {
+			t.Errorf("%s: non-positive throughput", r.Benchmark)
+		}
+	}
+	// Shape: compilation beats the interpreted baseline decisively on the
+	// text benchmarks (the paper's 3.2-4.3x rows).
+	for _, name := range []string{"product", "toxic", "price"} {
+		r := byName[name]
+		if r.CompiledThroughput < 2*r.PythonThroughput {
+			t.Errorf("%s: compiled %.0f < 2x python %.0f", name, r.CompiledThroughput, r.PythonThroughput)
+		}
+	}
+	// Shape: cascades add a further >= 1.5x on Product and Toxic (paper:
+	// 2.1-4.1x).
+	for _, name := range []string{"product", "toxic"} {
+		r := byName[name]
+		if r.CascadesThroughput < 1.5*r.CompiledThroughput {
+			t.Errorf("%s: cascades %.0f < 1.5x compiled %.0f", name, r.CascadesThroughput, r.CompiledThroughput)
+		}
+	}
+	// Shape: regression benchmarks have no cascades.
+	for _, name := range []string{"credit", "price"} {
+		if byName[name].CascadesThroughput != 0 {
+			t.Errorf("%s: cascades reported for a regression benchmark", name)
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rows, err := Fig6(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.PythonLatency <= 0 || r.CompiledLatency <= 0 {
+			t.Errorf("%s: non-positive latency", r.Benchmark)
+		}
+		// Shape: compilation cuts point latency on the text benchmarks.
+		if r.Benchmark == "product" || r.Benchmark == "toxic" {
+			if r.CompiledLatency >= r.PythonLatency {
+				t.Errorf("%s: compiled latency %v >= python %v", r.Benchmark, r.CompiledLatency, r.PythonLatency)
+			}
+		}
+	}
+}
+
+func TestTables23Shapes(t *testing.T) {
+	rows, err := Tables23(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Tables23: %v", err)
+	}
+	get := func(bench, cfg string) Table23Row {
+		for _, r := range rows {
+			if r.Benchmark == bench && r.Config == cfg {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", bench, cfg)
+		return Table23Row{}
+	}
+	for _, bench := range []string{"music", "tracking"} {
+		e2e := get(bench, "e2e-cache")
+		feat := get(bench, "feature-cache")
+		casc := get(bench, "cascades")
+		both := get(bench, "feature-cache+cascades")
+		unopt := get(bench, "unoptimized")
+		// Shape (Table 2): feature caching reduces remote requests far more
+		// than end-to-end caching; combining adds cascades' savings.
+		if feat.RequestReduction <= e2e.RequestReduction {
+			t.Errorf("%s: feature-cache reduction %.1f <= e2e %.1f",
+				bench, feat.RequestReduction, e2e.RequestReduction)
+		}
+		if feat.RequestReduction < 40 {
+			t.Errorf("%s: feature-cache reduction %.1f < 40%%", bench, feat.RequestReduction)
+		}
+		if casc.RequestReduction <= 10 {
+			t.Errorf("%s: cascades reduction %.1f <= 10%%", bench, casc.RequestReduction)
+		}
+		if both.RequestReduction < feat.RequestReduction {
+			t.Errorf("%s: combined reduction %.1f < feature-cache alone %.1f",
+				bench, both.RequestReduction, feat.RequestReduction)
+		}
+		// Shape (Table 3): latency orders follow request reductions.
+		if feat.Latency >= unopt.Latency {
+			t.Errorf("%s: feature-cache latency %v >= unoptimized %v", bench, feat.Latency, unopt.Latency)
+		}
+		if both.Latency >= unopt.Latency {
+			t.Errorf("%s: combined latency %v >= unoptimized %v", bench, both.Latency, unopt.Latency)
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	rows, err := Table4(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (tracking excluded)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Benchmark == "tracking" {
+			t.Error("tracking must be excluded from top-K (degenerate)")
+		}
+		// Shape: filtering beats the compiled unfiltered query.
+		if r.FilteredThroughput <= r.CompiledThroughput {
+			t.Errorf("%s: filtered %.0f <= compiled %.0f", r.Benchmark,
+				r.FilteredThroughput, r.CompiledThroughput)
+		}
+		if math.IsNaN(r.FilteredAverageValue) || math.IsNaN(r.PythonAverageValue) {
+			t.Errorf("%s: NaN average value (model diverged?)", r.Benchmark)
+		}
+		// Shape: even lossy filters keep average value close to the truth.
+		if r.PythonAverageValue != 0 {
+			gap := math.Abs(r.PythonAverageValue-r.FilteredAverageValue) / math.Abs(r.PythonAverageValue)
+			if gap > 0.1 {
+				t.Errorf("%s: average-value gap %.3f > 10%%", r.Benchmark, gap)
+			}
+		}
+	}
+}
+
+func TestTable5Shapes(t *testing.T) {
+	rows, err := Table5(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	for _, r := range rows {
+		// Shape: filter models beat random sampling at matched throughput.
+		if r.FilteredPrecision < r.SampledPrecision {
+			t.Errorf("%s: filtered precision %.2f < sampled %.2f",
+				r.Benchmark, r.FilteredPrecision, r.SampledPrecision)
+		}
+		if r.FilteredMAP < r.SampledMAP {
+			t.Errorf("%s: filtered mAP %.2f < sampled %.2f",
+				r.Benchmark, r.FilteredMAP, r.SampledMAP)
+		}
+	}
+}
+
+func TestTable6Shapes(t *testing.T) {
+	rows, err := Table6(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Table6: %v", err)
+	}
+	improvement := func(r Table6Row) float64 {
+		return float64(r.ClipperLatency) / float64(r.WillumpLatency)
+	}
+	byKey := make(map[string]Table6Row)
+	for _, r := range rows {
+		byKey[r.Benchmark+"-"+itoa(r.BatchSize)] = r
+	}
+	for _, bench := range []string{"product", "toxic"} {
+		b100 := byKey[bench+"-100"]
+		// Shape: Willump clearly wins at batch 100 (paper: 3.0-6.8x), and
+		// the improvement grows from batch 1 to batch 100.
+		if improvement(b100) < 1.5 {
+			t.Errorf("%s: batch-100 improvement %.2f < 1.5x", bench, improvement(b100))
+		}
+		b1 := byKey[bench+"-1"]
+		if improvement(b100) < improvement(b1)*0.8 {
+			t.Errorf("%s: improvement does not grow with batch size (b1 %.2f, b100 %.2f)",
+				bench, improvement(b1), improvement(b100))
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestFig7Shapes(t *testing.T) {
+	pts, err := Fig7(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	byBench := make(map[string][]Fig7Point)
+	for _, p := range pts {
+		byBench[p.Benchmark] = append(byBench[p.Benchmark], p)
+	}
+	for bench, curve := range byBench {
+		var full, small Fig7Point
+		for _, p := range curve {
+			if math.IsInf(p.Threshold, 1) {
+				full = p
+			}
+			if p.Threshold < 0 {
+				small = p
+			}
+		}
+		// Shape: the small model alone is fast but less accurate than the
+		// full model (up to sampling noise on the quick-mode test sets);
+		// high-threshold cascades track full-model accuracy.
+		if small.Accuracy > full.Accuracy+0.01 {
+			t.Errorf("%s: small model accuracy %.3f above full %.3f", bench, small.Accuracy, full.Accuracy)
+		}
+		for _, p := range curve {
+			if p.Threshold == 0.9 && p.Accuracy < full.Accuracy-0.03 {
+				t.Errorf("%s: threshold 0.9 accuracy %.3f far below full %.3f",
+					bench, p.Accuracy, full.Accuracy)
+			}
+		}
+	}
+}
+
+func TestTable7Shapes(t *testing.T) {
+	rows, err := Table7(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Table7: %v", err)
+	}
+	byBench := make(map[string][]Table7Row)
+	for _, r := range rows {
+		byBench[r.Benchmark] = append(byBench[r.Benchmark], r)
+	}
+	for bench, sweep := range byBench {
+		// Shape: precision decreases (weakly) as the subset shrinks, and
+		// the largest subset is the most accurate.
+		first, last := sweep[0], sweep[len(sweep)-1]
+		if first.Precision < last.Precision {
+			t.Errorf("%s: precision rose as subset shrank (%.2f -> %.2f)",
+				bench, first.Precision, last.Precision)
+		}
+		if first.Precision < 0.5 {
+			t.Errorf("%s: largest subset precision %.2f < 0.5", bench, first.Precision)
+		}
+	}
+}
+
+func TestTable8Shapes(t *testing.T) {
+	rows, err := Table8(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Table8: %v", err)
+	}
+	byKey := make(map[string]Table8Row)
+	for _, r := range rows {
+		byKey[r.Benchmark+"-"+r.Strategy] = r
+	}
+	for _, bench := range []string{"product", "toxic"} {
+		w := byKey[bench+"-willump"]
+		// Shape: Willump's selection yields a real speedup over the
+		// unoptimized compiled pipeline.
+		if w.CascThroughput < 1.2*w.OrigThroughput {
+			t.Errorf("%s: willump cascade %.0f < 1.2x orig %.0f",
+				bench, w.CascThroughput, w.OrigThroughput)
+		}
+		// Shape: Willump is at least competitive with the worse of the two
+		// baseline heuristics (the paper's claim: it beats both, matching
+		// oracle; allow measurement slack on small data).
+		imp := byKey[bench+"-important"]
+		cheap := byKey[bench+"-cheap"]
+		worst := imp.CascThroughput
+		if cheap.CascThroughput < worst {
+			worst = cheap.CascThroughput
+		}
+		if w.CascThroughput < 0.7*worst {
+			t.Errorf("%s: willump %.0f far below baseline heuristics (worst %.0f)",
+				bench, w.CascThroughput, worst)
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	rows, err := Fig8(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	var bestSynthetic float64
+	sawSynthetic := false
+	for _, r := range rows {
+		if r.Benchmark == "synthetic" {
+			sawSynthetic = true
+			if r.Speedup > bestSynthetic {
+				bestSynthetic = r.Speedup
+			}
+		}
+	}
+	if !sawSynthetic {
+		t.Fatal("no synthetic rows")
+	}
+	// Shape: the synthetic 4-generator benchmark must not regress under
+	// parallelization. The paper's near-linear scaling needs one core per
+	// generator; CI machines may have as few as two, where GC contention
+	// caps gains (documented in EXPERIMENTS.md), so the bound is loose.
+	if bestSynthetic < 0.8 {
+		t.Errorf("synthetic best speedup %.2f < 0.8x (regression)", bestSynthetic)
+	}
+}
+
+func TestMicroDrivers(t *testing.T) {
+	rows, err := MicroDrivers(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("MicroDrivers: %v", err)
+	}
+	for _, r := range rows {
+		if r.Benchmark == "credit" {
+			if r.OverheadFraction <= 0 {
+				t.Error("credit's Python UDF should record driver overhead")
+			}
+			continue
+		}
+		// Fully compilable pipelines cross no drivers at all.
+		if r.OverheadFraction != 0 {
+			t.Errorf("%s: driver overhead %.4f != 0 for fully compiled pipeline",
+				r.Benchmark, r.OverheadFraction)
+		}
+	}
+}
+
+func TestMicroThreshold(t *testing.T) {
+	rows, err := MicroThreshold(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("MicroThreshold: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no cascades built")
+	}
+	for _, r := range rows {
+		// Shape (section 6.4): held-out accuracy loss is statistically
+		// insignificant.
+		if r.Significant {
+			t.Errorf("%s: cascade loss is statistically significant (full %.4f, cascade %.4f)",
+				r.Benchmark, r.FullAccuracy, r.CascadeAccuracy)
+		}
+	}
+}
+
+func TestMicroGamma(t *testing.T) {
+	rows, err := MicroGamma(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("MicroGamma: %v", err)
+	}
+	for _, r := range rows {
+		// Shape: the gamma rule never hurts materially. When cascades barely
+		// engage (both speedups near 1x), the comparison is measurement
+		// noise, so the bound is loose.
+		if r.SpeedupWithRule < 0.8*r.SpeedupWithoutRule {
+			t.Errorf("target %.3f: with-rule %.2fx below without-rule %.2fx",
+				r.AccuracyTarget, r.SpeedupWithRule, r.SpeedupWithoutRule)
+		}
+	}
+}
+
+func TestMicroOptTime(t *testing.T) {
+	rows, err := MicroOptTime(io.Discard, qs())
+	if err != nil {
+		t.Fatalf("MicroOptTime: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Shape (section 6.4): optimization never exceeds thirty seconds.
+		if r.Duration.Seconds() > 30 {
+			t.Errorf("%s: optimization took %v > 30s", r.Benchmark, r.Duration)
+		}
+	}
+}

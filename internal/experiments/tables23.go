@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/pipeline"
+	"willump/internal/serving"
+	"willump/internal/value"
+)
+
+// Table23Row holds one benchmark's remote-feature measurements under one
+// optimization configuration (Tables 2 and 3).
+type Table23Row struct {
+	Benchmark string
+	Config    string
+	// RequestReduction is the percent reduction in remote requests versus
+	// the unoptimized configuration (Table 2).
+	RequestReduction float64
+	// Latency is the mean per-input latency (Table 3).
+	Latency time.Duration
+}
+
+// table23Configs are the four optimization configurations of Tables 2-3
+// plus the unoptimized baseline.
+var table23Configs = []string{
+	"unoptimized",
+	"e2e-cache",
+	"feature-cache",
+	"cascades",
+	"feature-cache+cascades",
+}
+
+// Tables23 reproduces Tables 2 and 3: remote-request reduction and
+// per-input latency for the lookup classification benchmarks (Music,
+// Tracking) with remotely stored features, under end-to-end caching,
+// feature-level caching, cascades, and their combination. Caches are
+// unbounded, as in the paper.
+func Tables23(w io.Writer, s Setup) ([]Table23Row, error) {
+	header(w, "Tables 2+3: remote features — request reduction and per-input latency")
+	fmt.Fprintf(w, "%-10s %-24s %12s %14s\n", "benchmark", "config", "req. red. %", "latency")
+	var out []Table23Row
+	for _, name := range []string{"music", "tracking"} {
+		rows, err := tables23One(name, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-10s %-24s %12.1f %14s\n",
+				r.Benchmark, r.Config, r.RequestReduction, r.Latency.Round(10*time.Microsecond))
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func tables23One(name string, s Setup) ([]Table23Row, error) {
+	var rows []Table23Row
+	var baselineRequests int64
+	for _, cfg := range table23Configs {
+		backend := &pipeline.RemoteBackend{Latency: s.RemoteLatency}
+		opts := core.Options{}
+		switch cfg {
+		case "feature-cache", "feature-cache+cascades":
+			opts.FeatureCache = true // unbounded
+		}
+		switch cfg {
+		case "cascades", "feature-cache+cascades":
+			opts.Cascades = true
+			opts.AccuracyTarget = 0.015
+		}
+		b, o, _, err := buildOptimized(name, s, backend, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Serve the test set as a stream of single-input queries — the
+		// online serving pattern Tables 2-3 measure.
+		var pred serving.Predictor = serving.PredictorFunc(o.PredictBatch)
+		if cfg == "e2e-cache" {
+			keys := make([]string, 0, len(b.Test.Inputs))
+			for k := range b.Test.Inputs {
+				keys = append(keys, k)
+			}
+			pred = serving.NewCachedPredictor(pred, 0, keys)
+		}
+		n := b.Test.Len()
+		if n > 400 {
+			n = 400 // bounded stream keeps remote-latency runs fast
+		}
+		queries := make([]map[string]value.Value, n)
+		for i := 0; i < n; i++ {
+			queries[i] = b.Test.Row(i).Inputs
+		}
+		before := b.TotalTableRequests()
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := pred.PredictBatch(queries[i]); err != nil {
+				b.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		requests := b.TotalTableRequests() - before
+		b.Close()
+
+		row := Table23Row{
+			Benchmark: name,
+			Config:    cfg,
+			Latency:   elapsed / time.Duration(n),
+		}
+		if cfg == "unoptimized" {
+			baselineRequests = requests
+		} else if baselineRequests > 0 {
+			row.RequestReduction = 100 * (1 - float64(requests)/float64(baselineRequests))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

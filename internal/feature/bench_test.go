@@ -1,0 +1,80 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCSR(b *testing.B, rows, cols int, density float64) *CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bd := NewCSRBuilder(cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				bd.Add(c, rng.NormFloat64())
+			}
+		}
+		bd.EndRow()
+	}
+	return bd.Build()
+}
+
+func BenchmarkCSRBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cols := 1000
+	entries := make([][2]float64, 50)
+	for i := range entries {
+		entries[i] = [2]float64{float64(rng.Intn(cols)), rng.NormFloat64()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewCSRBuilder(cols)
+		for r := 0; r < 100; r++ {
+			for _, e := range entries {
+				bd.Add(int(e[0]), e[1])
+			}
+			bd.EndRow()
+		}
+		bd.Build()
+	}
+}
+
+func BenchmarkSparseDot(b *testing.B) {
+	m := benchCSR(b, 100, 2000, 0.02)
+	w := make([]float64, 2000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < m.Rows(); r++ {
+			Dot(m, r, w)
+		}
+	}
+}
+
+func BenchmarkHStackMixed(b *testing.B) {
+	dense := NewDense(500, 16)
+	sparse := benchCSR(b, 500, 1000, 0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HStack(dense, sparse)
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	m := benchCSR(b, 2000, 500, 0.05)
+	rows := make([]int, 200)
+	for i := range rows {
+		rows[i] = i * 7 % 2000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Gather(rows)
+	}
+}

@@ -1,0 +1,88 @@
+// Package feature provides the numeric feature-matrix types that flow through
+// Willump transformation graphs: a row-major dense matrix and a CSR sparse
+// matrix, plus horizontal concatenation, row gather/scatter, and column
+// statistics. These are the "feature vectors" of the paper: every independent
+// feature vector (IFV) is materialized as one of these matrices, and the model
+// consumes their concatenation.
+package feature
+
+import "fmt"
+
+// Matrix is a read-only view over a batch of feature vectors. Row r is the
+// feature vector for data input r.
+type Matrix interface {
+	// Rows returns the number of data inputs in the batch.
+	Rows() int
+	// Cols returns the dimensionality of each feature vector.
+	Cols() int
+	// At returns the value at row r, column c.
+	At(r, c int) float64
+	// ForEachNZ calls fn for every structurally non-zero entry of row r in
+	// ascending column order. Dense matrices report every column.
+	ForEachNZ(r int, fn func(c int, v float64))
+	// RowNNZ returns the number of structurally non-zero entries of row r.
+	RowNNZ(r int) int
+	// Gather returns a new matrix containing the given rows, in order.
+	Gather(rows []int) Matrix
+}
+
+// Dot returns the inner product of row r of m with the dense vector w.
+// It panics if len(w) < m.Cols().
+func Dot(m Matrix, r int, w []float64) float64 {
+	if len(w) < m.Cols() {
+		panic(fmt.Sprintf("feature: Dot weight length %d < cols %d", len(w), m.Cols()))
+	}
+	var s float64
+	m.ForEachNZ(r, func(c int, v float64) { s += v * w[c] })
+	return s
+}
+
+// RowDense appends row r of m, fully materialized, to dst and returns the
+// extended slice. dst may be nil.
+func RowDense(m Matrix, r int, dst []float64) []float64 {
+	start := len(dst)
+	for i := 0; i < m.Cols(); i++ {
+		dst = append(dst, 0)
+	}
+	row := dst[start:]
+	m.ForEachNZ(r, func(c int, v float64) { row[c] = v })
+	return dst
+}
+
+// Equal reports whether a and b have identical shape and entries.
+func Equal(a, b Matrix) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for r := 0; r < a.Rows(); r++ {
+		for c := 0; c < a.Cols(); c++ {
+			if a.At(r, c) != b.At(r, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MeanAbs returns the per-column mean of absolute values of m. It is the
+// feature-scale statistic used by linear-model prediction importances
+// (|coefficient| x mean |value|, paper section 4.2).
+func MeanAbs(m Matrix) []float64 {
+	out := make([]float64, m.Cols())
+	if m.Rows() == 0 {
+		return out
+	}
+	for r := 0; r < m.Rows(); r++ {
+		m.ForEachNZ(r, func(c int, v float64) {
+			if v < 0 {
+				v = -v
+			}
+			out[c] += v
+		})
+	}
+	n := float64(m.Rows())
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}

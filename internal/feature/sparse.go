@@ -1,0 +1,172 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix. Column indices within each row are
+// strictly increasing.
+type CSR struct {
+	rows, cols int
+	indptr     []int // len rows+1
+	indices    []int // len nnz
+	values     []float64
+}
+
+// NewCSR builds a CSR matrix from raw components. It validates shape and
+// per-row column ordering.
+func NewCSR(rows, cols int, indptr, indices []int, values []float64) (*CSR, error) {
+	if len(indptr) != rows+1 {
+		return nil, fmt.Errorf("feature: NewCSR: len(indptr)=%d, want %d", len(indptr), rows+1)
+	}
+	if len(indices) != len(values) {
+		return nil, fmt.Errorf("feature: NewCSR: len(indices)=%d != len(values)=%d", len(indices), len(values))
+	}
+	if indptr[0] != 0 || indptr[rows] != len(indices) {
+		return nil, fmt.Errorf("feature: NewCSR: indptr bounds [%d, %d], want [0, %d]", indptr[0], indptr[rows], len(indices))
+	}
+	for r := 0; r < rows; r++ {
+		if indptr[r] > indptr[r+1] {
+			return nil, fmt.Errorf("feature: NewCSR: indptr not monotone at row %d", r)
+		}
+		for i := indptr[r]; i < indptr[r+1]; i++ {
+			if indices[i] < 0 || indices[i] >= cols {
+				return nil, fmt.Errorf("feature: NewCSR: column %d out of range [0, %d) at row %d", indices[i], cols, r)
+			}
+			if i > indptr[r] && indices[i] <= indices[i-1] {
+				return nil, fmt.Errorf("feature: NewCSR: columns not strictly increasing in row %d", r)
+			}
+		}
+	}
+	return &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, values: values}, nil
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the total number of stored entries.
+func (m *CSR) NNZ() int { return len(m.values) }
+
+// At returns the value at (r, c), using binary search within the row.
+func (m *CSR) At(r, c int) float64 {
+	lo, hi := m.indptr[r], m.indptr[r+1]
+	i := lo + sort.SearchInts(m.indices[lo:hi], c)
+	if i < hi && m.indices[i] == c {
+		return m.values[i]
+	}
+	return 0
+}
+
+// ForEachNZ visits the stored entries of row r in increasing column order.
+func (m *CSR) ForEachNZ(r int, fn func(c int, v float64)) {
+	for i := m.indptr[r]; i < m.indptr[r+1]; i++ {
+		fn(m.indices[i], m.values[i])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row r.
+func (m *CSR) RowNNZ(r int) int { return m.indptr[r+1] - m.indptr[r] }
+
+// Gather returns a new CSR matrix with the selected rows, in order.
+func (m *CSR) Gather(rows []int) Matrix {
+	indptr := make([]int, len(rows)+1)
+	nnz := 0
+	for i, r := range rows {
+		nnz += m.RowNNZ(r)
+		indptr[i+1] = nnz
+	}
+	indices := make([]int, 0, nnz)
+	values := make([]float64, 0, nnz)
+	for _, r := range rows {
+		indices = append(indices, m.indices[m.indptr[r]:m.indptr[r+1]]...)
+		values = append(values, m.values[m.indptr[r]:m.indptr[r+1]]...)
+	}
+	return &CSR{rows: len(rows), cols: m.cols, indptr: indptr, indices: indices, values: values}
+}
+
+// ToDense materializes the matrix densely.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		m.ForEachNZ(r, func(c int, v float64) { d.Set(r, c, v) })
+	}
+	return d
+}
+
+// CSRBuilder incrementally assembles a CSR matrix row by row.
+type CSRBuilder struct {
+	cols    int
+	indptr  []int
+	indices []int
+	values  []float64
+	// scratch for sorting a row's entries before commit
+	rowCols []int
+	rowVals []float64
+}
+
+// NewCSRBuilder returns a builder for matrices with the given column count.
+func NewCSRBuilder(cols int) *CSRBuilder {
+	return &CSRBuilder{cols: cols, indptr: []int{0}}
+}
+
+// Add records entry (c, v) for the row currently being built. Duplicate
+// columns within one row are summed at EndRow. Zero values are kept out.
+func (b *CSRBuilder) Add(c int, v float64) {
+	if v == 0 {
+		return
+	}
+	if c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("feature: CSRBuilder.Add: column %d out of range [0, %d)", c, b.cols))
+	}
+	b.rowCols = append(b.rowCols, c)
+	b.rowVals = append(b.rowVals, v)
+}
+
+// EndRow finishes the current row: entries are sorted by column and
+// duplicates summed.
+func (b *CSRBuilder) EndRow() {
+	if len(b.rowCols) > 1 {
+		sort.Sort(&rowSorter{cols: b.rowCols, vals: b.rowVals})
+	}
+	for i := 0; i < len(b.rowCols); i++ {
+		c, v := b.rowCols[i], b.rowVals[i]
+		for i+1 < len(b.rowCols) && b.rowCols[i+1] == c {
+			i++
+			v += b.rowVals[i]
+		}
+		if v != 0 {
+			b.indices = append(b.indices, c)
+			b.values = append(b.values, v)
+		}
+	}
+	b.indptr = append(b.indptr, len(b.indices))
+	b.rowCols = b.rowCols[:0]
+	b.rowVals = b.rowVals[:0]
+}
+
+// Build finalizes and returns the CSR matrix. The builder must not be reused.
+func (b *CSRBuilder) Build() *CSR {
+	return &CSR{
+		rows:    len(b.indptr) - 1,
+		cols:    b.cols,
+		indptr:  b.indptr,
+		indices: b.indices,
+		values:  b.values,
+	}
+}
+
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.cols) }
+func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

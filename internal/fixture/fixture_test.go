@@ -1,0 +1,78 @@
+package fixture
+
+import (
+	"testing"
+
+	"willump/internal/model"
+)
+
+func TestClassificationFixture(t *testing.T) {
+	fx, err := NewClassification(1, 800, 300, 300, 0.7, 200)
+	if err != nil {
+		t.Fatalf("NewClassification: %v", err)
+	}
+	if err := fx.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if got := len(fx.Prog.A.IFVs); got != 2 {
+		t.Errorf("IFVs = %d, want 2", got)
+	}
+	// The heavy generator must profile as more expensive than the cheap one
+	// (this is the premise every cascade test builds on).
+	cheap := fx.Prog.Prof.IFVCost(fx.Prog.A, 0)
+	heavy := fx.Prog.Prof.IFVCost(fx.Prog.A, 1)
+	if heavy <= cheap {
+		t.Errorf("heavy IFV cost %v <= cheap %v", heavy, cheap)
+	}
+	if fx.Train.Inputs["cheap_id"].Len() != 800 {
+		t.Errorf("train rows = %d", fx.Train.Inputs["cheap_id"].Len())
+	}
+}
+
+func TestRegressionFixture(t *testing.T) {
+	fx, err := NewRegression(2, 800, 300, 300, 200)
+	if err != nil {
+		t.Fatalf("NewRegression: %v", err)
+	}
+	x, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := model.MSE(fx.Model.Predict(x), fx.Test.Y)
+	var mean, variance float64
+	for _, v := range fx.Test.Y {
+		mean += v
+	}
+	mean /= float64(len(fx.Test.Y))
+	for _, v := range fx.Test.Y {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(fx.Test.Y))
+	if !(mse <= 0.5*variance) {
+		t.Errorf("fixture model MSE %.4f vs variance %.4f: no signal learned", mse, variance)
+	}
+}
+
+func TestHeavyOpMatchesPlainLookupValues(t *testing.T) {
+	fx, err := NewClassification(3, 200, 50, 50, 0.7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy op's burn must not change lookup values: recompute features
+	// twice and compare.
+	a, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < a.Rows(); r++ {
+		for c := 0; c < a.Cols(); c++ {
+			if a.At(r, c) != b.At(r, c) {
+				t.Fatalf("nondeterministic feature at (%d,%d)", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package graph implements Willump's transformation graph: the directed
+// acyclic graph that represents an ML inference pipeline from raw inputs to
+// the feature vector consumed by the model (paper section 5.1). It also
+// implements the dataflow analyses the optimizations depend on: independent
+// feature vector (IFV) identification, feature-generator partitioning,
+// preprocessing-node detection, topological sorting, and transition-minimizing
+// block ordering for compilation.
+package graph
+
+import (
+	"fmt"
+
+	"willump/internal/value"
+)
+
+// Op is a feature transformation. Operators implement both execution paths:
+// Apply is the compiled columnar fast path; ApplyBoxed is the row-at-a-time
+// boxed path used by the interpreted ("Python") executor.
+type Op interface {
+	// Name identifies the operator type (e.g. "tfidf").
+	Name() string
+	// Apply evaluates the operator over a whole columnar batch.
+	Apply(ins []value.Value) (value.Value, error)
+	// ApplyBoxed evaluates the operator for a single row of boxed inputs.
+	ApplyBoxed(ins []any) (any, error)
+	// Compilable reports whether the node can execute inside a compiled
+	// (Weld) block. Non-compilable nodes run in the interpreted runtime and
+	// force a language transition.
+	Compilable() bool
+	// Commutative reports whether the operator commutes with vector
+	// concatenation (true for concatenation itself and for stateless
+	// elementwise transforms). Commutative nodes form the spine the IFV
+	// analysis descends through.
+	Commutative() bool
+}
+
+// NodeID indexes a node within its graph.
+type NodeID int
+
+// Node is one vertex of a transformation graph. Source nodes (raw pipeline
+// inputs) have a nil Op and no inputs.
+type Node struct {
+	ID     NodeID
+	Label  string
+	Op     Op // nil for source nodes
+	Inputs []NodeID
+}
+
+// IsSource reports whether the node is a raw input.
+func (n *Node) IsSource() bool { return n.Op == nil }
+
+// Graph is an immutable transformation graph produced by a Builder.
+type Graph struct {
+	nodes   []*Node
+	sources []NodeID
+	output  NodeID
+	topo    []NodeID // topological order, sources first
+	outEdge [][]NodeID
+}
+
+// Nodes returns all nodes indexed by NodeID.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Sources returns the raw-input node ids in declaration order.
+func (g *Graph) Sources() []NodeID { return g.sources }
+
+// Output returns the sink node id (the final feature vector fed to the model).
+func (g *Graph) Output() NodeID { return g.output }
+
+// Topo returns a topological ordering of all nodes (inputs before users).
+func (g *Graph) Topo() []NodeID { return g.topo }
+
+// Consumers returns the ids of nodes that read the output of id.
+func (g *Graph) Consumers(id NodeID) []NodeID { return g.outEdge[id] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Builder assembles a Graph. The zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	nodes   []*Node
+	sources []NodeID
+	output  NodeID
+	hasOut  bool
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return &Builder{output: -1} }
+
+// Input declares a raw input source with the given name and returns its id.
+func (b *Builder) Input(name string) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, &Node{ID: id, Label: name})
+	b.sources = append(b.sources, id)
+	return id
+}
+
+// Add appends a transformation node applying op to the given inputs.
+func (b *Builder) Add(label string, op Op, inputs ...NodeID) NodeID {
+	if op == nil {
+		panic("graph: Add called with nil op; use Input for sources")
+	}
+	id := NodeID(len(b.nodes))
+	ins := make([]NodeID, len(inputs))
+	copy(ins, inputs)
+	b.nodes = append(b.nodes, &Node{ID: id, Label: label, Op: op, Inputs: ins})
+	return id
+}
+
+// SetOutput marks the node whose value is the model's feature vector.
+func (b *Builder) SetOutput(id NodeID) {
+	b.output = id
+	b.hasOut = true
+}
+
+// Build validates the graph (single output, edges in range, acyclic — acyclic
+// by construction since inputs must precede their users, which Build checks)
+// and returns it.
+func (b *Builder) Build() (*Graph, error) {
+	if !b.hasOut {
+		return nil, fmt.Errorf("graph: no output set")
+	}
+	if int(b.output) < 0 || int(b.output) >= len(b.nodes) {
+		return nil, fmt.Errorf("graph: output id %d out of range", b.output)
+	}
+	for _, n := range b.nodes {
+		for _, in := range n.Inputs {
+			if in < 0 || int(in) >= len(b.nodes) {
+				return nil, fmt.Errorf("graph: node %d (%s) has input %d out of range", n.ID, n.Label, in)
+			}
+			if in >= n.ID {
+				return nil, fmt.Errorf("graph: node %d (%s) depends on node %d which does not precede it", n.ID, n.Label, in)
+			}
+		}
+	}
+	g := &Graph{nodes: b.nodes, sources: b.sources, output: b.output}
+	g.outEdge = make([][]NodeID, len(b.nodes))
+	for _, n := range b.nodes {
+		for _, in := range n.Inputs {
+			g.outEdge[in] = append(g.outEdge[in], n.ID)
+		}
+	}
+	g.topo = make([]NodeID, len(b.nodes))
+	for i := range g.topo {
+		g.topo[i] = NodeID(i) // ids are already topologically ordered by construction
+	}
+	// Check reachability: every node should be an ancestor of the output or a
+	// source; unreachable transformation nodes indicate a pipeline bug.
+	reach := g.AncestorsOf(g.output)
+	reach[g.output] = true
+	for _, n := range b.nodes {
+		if !n.IsSource() && !reach[n.ID] {
+			return nil, fmt.Errorf("graph: node %d (%s) does not reach the output", n.ID, n.Label)
+		}
+	}
+	return g, nil
+}
+
+// AncestorsOf returns the set of nodes from which id is reachable (upstream
+// closure, excluding id itself).
+func (g *Graph) AncestorsOf(id NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool)
+	var visit func(NodeID)
+	visit = func(n NodeID) {
+		for _, in := range g.nodes[n].Inputs {
+			if !seen[in] {
+				seen[in] = true
+				visit(in)
+			}
+		}
+	}
+	visit(id)
+	return seen
+}
+
+// SourcesOf returns the raw-input node ids that id transitively depends on,
+// in declaration order.
+func (g *Graph) SourcesOf(id NodeID) []NodeID {
+	anc := g.AncestorsOf(id)
+	anc[id] = true
+	var out []NodeID
+	for _, s := range g.sources {
+		if anc[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package graph
+
+// BlockSort orders the graph's nodes for compilation: a topological sort that
+// heuristically minimizes the number of transitions between compilable (Weld)
+// nodes and non-compilable (Python) nodes, since every transition costs a
+// marshaling step (paper section 5.2, "Sorting"). The heuristic schedules
+// each Python node at the earliest position its dependencies allow (Kahn's
+// algorithm preferring ready Python nodes), which clusters Python
+// preprocessing at the front and leaves long uninterrupted Weld runs behind
+// it. BlockSort returns whichever of the heuristic order and the naive
+// topological order has fewer transitions, so it never does worse than not
+// sorting at all.
+func BlockSort(g *Graph) []NodeID {
+	heuristic := pythonFirstTopo(g)
+	naive := g.Topo()
+	if Transitions(g, heuristic) <= Transitions(g, naive) {
+		return heuristic
+	}
+	out := make([]NodeID, len(naive))
+	copy(out, naive)
+	return out
+}
+
+// pythonFirstTopo is Kahn's algorithm emitting ready non-compilable nodes
+// before ready compilable ones, with NodeID order as the tie-break.
+func pythonFirstTopo(g *Graph) []NodeID {
+	indeg := make([]int, g.NumNodes())
+	for _, n := range g.Nodes() {
+		indeg[n.ID] = len(n.Inputs)
+	}
+	// Two ready pools: python (non-compilable) and weld (compilable+sources).
+	var pyReady, weldReady []NodeID
+	push := func(id NodeID) {
+		n := g.Node(id)
+		if !n.IsSource() && !n.Op.Compilable() {
+			pyReady = insertSorted(pyReady, id)
+		} else {
+			weldReady = insertSorted(weldReady, id)
+		}
+	}
+	for _, n := range g.Nodes() {
+		if indeg[n.ID] == 0 {
+			push(n.ID)
+		}
+	}
+	order := make([]NodeID, 0, g.NumNodes())
+	for len(pyReady)+len(weldReady) > 0 {
+		var id NodeID
+		if len(pyReady) > 0 {
+			id, pyReady = pyReady[0], pyReady[1:]
+		} else {
+			id, weldReady = weldReady[0], weldReady[1:]
+		}
+		order = append(order, id)
+		for _, c := range g.Consumers(id) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				push(c)
+			}
+		}
+	}
+	return order
+}
+
+func insertSorted(a []NodeID, id NodeID) []NodeID {
+	i := len(a)
+	a = append(a, id)
+	for i > 0 && a[i-1] > id {
+		a[i] = a[i-1]
+		i--
+	}
+	a[i] = id
+	return a
+}
+
+// Block is a maximal run of nodes executing in the same runtime.
+type Block struct {
+	// Compiled is true for Weld blocks, false for Python blocks.
+	Compiled bool
+	// Nodes in execution order. Source nodes never appear in blocks.
+	Nodes []NodeID
+}
+
+// Blocks partitions a node ordering into maximal same-runtime blocks,
+// skipping source nodes (raw inputs are materialized before execution).
+func Blocks(g *Graph, order []NodeID) []Block {
+	var blocks []Block
+	for _, id := range order {
+		n := g.Node(id)
+		if n.IsSource() {
+			continue
+		}
+		c := n.Op.Compilable()
+		if len(blocks) == 0 || blocks[len(blocks)-1].Compiled != c {
+			blocks = append(blocks, Block{Compiled: c})
+		}
+		b := &blocks[len(blocks)-1]
+		b.Nodes = append(b.Nodes, id)
+	}
+	return blocks
+}
+
+// Transitions counts runtime transitions in an ordering: the number of
+// adjacent block pairs with different runtimes. Lower is better.
+func Transitions(g *Graph, order []NodeID) int {
+	b := Blocks(g, order)
+	if len(b) == 0 {
+		return 0
+	}
+	return len(b) - 1
+}
+
+// ValidTopo reports whether order is a permutation of all nodes where every
+// node appears after all of its inputs.
+func ValidTopo(g *Graph, order []NodeID) bool {
+	if len(order) != g.NumNodes() {
+		return false
+	}
+	pos := make(map[NodeID]int, len(order))
+	for i, id := range order {
+		if _, dup := pos[id]; dup {
+			return false
+		}
+		pos[id] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n.ID] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is a connection-pooled client for a kvstore Server. It implements
+// the ops.Table interface, so Lookup operators can run against a remote
+// store transparently. Each MGET is one remote request regardless of key
+// count (the client pipelines whole batches), which is what makes batched
+// compiled lookups cheaper than the interpreted one-request-per-row pattern.
+type Client struct {
+	addr string
+	dim  int
+
+	mu    sync.Mutex
+	conns []*clientConn
+
+	requests atomic.Int64
+	closed   atomic.Bool
+}
+
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rw   struct {
+		hdr []byte
+	}
+}
+
+// Dial connects to a server and validates the table width against dim.
+func Dial(addr string, dim int) (*Client, error) {
+	c := &Client{addr: addr, dim: dim}
+	// Open one connection eagerly so dial errors surface here.
+	cc, err := c.newConn()
+	if err != nil {
+		return nil, err
+	}
+	c.conns = append(c.conns, cc)
+	return c, nil
+}
+
+func (c *Client) newConn() (*clientConn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cc := &clientConn{conn: conn}
+	cc.rw.hdr = make([]byte, 5)
+	return cc, nil
+}
+
+// acquire pops a pooled connection or dials a new one.
+func (c *Client) acquire() (*clientConn, error) {
+	c.mu.Lock()
+	if n := len(c.conns); n > 0 {
+		cc := c.conns[n-1]
+		c.conns = c.conns[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	return c.newConn()
+}
+
+func (c *Client) release(cc *clientConn) {
+	c.mu.Lock()
+	if len(c.conns) < 8 && !c.closed.Load() {
+		c.conns = append(c.conns, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// Dim implements ops.Table.
+func (c *Client) Dim() int { return c.dim }
+
+// Requests implements ops.Table: the cumulative count of remote MGET
+// round trips issued by this client.
+func (c *Client) Requests() int64 { return c.requests.Load() }
+
+// LookupBatch implements ops.Table: fetches all keys in one pipelined MGET.
+func (c *Client) LookupBatch(keys []int64) ([][]float64, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("kvstore: client closed")
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	cc, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cc.mget(keys, c.dim)
+	if err != nil {
+		cc.conn.Close()
+		return nil, err
+	}
+	c.requests.Add(1)
+	c.release(cc)
+	return out, nil
+}
+
+func (cc *clientConn) mget(keys []int64, dim int) ([][]float64, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	req := make([]byte, 0, 5+8*len(keys))
+	req = append(req, 'M')
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(keys)))
+	for _, k := range keys {
+		req = binary.LittleEndian.AppendUint64(req, uint64(k))
+	}
+	if _, err := cc.conn.Write(req); err != nil {
+		return nil, fmt.Errorf("kvstore: write: %w", err)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(cc.conn, cnt[:]); err != nil {
+		return nil, fmt.Errorf("kvstore: read count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	if int(n) != len(keys) {
+		return nil, fmt.Errorf("kvstore: response count %d, want %d", n, len(keys))
+	}
+	out := make([][]float64, n)
+	var dimBuf [4]byte
+	valBuf := make([]byte, dim*8)
+	for i := 0; i < int(n); i++ {
+		if _, err := io.ReadFull(cc.conn, dimBuf[:]); err != nil {
+			return nil, fmt.Errorf("kvstore: read dim: %w", err)
+		}
+		d := binary.LittleEndian.Uint32(dimBuf[:])
+		if d == missingDim {
+			continue
+		}
+		if int(d) != dim {
+			return nil, fmt.Errorf("kvstore: row dim %d, want %d", d, dim)
+		}
+		if _, err := io.ReadFull(cc.conn, valBuf); err != nil {
+			return nil, fmt.Errorf("kvstore: read values: %w", err)
+		}
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(valBuf[j*8:]))
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// ResetRequests zeroes the request counter (between experiment phases).
+func (c *Client) ResetRequests() { c.requests.Store(0) }
+
+// Close closes all pooled connections.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+	c.conns = nil
+	return nil
+}

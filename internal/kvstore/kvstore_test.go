@@ -1,0 +1,158 @@
+package kvstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, dim int, latency time.Duration, rows map[int64][]float64) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(dim, latency)
+	if err := srv.Load(rows); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(addr, dim)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	_, cli := startServer(t, 3, 0, map[int64][]float64{
+		1: {1, 2, 3},
+		2: {4, 5, 6},
+	})
+	got, err := cli.LookupBatch([]int64{2, 1, 7})
+	if err != nil {
+		t.Fatalf("LookupBatch: %v", err)
+	}
+	if got[0][1] != 5 || got[1][2] != 3 {
+		t.Errorf("values wrong: %v", got)
+	}
+	if got[2] != nil {
+		t.Errorf("missing key should be nil, got %v", got[2])
+	}
+}
+
+func TestBatchCountsAsOneRequest(t *testing.T) {
+	srv, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}, 2: {2}, 3: {3}})
+	if _, err := cli.LookupBatch([]int64{1, 2, 3}); err != nil {
+		t.Fatalf("LookupBatch: %v", err)
+	}
+	if srv.Requests() != 1 {
+		t.Errorf("server requests = %d, want 1 for a pipelined batch", srv.Requests())
+	}
+	if cli.Requests() != 1 {
+		t.Errorf("client requests = %d, want 1", cli.Requests())
+	}
+	// Three separate point lookups are three requests: the pattern the
+	// unoptimized interpreted pipeline produces.
+	for k := int64(1); k <= 3; k++ {
+		if _, err := cli.LookupBatch([]int64{k}); err != nil {
+			t.Fatalf("LookupBatch: %v", err)
+		}
+	}
+	if srv.Requests() != 4 {
+		t.Errorf("server requests = %d, want 4", srv.Requests())
+	}
+}
+
+func TestLoadValidatesDim(t *testing.T) {
+	srv := NewServer(2, 0)
+	if err := srv.Load(map[int64][]float64{1: {1, 2, 3}}); err == nil {
+		t.Error("want error for wrong-width row")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	_, cli := startServer(t, 1, lat, map[int64][]float64{1: {1}})
+	start := time.Now()
+	if _, err := cli.LookupBatch([]int64{1}); err != nil {
+		t.Fatalf("LookupBatch: %v", err)
+	}
+	if el := time.Since(start); el < lat {
+		t.Errorf("lookup returned in %v, want >= %v injected latency", el, lat)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	rows := make(map[int64][]float64)
+	for k := int64(0); k < 100; k++ {
+		rows[k] = []float64{float64(k)}
+	}
+	_, cli := startServer(t, 1, 0, rows)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := int64((w*50 + i) % 100)
+				got, err := cli.LookupBatch([]int64{k})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if got[0][0] != float64(k) {
+					errs[w] = errWrongValue
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent lookup: %v", err)
+		}
+	}
+}
+
+var errWrongValue = &wrongValueError{}
+
+type wrongValueError struct{}
+
+func (*wrongValueError) Error() string { return "wrong value" }
+
+func TestClientAfterClose(t *testing.T) {
+	_, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}})
+	cli.Close()
+	if _, err := cli.LookupBatch([]int64{1}); err == nil {
+		t.Error("want error after Close")
+	}
+}
+
+func TestResetRequests(t *testing.T) {
+	_, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}})
+	if _, err := cli.LookupBatch([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	cli.ResetRequests()
+	if cli.Requests() != 0 {
+		t.Errorf("requests = %d after reset, want 0", cli.Requests())
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	_, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}})
+	got, err := cli.LookupBatch(nil)
+	if err != nil {
+		t.Fatalf("LookupBatch(nil): %v", err)
+	}
+	if got != nil {
+		t.Errorf("empty batch should return nil, got %v", got)
+	}
+	if cli.Requests() != 0 {
+		t.Error("empty batch should not count as a request")
+	}
+}

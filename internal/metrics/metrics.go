@@ -1,0 +1,118 @@
+// Package metrics provides the measurement utilities the evaluation harness
+// relies on: throughput/latency timing with warmup, binomial confidence
+// intervals for the "no statistically significant accuracy loss" claims
+// (section 6.3), and simple summary statistics.
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Throughput measures rows/second for fn processing n rows, running one
+// warmup and reps timed repetitions and reporting the best (the standard
+// systems-benchmarking convention for steady-state throughput). A garbage
+// collection runs before each timed repetition so that allocation debt from
+// earlier measurements (e.g. the interpreted baseline's boxing garbage)
+// cannot tax this one.
+func Throughput(n int, reps int, fn func() error) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if err := fn(); err != nil { // warmup
+		return 0, err
+	}
+	best := math.Inf(1)
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if sec := time.Since(start).Seconds(); sec < best {
+			best = sec
+		}
+	}
+	if best <= 0 {
+		return math.Inf(1), nil
+	}
+	return float64(n) / best, nil
+}
+
+// Latency measures the mean per-call latency of fn over k calls after one
+// warmup call and a garbage collection.
+func Latency(k int, fn func(i int) error) (time.Duration, error) {
+	if k < 1 {
+		k = 1
+	}
+	if err := fn(0); err != nil { // warmup
+		return 0, err
+	}
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(k), nil
+}
+
+// BinomialCI returns the half-width of the normal-approximation 95%
+// confidence interval for an observed accuracy over n samples. The paper
+// deems an accuracy drop statistically insignificant when it falls within
+// this interval (section 6.3).
+func BinomialCI(accuracy float64, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	p := accuracy
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// SignificantLoss reports whether dropping from baseline to observed
+// accuracy over n samples is statistically significant at 95%.
+func SignificantLoss(baseline, observed float64, n int) bool {
+	return baseline-observed > BinomialCI(baseline, n)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,78 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"willump/internal/feature"
+)
+
+func benchData(n, d int) (*feature.Dense, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x := feature.NewDense(n, d)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		var z float64
+		for c := 0; c < d; c++ {
+			v := rng.NormFloat64()
+			x.Set(r, c, v)
+			if c%2 == 0 {
+				z += v
+			}
+		}
+		if z > 0 {
+			y[r] = 1
+		}
+	}
+	return x, y
+}
+
+func BenchmarkGBDTTrain(b *testing.B) {
+	x, y := benchData(1000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewGBDT(GBDTConfig{Task: Classification, Trees: 20, MaxDepth: 4, Seed: 1})
+		if err := m.Train(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBDTPredict(b *testing.B) {
+	x, y := benchData(1000, 20)
+	m := NewGBDT(GBDTConfig{Task: Classification, Trees: 40, MaxDepth: 5, Seed: 1})
+	if err := m.Train(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkLogisticTrain(b *testing.B) {
+	x, y := benchData(1000, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewLogistic(LinearConfig{Epochs: 5, Seed: 1})
+		if err := m.Train(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPPredict(b *testing.B) {
+	x, y := benchData(500, 30)
+	m := NewMLP(MLPConfig{Task: Classification, Hidden: 16, Epochs: 3, Seed: 1})
+	if err := m.Train(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

@@ -1,0 +1,197 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"willump/internal/feature"
+)
+
+// MLPConfig holds hyperparameters for the multilayer perceptron.
+type MLPConfig struct {
+	Task         Task
+	Hidden       int     // hidden units (default 32)
+	Epochs       int     // passes over the data (default 15)
+	LearningRate float64 // AdaGrad base step (default 0.05)
+	Seed         int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 15
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	return c
+}
+
+// MLP is a one-hidden-layer perceptron (ReLU) with a linear (regression) or
+// sigmoid (classification) output, trained with AdaGrad SGD. Per-parameter
+// adaptive steps keep training stable across feature scales (TF-IDF in
+// [0,1] next to raw numeric features). The forward and backward passes are
+// sparse-aware: only non-zero inputs touch the first weight layer, which
+// keeps the Price benchmark's TF-IDF inputs tractable.
+//
+// The MLP has no native feature importances; cascades fall back to a proxy
+// GBDT for its IFV statistics, as the paper prescribes for neural nets.
+type MLP struct {
+	cfg MLPConfig
+
+	w1 [][]float64 // [hidden][in]
+	b1 []float64
+	w2 []float64 // [hidden]
+	b2 float64
+
+	numFeatures int
+}
+
+// NewMLP returns an untrained MLP.
+func NewMLP(cfg MLPConfig) *MLP {
+	return &MLP{cfg: cfg.withDefaults()}
+}
+
+// Task implements Model.
+func (m *MLP) Task() Task { return m.cfg.Task }
+
+// Fresh implements Model.
+func (m *MLP) Fresh() Model { return NewMLP(m.cfg) }
+
+// NumFeatures implements Model.
+func (m *MLP) NumFeatures() int { return m.numFeatures }
+
+// Train implements Model.
+func (m *MLP) Train(x feature.Matrix, y []float64) error {
+	if err := validateTrainInputs("MLP", x, y); err != nil {
+		return err
+	}
+	n, d := x.Rows(), x.Cols()
+	h := m.cfg.Hidden
+	m.numFeatures = d
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	scale := math.Sqrt(2.0 / float64(d+1))
+	m.w1 = make([][]float64, h)
+	g1 := make([][]float64, h) // AdaGrad accumulators
+	for j := 0; j < h; j++ {
+		m.w1[j] = make([]float64, d)
+		g1[j] = make([]float64, d)
+		for i := range m.w1[j] {
+			m.w1[j][i] = rng.NormFloat64() * scale
+		}
+	}
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, h)
+	g2 := make([]float64, h)
+	gb1 := make([]float64, h)
+	var gb2 float64
+	for j := range m.w2 {
+		m.w2[j] = rng.NormFloat64() * math.Sqrt(2.0/float64(h))
+	}
+	// Center the output on the target mean so early epochs don't chase a
+	// large constant offset.
+	if m.cfg.Task == Regression {
+		var mean float64
+		for _, v := range y {
+			mean += v
+		}
+		m.b2 = mean / float64(n)
+	}
+
+	order := rng.Perm(n)
+	hidden := make([]float64, h)
+	act := make([]float64, h)
+	lr := m.cfg.LearningRate
+	const eps = 1e-8
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, r := range order {
+			// Forward.
+			for j := 0; j < h; j++ {
+				hidden[j] = m.b1[j]
+			}
+			x.ForEachNZ(r, func(c int, v float64) {
+				for j := 0; j < h; j++ {
+					hidden[j] += m.w1[j][c] * v
+				}
+			})
+			out := m.b2
+			for j := 0; j < h; j++ {
+				if hidden[j] > 0 {
+					act[j] = hidden[j]
+				} else {
+					act[j] = 0
+				}
+				out += m.w2[j] * act[j]
+			}
+			// Output gradient: both losses reduce to (pred - y).
+			var grad float64
+			if m.cfg.Task == Classification {
+				grad = sigmoid(out) - y[r]
+			} else {
+				grad = out - y[r]
+				// Clip exploding regression gradients for stability.
+				if grad > 3 {
+					grad = 3
+				} else if grad < -3 {
+					grad = -3
+				}
+			}
+			// Backward with AdaGrad updates. The hidden-layer error signal
+			// uses the pre-update output weights.
+			for j := 0; j < h; j++ {
+				gw2 := grad * act[j]
+				g2[j] += gw2 * gw2
+				deltaW2 := lr * gw2 / (math.Sqrt(g2[j]) + eps)
+				// Hidden-layer gradients use w2 before its update.
+				if hidden[j] > 0 {
+					errj := grad * m.w2[j]
+					x.ForEachNZ(r, func(c int, v float64) {
+						gw1 := errj * v
+						g1[j][c] += gw1 * gw1
+						m.w1[j][c] -= lr * gw1 / (math.Sqrt(g1[j][c]) + eps)
+					})
+					gb1[j] += errj * errj
+					m.b1[j] -= lr * errj / (math.Sqrt(gb1[j]) + eps)
+				}
+				m.w2[j] -= deltaW2
+			}
+			gb2 += grad * grad
+			m.b2 -= lr * grad / (math.Sqrt(gb2) + eps)
+		}
+	}
+	return nil
+}
+
+// PredictRow implements Model.
+func (m *MLP) PredictRow(x feature.Matrix, r int) float64 {
+	h := m.cfg.Hidden
+	hidden := make([]float64, h)
+	copy(hidden, m.b1)
+	x.ForEachNZ(r, func(c int, v float64) {
+		for j := 0; j < h; j++ {
+			hidden[j] += m.w1[j][c] * v
+		}
+	})
+	out := m.b2
+	for j := 0; j < h; j++ {
+		if hidden[j] > 0 {
+			out += m.w2[j] * hidden[j]
+		}
+	}
+	if m.cfg.Task == Classification {
+		return sigmoid(out)
+	}
+	return out
+}
+
+// Predict implements Model.
+func (m *MLP) Predict(x feature.Matrix) []float64 {
+	out := make([]float64, x.Rows())
+	for r := range out {
+		out[r] = m.PredictRow(x, r)
+	}
+	return out
+}

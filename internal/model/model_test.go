@@ -1,0 +1,368 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"willump/internal/feature"
+)
+
+// linearlySeparable generates n points in d dims with labels from a planted
+// hyperplane plus optional flip noise.
+func linearlySeparable(rng *rand.Rand, n, d int, noise float64) (*feature.Dense, []float64) {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	x := feature.NewDense(n, d)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		var z float64
+		for c := 0; c < d; c++ {
+			row[c] = rng.NormFloat64()
+			z += row[c] * w[c]
+		}
+		if z > 0 {
+			y[r] = 1
+		}
+		if rng.Float64() < noise {
+			y[r] = 1 - y[r]
+		}
+	}
+	return x, y
+}
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := linearlySeparable(rng, 800, 6, 0)
+	m := NewLogistic(LinearConfig{Epochs: 15, Seed: 2})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	acc := Accuracy(m.Predict(x), y)
+	if acc < 0.95 {
+		t.Errorf("train accuracy = %.3f, want >= 0.95", acc)
+	}
+	if m.NumFeatures() != 6 {
+		t.Errorf("NumFeatures = %d, want 6", m.NumFeatures())
+	}
+}
+
+func TestLogisticPredictInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := linearlySeparable(rng, 200, 4, 0.1)
+	m := NewLogistic(LinearConfig{Seed: 4})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for _, p := range m.Predict(x) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+	}
+}
+
+func TestLogisticTrainValidation(t *testing.T) {
+	m := NewLogistic(LinearConfig{})
+	if err := m.Train(feature.NewDense(2, 2), []float64{1}); err == nil {
+		t.Error("want error on row/label mismatch")
+	}
+	if err := m.Train(feature.NewDense(0, 2), nil); err == nil {
+		t.Error("want error on empty training set")
+	}
+}
+
+func TestLogisticImportancesTrackSignal(t *testing.T) {
+	// Feature 0 carries all the signal; feature 1 is noise.
+	rng := rand.New(rand.NewSource(5))
+	n := 600
+	x := feature.NewDense(n, 2)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		s := rng.NormFloat64()
+		x.Set(r, 0, s)
+		x.Set(r, 1, rng.NormFloat64())
+		if s > 0 {
+			y[r] = 1
+		}
+	}
+	m := NewLogistic(LinearConfig{Epochs: 12, Seed: 6})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := m.Importances()
+	if imp[0] <= imp[1] {
+		t.Errorf("importances = %v, want feature 0 dominant", imp)
+	}
+}
+
+func TestLinearRegressionRecoversLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	x := feature.NewDense(n, 2)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(r, 0, a)
+		x.Set(r, 1, b)
+		y[r] = 3*a - 2*b + 0.5
+	}
+	m := NewLinearRegression(LinearConfig{Epochs: 30, Seed: 8})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if mse := MSE(m.Predict(x), y); mse > 0.05 {
+		t.Errorf("MSE = %.4f, want <= 0.05", mse)
+	}
+}
+
+// xorData is not linearly separable; trees and nets must fit it.
+func xorData(rng *rand.Rand, n int) (*feature.Dense, []float64) {
+	x := feature.NewDense(n, 2)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(r, 0, a)
+		x.Set(r, 1, b)
+		if (a > 0) != (b > 0) {
+			y[r] = 1
+		}
+	}
+	return x, y
+}
+
+func TestGBDTClassificationLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := xorData(rng, 1000)
+	m := NewGBDT(GBDTConfig{Task: Classification, Trees: 30, MaxDepth: 3, Seed: 10})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Errorf("XOR accuracy = %.3f, want >= 0.95", acc)
+	}
+	if m.NumTrees() != 30 {
+		t.Errorf("NumTrees = %d, want 30", m.NumTrees())
+	}
+}
+
+func TestGBDTRegressionFitsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 800
+	x := feature.NewDense(n, 2)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		x.Set(r, 0, a)
+		x.Set(r, 1, b)
+		y[r] = a*a + math.Sin(b)
+	}
+	m := NewGBDT(GBDTConfig{Task: Regression, Trees: 60, MaxDepth: 4, Seed: 12})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var variance float64
+	for _, v := range y {
+		variance += v * v
+	}
+	variance /= float64(n)
+	if mse := MSE(m.Predict(x), y); mse > 0.1*variance {
+		t.Errorf("MSE = %.4f, want <= 10%% of variance %.4f", mse, variance)
+	}
+}
+
+func TestGBDTImportancesIdentifySignalFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 600
+	x := feature.NewDense(n, 3)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		s := rng.NormFloat64()
+		x.Set(r, 0, rng.NormFloat64()) // noise
+		x.Set(r, 1, s)                 // signal
+		x.Set(r, 2, rng.NormFloat64()) // noise
+		if s > 0.2 {
+			y[r] = 1
+		}
+	}
+	m := NewGBDT(GBDTConfig{Task: Classification, Trees: 20, MaxDepth: 3, Seed: 14})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	imp := m.Importances()
+	if imp[1] <= imp[0] || imp[1] <= imp[2] {
+		t.Errorf("gain importances = %v, want feature 1 dominant", imp)
+	}
+	perm := m.PermutationImportances(x, y, 15)
+	if perm[1] <= perm[0] || perm[1] <= perm[2] {
+		t.Errorf("permutation importances = %v, want feature 1 dominant", perm)
+	}
+}
+
+func TestGBDTPredictSparseDenseAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x, y := xorData(rng, 300)
+	m := NewGBDT(GBDTConfig{Task: Classification, Trees: 10, MaxDepth: 3, Seed: 17})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Build a CSR copy and compare predictions entry-wise.
+	b := feature.NewCSRBuilder(x.Cols())
+	for r := 0; r < x.Rows(); r++ {
+		x.ForEachNZ(r, func(c int, v float64) { b.Add(c, v) })
+		b.EndRow()
+	}
+	sp := b.Build()
+	dp := m.Predict(x)
+	spPred := m.Predict(sp)
+	for i := range dp {
+		if math.Abs(dp[i]-spPred[i]) > 1e-12 {
+			t.Fatalf("row %d: dense %v != sparse %v", i, dp[i], spPred[i])
+		}
+	}
+}
+
+func TestMLPRegressionFitsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	n := 800
+	x := feature.NewDense(n, 2)
+	y := make([]float64, n)
+	for r := 0; r < n; r++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		x.Set(r, 0, a)
+		x.Set(r, 1, b)
+		y[r] = a*b + 0.5*a
+	}
+	m := NewMLP(MLPConfig{Task: Regression, Hidden: 24, Epochs: 40, LearningRate: 0.02, Seed: 19})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var variance float64
+	for _, v := range y {
+		variance += v * v
+	}
+	variance /= float64(n)
+	if mse := MSE(m.Predict(x), y); mse > 0.25*variance {
+		t.Errorf("MSE = %.4f, want <= 25%% of variance %.4f", mse, variance)
+	}
+}
+
+func TestMLPClassificationLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x, y := xorData(rng, 800)
+	m := NewMLP(MLPConfig{Task: Classification, Hidden: 16, Epochs: 60, LearningRate: 0.05, Seed: 21})
+	if err := m.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if acc := Accuracy(m.Predict(x), y); acc < 0.9 {
+		t.Errorf("XOR accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestFreshReturnsUntrainedSameFamily(t *testing.T) {
+	models := []Model{
+		NewLogistic(LinearConfig{Seed: 1}),
+		NewLinearRegression(LinearConfig{Seed: 1}),
+		NewGBDT(GBDTConfig{Task: Classification, Seed: 1}),
+		NewMLP(MLPConfig{Task: Regression, Seed: 1}),
+	}
+	for _, m := range models {
+		f := m.Fresh()
+		if f.NumFeatures() != 0 {
+			t.Errorf("%T.Fresh() is already trained", m)
+		}
+		if f.Task() != m.Task() {
+			t.Errorf("%T.Fresh() changed task", m)
+		}
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.9, 0.9}, {0.1, 0.9}, {0.5, 0.5}, {1, 1}, {0, 1},
+	}
+	for _, tc := range cases {
+		if got := Confidence(tc.p); got != tc.want {
+			t.Errorf("Confidence(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestAccuracyAndMSE(t *testing.T) {
+	if acc := Accuracy([]float64{0.9, 0.2, 0.6}, []float64{1, 0, 0}); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", acc)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("Accuracy of empty should be 0")
+	}
+	if mse := MSE([]float64{1, 2}, []float64{0, 4}); mse != 2.5 {
+		t.Errorf("MSE = %v, want 2.5", mse)
+	}
+}
+
+func TestBinnerMapsValuesConsistently(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := feature.NewDense(200, 3)
+	for r := 0; r < 200; r++ {
+		for c := 0; c < 3; c++ {
+			x.Set(r, c, rng.NormFloat64())
+		}
+	}
+	bn := newBinner(x, 16)
+	bins := bn.binned(x)
+	for f := 0; f < 3; f++ {
+		if bn.numBins(f) > 16 {
+			t.Errorf("feature %d has %d bins, want <= 16", f, bn.numBins(f))
+		}
+		for r := 0; r < 200; r++ {
+			if got := bn.bin(f, x.At(r, f)); got != int(bins[f][r]) {
+				t.Fatalf("bin mismatch at (%d,%d): %d vs %d", r, f, got, bins[f][r])
+			}
+		}
+	}
+}
+
+// Property: binning is monotone — larger values never land in smaller bins.
+func TestBinnerMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		x := feature.NewDense(n, 1)
+		for r := 0; r < n; r++ {
+			x.Set(r, 0, rng.NormFloat64()*10)
+		}
+		bn := newBinner(x, 2+rng.Intn(30))
+		a, b := rng.NormFloat64()*10, rng.NormFloat64()*10
+		if a > b {
+			a, b = b, a
+		}
+		return bn.bin(0, a) <= bn.bin(0, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GBDT raw-threshold prediction agrees with bin-threshold logic on
+// training rows (the rawThresh stored in nodes reproduces binned routing).
+func TestGBDTDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := xorData(rng, 300)
+	m1 := NewGBDT(GBDTConfig{Task: Classification, Trees: 8, Seed: 24})
+	m2 := NewGBDT(GBDTConfig{Task: Classification, Trees: 8, Seed: 24})
+	if err := m1.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if err := m2.Train(x, y); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	p1, p2 := m1.Predict(x), m2.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("row %d differs across identical seeds: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"willump/internal/feature"
+)
+
+// binner quantizes each feature column into at most maxBins quantile bins,
+// the histogram trick of modern GBDT implementations. Trees split on bin
+// boundaries; raw feature values map to bins at prediction time through the
+// stored upper edges.
+type binner struct {
+	maxBins int
+	// edges[f] holds ascending bin upper edges for feature f; a value v maps
+	// to the first bin whose edge >= v.
+	edges [][]float64
+}
+
+func newBinner(x feature.Matrix, maxBins int) *binner {
+	d := x.Cols()
+	b := &binner{maxBins: maxBins, edges: make([][]float64, d)}
+	n := x.Rows()
+	vals := make([]float64, 0, n)
+	for f := 0; f < d; f++ {
+		vals = vals[:0]
+		for r := 0; r < n; r++ {
+			vals = append(vals, x.At(r, f))
+		}
+		sort.Float64s(vals)
+		// Candidate edges at quantiles; deduplicate.
+		var edges []float64
+		for q := 1; q < maxBins; q++ {
+			idx := q * (n - 1) / maxBins
+			e := vals[idx]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// numBins returns the bin count for feature f (edges + overflow bin).
+func (b *binner) numBins(f int) int { return len(b.edges[f]) + 1 }
+
+// bin maps value v of feature f to its bin index.
+func (b *binner) bin(f int, v float64) int {
+	edges := b.edges[f]
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// binned quantizes the whole matrix feature-major: out[f][r] = bin index.
+func (b *binner) binned(x feature.Matrix) [][]uint8 {
+	n, d := x.Rows(), x.Cols()
+	out := make([][]uint8, d)
+	for f := 0; f < d; f++ {
+		col := make([]uint8, n)
+		for r := 0; r < n; r++ {
+			col[r] = uint8(b.bin(f, x.At(r, f)))
+		}
+		out[f] = col
+	}
+	return out
+}
+
+// treeNode is one node of a regression tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int     // split feature, -1 for leaf
+	binThresh uint8   // go left if bin <= binThresh
+	rawThresh float64 // raw-value equivalent used at prediction time
+	left      int32   // child indices within the tree's node slice
+	right     int32
+	value     float64 // leaf output
+}
+
+// tree is a regression tree over binned features.
+type tree struct {
+	nodes []treeNode
+}
+
+// predictRow evaluates the tree on raw feature values of row r.
+func (t *tree) predictRow(x feature.Matrix, r int) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x.At(r, n.feature) <= n.rawThresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// predictVec evaluates the tree on a dense feature slice.
+func (t *tree) predictVec(row []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.rawThresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// treeGrower builds one tree from gradients and hessians using histogram
+// accumulation (sum of g and h per bin per feature).
+type treeGrower struct {
+	bins     [][]uint8
+	binner   *binner
+	grad     []float64
+	hess     []float64
+	maxDepth int
+	minChild int     // minimum samples per child
+	lambda   float64 // L2 on leaf weights
+	minGain  float64
+
+	gainByFeature []float64 // accumulated split gains (importance)
+}
+
+type growNode struct {
+	rows  []int
+	depth int
+	idx   int32 // index of this node in tree.nodes
+}
+
+func (g *treeGrower) grow() *tree {
+	t := &tree{}
+	all := make([]int, len(g.grad))
+	for i := range all {
+		all[i] = i
+	}
+	t.nodes = append(t.nodes, treeNode{feature: -1})
+	queue := []growNode{{rows: all, depth: 0, idx: 0}}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		g.buildNode(t, nd, &queue)
+	}
+	return t
+}
+
+func (g *treeGrower) leafValue(rows []int) float64 {
+	var sg, sh float64
+	for _, r := range rows {
+		sg += g.grad[r]
+		sh += g.hess[r]
+	}
+	return -sg / (sh + g.lambda)
+}
+
+func (g *treeGrower) buildNode(t *tree, nd growNode, queue *[]growNode) {
+	// Note: t.nodes is indexed, never held by pointer across appends, because
+	// appending children may reallocate the backing array.
+	if nd.depth >= g.maxDepth || len(nd.rows) < 2*g.minChild {
+		t.nodes[nd.idx].feature = -1
+		t.nodes[nd.idx].value = g.leafValue(nd.rows)
+		return
+	}
+	var totG, totH float64
+	for _, r := range nd.rows {
+		totG += g.grad[r]
+		totH += g.hess[r]
+	}
+	parentScore := totG * totG / (totH + g.lambda)
+
+	bestGain := g.minGain
+	bestFeat := -1
+	var bestBin uint8
+	nFeat := len(g.bins)
+	const maxBins = 64
+	var histG, histH [maxBins]float64
+	var histN [maxBins]int
+	for f := 0; f < nFeat; f++ {
+		nb := g.binner.numBins(f)
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			histG[b], histH[b], histN[b] = 0, 0, 0
+		}
+		col := g.bins[f]
+		for _, r := range nd.rows {
+			b := col[r]
+			histG[b] += g.grad[r]
+			histH[b] += g.hess[r]
+			histN[b]++
+		}
+		var lg, lh float64
+		ln := 0
+		for b := 0; b < nb-1; b++ {
+			lg += histG[b]
+			lh += histH[b]
+			ln += histN[b]
+			rn := len(nd.rows) - ln
+			if ln < g.minChild || rn < g.minChild {
+				continue
+			}
+			rg, rh := totG-lg, totH-lh
+			gain := lg*lg/(lh+g.lambda) + rg*rg/(rh+g.lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestBin = uint8(b)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		t.nodes[nd.idx].feature = -1
+		t.nodes[nd.idx].value = g.leafValue(nd.rows)
+		return
+	}
+	col := g.bins[bestFeat]
+	var leftRows, rightRows []int
+	for _, r := range nd.rows {
+		if col[r] <= bestBin {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+	g.gainByFeature[bestFeat] += bestGain
+	li := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1}, treeNode{feature: -1})
+	t.nodes[nd.idx] = treeNode{
+		feature:   bestFeat,
+		binThresh: bestBin,
+		rawThresh: g.binner.edges[bestFeat][bestBin],
+		left:      li,
+		right:     li + 1,
+	}
+	*queue = append(*queue,
+		growNode{rows: leftRows, depth: nd.depth + 1, idx: li},
+		growNode{rows: rightRows, depth: nd.depth + 1, idx: li + 1},
+	)
+}
+
+func validateTrainInputs(name string, x feature.Matrix, y []float64) error {
+	if x.Rows() != len(y) {
+		return fmt.Errorf("model: %s.Train: %d rows vs %d labels", name, x.Rows(), len(y))
+	}
+	if x.Rows() == 0 {
+		return fmt.Errorf("model: %s.Train: empty training set", name)
+	}
+	if x.Cols() == 0 {
+		return fmt.Errorf("model: %s.Train: zero feature columns", name)
+	}
+	return nil
+}
+
+// clampLogOdds keeps initial scores finite for degenerate label balances.
+func clampLogOdds(p float64) float64 {
+	if p < 1e-6 {
+		p = 1e-6
+	}
+	if p > 1-1e-6 {
+		p = 1 - 1e-6
+	}
+	return math.Log(p / (1 - p))
+}

@@ -1,0 +1,160 @@
+package ops
+
+import (
+	"fmt"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// Concat horizontally concatenates its inputs' feature vectors. It is the
+// canonical commutative spine operator: the IFV analysis descends through it
+// and its inputs' producers root the pipeline's feature generators.
+type Concat struct{}
+
+// NewConcat returns a feature-concatenation operator.
+func NewConcat() *Concat { return &Concat{} }
+
+// Name implements graph.Op.
+func (c *Concat) Name() string { return "concat" }
+
+// Compilable implements graph.Op.
+func (c *Concat) Compilable() bool { return true }
+
+// Commutative implements graph.Op: concatenation trivially commutes with
+// itself, making it spine material for the IFV analysis.
+func (c *Concat) Commutative() bool { return true }
+
+// Apply implements graph.Op.
+func (c *Concat) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) == 0 {
+		return value.Value{}, errArity(c.Name(), 0, 1)
+	}
+	mats := make([]feature.Matrix, len(ins))
+	for i, in := range ins {
+		m, err := in.AsMatrix()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("ops: %s: input %d: %w", c.Name(), i, err)
+		}
+		mats[i] = m
+	}
+	return value.NewMat(feature.HStack(mats...)), nil
+}
+
+// ApplyBoxed implements graph.Op: boxed rows concatenate slice-wise, exactly
+// like Python list/array concatenation.
+func (c *Concat) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) == 0 {
+		return nil, errArity(c.Name(), 0, 1)
+	}
+	var out []float64
+	for i, in := range ins {
+		switch v := in.(type) {
+		case []float64:
+			out = append(out, v...)
+		case float64:
+			out = append(out, v)
+		case int64:
+			out = append(out, float64(v))
+		default:
+			return nil, errBoxed(c.Name(), i, in, "[]float64, float64, or int64")
+		}
+	}
+	return out, nil
+}
+
+// Clip bounds every feature to [Lo, Hi]. It is elementwise and therefore
+// commutes with concatenation, exercising the multi-node-spine path of the
+// IFV analysis.
+type Clip struct {
+	Lo, Hi float64
+}
+
+// NewClip returns a clipping operator with the given bounds.
+func NewClip(lo, hi float64) *Clip {
+	if lo > hi {
+		panic("ops: NewClip: lo > hi")
+	}
+	return &Clip{Lo: lo, Hi: hi}
+}
+
+// Name implements graph.Op.
+func (c *Clip) Name() string { return "clip" }
+
+// Compilable implements graph.Op.
+func (c *Clip) Compilable() bool { return true }
+
+// Commutative implements graph.Op: clipping is elementwise, so
+// clip(concat(a, b)) == concat(clip(a), clip(b)).
+func (c *Clip) Commutative() bool { return true }
+
+func (c *Clip) clip(v float64) float64 {
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Apply implements graph.Op.
+func (c *Clip) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) != 1 {
+		return value.Value{}, errArity(c.Name(), len(ins), 1)
+	}
+	switch ins[0].Kind {
+	case value.Floats:
+		out := make([]float64, len(ins[0].Floats))
+		for i, v := range ins[0].Floats {
+			out[i] = c.clip(v)
+		}
+		return value.NewFloats(out), nil
+	case value.Mat:
+		m := ins[0].Mat
+		switch src := m.(type) {
+		case *feature.Dense:
+			out := feature.NewDense(m.Rows(), m.Cols())
+			for r := 0; r < m.Rows(); r++ {
+				dst := out.Row(r)
+				for i, v := range src.Row(r) {
+					dst[i] = c.clip(v)
+				}
+			}
+			return value.NewMat(out), nil
+		default:
+			// Sparse: clip only stored entries; implicit zeros stay zero,
+			// which is correct whenever Lo <= 0 <= Hi. Reject otherwise.
+			if c.Lo > 0 || c.Hi < 0 {
+				return value.Value{}, fmt.Errorf("ops: %s: sparse input requires Lo <= 0 <= Hi", c.Name())
+			}
+			b := feature.NewCSRBuilder(m.Cols())
+			for r := 0; r < m.Rows(); r++ {
+				m.ForEachNZ(r, func(col int, v float64) { b.Add(col, c.clip(v)) })
+				b.EndRow()
+			}
+			return value.NewMat(b.Build()), nil
+		}
+	default:
+		return value.Value{}, errKind(c.Name(), 0, ins[0].Kind, value.Mat)
+	}
+}
+
+// ApplyBoxed implements graph.Op.
+func (c *Clip) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) != 1 {
+		return nil, errArity(c.Name(), len(ins), 1)
+	}
+	switch v := ins[0].(type) {
+	case float64:
+		return c.clip(v), nil
+	case []float64:
+		out := make([]float64, len(v))
+		for i, x := range v {
+			out[i] = c.clip(x)
+		}
+		return out, nil
+	default:
+		return nil, errBoxed(c.Name(), 0, ins[0], "float64 or []float64")
+	}
+}

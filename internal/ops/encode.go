@@ -1,0 +1,399 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// OneHot encodes a categorical string column as one-hot indicator features.
+// Fit learns the category set (capped at MaxCategories by frequency);
+// unknown categories at serve time map to an all-zeros row.
+type OneHot struct {
+	MaxCategories int
+
+	cats   map[string]int
+	fitted bool
+}
+
+// NewOneHot returns an unfitted one-hot encoder.
+func NewOneHot(maxCategories int) *OneHot {
+	if maxCategories < 1 {
+		panic("ops: NewOneHot: maxCategories must be positive")
+	}
+	return &OneHot{MaxCategories: maxCategories}
+}
+
+// Name implements graph.Op.
+func (o *OneHot) Name() string { return "one_hot" }
+
+// Compilable implements graph.Op.
+func (o *OneHot) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (o *OneHot) Commutative() bool { return false }
+
+// Fitted implements Fitter.
+func (o *OneHot) Fitted() bool { return o.fitted }
+
+// Width returns the number of learned categories. Valid after Fit.
+func (o *OneHot) Width() int { return len(o.cats) }
+
+// Fit implements Fitter.
+func (o *OneHot) Fit(ins []value.Value) error {
+	if len(ins) != 1 {
+		return errArity(o.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Strings {
+		return errKind(o.Name(), 0, ins[0].Kind, value.Strings)
+	}
+	freq := make(map[string]int)
+	for _, s := range ins[0].Strings {
+		freq[s]++
+	}
+	type catFreq struct {
+		cat string
+		n   int
+	}
+	cats := make([]catFreq, 0, len(freq))
+	for c, n := range freq {
+		cats = append(cats, catFreq{c, n})
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if cats[i].n != cats[j].n {
+			return cats[i].n > cats[j].n
+		}
+		return cats[i].cat < cats[j].cat
+	})
+	if len(cats) > o.MaxCategories {
+		cats = cats[:o.MaxCategories]
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].cat < cats[j].cat })
+	o.cats = make(map[string]int, len(cats))
+	for i, c := range cats {
+		o.cats[c.cat] = i
+	}
+	o.fitted = true
+	return nil
+}
+
+// Apply implements graph.Op.
+func (o *OneHot) Apply(ins []value.Value) (value.Value, error) {
+	if !o.fitted {
+		return value.Value{}, fmt.Errorf("ops: %s: Apply before Fit", o.Name())
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(o.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Strings {
+		return value.Value{}, errKind(o.Name(), 0, ins[0].Kind, value.Strings)
+	}
+	b := feature.NewCSRBuilder(len(o.cats))
+	for _, s := range ins[0].Strings {
+		if col, ok := o.cats[s]; ok {
+			b.Add(col, 1)
+		}
+		b.EndRow()
+	}
+	return value.NewMat(b.Build()), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (o *OneHot) ApplyBoxed(ins []any) (any, error) {
+	if !o.fitted {
+		return nil, fmt.Errorf("ops: %s: ApplyBoxed before Fit", o.Name())
+	}
+	if len(ins) != 1 {
+		return nil, errArity(o.Name(), len(ins), 1)
+	}
+	s, ok := ins[0].(string)
+	if !ok {
+		return nil, errBoxed(o.Name(), 0, ins[0], "string")
+	}
+	row := make([]float64, len(o.cats))
+	if col, hit := o.cats[s]; hit {
+		row[col] = 1
+	}
+	return row, nil
+}
+
+// Ordinal encodes a categorical string column as a single learned integer
+// code (frequency-ranked), with unknowns mapping to -1. GBDT models split on
+// these codes directly.
+type Ordinal struct {
+	codes  map[string]float64
+	fitted bool
+}
+
+// NewOrdinal returns an unfitted ordinal encoder.
+func NewOrdinal() *Ordinal { return &Ordinal{} }
+
+// Name implements graph.Op.
+func (o *Ordinal) Name() string { return "ordinal" }
+
+// Compilable implements graph.Op.
+func (o *Ordinal) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (o *Ordinal) Commutative() bool { return false }
+
+// Fitted implements Fitter.
+func (o *Ordinal) Fitted() bool { return o.fitted }
+
+// Fit implements Fitter.
+func (o *Ordinal) Fit(ins []value.Value) error {
+	if len(ins) != 1 {
+		return errArity(o.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Strings {
+		return errKind(o.Name(), 0, ins[0].Kind, value.Strings)
+	}
+	freq := make(map[string]int)
+	for _, s := range ins[0].Strings {
+		freq[s]++
+	}
+	cats := make([]string, 0, len(freq))
+	for c := range freq {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if freq[cats[i]] != freq[cats[j]] {
+			return freq[cats[i]] > freq[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	o.codes = make(map[string]float64, len(cats))
+	for i, c := range cats {
+		o.codes[c] = float64(i)
+	}
+	o.fitted = true
+	return nil
+}
+
+// Apply implements graph.Op.
+func (o *Ordinal) Apply(ins []value.Value) (value.Value, error) {
+	if !o.fitted {
+		return value.Value{}, fmt.Errorf("ops: %s: Apply before Fit", o.Name())
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(o.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Strings {
+		return value.Value{}, errKind(o.Name(), 0, ins[0].Kind, value.Strings)
+	}
+	out := make([]float64, len(ins[0].Strings))
+	for i, s := range ins[0].Strings {
+		if code, ok := o.codes[s]; ok {
+			out[i] = code
+		} else {
+			out[i] = -1
+		}
+	}
+	return value.NewFloats(out), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (o *Ordinal) ApplyBoxed(ins []any) (any, error) {
+	if !o.fitted {
+		return nil, fmt.Errorf("ops: %s: ApplyBoxed before Fit", o.Name())
+	}
+	if len(ins) != 1 {
+		return nil, errArity(o.Name(), len(ins), 1)
+	}
+	s, ok := ins[0].(string)
+	if !ok {
+		return nil, errBoxed(o.Name(), 0, ins[0], "string")
+	}
+	if code, hit := o.codes[s]; hit {
+		return code, nil
+	}
+	return float64(-1), nil
+}
+
+// StandardScale standardizes a matrix column-wise to zero mean and unit
+// variance using statistics learned at Fit time.
+type StandardScale struct {
+	mean, invStd []float64
+	fitted       bool
+}
+
+// NewStandardScale returns an unfitted standard scaler.
+func NewStandardScale() *StandardScale { return &StandardScale{} }
+
+// Name implements graph.Op.
+func (s *StandardScale) Name() string { return "standard_scale" }
+
+// Compilable implements graph.Op.
+func (s *StandardScale) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (s *StandardScale) Commutative() bool { return false }
+
+// Fitted implements Fitter.
+func (s *StandardScale) Fitted() bool { return s.fitted }
+
+// Fit implements Fitter.
+func (s *StandardScale) Fit(ins []value.Value) error {
+	if len(ins) != 1 {
+		return errArity(s.Name(), len(ins), 1)
+	}
+	m, err := ins[0].AsMatrix()
+	if err != nil {
+		return fmt.Errorf("ops: %s: %w", s.Name(), err)
+	}
+	rows, cols := m.Rows(), m.Cols()
+	s.mean = make([]float64, cols)
+	s.invStd = make([]float64, cols)
+	if rows == 0 {
+		for i := range s.invStd {
+			s.invStd[i] = 1
+		}
+		s.fitted = true
+		return nil
+	}
+	for r := 0; r < rows; r++ {
+		m.ForEachNZ(r, func(c int, v float64) { s.mean[c] += v })
+	}
+	for c := range s.mean {
+		s.mean[c] /= float64(rows)
+	}
+	variance := make([]float64, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			d := m.At(r, c) - s.mean[c]
+			variance[c] += d * d
+		}
+	}
+	for c := range variance {
+		sd := math.Sqrt(variance[c] / float64(rows))
+		if sd == 0 {
+			sd = 1
+		}
+		s.invStd[c] = 1 / sd
+	}
+	s.fitted = true
+	return nil
+}
+
+// Apply implements graph.Op.
+func (s *StandardScale) Apply(ins []value.Value) (value.Value, error) {
+	if !s.fitted {
+		return value.Value{}, fmt.Errorf("ops: %s: Apply before Fit", s.Name())
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(s.Name(), len(ins), 1)
+	}
+	m, err := ins[0].AsMatrix()
+	if err != nil {
+		return value.Value{}, fmt.Errorf("ops: %s: %w", s.Name(), err)
+	}
+	if m.Cols() != len(s.mean) {
+		return value.Value{}, fmt.Errorf("ops: %s: input has %d cols, fitted on %d", s.Name(), m.Cols(), len(s.mean))
+	}
+	out := feature.NewDense(m.Rows(), m.Cols())
+	for r := 0; r < m.Rows(); r++ {
+		row := out.Row(r)
+		for c := 0; c < m.Cols(); c++ {
+			row[c] = (m.At(r, c) - s.mean[c]) * s.invStd[c]
+		}
+	}
+	return value.NewMat(out), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (s *StandardScale) ApplyBoxed(ins []any) (any, error) {
+	if !s.fitted {
+		return nil, fmt.Errorf("ops: %s: ApplyBoxed before Fit", s.Name())
+	}
+	if len(ins) != 1 {
+		return nil, errArity(s.Name(), len(ins), 1)
+	}
+	row, ok := ins[0].([]float64)
+	if !ok {
+		return nil, errBoxed(s.Name(), 0, ins[0], "[]float64")
+	}
+	if len(row) != len(s.mean) {
+		return nil, fmt.Errorf("ops: %s: row has %d cols, fitted on %d", s.Name(), len(row), len(s.mean))
+	}
+	out := make([]float64, len(row))
+	for c, v := range row {
+		out[c] = (v - s.mean[c]) * s.invStd[c]
+	}
+	return out, nil
+}
+
+// NumericStats maps a float column to derived features:
+// [x, log1p(|x|), x^2, is_zero].
+type NumericStats struct{}
+
+// NewNumericStats returns the derived-numeric-features operator.
+func NewNumericStats() *NumericStats { return &NumericStats{} }
+
+// Name implements graph.Op.
+func (n *NumericStats) Name() string { return "numeric_stats" }
+
+// Compilable implements graph.Op.
+func (n *NumericStats) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (n *NumericStats) Commutative() bool { return false }
+
+// Width returns the number of derived features.
+func (n *NumericStats) Width() int { return 4 }
+
+func (n *NumericStats) row(x float64, dst []float64) {
+	dst[0] = x
+	dst[1] = math.Log1p(math.Abs(x))
+	dst[2] = x * x
+	if x == 0 {
+		dst[3] = 1
+	} else {
+		dst[3] = 0
+	}
+}
+
+// Apply implements graph.Op.
+func (n *NumericStats) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) != 1 {
+		return value.Value{}, errArity(n.Name(), len(ins), 1)
+	}
+	var xs []float64
+	switch ins[0].Kind {
+	case value.Floats:
+		xs = ins[0].Floats
+	case value.Ints:
+		xs = make([]float64, len(ins[0].Ints))
+		for i, v := range ins[0].Ints {
+			xs[i] = float64(v)
+		}
+	default:
+		return value.Value{}, errKind(n.Name(), 0, ins[0].Kind, value.Floats)
+	}
+	m := feature.NewDense(len(xs), n.Width())
+	for i, x := range xs {
+		n.row(x, m.Row(i))
+	}
+	return value.NewMat(m), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (n *NumericStats) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) != 1 {
+		return nil, errArity(n.Name(), len(ins), 1)
+	}
+	var x float64
+	switch v := ins[0].(type) {
+	case float64:
+		x = v
+	case int64:
+		x = float64(v)
+	default:
+		return nil, errBoxed(n.Name(), 0, ins[0], "float64 or int64")
+	}
+	dst := make([]float64, n.Width())
+	n.row(x, dst)
+	return dst, nil
+}

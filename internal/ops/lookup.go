@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// Table is a keyed feature table: the abstraction behind the paper's "remote
+// data lookup, data joins" operators (Music, Credit, Tracking benchmarks).
+// Implementations include the in-memory LocalTable and the kvstore client's
+// remote table.
+type Table interface {
+	// Dim returns the width of each stored feature vector.
+	Dim() int
+	// LookupBatch fetches feature vectors for all keys. Missing keys yield
+	// nil entries; callers substitute a default vector. Implementations may
+	// batch or pipeline the fetches.
+	LookupBatch(keys []int64) ([][]float64, error)
+	// Requests returns the cumulative number of lookup requests issued
+	// (cache misses reaching the backing store count; for remote tables this
+	// counts actual remote requests, the metric of paper Table 2).
+	Requests() int64
+}
+
+// LocalTable is an in-memory feature table (a local Pandas-dataframe join in
+// the original benchmarks).
+type LocalTable struct {
+	dim      int
+	rows     map[int64][]float64
+	requests atomic.Int64
+}
+
+// NewLocalTable builds a local table of feature vectors with width dim.
+func NewLocalTable(dim int, rows map[int64][]float64) *LocalTable {
+	for k, v := range rows {
+		if len(v) != dim {
+			panic(fmt.Sprintf("ops: NewLocalTable: key %d has %d features, want %d", k, len(v), dim))
+		}
+	}
+	return &LocalTable{dim: dim, rows: rows}
+}
+
+// Dim implements Table.
+func (t *LocalTable) Dim() int { return t.dim }
+
+// LookupBatch implements Table.
+func (t *LocalTable) LookupBatch(keys []int64) ([][]float64, error) {
+	t.requests.Add(int64(len(keys)))
+	out := make([][]float64, len(keys))
+	for i, k := range keys {
+		out[i] = t.rows[k] // nil if missing
+	}
+	return out, nil
+}
+
+// Requests implements Table.
+func (t *LocalTable) Requests() int64 { return t.requests.Load() }
+
+// Lookup joins a key column against a feature table, producing one dense
+// feature vector per row. Missing keys produce zero vectors. Lookup is
+// compilable: batch lookups pipeline through the table's LookupBatch.
+type Lookup struct {
+	TableName string
+	table     Table
+
+	mu       sync.Mutex
+	defaults []float64
+}
+
+// NewLookup returns a lookup operator against the given table.
+func NewLookup(tableName string, table Table) *Lookup {
+	return &Lookup{
+		TableName: tableName,
+		table:     table,
+		defaults:  make([]float64, table.Dim()),
+	}
+}
+
+// Name implements graph.Op.
+func (l *Lookup) Name() string { return "lookup(" + l.TableName + ")" }
+
+// Compilable implements graph.Op.
+func (l *Lookup) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (l *Lookup) Commutative() bool { return false }
+
+// Width returns the joined feature width.
+func (l *Lookup) Width() int { return l.table.Dim() }
+
+// Table returns the backing table.
+func (l *Lookup) Table() Table { return l.table }
+
+// Apply implements graph.Op.
+func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) != 1 {
+		return value.Value{}, errArity(l.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Ints {
+		return value.Value{}, errKind(l.Name(), 0, ins[0].Kind, value.Ints)
+	}
+	keys := ins[0].Ints
+	vecs, err := l.table.LookupBatch(keys)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("ops: %s: %w", l.Name(), err)
+	}
+	out := feature.NewDense(len(keys), l.table.Dim())
+	for i, v := range vecs {
+		if v != nil {
+			copy(out.Row(i), v)
+		}
+	}
+	return value.NewMat(out), nil
+}
+
+// ApplyBoxed implements graph.Op: one remote/local request per row, exactly
+// how an unoptimized Python pipeline issues point lookups.
+func (l *Lookup) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) != 1 {
+		return nil, errArity(l.Name(), len(ins), 1)
+	}
+	k, ok := ins[0].(int64)
+	if !ok {
+		return nil, errBoxed(l.Name(), 0, ins[0], "int64")
+	}
+	vecs, err := l.table.LookupBatch([]int64{k})
+	if err != nil {
+		return nil, fmt.Errorf("ops: %s: %w", l.Name(), err)
+	}
+	out := make([]float64, l.table.Dim())
+	if vecs[0] != nil {
+		copy(out, vecs[0])
+	}
+	return out, nil
+}

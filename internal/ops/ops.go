@@ -1,0 +1,43 @@
+// Package ops implements Willump's feature-computing operators: string
+// processing, tokenization, word and character n-grams, TF-IDF and count
+// vectorization, feature hashing, categorical encoding, numeric scaling,
+// local and remote table lookups (joins), and vector concatenation. These are
+// the operator families of the paper's six benchmarks (Table 1).
+//
+// Every operator implements graph.Op twice over: a columnar batch fast path
+// (Apply) used by the compiled Weld-like executor, and a boxed row-at-a-time
+// slow path (ApplyBoxed) used by the interpreted "Python" executor. Stateful
+// operators additionally implement Fitter and learn their parameters
+// (vocabularies, IDF weights, category maps, scaling statistics) from the
+// training set before serving.
+package ops
+
+import (
+	"fmt"
+
+	"willump/internal/value"
+)
+
+// Fitter is implemented by operators that learn state from training data
+// (e.g. TF-IDF vocabularies). Fit is called exactly once, during pipeline
+// training, with the operator's columnar inputs over the training batch.
+type Fitter interface {
+	Fit(ins []value.Value) error
+	// Fitted reports whether Fit has been called.
+	Fitted() bool
+}
+
+// errArity formats a consistent arity error.
+func errArity(op string, got, want int) error {
+	return fmt.Errorf("ops: %s: got %d inputs, want %d", op, got, want)
+}
+
+// errKind formats a consistent input-kind error.
+func errKind(op string, pos int, got value.Kind, want value.Kind) error {
+	return fmt.Errorf("ops: %s: input %d is %s, want %s", op, pos, got, want)
+}
+
+// errBoxed formats a consistent boxed-type error.
+func errBoxed(op string, pos int, got any, want string) error {
+	return fmt.Errorf("ops: %s: boxed input %d is %T, want %s", op, pos, got, want)
+}

@@ -1,0 +1,485 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"willump/internal/graph"
+	"willump/internal/value"
+)
+
+// applyStrings is a test helper running an op's columnar path on strings.
+func applyStrings(t *testing.T, op graph.Op, in []string) value.Value {
+	t.Helper()
+	out, err := op.Apply([]value.Value{value.NewStrings(in)})
+	if err != nil {
+		t.Fatalf("%s.Apply: %v", op.Name(), err)
+	}
+	return out
+}
+
+func TestCleanNormalizes(t *testing.T) {
+	out := applyStrings(t, NewClean(), []string{"Hello, World!", "a-b_c"})
+	want := []string{"hello  world ", "a b c"}
+	if !reflect.DeepEqual(out.Strings, want) {
+		t.Errorf("Clean = %q, want %q", out.Strings, want)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	out, err := NewTokenize().Apply([]value.Value{value.NewStrings([]string{"a b  c", ""})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !reflect.DeepEqual(out.Tokens[0], []string{"a", "b", "c"}) {
+		t.Errorf("tokens = %v", out.Tokens[0])
+	}
+	if len(out.Tokens[1]) != 0 {
+		t.Errorf("empty string should have no tokens, got %v", out.Tokens[1])
+	}
+}
+
+func TestTextStats(t *testing.T) {
+	ts := NewTextStats([]string{"damn"})
+	out := applyStrings(t, ts, []string{"DAMN you", "ok"})
+	m := out.Mat
+	if m.Cols() != ts.Width() {
+		t.Fatalf("cols = %d, want %d", m.Cols(), ts.Width())
+	}
+	if m.At(0, 0) != 8 { // length
+		t.Errorf("len = %v, want 8", m.At(0, 0))
+	}
+	if m.At(0, 1) != 2 { // words
+		t.Errorf("words = %v, want 2", m.At(0, 1))
+	}
+	if m.At(0, 3) != 1 { // keyword count catches lowercased DAMN
+		t.Errorf("keywords = %v, want 1", m.At(0, 3))
+	}
+	if m.At(1, 3) != 0 {
+		t.Errorf("keywords = %v, want 0", m.At(1, 3))
+	}
+}
+
+func TestWordNGrams(t *testing.T) {
+	w := NewWordNGrams(1, 2)
+	out, err := w.Apply([]value.Value{value.NewTokens([][]string{{"a", "b", "c"}})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := []string{"a", "b", "c", "a b", "b c"}
+	if !reflect.DeepEqual(out.Tokens[0], want) {
+		t.Errorf("ngrams = %v, want %v", out.Tokens[0], want)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	c := NewCharNGrams(2, 3)
+	out := applyStrings(t, c, []string{"abcd"})
+	want := []string{"ab", "bc", "cd", "abc", "bcd"}
+	if !reflect.DeepEqual(out.Tokens[0], want) {
+		t.Errorf("char ngrams = %v, want %v", out.Tokens[0], want)
+	}
+}
+
+func fitTFIDF(t *testing.T, docs [][]string, maxFeat int, norm Norm) *TFIDF {
+	t.Helper()
+	tf := NewTFIDF(maxFeat, norm)
+	if err := tf.Fit([]value.Value{value.NewTokens(docs)}); err != nil {
+		t.Fatalf("TFIDF.Fit: %v", err)
+	}
+	return tf
+}
+
+func TestTFIDFFitAndTransform(t *testing.T) {
+	docs := [][]string{{"a", "b", "a"}, {"b", "c"}, {"c"}}
+	tf := fitTFIDF(t, docs, 100, NormNone)
+	if tf.Width() != 3 {
+		t.Fatalf("vocab size = %d, want 3", tf.Width())
+	}
+	out, err := tf.Apply([]value.Value{value.NewTokens(docs)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	m := out.Mat
+	colA := tf.Vocabulary()["a"]
+	colC := tf.Vocabulary()["c"]
+	// "a" appears twice in doc 0 and in 1 of 3 docs: weight 2 * idf_a.
+	idfA := math.Log(4.0/2.0) + 1
+	if got := m.At(0, colA); math.Abs(got-2*idfA) > 1e-12 {
+		t.Errorf("tfidf(a, doc0) = %v, want %v", got, 2*idfA)
+	}
+	if got := m.At(0, colC); got != 0 {
+		t.Errorf("tfidf(c, doc0) = %v, want 0", got)
+	}
+}
+
+func TestTFIDFL2NormRowsAreUnit(t *testing.T) {
+	docs := [][]string{{"a", "b"}, {"b", "c", "c"}}
+	tf := fitTFIDF(t, docs, 100, NormL2)
+	out, err := tf.Apply([]value.Value{value.NewTokens(docs)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for r := 0; r < out.Mat.Rows(); r++ {
+		var sq float64
+		out.Mat.ForEachNZ(r, func(c int, v float64) { sq += v * v })
+		if math.Abs(math.Sqrt(sq)-1) > 1e-9 {
+			t.Errorf("row %d norm = %v, want 1", r, math.Sqrt(sq))
+		}
+	}
+}
+
+func TestTFIDFMaxFeaturesKeepsMostFrequent(t *testing.T) {
+	docs := [][]string{{"x", "y"}, {"x", "z"}, {"x"}}
+	tf := fitTFIDF(t, docs, 1, NormNone)
+	if tf.Width() != 1 {
+		t.Fatalf("vocab size = %d, want 1", tf.Width())
+	}
+	if _, ok := tf.Vocabulary()["x"]; !ok {
+		t.Errorf("vocabulary = %v, want to keep most frequent term x", tf.Vocabulary())
+	}
+}
+
+func TestTFIDFApplyBeforeFitErrors(t *testing.T) {
+	tf := NewTFIDF(10, NormNone)
+	if _, err := tf.Apply([]value.Value{value.NewTokens([][]string{{"a"}})}); err == nil {
+		t.Error("want error applying unfitted TFIDF")
+	}
+	if _, err := tf.ApplyBoxed([]any{[]string{"a"}}); err == nil {
+		t.Error("want error on boxed path too")
+	}
+}
+
+func TestCountVectorizer(t *testing.T) {
+	cv := NewCountVectorizer(10, false)
+	docs := [][]string{{"a", "a", "b"}}
+	if err := cv.Fit([]value.Value{value.NewTokens(docs)}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out, err := cv.Apply([]value.Value{value.NewTokens(docs)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := out.Mat.At(0, 0); got != 2 { // "a" sorts first
+		t.Errorf("count(a) = %v, want 2", got)
+	}
+	bin := NewCountVectorizer(10, true)
+	if err := bin.Fit([]value.Value{value.NewTokens(docs)}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	outB, err := bin.Apply([]value.Value{value.NewTokens(docs)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := outB.Mat.At(0, 0); got != 1 {
+		t.Errorf("binary count(a) = %v, want 1", got)
+	}
+}
+
+func TestHashingVectorizerStableAndBounded(t *testing.T) {
+	hv := NewHashingVectorizer(8)
+	out, err := hv.Apply([]value.Value{value.NewTokens([][]string{{"tok", "tok", "other"}})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Mat.Cols() != 8 {
+		t.Fatalf("cols = %d, want 8", out.Mat.Cols())
+	}
+	want := 2.0
+	if hv.bucket("other") == hv.bucket("tok") {
+		want = 3 // collision folds "other" into the same bucket
+	}
+	if got := out.Mat.At(0, hv.bucket("tok")); got != want {
+		t.Errorf("bucket(tok) = %v, want %v", got, want)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh := NewOneHot(10)
+	train := value.NewStrings([]string{"red", "blue", "red"})
+	if err := oh.Fit([]value.Value{train}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out, err := oh.Apply([]value.Value{value.NewStrings([]string{"red", "green"})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Mat.Cols() != 2 {
+		t.Fatalf("cols = %d, want 2", out.Mat.Cols())
+	}
+	if out.Mat.RowNNZ(0) != 1 {
+		t.Errorf("known category should have one hot bit")
+	}
+	if out.Mat.RowNNZ(1) != 0 {
+		t.Errorf("unknown category should be all zeros")
+	}
+}
+
+func TestOneHotMaxCategories(t *testing.T) {
+	oh := NewOneHot(2)
+	train := value.NewStrings([]string{"a", "a", "b", "b", "c"})
+	if err := oh.Fit([]value.Value{train}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if oh.Width() != 2 {
+		t.Errorf("width = %d, want 2 (capped)", oh.Width())
+	}
+}
+
+func TestOrdinal(t *testing.T) {
+	o := NewOrdinal()
+	train := value.NewStrings([]string{"x", "x", "y"})
+	if err := o.Fit([]value.Value{train}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out, err := o.Apply([]value.Value{value.NewStrings([]string{"x", "y", "zzz"})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Floats[0] != 0 || out.Floats[1] != 1 || out.Floats[2] != -1 {
+		t.Errorf("codes = %v, want [0 1 -1]", out.Floats)
+	}
+}
+
+func TestStandardScale(t *testing.T) {
+	s := NewStandardScale()
+	in := value.NewFloats([]float64{0, 10})
+	if err := s.Fit([]value.Value{in}); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out, err := s.Apply([]value.Value{in})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if math.Abs(out.Mat.At(0, 0)+1) > 1e-12 || math.Abs(out.Mat.At(1, 0)-1) > 1e-12 {
+		t.Errorf("scaled = [%v %v], want [-1 1]", out.Mat.At(0, 0), out.Mat.At(1, 0))
+	}
+}
+
+func TestNumericStats(t *testing.T) {
+	n := NewNumericStats()
+	out, err := n.Apply([]value.Value{value.NewFloats([]float64{0, -2})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Mat.At(0, 3) != 1 {
+		t.Error("is_zero flag should be 1 for 0")
+	}
+	if out.Mat.At(1, 0) != -2 || out.Mat.At(1, 2) != 4 {
+		t.Errorf("row = [%v %v %v %v]", out.Mat.At(1, 0), out.Mat.At(1, 1), out.Mat.At(1, 2), out.Mat.At(1, 3))
+	}
+}
+
+func TestConcatMixedKinds(t *testing.T) {
+	c := NewConcat()
+	m, _ := value.NewFloats([]float64{1, 2}).AsMatrix()
+	out, err := c.Apply([]value.Value{
+		value.NewMat(m),
+		value.NewInts([]int64{10, 20}),
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Mat.Cols() != 2 || out.Mat.At(1, 1) != 20 {
+		t.Errorf("concat wrong: cols=%d at(1,1)=%v", out.Mat.Cols(), out.Mat.At(1, 1))
+	}
+}
+
+func TestClip(t *testing.T) {
+	c := NewClip(-1, 1)
+	out, err := c.Apply([]value.Value{value.NewFloats([]float64{-5, 0.5, 5})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := []float64{-1, 0.5, 1}
+	if !reflect.DeepEqual(out.Floats, want) {
+		t.Errorf("clip = %v, want %v", out.Floats, want)
+	}
+}
+
+func TestLookupLocalTable(t *testing.T) {
+	table := NewLocalTable(2, map[int64][]float64{
+		1: {1.5, 2.5},
+		2: {3, 4},
+	})
+	l := NewLookup("users", table)
+	out, err := l.Apply([]value.Value{value.NewInts([]int64{2, 99, 1})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if out.Mat.At(0, 1) != 4 {
+		t.Errorf("lookup(2) = %v, want 4", out.Mat.At(0, 1))
+	}
+	if out.Mat.RowNNZ(1) != 0 {
+		t.Error("missing key should give zero vector")
+	}
+	if out.Mat.At(2, 0) != 1.5 {
+		t.Errorf("lookup(1) = %v, want 1.5", out.Mat.At(2, 0))
+	}
+	if table.Requests() != 3 {
+		t.Errorf("requests = %d, want 3 (one per key for local tables)", table.Requests())
+	}
+}
+
+// Property: for every op, the boxed row path agrees with the columnar path.
+func TestBoxedColumnarAgreementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vocabWords := []string{"apple", "banana", "cherry", "dog", "echo", "fox"}
+	randomDocs := func(n int) []string {
+		docs := make([]string, n)
+		for i := range docs {
+			k := 1 + rng.Intn(6)
+			s := ""
+			for j := 0; j < k; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += vocabWords[rng.Intn(len(vocabWords))]
+			}
+			docs[i] = s
+		}
+		return docs
+	}
+	docs := randomDocs(50)
+
+	// Build a fitted text chain to test stateful ops.
+	tok := NewTokenize()
+	tokens, err := tok.Apply([]value.Value{value.NewStrings(docs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfidf := NewTFIDF(20, NormL2)
+	if err := tfidf.Fit([]value.Value{tokens}); err != nil {
+		t.Fatal(err)
+	}
+
+	checkTextOp := func(op graph.Op, in []string) {
+		t.Helper()
+		colOut, err := op.Apply([]value.Value{value.NewStrings(in)})
+		if err != nil {
+			t.Fatalf("%s.Apply: %v", op.Name(), err)
+		}
+		for r := 0; r < len(in); r++ {
+			boxed, err := op.ApplyBoxed([]any{in[r]})
+			if err != nil {
+				t.Fatalf("%s.ApplyBoxed: %v", op.Name(), err)
+			}
+			if !reflect.DeepEqual(boxed, colOut.Box(r)) {
+				t.Fatalf("%s row %d: boxed %v != columnar %v", op.Name(), r, boxed, colOut.Box(r))
+			}
+		}
+	}
+	checkTextOp(NewClean(), docs)
+	checkTextOp(NewCharNGrams(2, 3), docs)
+	checkTextOp(NewTextStats([]string{"dog"}), docs)
+
+	// Token-consuming ops.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		toks := make([]string, n)
+		for i := range toks {
+			toks[i] = vocabWords[r.Intn(len(vocabWords))]
+		}
+		in := value.NewTokens([][]string{toks})
+		for _, op := range []graph.Op{NewWordNGrams(1, 2), tfidf, NewHashingVectorizer(16)} {
+			col, err := op.Apply([]value.Value{in})
+			if err != nil {
+				return false
+			}
+			boxed, err := op.ApplyBoxed([]any{toks})
+			if err != nil {
+				return false
+			}
+			want := col.Box(0)
+			if bf, ok := boxed.([]float64); ok {
+				wf := want.([]float64)
+				if len(bf) != len(wf) {
+					return false
+				}
+				for i := range bf {
+					if math.Abs(bf[i]-wf[i]) > 1e-12 {
+						return false
+					}
+				}
+			} else if !reflect.DeepEqual(boxed, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuseTextChainMatchesUnfused(t *testing.T) {
+	docs := []string{"The Quick Brown fox", "jumps OVER the lazy dog", "the dog!"}
+	clean := NewClean()
+	tok := NewTokenize()
+	ng := NewWordNGrams(1, 2)
+	tfidf := NewTFIDF(50, NormL2)
+
+	// Unfused pipeline.
+	v := value.NewStrings(docs)
+	cv, err := clean.Apply([]value.Value{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := tok.Apply([]value.Value{cv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := ng.Apply([]value.Value{tv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tfidf.Fit([]value.Value{nv}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tfidf.Apply([]value.Value{nv})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fused, ok := FuseTextChain([]graph.Op{clean, tok, ng, tfidf})
+	if !ok {
+		t.Fatal("FuseTextChain refused a canonical chain")
+	}
+	got, err := fused.Apply([]value.Value{v})
+	if err != nil {
+		t.Fatalf("fused Apply: %v", err)
+	}
+	if got.Mat.Rows() != want.Mat.Rows() || got.Mat.Cols() != want.Mat.Cols() {
+		t.Fatalf("fused shape (%d,%d) != unfused (%d,%d)",
+			got.Mat.Rows(), got.Mat.Cols(), want.Mat.Rows(), want.Mat.Cols())
+	}
+	for r := 0; r < want.Mat.Rows(); r++ {
+		for c := 0; c < want.Mat.Cols(); c++ {
+			if math.Abs(got.Mat.At(r, c)-want.Mat.At(r, c)) > 1e-12 {
+				t.Fatalf("fused (%d,%d) = %v, want %v", r, c, got.Mat.At(r, c), want.Mat.At(r, c))
+			}
+		}
+	}
+}
+
+func TestFuseTextChainVariants(t *testing.T) {
+	tfidf := NewTFIDF(10, NormNone)
+	_ = tfidf.Fit([]value.Value{value.NewTokens([][]string{{"ab", "bc"}})})
+	if _, ok := FuseTextChain([]graph.Op{NewCharNGrams(2, 2), tfidf}); !ok {
+		t.Error("char-ngram + tfidf should fuse")
+	}
+	if _, ok := FuseTextChain([]graph.Op{NewClean(), NewTokenize()}); ok {
+		t.Error("chain without vectorizer should not fuse")
+	}
+	unfitted := NewTFIDF(10, NormNone)
+	if _, ok := FuseTextChain([]graph.Op{NewTokenize(), unfitted}); ok {
+		t.Error("unfitted vectorizer should not fuse")
+	}
+	if _, ok := FuseTextChain([]graph.Op{NewConcat()}); ok {
+		t.Error("single op should not fuse")
+	}
+}

@@ -1,0 +1,77 @@
+package ops
+
+import (
+	"math"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// Ratio computes ratio-derived features [a/b, log1p(a/b)] from two numeric
+// columns. It is deliberately marked non-compilable, standing in for the
+// custom Python UDFs real pipelines contain (e.g. the Credit benchmark's
+// debt-ratio features): executing it forces a compiled program to cross into
+// the interpreted runtime through drivers, the overhead the section 6.4
+// microbenchmark measures.
+type Ratio struct{}
+
+// NewRatio returns a ratio-features operator.
+func NewRatio() *Ratio { return &Ratio{} }
+
+// Name implements graph.Op.
+func (rt *Ratio) Name() string { return "ratio" }
+
+// Compilable implements graph.Op: false — this is the pipeline's "Python"
+// node.
+func (rt *Ratio) Compilable() bool { return false }
+
+// Commutative implements graph.Op.
+func (rt *Ratio) Commutative() bool { return false }
+
+// Width returns the number of produced features.
+func (rt *Ratio) Width() int { return 2 }
+
+func (rt *Ratio) row(a, b float64, dst []float64) {
+	r := 0.0
+	if b != 0 {
+		r = a / b
+	}
+	dst[0] = r
+	dst[1] = math.Log1p(math.Abs(r))
+}
+
+// Apply implements graph.Op.
+func (rt *Ratio) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) != 2 {
+		return value.Value{}, errArity(rt.Name(), len(ins), 2)
+	}
+	for i := range ins {
+		if ins[i].Kind != value.Floats {
+			return value.Value{}, errKind(rt.Name(), i, ins[i].Kind, value.Floats)
+		}
+	}
+	n := len(ins[0].Floats)
+	m := feature.NewDense(n, rt.Width())
+	for i := 0; i < n; i++ {
+		rt.row(ins[0].Floats[i], ins[1].Floats[i], m.Row(i))
+	}
+	return value.NewMat(m), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (rt *Ratio) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) != 2 {
+		return nil, errArity(rt.Name(), len(ins), 2)
+	}
+	a, ok := ins[0].(float64)
+	if !ok {
+		return nil, errBoxed(rt.Name(), 0, ins[0], "float64")
+	}
+	b, ok := ins[1].(float64)
+	if !ok {
+		return nil, errBoxed(rt.Name(), 1, ins[1], "float64")
+	}
+	dst := make([]float64, rt.Width())
+	rt.row(a, b, dst)
+	return dst, nil
+}

@@ -1,0 +1,400 @@
+package ops
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// Norm selects the row normalization applied by vectorizers.
+type Norm int
+
+// Supported norms.
+const (
+	NormNone Norm = iota
+	NormL1
+	NormL2
+)
+
+// TFIDF converts token lists into TF-IDF weighted sparse feature vectors.
+// Fit learns the vocabulary (capped at MaxFeatures by document frequency)
+// and smoothed IDF weights; Apply transforms batches to CSR matrices.
+// This matches the paper's TF-IDF featurization template, parameterized by
+// n-gram source and norm (section 5.2, "Code Generation").
+type TFIDF struct {
+	MaxFeatures int
+	Norm        Norm
+
+	vocab  map[string]int
+	idf    []float64
+	fitted bool
+}
+
+// NewTFIDF returns an unfitted TF-IDF vectorizer.
+func NewTFIDF(maxFeatures int, norm Norm) *TFIDF {
+	if maxFeatures < 1 {
+		panic("ops: NewTFIDF: maxFeatures must be positive")
+	}
+	return &TFIDF{MaxFeatures: maxFeatures, Norm: norm}
+}
+
+// Name implements graph.Op.
+func (t *TFIDF) Name() string { return "tfidf" }
+
+// Compilable implements graph.Op.
+func (t *TFIDF) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (t *TFIDF) Commutative() bool { return false }
+
+// Fitted implements Fitter.
+func (t *TFIDF) Fitted() bool { return t.fitted }
+
+// Width returns the learned vocabulary size. Valid after Fit.
+func (t *TFIDF) Width() int { return len(t.idf) }
+
+// Vocabulary returns the fitted term -> column map (shared, do not mutate).
+func (t *TFIDF) Vocabulary() map[string]int { return t.vocab }
+
+// Fit implements Fitter: learns vocabulary and IDF from the token batch.
+func (t *TFIDF) Fit(ins []value.Value) error {
+	if len(ins) != 1 {
+		return errArity(t.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Tokens {
+		return errKind(t.Name(), 0, ins[0].Kind, value.Tokens)
+	}
+	docs := ins[0].Tokens
+	df := make(map[string]int)
+	seen := make(map[string]bool)
+	for _, doc := range docs {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, tok := range doc {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	type termDF struct {
+		term string
+		df   int
+	}
+	terms := make([]termDF, 0, len(df))
+	for term, d := range df {
+		terms = append(terms, termDF{term, d})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].df != terms[j].df {
+			return terms[i].df > terms[j].df
+		}
+		return terms[i].term < terms[j].term
+	})
+	if len(terms) > t.MaxFeatures {
+		terms = terms[:t.MaxFeatures]
+	}
+	// Stable column order: lexicographic over the kept terms.
+	sort.Slice(terms, func(i, j int) bool { return terms[i].term < terms[j].term })
+	t.vocab = make(map[string]int, len(terms))
+	t.idf = make([]float64, len(terms))
+	n := float64(len(docs))
+	for i, td := range terms {
+		t.vocab[td.term] = i
+		// Smoothed IDF as in standard implementations.
+		t.idf[i] = math.Log((1+n)/(1+float64(td.df))) + 1
+	}
+	t.fitted = true
+	return nil
+}
+
+// transformRow computes the TF-IDF entries for one document into builder b.
+func (t *TFIDF) transformRow(doc []string, counts map[int]int, b *feature.CSRBuilder) {
+	for k := range counts {
+		delete(counts, k)
+	}
+	for _, tok := range doc {
+		if col, ok := t.vocab[tok]; ok {
+			counts[col]++
+		}
+	}
+	switch t.Norm {
+	case NormNone:
+		for col, c := range counts {
+			b.Add(col, float64(c)*t.idf[col])
+		}
+	case NormL1:
+		var sum float64
+		for col, c := range counts {
+			v := float64(c) * t.idf[col]
+			sum += math.Abs(v)
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for col, c := range counts {
+			b.Add(col, float64(c)*t.idf[col]/sum)
+		}
+	case NormL2:
+		var sq float64
+		for col, c := range counts {
+			v := float64(c) * t.idf[col]
+			sq += v * v
+		}
+		norm := math.Sqrt(sq)
+		if norm == 0 {
+			norm = 1
+		}
+		for col, c := range counts {
+			b.Add(col, float64(c)*t.idf[col]/norm)
+		}
+	}
+	b.EndRow()
+}
+
+// Apply implements graph.Op.
+func (t *TFIDF) Apply(ins []value.Value) (value.Value, error) {
+	if !t.fitted {
+		return value.Value{}, fmt.Errorf("ops: %s: Apply before Fit", t.Name())
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(t.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Tokens {
+		return value.Value{}, errKind(t.Name(), 0, ins[0].Kind, value.Tokens)
+	}
+	b := feature.NewCSRBuilder(len(t.idf))
+	counts := make(map[int]int)
+	for _, doc := range ins[0].Tokens {
+		t.transformRow(doc, counts, b)
+	}
+	return value.NewMat(b.Build()), nil
+}
+
+// ApplyBoxed implements graph.Op. The boxed path returns a fully dense row,
+// mirroring the materialization cost a pure-Python pipeline pays.
+func (t *TFIDF) ApplyBoxed(ins []any) (any, error) {
+	if !t.fitted {
+		return nil, fmt.Errorf("ops: %s: ApplyBoxed before Fit", t.Name())
+	}
+	if len(ins) != 1 {
+		return nil, errArity(t.Name(), len(ins), 1)
+	}
+	doc, ok := ins[0].([]string)
+	if !ok {
+		return nil, errBoxed(t.Name(), 0, ins[0], "[]string")
+	}
+	b := feature.NewCSRBuilder(len(t.idf))
+	t.transformRow(doc, make(map[int]int), b)
+	m := b.Build()
+	return feature.RowDense(m, 0, nil), nil
+}
+
+// CountVectorizer converts token lists into raw term-count sparse vectors.
+type CountVectorizer struct {
+	MaxFeatures int
+	Binary      bool
+
+	vocab  map[string]int
+	fitted bool
+}
+
+// NewCountVectorizer returns an unfitted count vectorizer. If binary is true
+// the output records term presence instead of counts.
+func NewCountVectorizer(maxFeatures int, binary bool) *CountVectorizer {
+	if maxFeatures < 1 {
+		panic("ops: NewCountVectorizer: maxFeatures must be positive")
+	}
+	return &CountVectorizer{MaxFeatures: maxFeatures, Binary: binary}
+}
+
+// Name implements graph.Op.
+func (c *CountVectorizer) Name() string { return "count_vectorizer" }
+
+// Compilable implements graph.Op.
+func (c *CountVectorizer) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (c *CountVectorizer) Commutative() bool { return false }
+
+// Fitted implements Fitter.
+func (c *CountVectorizer) Fitted() bool { return c.fitted }
+
+// Width returns the learned vocabulary size. Valid after Fit.
+func (c *CountVectorizer) Width() int { return len(c.vocab) }
+
+// Fit implements Fitter.
+func (c *CountVectorizer) Fit(ins []value.Value) error {
+	if len(ins) != 1 {
+		return errArity(c.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Tokens {
+		return errKind(c.Name(), 0, ins[0].Kind, value.Tokens)
+	}
+	df := make(map[string]int)
+	seen := make(map[string]bool)
+	for _, doc := range ins[0].Tokens {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, tok := range doc {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	type termDF struct {
+		term string
+		df   int
+	}
+	terms := make([]termDF, 0, len(df))
+	for term, d := range df {
+		terms = append(terms, termDF{term, d})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].df != terms[j].df {
+			return terms[i].df > terms[j].df
+		}
+		return terms[i].term < terms[j].term
+	})
+	if len(terms) > c.MaxFeatures {
+		terms = terms[:c.MaxFeatures]
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].term < terms[j].term })
+	c.vocab = make(map[string]int, len(terms))
+	for i, td := range terms {
+		c.vocab[td.term] = i
+	}
+	c.fitted = true
+	return nil
+}
+
+func (c *CountVectorizer) transformRow(doc []string, counts map[int]int, b *feature.CSRBuilder) {
+	for k := range counts {
+		delete(counts, k)
+	}
+	for _, tok := range doc {
+		if col, ok := c.vocab[tok]; ok {
+			counts[col]++
+		}
+	}
+	for col, n := range counts {
+		if c.Binary {
+			b.Add(col, 1)
+		} else {
+			b.Add(col, float64(n))
+		}
+	}
+	b.EndRow()
+}
+
+// Apply implements graph.Op.
+func (c *CountVectorizer) Apply(ins []value.Value) (value.Value, error) {
+	if !c.fitted {
+		return value.Value{}, fmt.Errorf("ops: %s: Apply before Fit", c.Name())
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(c.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Tokens {
+		return value.Value{}, errKind(c.Name(), 0, ins[0].Kind, value.Tokens)
+	}
+	b := feature.NewCSRBuilder(len(c.vocab))
+	counts := make(map[int]int)
+	for _, doc := range ins[0].Tokens {
+		c.transformRow(doc, counts, b)
+	}
+	return value.NewMat(b.Build()), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (c *CountVectorizer) ApplyBoxed(ins []any) (any, error) {
+	if !c.fitted {
+		return nil, fmt.Errorf("ops: %s: ApplyBoxed before Fit", c.Name())
+	}
+	if len(ins) != 1 {
+		return nil, errArity(c.Name(), len(ins), 1)
+	}
+	doc, ok := ins[0].([]string)
+	if !ok {
+		return nil, errBoxed(c.Name(), 0, ins[0], "[]string")
+	}
+	b := feature.NewCSRBuilder(len(c.vocab))
+	c.transformRow(doc, make(map[int]int), b)
+	return feature.RowDense(b.Build(), 0, nil), nil
+}
+
+// HashingVectorizer maps tokens to a fixed number of buckets with FNV
+// hashing; it needs no fitting and bounds memory, trading exactness for
+// speed like the hashing trick in large-scale pipelines.
+type HashingVectorizer struct {
+	Buckets int
+}
+
+// NewHashingVectorizer returns a hashing vectorizer with the given bucket
+// count.
+func NewHashingVectorizer(buckets int) *HashingVectorizer {
+	if buckets < 1 {
+		panic("ops: NewHashingVectorizer: buckets must be positive")
+	}
+	return &HashingVectorizer{Buckets: buckets}
+}
+
+// Name implements graph.Op.
+func (h *HashingVectorizer) Name() string { return "hashing_vectorizer" }
+
+// Compilable implements graph.Op.
+func (h *HashingVectorizer) Compilable() bool { return true }
+
+// Commutative implements graph.Op.
+func (h *HashingVectorizer) Commutative() bool { return false }
+
+// Width returns the bucket count.
+func (h *HashingVectorizer) Width() int { return h.Buckets }
+
+func (h *HashingVectorizer) bucket(tok string) int {
+	f := fnv.New32a()
+	f.Write([]byte(tok))
+	return int(f.Sum32() % uint32(h.Buckets))
+}
+
+// Apply implements graph.Op.
+func (h *HashingVectorizer) Apply(ins []value.Value) (value.Value, error) {
+	if len(ins) != 1 {
+		return value.Value{}, errArity(h.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Tokens {
+		return value.Value{}, errKind(h.Name(), 0, ins[0].Kind, value.Tokens)
+	}
+	b := feature.NewCSRBuilder(h.Buckets)
+	for _, doc := range ins[0].Tokens {
+		for _, tok := range doc {
+			b.Add(h.bucket(tok), 1)
+		}
+		b.EndRow()
+	}
+	return value.NewMat(b.Build()), nil
+}
+
+// ApplyBoxed implements graph.Op.
+func (h *HashingVectorizer) ApplyBoxed(ins []any) (any, error) {
+	if len(ins) != 1 {
+		return nil, errArity(h.Name(), len(ins), 1)
+	}
+	doc, ok := ins[0].([]string)
+	if !ok {
+		return nil, errBoxed(h.Name(), 0, ins[0], "[]string")
+	}
+	b := feature.NewCSRBuilder(h.Buckets)
+	for _, tok := range doc {
+		b.Add(h.bucket(tok), 1)
+	}
+	b.EndRow()
+	return feature.RowDense(b.Build(), 0, nil), nil
+}

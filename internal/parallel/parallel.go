@@ -1,0 +1,96 @@
+// Package parallel implements Willump's query-aware parallelization
+// primitives (paper section 4.4): longest-processing-time static assignment
+// of feature generators to worker threads for example-at-a-time queries, and
+// row sharding for batch queries.
+package parallel
+
+import "sort"
+
+// Assign statically distributes items with the given costs across at most
+// workers groups, balancing total cost per group using the
+// longest-processing-time (LPT) greedy rule. It returns the item indices per
+// group; groups are non-empty unless there are fewer items than workers.
+// This is how Willump "statically assigns feature generators to threads
+// using the feature generators' computational costs" (section 5.2).
+func Assign(costs []float64, workers int) [][]int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(costs) {
+		workers = len(costs)
+	}
+	if workers == 0 {
+		return nil
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] > costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, workers)
+	load := make([]float64, workers)
+	for _, item := range order {
+		// Place on the least-loaded worker.
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		groups[best] = append(groups[best], item)
+		load[best] += costs[item]
+	}
+	// Keep items within each group in their original order.
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+// Shard splits n rows into at most workers contiguous [start, end) ranges of
+// near-equal size for data-parallel batch execution.
+func Shard(n, workers int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, workers)
+	base := n / workers
+	rem := n % workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// MaxLoad returns the maximum per-group cost of an assignment, the quantity
+// LPT minimizes (the makespan of the example-at-a-time query).
+func MaxLoad(costs []float64, groups [][]int) float64 {
+	var maxLoad float64
+	for _, g := range groups {
+		var load float64
+		for _, item := range g {
+			load += costs[item]
+		}
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	return maxLoad
+}

@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignBalancesLoad(t *testing.T) {
+	costs := []float64{8, 7, 6, 5, 4}
+	groups := Assign(costs, 2)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	// LPT places 8->w0, 7->w1, 6->w1, 5->w0, 4->w0: loads 17 vs 13.
+	// (Optimal is 15; LPT's guarantee for two workers is 7/6 of optimal.)
+	if got := MaxLoad(costs, groups); got != 17 {
+		t.Errorf("MaxLoad = %v, want LPT's deterministic 17", got)
+	}
+	// A case where LPT is optimal.
+	groups2 := Assign([]float64{6, 6, 4, 4}, 2)
+	if got := MaxLoad([]float64{6, 6, 4, 4}, groups2); got != 10 {
+		t.Errorf("MaxLoad = %v, want optimal 10", got)
+	}
+}
+
+func TestAssignEdgeCases(t *testing.T) {
+	if g := Assign(nil, 4); g != nil {
+		t.Errorf("Assign(nil) = %v, want nil", g)
+	}
+	g := Assign([]float64{1, 2}, 10)
+	if len(g) != 2 {
+		t.Errorf("groups = %d, want capped at item count", len(g))
+	}
+	g = Assign([]float64{1, 2, 3}, 0)
+	if len(g) != 1 || len(g[0]) != 3 {
+		t.Errorf("workers<1 should collapse to one group, got %v", g)
+	}
+}
+
+func TestAssignCoversAllItemsOnceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = rng.Float64() * 10
+		}
+		groups := Assign(costs, 1+rng.Intn(6))
+		seen := make(map[int]int)
+		for _, g := range groups {
+			for _, item := range g {
+				seen[item]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: list scheduling guarantees makespan <= total/m + max item (the
+// last job placed on the busiest machine started no later than total/m).
+func TestAssignListSchedulingBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		w := 1 + rng.Intn(8)
+		costs := make([]float64, n)
+		var total, maxItem float64
+		for i := range costs {
+			costs[i] = rng.Float64() * 10
+			total += costs[i]
+			if costs[i] > maxItem {
+				maxItem = costs[i]
+			}
+		}
+		groups := Assign(costs, w)
+		m := len(groups)
+		if m == 0 {
+			return n == 0
+		}
+		bound := total/float64(m) + maxItem
+		return MaxLoad(costs, groups) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShard(t *testing.T) {
+	shards := Shard(10, 3)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	if len(shards) != 3 {
+		t.Fatalf("shards = %v", shards)
+	}
+	for i := range want {
+		if shards[i] != want[i] {
+			t.Errorf("shard %d = %v, want %v", i, shards[i], want[i])
+		}
+	}
+	if s := Shard(2, 5); len(s) != 2 {
+		t.Errorf("Shard(2,5) = %v, want 2 shards", s)
+	}
+	if s := Shard(0, 3); s != nil {
+		t.Errorf("Shard(0,3) = %v, want nil", s)
+	}
+}
+
+func TestShardCoversRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		w := 1 + rng.Intn(10)
+		shards := Shard(n, w)
+		pos := 0
+		for _, s := range shards {
+			if s[0] != pos || s[1] < s[0] {
+				return false
+			}
+			pos = s[1]
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"willump/internal/core"
+	"willump/internal/data"
+	"willump/internal/graph"
+	"willump/internal/model"
+	"willump/internal/ops"
+	"willump/internal/value"
+)
+
+// Music builds the Music benchmark (Table 1: remote data lookup, data
+// joins; classification; GBDT). It is the paper's Figure 1 pipeline widened
+// to five lookup feature generators (user, song, genre, artist, context),
+// matching the paper's note that Music has the most IFVs of the
+// classification benchmarks.
+func Music(cfg Config) (*Benchmark, error) {
+	cfg = cfg.withDefaults()
+	ds := data.Music(cfg.Seed, cfg.N)
+
+	userT, err := cfg.Backend.Table("users", ds.UserDim, ds.UserRows)
+	if err != nil {
+		return nil, err
+	}
+	songT, err := cfg.Backend.Table("songs", ds.SongDim, ds.SongRows)
+	if err != nil {
+		return nil, err
+	}
+	genreT, err := cfg.Backend.Table("genres", ds.GenreDim, ds.GenreRows)
+	if err != nil {
+		return nil, err
+	}
+	artistT, err := cfg.Backend.Table("artists", ds.ArtistDim, ds.ArtistRows)
+	if err != nil {
+		return nil, err
+	}
+	contextT, err := cfg.Backend.Table("contexts", ds.ContextDim, ds.ContextRows)
+	if err != nil {
+		return nil, err
+	}
+
+	b := graph.NewBuilder()
+	user := b.Input("user")
+	song := b.Input("song")
+	genre := b.Input("genre")
+	artist := b.Input("artist")
+	context := b.Input("context")
+	uf := b.Add("user_features", ops.NewLookup("users", userT), user)
+	sf := b.Add("song_features", ops.NewLookup("songs", songT), song)
+	gf := b.Add("genre_features", ops.NewLookup("genres", genreT), genre)
+	af := b.Add("artist_features", ops.NewLookup("artists", artistT), artist)
+	xf := b.Add("context_features", ops.NewLookup("contexts", contextT), context)
+	cat := b.Add("concat", ops.NewConcat(), uf, sf, gf, af, xf)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := map[string]value.Value{
+		"user":    value.NewInts(ds.UserIDs),
+		"song":    value.NewInts(ds.SongIDs),
+		"genre":   value.NewInts(ds.GenreIDs),
+		"artist":  value.NewInts(ds.ArtistIDs),
+		"context": value.NewInts(ds.ContextIDs),
+	}
+	train, valid, test := splitDataset(inputs, ds.Y, cfg.N)
+	return &Benchmark{
+		Name: "music",
+		Pipeline: &core.Pipeline{
+			Graph: g,
+			Model: model.NewGBDT(model.GBDTConfig{
+				Task: model.Classification, Trees: 40, MaxDepth: 5, Seed: cfg.Seed,
+			}),
+		},
+		Train: train, Valid: valid, Test: test,
+		Tables: map[string]ops.Table{
+			"users": userT, "songs": songT, "genres": genreT,
+			"artists": artistT, "contexts": contextT,
+		},
+		backend: cfg.Backend,
+	}, nil
+}
+
+// Credit builds the Credit benchmark (Table 1: remote data lookup, data
+// joins; regression; GBDT): application-side numeric features plus three
+// joined tables.
+func Credit(cfg Config) (*Benchmark, error) {
+	cfg = cfg.withDefaults()
+	ds := data.Credit(cfg.Seed, cfg.N)
+
+	bureauT, err := cfg.Backend.Table("bureau", ds.BureauDim, ds.BureauRows)
+	if err != nil {
+		return nil, err
+	}
+	prevT, err := cfg.Backend.Table("previous", ds.PrevDim, ds.PrevRows)
+	if err != nil {
+		return nil, err
+	}
+	instalT, err := cfg.Backend.Table("installments", ds.InstalDim, ds.InstalRows)
+	if err != nil {
+		return nil, err
+	}
+
+	b := graph.NewBuilder()
+	client := b.Input("client")
+	income := b.Input("income")
+	amount := b.Input("amount")
+	bf := b.Add("bureau_features", ops.NewLookup("bureau", bureauT), client)
+	pf := b.Add("previous_features", ops.NewLookup("previous", prevT), client)
+	inf := b.Add("installment_features", ops.NewLookup("installments", instalT), client)
+	incomeStats := b.Add("income_stats", ops.NewNumericStats(), income)
+	amountStats := b.Add("amount_stats", ops.NewNumericStats(), amount)
+	// Custom "Python" UDF (non-compilable): the debt-to-income ratio
+	// features that force a language transition through Weld drivers.
+	debtRatio := b.Add("debt_ratio", ops.NewRatio(), amount, income)
+	cat := b.Add("concat", ops.NewConcat(), bf, pf, inf, incomeStats, amountStats, debtRatio)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := map[string]value.Value{
+		"client": value.NewInts(ds.ClientIDs),
+		"income": value.NewFloats(ds.Income),
+		"amount": value.NewFloats(ds.CreditAmount),
+	}
+	train, valid, test := splitDataset(inputs, ds.Y, cfg.N)
+	return &Benchmark{
+		Name: "credit",
+		Pipeline: &core.Pipeline{
+			Graph: g,
+			Model: model.NewGBDT(model.GBDTConfig{
+				Task: model.Regression, Trees: 40, MaxDepth: 5, Seed: cfg.Seed,
+			}),
+		},
+		Train: train, Valid: valid, Test: test,
+		Tables: map[string]ops.Table{
+			"bureau": bureauT, "previous": prevT, "installments": instalT,
+		},
+		backend: cfg.Backend,
+	}, nil
+}
+
+// Tracking builds the Tracking benchmark (Table 1: remote data lookup, data
+// joins; classification; GBDT): ip/app/channel aggregate-feature lookups.
+func Tracking(cfg Config) (*Benchmark, error) {
+	cfg = cfg.withDefaults()
+	ds := data.Tracking(cfg.Seed, cfg.N)
+
+	ipT, err := cfg.Backend.Table("ips", ds.IPDim, ds.IPRows)
+	if err != nil {
+		return nil, err
+	}
+	appT, err := cfg.Backend.Table("apps", ds.AppDim, ds.AppRows)
+	if err != nil {
+		return nil, err
+	}
+	chT, err := cfg.Backend.Table("channels", ds.ChannelDim, ds.ChannelRows)
+	if err != nil {
+		return nil, err
+	}
+
+	b := graph.NewBuilder()
+	ip := b.Input("ip")
+	app := b.Input("app")
+	channel := b.Input("channel")
+	ipf := b.Add("ip_features", ops.NewLookup("ips", ipT), ip)
+	apf := b.Add("app_features", ops.NewLookup("apps", appT), app)
+	chf := b.Add("channel_features", ops.NewLookup("channels", chT), channel)
+	cat := b.Add("concat", ops.NewConcat(), ipf, apf, chf)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := map[string]value.Value{
+		"ip":      value.NewInts(ds.IPIDs),
+		"app":     value.NewInts(ds.AppIDs),
+		"channel": value.NewInts(ds.ChannelIDs),
+	}
+	train, valid, test := splitDataset(inputs, ds.Y, cfg.N)
+	return &Benchmark{
+		Name: "tracking",
+		Pipeline: &core.Pipeline{
+			Graph: g,
+			Model: model.NewGBDT(model.GBDTConfig{
+				Task: model.Classification, Trees: 40, MaxDepth: 5, Seed: cfg.Seed,
+			}),
+		},
+		Train: train, Valid: valid, Test: test,
+		Tables: map[string]ops.Table{
+			"ips": ipT, "apps": appT, "channels": chT,
+		},
+		backend: cfg.Backend,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/model"
+)
+
+func optimizeBench(t *testing.T, b *Benchmark, opts core.Options) (*core.Optimized, *core.Report) {
+	t.Helper()
+	o, rep, err := core.Optimize(b.Pipeline, b.Train, b.Valid, opts)
+	if err != nil {
+		t.Fatalf("%s: Optimize: %v", b.Name, err)
+	}
+	return o, rep
+}
+
+func TestAllBenchmarksBuildAndLearn(t *testing.T) {
+	benches, err := All(Config{Seed: 3, N: 1600})
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	defer func() {
+		for _, b := range benches {
+			b.Close()
+		}
+	}()
+	if len(benches) != 6 {
+		t.Fatalf("built %d benchmarks, want 6", len(benches))
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			o, rep := optimizeBench(t, b, core.Options{})
+			preds, err := o.PredictBatch(b.Test.Inputs)
+			if err != nil {
+				t.Fatalf("PredictBatch: %v", err)
+			}
+			if len(preds) != b.Test.Len() {
+				t.Fatalf("preds = %d rows, want %d", len(preds), b.Test.Len())
+			}
+			if b.Pipeline.Model.Task() == model.Classification {
+				acc := model.Accuracy(preds, b.Test.Y)
+				if acc < 0.70 {
+					t.Errorf("test accuracy = %.3f, want >= 0.70", acc)
+				}
+			} else {
+				mse := model.MSE(preds, b.Test.Y)
+				var mean float64
+				for _, v := range b.Test.Y {
+					mean += v
+				}
+				mean /= float64(len(b.Test.Y))
+				var variance float64
+				for _, v := range b.Test.Y {
+					variance += (v - mean) * (v - mean)
+				}
+				variance /= float64(len(b.Test.Y))
+				// Written as a negated <= so NaN MSE (diverged training)
+				// fails rather than slipping past the comparison.
+				if !(mse <= 0.8*variance) {
+					t.Errorf("test MSE %.4f not better than 80%% of variance %.4f", mse, variance)
+				}
+			}
+			if rep.NumIFVs < 3 {
+				t.Errorf("NumIFVs = %d, want >= 3", rep.NumIFVs)
+			}
+		})
+	}
+}
+
+func TestClassificationBenchmarksCascade(t *testing.T) {
+	for _, name := range []string{"product", "toxic", "music", "tracking"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := ByName(name, Config{Seed: 5, N: 1600})
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			defer b.Close()
+			o, rep := optimizeBench(t, b, core.Options{Cascades: true, AccuracyTarget: 0.015})
+			if !rep.CascadeBuilt {
+				t.Fatal("cascade not built")
+			}
+			cascPreds, err := o.PredictBatch(b.Test.Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullPreds, err := o.PredictFull(b.Test.Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cascAcc := model.Accuracy(cascPreds, b.Test.Y)
+			fullAcc := model.Accuracy(fullPreds, b.Test.Y)
+			if cascAcc < fullAcc-0.05 {
+				t.Errorf("cascade accuracy %.4f far below full %.4f", cascAcc, fullAcc)
+			}
+		})
+	}
+}
+
+func TestRemoteBackendCountsRequests(t *testing.T) {
+	backend := &RemoteBackend{Latency: 0}
+	b, err := Music(Config{Seed: 7, N: 1200, Backend: backend})
+	if err != nil {
+		t.Fatalf("Music: %v", err)
+	}
+	defer b.Close()
+	o, _ := optimizeBench(t, b, core.Options{})
+	before := b.TotalTableRequests()
+	if _, err := o.PredictFull(b.Test.Inputs); err != nil {
+		t.Fatal(err)
+	}
+	delta := b.TotalTableRequests() - before
+	// Compiled batch execution pipelines each table's lookups: one request
+	// per table.
+	if delta != 5 {
+		t.Errorf("remote requests = %d for a compiled batch, want 5 (one per table)", delta)
+	}
+}
+
+func TestRemoteLatencyDominatesPointQueries(t *testing.T) {
+	backend := &RemoteBackend{Latency: 2 * time.Millisecond}
+	b, err := Tracking(Config{Seed: 9, N: 1000, Backend: backend})
+	if err != nil {
+		t.Fatalf("Tracking: %v", err)
+	}
+	defer b.Close()
+	o, _ := optimizeBench(t, b, core.Options{})
+	start := time.Now()
+	if _, err := o.PredictPoint(b.Test.Row(0).Inputs); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Errorf("point query took %v, expected >= injected 2ms remote latency", el)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}
+
+func TestNamesMatchesTable1Order(t *testing.T) {
+	want := []string{"product", "music", "toxic", "credit", "price", "tracking"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	b1, err := Product(Config{Seed: 11, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	b2, err := Product(Config{Seed: 11, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	t1 := b1.Train.Inputs["title"].Strings
+	t2 := b2.Train.Inputs["title"].Strings
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+	b3, err := Product(Config{Seed: 12, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	same := true
+	t3 := b3.Train.Inputs["title"].Strings
+	for i := range t1 {
+		if t1[i] != t3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestTrackingHasDegenerateTopK(t *testing.T) {
+	// The paper excludes Tracking from top-K because many elements share
+	// positive class probability ~1. Verify the planted degeneracy: lots of
+	// near-certain scores.
+	b, err := Tracking(Config{Seed: 13, N: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	o, _ := optimizeBench(t, b, core.Options{})
+	preds, err := o.PredictFull(b.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extreme := 0
+	for _, p := range preds {
+		if p < 0.05 || p > 0.95 {
+			extreme++
+		}
+	}
+	if float64(extreme) < 0.3*float64(len(preds)) {
+		t.Errorf("only %d/%d extreme scores; Tracking should be top-K degenerate", extreme, len(preds))
+	}
+}

@@ -1,0 +1,372 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"willump/internal/value"
+)
+
+// wireColumn is the JSON wire format for one input column.
+type wireColumn struct {
+	Kind    string    `json:"kind"`
+	Strings []string  `json:"strings,omitempty"`
+	Floats  []float64 `json:"floats,omitempty"`
+	Ints    []int64   `json:"ints,omitempty"`
+}
+
+// wireRequest is a prediction RPC request: a batch of raw inputs.
+type wireRequest struct {
+	Inputs map[string]wireColumn `json:"inputs"`
+}
+
+// wireResponse carries predictions or an error.
+type wireResponse struct {
+	Predictions []float64 `json:"predictions,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func encodeInputs(inputs map[string]value.Value) (map[string]wireColumn, error) {
+	out := make(map[string]wireColumn, len(inputs))
+	for k, v := range inputs {
+		switch v.Kind {
+		case value.Strings:
+			out[k] = wireColumn{Kind: "strings", Strings: v.Strings}
+		case value.Floats:
+			out[k] = wireColumn{Kind: "floats", Floats: v.Floats}
+		case value.Ints:
+			out[k] = wireColumn{Kind: "ints", Ints: v.Ints}
+		default:
+			return nil, fmt.Errorf("serving: cannot serialize %s column %q", v.Kind, k)
+		}
+	}
+	return out, nil
+}
+
+func decodeInputs(cols map[string]wireColumn) (map[string]value.Value, int, error) {
+	out := make(map[string]value.Value, len(cols))
+	n := -1
+	for k, c := range cols {
+		var v value.Value
+		switch c.Kind {
+		case "strings":
+			v = value.NewStrings(c.Strings)
+		case "floats":
+			v = value.NewFloats(c.Floats)
+		case "ints":
+			v = value.NewInts(c.Ints)
+		default:
+			return nil, 0, fmt.Errorf("serving: unknown column kind %q", c.Kind)
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, 0, fmt.Errorf("serving: column %q has %d rows, want %d", k, v.Len(), n)
+		}
+		out[k] = v
+	}
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("serving: empty request")
+	}
+	return out, n, nil
+}
+
+// Options configures the serving frontend.
+type Options struct {
+	// MaxBatch bounds adaptive batching: queued requests merge into batches
+	// of at most this many rows (default 256).
+	MaxBatch int
+	// BatchTimeout is how long the batcher waits to fill a batch
+	// (default 500us).
+	BatchTimeout time.Duration
+	// CacheCapacity, when non-zero, enables the end-to-end prediction cache
+	// (< 0 for unbounded).
+	CacheCapacity int
+	// CacheKeyOrder fixes the input-column order for cache keys; required
+	// when the cache is enabled.
+	CacheKeyOrder []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.BatchTimeout <= 0 {
+		o.BatchTimeout = 500 * time.Microsecond
+	}
+	return o
+}
+
+// Server is the Clipper-like serving frontend.
+type Server struct {
+	pred Predictor
+	opts Options
+
+	queue chan *pending
+	http  *http.Server
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	requests atomic.Int64
+	closed   atomic.Bool
+}
+
+type pending struct {
+	inputs map[string]value.Value
+	n      int
+	done   chan batchResult
+}
+
+type batchResult struct {
+	preds []float64
+	err   error
+}
+
+// NewServer wraps a predictor with the serving frontend.
+func NewServer(p Predictor, opts Options) *Server {
+	opts = opts.withDefaults()
+	if opts.CacheCapacity != 0 {
+		capacity := opts.CacheCapacity
+		if capacity < 0 {
+			capacity = 0 // unbounded LRU
+		}
+		p = NewCachedPredictor(p, capacity, opts.CacheKeyOrder)
+	}
+	return &Server{
+		pred:  p,
+		opts:  opts,
+		queue: make(chan *pending, 1024),
+	}
+}
+
+// Start listens on 127.0.0.1 (ephemeral port) and launches the batcher.
+// It returns the base URL.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("serving: listen: %w", err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	s.http = &http.Server{Handler: mux}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.batcher()
+	}()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.http.Close()
+	close(s.queue)
+	s.wg.Wait()
+	return err
+}
+
+// Requests returns the number of RPC requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req wireRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inputs, n, err := decodeInputs(req.Inputs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := &pending{inputs: inputs, n: n, done: make(chan batchResult, 1)}
+	select {
+	case s.queue <- p:
+	default:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: queue full"))
+		return
+	}
+	res := <-p.done
+	if res.err != nil {
+		writeError(w, http.StatusInternalServerError, res.err)
+		return
+	}
+	json.NewEncoder(w).Encode(wireResponse{Predictions: res.preds}) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
+}
+
+// batcher implements adaptive batching: drain every request already queued
+// (without waiting — a lone request must not pay a batching delay), then
+// wait up to BatchTimeout for more only while work keeps arriving, execute
+// the merged batch once, and scatter results back to waiters (Clipper's
+// core serving loop).
+func (s *Server) batcher() {
+	for first := range s.queue {
+		batch := []*pending{first}
+		rows := first.n
+		// Non-blocking drain: take whatever is queued right now.
+	drain:
+		for rows < s.opts.MaxBatch {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, p)
+				rows += p.n
+			default:
+				break drain
+			}
+		}
+		// If we found concurrent work, wait briefly for stragglers.
+		if len(batch) > 1 && rows < s.opts.MaxBatch {
+			deadline := time.NewTimer(s.opts.BatchTimeout)
+		fill:
+			for rows < s.opts.MaxBatch {
+				select {
+				case p, ok := <-s.queue:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, p)
+					rows += p.n
+				case <-deadline.C:
+					break fill
+				}
+			}
+			deadline.Stop()
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch merges the batch's inputs, predicts once, and distributes.
+func (s *Server) runBatch(batch []*pending) {
+	if len(batch) == 1 {
+		preds, err := s.pred.PredictBatch(batch[0].inputs)
+		batch[0].done <- batchResult{preds: preds, err: err}
+		return
+	}
+	// Merge columns in the first request's key set.
+	merged := make(map[string][]value.Value)
+	for _, p := range batch {
+		for k, v := range p.inputs {
+			merged[k] = append(merged[k], v)
+		}
+	}
+	inputs := make(map[string]value.Value, len(merged))
+	for k, vs := range merged {
+		cat, err := concatValues(vs)
+		if err != nil {
+			for _, p := range batch {
+				p.done <- batchResult{err: err}
+			}
+			return
+		}
+		inputs[k] = cat
+	}
+	preds, err := s.pred.PredictBatch(inputs)
+	if err != nil {
+		for _, p := range batch {
+			p.done <- batchResult{err: err}
+		}
+		return
+	}
+	off := 0
+	for _, p := range batch {
+		p.done <- batchResult{preds: preds[off : off+p.n]}
+		off += p.n
+	}
+}
+
+func concatValues(vs []value.Value) (value.Value, error) {
+	if len(vs) == 1 {
+		return vs[0], nil
+	}
+	switch vs[0].Kind {
+	case value.Strings:
+		var out []string
+		for _, v := range vs {
+			out = append(out, v.Strings...)
+		}
+		return value.NewStrings(out), nil
+	case value.Floats:
+		var out []float64
+		for _, v := range vs {
+			out = append(out, v.Floats...)
+		}
+		return value.NewFloats(out), nil
+	case value.Ints:
+		var out []int64
+		for _, v := range vs {
+			out = append(out, v.Ints...)
+		}
+		return value.NewInts(out), nil
+	default:
+		return value.Value{}, fmt.Errorf("serving: cannot merge %s columns", vs[0].Kind)
+	}
+}
+
+// Client is an RPC client for a serving frontend.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base URL.
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Predict sends one prediction RPC carrying a batch of raw inputs.
+func (c *Client) Predict(inputs map[string]value.Value) ([]float64, error) {
+	cols, err := encodeInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(wireRequest{Inputs: cols})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serving: rpc: %w", err)
+	}
+	defer resp.Body.Close()
+	var wire wireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("serving: decoding response: %w", err)
+	}
+	if wire.Error != "" {
+		return nil, fmt.Errorf("serving: server error: %s", wire.Error)
+	}
+	return wire.Predictions, nil
+}

@@ -1,0 +1,85 @@
+// Package serving implements the Clipper-like model serving system the
+// paper integrates Willump with (section 6.3, Table 6): an HTTP/JSON RPC
+// frontend with request queueing, adaptive batching, and a Clipper-style
+// end-to-end prediction cache. Like Clipper, it treats the hosted pipeline
+// as a black box — Willump's optimizations happen beneath it, inside the
+// hosted predictor.
+package serving
+
+import (
+	"willump/internal/cache"
+	"willump/internal/value"
+)
+
+// Predictor is a batch prediction function: the black box a serving system
+// hosts. Both the unoptimized interpreted pipeline and a Willump-optimized
+// pipeline satisfy it.
+type Predictor interface {
+	PredictBatch(inputs map[string]value.Value) ([]float64, error)
+}
+
+// PredictorFunc adapts a function to the Predictor interface.
+type PredictorFunc func(inputs map[string]value.Value) ([]float64, error)
+
+// PredictBatch implements Predictor.
+func (f PredictorFunc) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
+	return f(inputs)
+}
+
+// CachedPredictor wraps a Predictor with a Clipper-style end-to-end
+// prediction cache: the key is the entire raw input tuple, the value the
+// prediction. It is the baseline of the paper's Tables 2 and 3 — contrast
+// with feature-level caching, which keys on each IFV's sources instead.
+type CachedPredictor struct {
+	Inner Predictor
+	cache *cache.LRU
+	keys  []string // input column order for stable keys
+}
+
+// NewCachedPredictor wraps inner with an end-to-end LRU (capacity <= 0 for
+// unbounded). keyOrder fixes the input-column order used in cache keys.
+func NewCachedPredictor(inner Predictor, capacity int, keyOrder []string) *CachedPredictor {
+	ks := make([]string, len(keyOrder))
+	copy(ks, keyOrder)
+	return &CachedPredictor{Inner: inner, cache: cache.NewLRU(capacity), keys: ks}
+}
+
+// PredictBatch implements Predictor, serving repeated input tuples from the
+// cache and computing only the misses.
+func (p *CachedPredictor) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
+	cols := make([]value.Value, len(p.keys))
+	n := 0
+	for i, k := range p.keys {
+		cols[i] = inputs[k]
+		n = cols[i].Len()
+	}
+	out := make([]float64, n)
+	var missRows []int
+	keys := make([]string, n)
+	for r := 0; r < n; r++ {
+		keys[r] = cache.RowKey(cols, r)
+		if v, ok := p.cache.Get(keys[r]); ok {
+			out[r] = v[0]
+			continue
+		}
+		missRows = append(missRows, r)
+	}
+	if len(missRows) > 0 {
+		sub := make(map[string]value.Value, len(inputs))
+		for k, v := range inputs {
+			sub[k] = v.Gather(missRows)
+		}
+		preds, err := p.Inner.PredictBatch(sub)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range missRows {
+			out[r] = preds[i]
+			p.cache.Put(keys[r], []float64{preds[i]})
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the end-to-end cache's hit and miss counts.
+func (p *CachedPredictor) Stats() (hits, misses int64) { return p.cache.Stats() }

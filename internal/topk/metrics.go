@@ -1,0 +1,59 @@
+package topk
+
+// Metrics quantify how closely a predicted top-K ranking matches the exact
+// (unoptimized) top-K, following the paper's Table 4 accuracy columns.
+
+// Precision returns |predicted ∩ true| / K: the fraction of the predicted
+// top K that belongs to the true top K.
+func Precision(predicted, truth []int) float64 {
+	if len(predicted) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(truth))
+	for _, t := range truth {
+		in[t] = true
+	}
+	hit := 0
+	for _, p := range predicted {
+		if in[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(predicted))
+}
+
+// MeanAveragePrecision computes mAP of the predicted ranking against the
+// true top-K set: the average, over predicted positions holding true-top-K
+// members, of precision at that position.
+func MeanAveragePrecision(predicted, truth []int) float64 {
+	if len(predicted) == 0 || len(truth) == 0 {
+		return 0
+	}
+	in := make(map[int]bool, len(truth))
+	for _, t := range truth {
+		in[t] = true
+	}
+	var sum float64
+	hits := 0
+	for i, p := range predicted {
+		if in[p] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(truth))
+}
+
+// AverageValue returns the mean true score of the predicted top-K elements
+// (the paper's "average value" column: even an inaccurate top K can be
+// near-optimal when many elements score alike).
+func AverageValue(predicted []int, scores []float64) float64 {
+	if len(predicted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range predicted {
+		sum += scores[p]
+	}
+	return sum / float64(len(predicted))
+}

@@ -1,0 +1,204 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"willump/internal/feature"
+)
+
+func TestKindsAndLen(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		n    int
+		w    int
+	}{
+		{NewStrings([]string{"a", "b"}), Strings, 2, 1},
+		{NewFloats([]float64{1, 2, 3}), Floats, 3, 1},
+		{NewInts([]int64{5}), Ints, 1, 1},
+		{NewTokens([][]string{{"x"}, {"y", "z"}}), Tokens, 2, 1},
+		{NewMat(feature.NewDense(4, 7)), Mat, 4, 7},
+		{Value{}, Invalid, 0, 0},
+	}
+	for _, tc := range cases {
+		if tc.v.Kind != tc.kind {
+			t.Errorf("kind = %v, want %v", tc.v.Kind, tc.kind)
+		}
+		if got := tc.v.Len(); got != tc.n {
+			t.Errorf("%v.Len() = %d, want %d", tc.kind, got, tc.n)
+		}
+		if got := tc.v.Width(); got != tc.w {
+			t.Errorf("%v.Width() = %d, want %d", tc.kind, got, tc.w)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Strings: "strings", Floats: "floats", Ints: "ints",
+		Mat: "matrix", Tokens: "tokens", Invalid: "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestGatherAllKinds(t *testing.T) {
+	rows := []int{2, 0}
+	s := NewStrings([]string{"a", "b", "c"}).Gather(rows)
+	if !reflect.DeepEqual(s.Strings, []string{"c", "a"}) {
+		t.Errorf("strings gather = %v", s.Strings)
+	}
+	f := NewFloats([]float64{1, 2, 3}).Gather(rows)
+	if !reflect.DeepEqual(f.Floats, []float64{3, 1}) {
+		t.Errorf("floats gather = %v", f.Floats)
+	}
+	i := NewInts([]int64{10, 20, 30}).Gather(rows)
+	if !reflect.DeepEqual(i.Ints, []int64{30, 10}) {
+		t.Errorf("ints gather = %v", i.Ints)
+	}
+	tk := NewTokens([][]string{{"a"}, {"b"}, {"c", "d"}}).Gather(rows)
+	if !reflect.DeepEqual(tk.Tokens, [][]string{{"c", "d"}, {"a"}}) {
+		t.Errorf("tokens gather = %v", tk.Tokens)
+	}
+	m := feature.DenseFromRows([][]float64{{1}, {2}, {3}})
+	mg := NewMat(m).Gather(rows)
+	if mg.Mat.At(0, 0) != 3 || mg.Mat.At(1, 0) != 1 {
+		t.Error("matrix gather wrong")
+	}
+	if (Value{}).Gather(rows).Kind != Invalid {
+		t.Error("gather of invalid should be invalid")
+	}
+}
+
+func TestAsMatrix(t *testing.T) {
+	m, err := NewFloats([]float64{1, 2}).AsMatrix()
+	if err != nil || m.Rows() != 2 || m.Cols() != 1 || m.At(1, 0) != 2 {
+		t.Errorf("floats AsMatrix = %v, %v", m, err)
+	}
+	mi, err := NewInts([]int64{7}).AsMatrix()
+	if err != nil || mi.At(0, 0) != 7 {
+		t.Errorf("ints AsMatrix = %v, %v", mi, err)
+	}
+	if _, err := NewStrings([]string{"x"}).AsMatrix(); err == nil {
+		t.Error("strings AsMatrix should error")
+	}
+	d := feature.NewDense(1, 1)
+	mm, err := NewMat(d).AsMatrix()
+	if err != nil || mm != feature.Matrix(d) {
+		t.Error("mat AsMatrix should return the same matrix")
+	}
+}
+
+func TestBoxAllKinds(t *testing.T) {
+	if got := NewStrings([]string{"x"}).Box(0); got != "x" {
+		t.Errorf("Box string = %v", got)
+	}
+	if got := NewFloats([]float64{1.5}).Box(0); got != 1.5 {
+		t.Errorf("Box float = %v", got)
+	}
+	if got := NewInts([]int64{3}).Box(0); got != int64(3) {
+		t.Errorf("Box int = %v", got)
+	}
+	if got := NewTokens([][]string{{"a", "b"}}).Box(0); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Box tokens = %v", got)
+	}
+	m := feature.DenseFromRows([][]float64{{4, 5}})
+	if got := NewMat(m).Box(0); !reflect.DeepEqual(got, []float64{4, 5}) {
+		t.Errorf("Box matrix row = %v", got)
+	}
+	if (Value{}).Box(0) != nil {
+		t.Error("Box of invalid should be nil")
+	}
+}
+
+func TestFromBoxed(t *testing.T) {
+	v, err := FromBoxed([]any{"a", "b"})
+	if err != nil || v.Kind != Strings {
+		t.Fatalf("FromBoxed strings: %v, %v", v, err)
+	}
+	v, err = FromBoxed([]any{1.0, 2.0})
+	if err != nil || v.Kind != Floats {
+		t.Fatalf("FromBoxed floats: %v, %v", v, err)
+	}
+	v, err = FromBoxed([]any{int64(1)})
+	if err != nil || v.Kind != Ints {
+		t.Fatalf("FromBoxed ints: %v, %v", v, err)
+	}
+	v, err = FromBoxed([]any{[]float64{1, 2}, []float64{3, 4}})
+	if err != nil || v.Kind != Mat || v.Mat.At(1, 1) != 4 {
+		t.Fatalf("FromBoxed matrix: %v, %v", v, err)
+	}
+	v, err = FromBoxed([]any{[]string{"t"}})
+	if err != nil || v.Kind != Tokens {
+		t.Fatalf("FromBoxed tokens: %v, %v", v, err)
+	}
+	if _, err := FromBoxed(nil); err == nil {
+		t.Error("FromBoxed(empty) should error")
+	}
+	if _, err := FromBoxed([]any{"a", 1.0}); err == nil {
+		t.Error("mixed boxed types should error")
+	}
+	if _, err := FromBoxed([]any{struct{}{}}); err == nil {
+		t.Error("unsupported boxed type should error")
+	}
+}
+
+// Property: Box then FromBoxed round-trips every supported column kind.
+func TestBoxRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		var v Value
+		switch rng.Intn(4) {
+		case 0:
+			ss := make([]string, n)
+			for i := range ss {
+				ss[i] = string(rune('a' + rng.Intn(26)))
+			}
+			v = NewStrings(ss)
+		case 1:
+			fs := make([]float64, n)
+			for i := range fs {
+				fs[i] = rng.NormFloat64()
+			}
+			v = NewFloats(fs)
+		case 2:
+			is := make([]int64, n)
+			for i := range is {
+				is[i] = rng.Int63n(100)
+			}
+			v = NewInts(is)
+		default:
+			d := feature.NewDense(n, 1+rng.Intn(4))
+			for r := 0; r < n; r++ {
+				for c := 0; c < d.Cols(); c++ {
+					d.Set(r, c, rng.NormFloat64())
+				}
+			}
+			v = NewMat(d)
+		}
+		boxed := make([]any, n)
+		for i := range boxed {
+			boxed[i] = v.Box(i)
+		}
+		back, err := FromBoxed(boxed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(back.Box(i), v.Box(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

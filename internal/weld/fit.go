@@ -1,0 +1,60 @@
+package weld
+
+import (
+	"fmt"
+	"time"
+
+	"willump/internal/graph"
+	"willump/internal/ops"
+	"willump/internal/value"
+)
+
+// Fit runs the pipeline over the training inputs, fitting every stateful
+// operator (vocabularies, encoders, scalers) in dataflow order, profiling
+// per-node runtimes (the cascades cost model), recording IFV output widths
+// and column spans, and finally fusing the compiled plan. It returns the
+// full training-set feature matrix for model training.
+func (p *Program) Fit(inputs map[string]value.Value) (value.Value, error) {
+	vals, _, err := p.resolveInputs(inputs)
+	if err != nil {
+		return value.Value{}, err
+	}
+	// Unfused execution in block order with per-node timing.
+	for _, id := range p.Order {
+		n := p.G.Node(id)
+		if n.IsSource() {
+			continue
+		}
+		ins := make([]value.Value, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = vals[in]
+		}
+		if f, ok := n.Op.(ops.Fitter); ok && !f.Fitted() {
+			if err := f.Fit(ins); err != nil {
+				return value.Value{}, fmt.Errorf("weld: fitting node %d (%s): %w", id, n.Label, err)
+			}
+		}
+		start := time.Now()
+		out, err := n.Op.Apply(ins)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("weld: node %d (%s): %w", id, n.Label, err)
+		}
+		p.Prof.addNode(id, out.Len(), time.Since(start).Seconds())
+		vals[id] = out
+	}
+
+	// Record IFV widths and column spans.
+	p.Widths = make(map[graph.NodeID]int, len(p.A.IFVs))
+	for _, ifv := range p.A.IFVs {
+		p.Widths[ifv.Root] = vals[ifv.Root].Width()
+	}
+	spans, err := p.A.ColumnSpans(p.Widths)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("weld: %w", err)
+	}
+	p.Spans = spans
+
+	p.fitted = true
+	p.Fuse()
+	return vals[p.G.Output()], nil
+}

@@ -1,0 +1,70 @@
+package weld
+
+import (
+	"fmt"
+
+	"willump/internal/feature"
+	"willump/internal/value"
+)
+
+// RunInterpreted executes the pipeline the way the original unoptimized
+// Python program would: row at a time, in source order, passing boxed values
+// between operators through dynamic dispatch, with a fresh allocation for
+// every intermediate. This is the repository's stand-in for the paper's
+// Python baseline; the compiled executor's speedups over it come from the
+// same levers Weld compilation provides (typed columnar batches, fusion, no
+// per-row boxing).
+func (p *Program) RunInterpreted(inputs map[string]value.Value) (feature.Matrix, error) {
+	vals, n, err := p.resolveInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	g := p.G
+	rows := make([][]float64, n)
+	boxed := make([]any, g.NumNodes())
+	for r := 0; r < n; r++ {
+		for _, id := range g.Topo() {
+			node := g.Node(id)
+			if node.IsSource() {
+				boxed[id] = vals[id].Box(r)
+				continue
+			}
+			ins := make([]any, len(node.Inputs))
+			for i, in := range node.Inputs {
+				ins[i] = boxed[in]
+			}
+			out, err := node.Op.ApplyBoxed(ins)
+			if err != nil {
+				return nil, fmt.Errorf("weld: interpreted node %d (%s): %w", id, node.Label, err)
+			}
+			boxed[id] = out
+		}
+		vec, ok := boxed[g.Output()].([]float64)
+		if !ok {
+			// A scalar output still forms a one-feature vector.
+			switch v := boxed[g.Output()].(type) {
+			case float64:
+				vec = []float64{v}
+			case int64:
+				vec = []float64{float64(v)}
+			default:
+				return nil, fmt.Errorf("weld: interpreted output is %T, want []float64", boxed[g.Output()])
+			}
+		}
+		rows[r] = vec
+	}
+	return feature.DenseFromRows(rows), nil
+}
+
+// RunInterpretedPoint executes one example-at-a-time query on the
+// interpreted path.
+func (p *Program) RunInterpretedPoint(inputs map[string]value.Value) ([]float64, error) {
+	m, err := p.RunInterpreted(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows() != 1 {
+		return nil, fmt.Errorf("weld: point query got %d rows", m.Rows())
+	}
+	return feature.RowDense(m, 0, nil), nil
+}

@@ -1,0 +1,107 @@
+package weld
+
+import (
+	"sync"
+
+	"willump/internal/graph"
+)
+
+// Profile records per-node execution statistics. Node timings are gathered
+// during Fit (unfused, sequential execution over the training set), exactly
+// as the paper estimates computational cost: "by measuring the runtime of
+// the nodes in the IFV's feature generator during model training" (section
+// 4.2). Driver time accumulates whenever compiled execution crosses into the
+// interpreted runtime and back (marshaling, section 5.2 "Drivers").
+type Profile struct {
+	mu sync.Mutex
+
+	nodeSeconds map[graph.NodeID]float64
+	nodeRows    map[graph.NodeID]int64
+
+	driverSeconds float64
+	totalSeconds  float64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		nodeSeconds: make(map[graph.NodeID]float64),
+		nodeRows:    make(map[graph.NodeID]int64),
+	}
+}
+
+// addNode records an execution of node id over rows taking sec seconds.
+func (p *Profile) addNode(id graph.NodeID, rows int, sec float64) {
+	p.mu.Lock()
+	p.nodeSeconds[id] += sec
+	p.nodeRows[id] += int64(rows)
+	p.mu.Unlock()
+}
+
+// addDriver records marshaling time.
+func (p *Profile) addDriver(sec float64) {
+	p.mu.Lock()
+	p.driverSeconds += sec
+	p.mu.Unlock()
+}
+
+// addTotal records end-to-end execution time.
+func (p *Profile) addTotal(sec float64) {
+	p.mu.Lock()
+	p.totalSeconds += sec
+	p.mu.Unlock()
+}
+
+// NodeCost returns the measured per-row cost of a node in seconds.
+func (p *Profile) NodeCost(id graph.NodeID) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := p.nodeRows[id]
+	if rows == 0 {
+		return 0
+	}
+	return p.nodeSeconds[id] / float64(rows)
+}
+
+// IFVCost returns the measured per-row cost of computing IFV i: the summed
+// node costs of its feature generator.
+func (p *Profile) IFVCost(a *graph.Analysis, i int) float64 {
+	var total float64
+	for _, id := range a.IFVs[i].Nodes {
+		total += p.NodeCost(id)
+	}
+	return total
+}
+
+// DriverSeconds returns accumulated marshaling time.
+func (p *Profile) DriverSeconds() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.driverSeconds
+}
+
+// TotalSeconds returns accumulated end-to-end execution time.
+func (p *Profile) TotalSeconds() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totalSeconds
+}
+
+// DriverOverheadFraction returns driver time as a fraction of total
+// execution time (the section 6.4 Weld-drivers microbenchmark).
+func (p *Profile) DriverOverheadFraction() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.totalSeconds == 0 {
+		return 0
+	}
+	return p.driverSeconds / p.totalSeconds
+}
+
+// ResetDriver zeroes driver and total accumulators (between experiments).
+func (p *Profile) ResetDriver() {
+	p.mu.Lock()
+	p.driverSeconds = 0
+	p.totalSeconds = 0
+	p.mu.Unlock()
+}

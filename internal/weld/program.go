@@ -1,0 +1,259 @@
+// Package weld implements the compilation and execution substrate that plays
+// the role of the Weld IR and runtime in the paper (sections 3 and 5.2). A
+// transformation graph compiles into a Program: nodes are block-sorted to
+// minimize language transitions, compilable single-consumer chains are fused
+// through parameterized templates, and two executors evaluate the result:
+//
+//   - the compiled executor: typed columnar batches, fused operators, zero
+//     per-row boxing — the optimized pipeline;
+//   - the interpreted executor: row-at-a-time evaluation over boxed values
+//     with per-node dynamic dispatch — the stand-in for the original Python
+//     pipeline, whose costs (boxing, per-row allocation, no fusion) mirror
+//     CPython's.
+//
+// The Program also hosts the per-node profiler whose measurements become the
+// computational-cost side of the cascades cost model, the per-IFV feature
+// caches, and the subset/resume execution used by cascades and top-K
+// serving.
+package weld
+
+import (
+	"fmt"
+
+	"willump/internal/cache"
+	"willump/internal/graph"
+	"willump/internal/ops"
+	"willump/internal/value"
+)
+
+// step is one unit of compiled execution: a single operator or a fused chain
+// standing in for several original nodes.
+type step struct {
+	op    graph.Op
+	out   graph.NodeID   // node id whose value this step produces
+	ins   []graph.NodeID // input node ids
+	nodes []graph.NodeID // original nodes this step covers (len > 1 if fused)
+	ifv   int            // index of the IFV whose generator contains this step; -1 for preprocessing
+	spine bool           // true for spine (concat / elementwise) steps
+}
+
+// Program is a compiled ML inference pipeline: the optimized executable the
+// paper's compilation stage returns.
+type Program struct {
+	G *graph.Graph
+	A *graph.Analysis
+
+	// Order is the block-sorted node order used by unfused (profiling)
+	// execution.
+	Order []graph.NodeID
+	// Steps is the fused compiled plan in execution order.
+	Steps []step
+
+	// Widths maps IFV roots to output widths; set by Fit.
+	Widths map[graph.NodeID]int
+	// Spans are per-IFV column spans in the full feature vector; set by Fit.
+	Spans []graph.Span
+
+	// Prof accumulates node timings during Fit (the cascades cost model)
+	// and driver marshaling time during interpreted-boundary crossings.
+	Prof *Profile
+
+	// caches[i], when non-nil, is the feature-level LRU for IFV i.
+	caches []*cache.LRU
+
+	fitted bool
+}
+
+// Compile builds a Program from a transformation graph: analysis, block
+// sorting, and step construction. Fusion requires fitted operators, so
+// Compile defers it; call Fit and then Fuse (Fit calls Fuse automatically).
+func Compile(g *graph.Graph) (*Program, error) {
+	a, err := graph.Analyze(g)
+	if err != nil {
+		return nil, fmt.Errorf("weld: %w", err)
+	}
+	p := &Program{
+		G:     g,
+		A:     a,
+		Order: graph.BlockSort(g),
+		Prof:  NewProfile(),
+	}
+	p.buildSteps(false)
+	return p, nil
+}
+
+// buildSteps constructs the execution plan, fusing compilable
+// single-consumer chains when fuse is true.
+func (p *Program) buildSteps(fuse bool) {
+	g, a := p.G, p.A
+	spine := make(map[graph.NodeID]bool)
+	for _, id := range a.Spine {
+		spine[id] = true
+	}
+	consumed := make(map[graph.NodeID]bool) // nodes folded into a fused step
+
+	var steps []step
+	order := p.Order
+	for idx := 0; idx < len(order); idx++ {
+		id := order[idx]
+		n := g.Node(id)
+		if n.IsSource() || consumed[id] {
+			continue
+		}
+		st := step{op: n.Op, out: id, ins: n.Inputs, nodes: []graph.NodeID{id}, ifv: a.IFVOf(id), spine: spine[id]}
+		if fuse && !spine[id] {
+			chainNodes, chainOps := p.maximalChain(id)
+			if len(chainNodes) > 1 {
+				if fused, ok := ops.FuseTextChain(chainOps); ok {
+					last := chainNodes[len(chainNodes)-1]
+					st = step{
+						op:    fused,
+						out:   last,
+						ins:   n.Inputs,
+						nodes: chainNodes,
+						ifv:   a.IFVOf(last),
+						spine: false,
+					}
+					for _, cn := range chainNodes[1:] {
+						consumed[cn] = true
+					}
+				}
+			}
+		}
+		steps = append(steps, st)
+	}
+	// Fused steps may produce their output before other plan entries expect
+	// it; re-sort steps topologically by produced node availability.
+	p.Steps = topoSortSteps(steps, g)
+}
+
+// maximalChain extends a linear chain downstream from id while each node has
+// exactly one consumer, the consumer's sole input is the chain, and both
+// nodes stay within the same IFV/preprocessing region.
+func (p *Program) maximalChain(id graph.NodeID) ([]graph.NodeID, []graph.Op) {
+	g, a := p.G, p.A
+	nodes := []graph.NodeID{id}
+	ops_ := []graph.Op{g.Node(id).Op}
+	cur := id
+	for {
+		consumers := g.Consumers(cur)
+		if len(consumers) != 1 {
+			break
+		}
+		next := consumers[0]
+		n := g.Node(next)
+		if len(n.Inputs) != 1 || n.Inputs[0] != cur {
+			break
+		}
+		if n.Op.Commutative() {
+			break // never fuse into the spine
+		}
+		if a.IFVOf(next) != a.IFVOf(cur) && a.IFVOf(cur) != -1 {
+			break
+		}
+		nodes = append(nodes, next)
+		ops_ = append(ops_, n.Op)
+		cur = next
+	}
+	return nodes, ops_
+}
+
+// topoSortSteps orders steps so every step's inputs are produced first
+// (inputs are either sources or other steps' outputs).
+func topoSortSteps(steps []step, g *graph.Graph) []step {
+	produced := make(map[graph.NodeID]int, len(steps)) // node -> step index
+	for i, st := range steps {
+		produced[st.out] = i
+	}
+	var order []step
+	done := make(map[graph.NodeID]bool)
+	var visit func(i int)
+	visiting := make(map[int]bool)
+	visit = func(i int) {
+		if visiting[i] {
+			return // cycle cannot happen in a DAG; defensive
+		}
+		visiting[i] = true
+		for _, in := range steps[i].ins {
+			if g.Node(in).IsSource() || done[in] {
+				continue
+			}
+			if j, ok := produced[in]; ok {
+				visit(j)
+			}
+		}
+		if !done[steps[i].out] {
+			done[steps[i].out] = true
+			order = append(order, steps[i])
+		}
+		visiting[i] = false
+	}
+	for i := range steps {
+		visit(i)
+	}
+	return order
+}
+
+// Fuse rebuilds the plan with chain fusion enabled. It requires fitted
+// operators and is called automatically at the end of Fit.
+func (p *Program) Fuse() {
+	p.buildSteps(true)
+}
+
+// EnableFeatureCaching attaches a feature-level LRU of the given capacity
+// (<= 0 for unbounded) to each IFV whose generator performs lookups or
+// computation worth caching. Passing nil selects all IFVs.
+func (p *Program) EnableFeatureCaching(capacity int, ifvs []int) {
+	p.caches = make([]*cache.LRU, len(p.A.IFVs))
+	if ifvs == nil {
+		for i := range p.caches {
+			p.caches[i] = cache.NewLRU(capacity)
+		}
+		return
+	}
+	for _, i := range ifvs {
+		p.caches[i] = cache.NewLRU(capacity)
+	}
+}
+
+// DisableFeatureCaching removes all feature-level caches.
+func (p *Program) DisableFeatureCaching() { p.caches = nil }
+
+// CacheStats sums hits and misses over all feature-level caches.
+func (p *Program) CacheStats() (hits, misses int64) {
+	for _, c := range p.caches {
+		if c != nil {
+			h, m := c.Stats()
+			hits += h
+			misses += m
+		}
+	}
+	return hits, misses
+}
+
+// Fitted reports whether Fit has completed.
+func (p *Program) Fitted() bool { return p.fitted }
+
+// resolveInputs maps source labels to columnar values and validates equal
+// batch lengths.
+func (p *Program) resolveInputs(inputs map[string]value.Value) ([]value.Value, int, error) {
+	vals := make([]value.Value, p.G.NumNodes())
+	n := -1
+	for _, sid := range p.G.Sources() {
+		label := p.G.Node(sid).Label
+		v, ok := inputs[label]
+		if !ok {
+			return nil, 0, fmt.Errorf("weld: missing input %q", label)
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, 0, fmt.Errorf("weld: input %q has %d rows, want %d", label, v.Len(), n)
+		}
+		vals[sid] = v
+	}
+	if n < 0 {
+		return nil, 0, fmt.Errorf("weld: graph has no sources")
+	}
+	return vals, n, nil
+}

@@ -1,0 +1,458 @@
+package weld
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"willump/internal/cache"
+	"willump/internal/feature"
+	"willump/internal/graph"
+	"willump/internal/ops"
+	"willump/internal/parallel"
+	"willump/internal/value"
+)
+
+// BatchRun is one compiled execution over a batch of inputs. IFVs compute
+// lazily and incrementally: cascades first compute the efficient IFVs, then
+// resume the same run (or a row subset of it) to compute the rest, reusing
+// everything already materialized.
+type BatchRun struct {
+	p    *Program
+	vals []value.Value // per-node computed values; sources prefilled
+	have []bool
+	n    int
+
+	preDone bool
+	ifvDone []bool
+}
+
+// NewRun starts a compiled run over the given inputs.
+func (p *Program) NewRun(inputs map[string]value.Value) (*BatchRun, error) {
+	if !p.fitted {
+		return nil, fmt.Errorf("weld: run before Fit")
+	}
+	vals, n, err := p.resolveInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	r := &BatchRun{
+		p:       p,
+		vals:    vals,
+		have:    make([]bool, p.G.NumNodes()),
+		n:       n,
+		ifvDone: make([]bool, len(p.A.IFVs)),
+	}
+	for _, sid := range p.G.Sources() {
+		r.have[sid] = true
+	}
+	return r, nil
+}
+
+// Len returns the batch size.
+func (r *BatchRun) Len() int { return r.n }
+
+// runStep executes one plan step, reading and writing r.vals.
+func (r *BatchRun) runStep(st step) error {
+	ins := make([]value.Value, len(st.ins))
+	for i, in := range st.ins {
+		if !r.have[in] {
+			return fmt.Errorf("weld: step %d input %d not computed", st.out, in)
+		}
+		ins[i] = r.vals[in]
+	}
+	if !st.op.Compilable() {
+		return r.runPythonStep(st, ins)
+	}
+	out, err := st.op.Apply(ins)
+	if err != nil {
+		return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+	}
+	r.vals[st.out] = out
+	r.have[st.out] = true
+	return nil
+}
+
+// runPythonStep crosses into the interpreted runtime: it unboxes the
+// columnar inputs row by row, applies the operator's boxed path, and reboxes
+// the results into a column. The marshaling time on both sides is the
+// "driver" overhead of section 5.2. The out-driver reuses one boxed-argument
+// buffer across rows (operators do not retain their argument slice),
+// mirroring the O(1)-conversion drivers the paper built.
+func (r *BatchRun) runPythonStep(st step, ins []value.Value) error {
+	n := r.n
+	// Driver out: columnar -> boxed argument rows.
+	start := time.Now()
+	boxed := make([]any, len(ins)*n)
+	for row := 0; row < n; row++ {
+		for i := range ins {
+			boxed[row*len(ins)+i] = ins[i].Box(row)
+		}
+	}
+	r.p.Prof.addDriver(time.Since(start).Seconds())
+
+	// Interpreted execution.
+	opStart := time.Now()
+	outs := make([]any, n)
+	for row := 0; row < n; row++ {
+		out, err := st.op.ApplyBoxed(boxed[row*len(ins) : (row+1)*len(ins)])
+		if err != nil {
+			return fmt.Errorf("weld: python step %s: %w", st.op.Name(), err)
+		}
+		outs[row] = out
+	}
+	opSec := time.Since(opStart).Seconds()
+	for _, id := range st.nodes {
+		r.p.Prof.addNode(id, n, opSec/float64(len(st.nodes)))
+	}
+
+	// Driver in: boxed -> columnar.
+	start = time.Now()
+	col, err := value.FromBoxed(outs)
+	if err != nil {
+		return fmt.Errorf("weld: python step %s: %w", st.op.Name(), err)
+	}
+	r.p.Prof.addDriver(time.Since(start).Seconds())
+
+	r.vals[st.out] = col
+	r.have[st.out] = true
+	return nil
+}
+
+// computePreprocessing runs all preprocessing steps once per run.
+func (r *BatchRun) computePreprocessing() error {
+	if r.preDone {
+		return nil
+	}
+	for _, st := range r.p.Steps {
+		if st.ifv == -1 && !st.spine {
+			if r.have[st.out] {
+				continue
+			}
+			if err := r.runStep(st); err != nil {
+				return err
+			}
+		}
+	}
+	r.preDone = true
+	return nil
+}
+
+// ComputeIFVs materializes the selected IFVs (by index), going through the
+// per-IFV feature cache when one is attached.
+func (r *BatchRun) ComputeIFVs(idx []int) error {
+	if err := r.computePreprocessing(); err != nil {
+		return err
+	}
+	for _, i := range idx {
+		if r.ifvDone[i] {
+			continue
+		}
+		var c *cache.LRU
+		if r.p.caches != nil {
+			c = r.p.caches[i]
+		}
+		if c != nil {
+			if err := r.computeIFVCached(i, c); err != nil {
+				return err
+			}
+		} else {
+			if err := r.computeIFVDirect(i); err != nil {
+				return err
+			}
+		}
+		r.ifvDone[i] = true
+	}
+	return nil
+}
+
+// computeIFVDirect executes the IFV's generator steps over the whole batch.
+func (r *BatchRun) computeIFVDirect(i int) error {
+	for _, st := range r.p.Steps {
+		if st.ifv != i || r.have[st.out] {
+			continue
+		}
+		if err := r.runStep(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeIFVCached serves rows from the IFV's LRU and computes only the
+// misses, via a gathered sub-run of the generator. Cached entries hold the
+// IFV's dense feature-vector rows, keyed by the generator's raw sources
+// (section 4.5).
+func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
+	ifv := r.p.A.IFVs[i]
+	width := r.p.Widths[ifv.Root]
+	srcVals := make([]value.Value, len(ifv.Sources))
+	for j, s := range ifv.Sources {
+		srcVals[j] = r.vals[s]
+	}
+	out := feature.NewDense(r.n, width)
+	keys := make([]string, r.n)
+	// Deduplicate misses within the batch: one computation per distinct key,
+	// scattered to every row sharing it. This is where feature-level caching
+	// beats end-to-end caching — repeated sub-keys recur across data inputs
+	// even when full inputs never repeat (section 4.5).
+	missRowsByKey := make(map[string][]int)
+	var reprRows []int
+	for row := 0; row < r.n; row++ {
+		keys[row] = cache.RowKey(srcVals, row)
+		if vec, ok := c.Get(keys[row]); ok {
+			copy(out.Row(row), vec)
+			continue
+		}
+		if _, seen := missRowsByKey[keys[row]]; !seen {
+			reprRows = append(reprRows, row)
+		}
+		missRowsByKey[keys[row]] = append(missRowsByKey[keys[row]], row)
+	}
+	if len(reprRows) > 0 {
+		sub, err := r.gatherForIFV(i, reprRows)
+		if err != nil {
+			return err
+		}
+		if err := sub.computeIFVDirect(i); err != nil {
+			return err
+		}
+		m, err := sub.vals[ifv.Root].AsMatrix()
+		if err != nil {
+			return fmt.Errorf("weld: IFV %d output: %w", i, err)
+		}
+		for k, repr := range reprRows {
+			vec := feature.RowDense(m, k, nil)
+			for _, row := range missRowsByKey[keys[repr]] {
+				copy(out.Row(row), vec)
+			}
+			c.Put(keys[repr], vec)
+		}
+	}
+	r.vals[ifv.Root] = value.NewMat(out)
+	r.have[ifv.Root] = true
+	return nil
+}
+
+// gatherForIFV builds a sub-run over the given rows containing everything
+// the IFV's generator reads: raw sources and preprocessing outputs.
+func (r *BatchRun) gatherForIFV(i int, rows []int) (*BatchRun, error) {
+	sub := &BatchRun{
+		p:       r.p,
+		vals:    make([]value.Value, len(r.vals)),
+		have:    make([]bool, len(r.have)),
+		n:       len(rows),
+		preDone: true,
+		ifvDone: make([]bool, len(r.ifvDone)),
+	}
+	for id, ok := range r.have {
+		if ok {
+			sub.vals[id] = r.vals[id].Gather(rows)
+			sub.have[id] = true
+		}
+	}
+	// The IFV's own root must be recomputed even if a previous pass stored a
+	// value for it.
+	root := r.p.A.IFVs[i].Root
+	sub.have[root] = false
+	return sub, nil
+}
+
+// SubsetRun returns a new run restricted to the given rows, carrying over
+// every value already computed (gathered to the subset). Cascades use it to
+// run the full model only on low-confidence rows; top-K uses it to re-rank
+// the filtered subset.
+func (r *BatchRun) SubsetRun(rows []int) *BatchRun {
+	sub := &BatchRun{
+		p:       r.p,
+		vals:    make([]value.Value, len(r.vals)),
+		have:    make([]bool, len(r.have)),
+		n:       len(rows),
+		preDone: r.preDone,
+		ifvDone: make([]bool, len(r.ifvDone)),
+	}
+	copy(sub.ifvDone, r.ifvDone)
+	for id, ok := range r.have {
+		if ok {
+			sub.vals[id] = r.vals[id].Gather(rows)
+			sub.have[id] = true
+		}
+	}
+	return sub
+}
+
+// spineApplicable returns the IFV indices (among idx) that are ancestors of
+// the given spine node, i.e. whose features flow through it.
+func (r *BatchRun) spineApplicable(spineID graph.NodeID, idx []int) map[int]bool {
+	anc := r.p.G.AncestorsOf(spineID)
+	out := make(map[int]bool)
+	for _, i := range idx {
+		if anc[r.p.A.IFVs[i].Root] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Matrix computes and horizontally concatenates the selected IFVs in leaf
+// order, applying elementwise spine operators per IFV (valid because they
+// commute with concatenation). Selecting every IFV reproduces the full
+// feature vector of the original pipeline.
+func (r *BatchRun) Matrix(idx []int) (feature.Matrix, error) {
+	if err := r.ComputeIFVs(idx); err != nil {
+		return nil, err
+	}
+	ordered := append([]int(nil), idx...)
+	sortInts(ordered)
+	mats := make([]feature.Matrix, len(ordered))
+	for j, i := range ordered {
+		m, err := r.vals[r.p.A.IFVs[i].Root].AsMatrix()
+		if err != nil {
+			return nil, fmt.Errorf("weld: IFV %d output: %w", i, err)
+		}
+		mats[j] = m
+	}
+	// Apply elementwise (non-concat) spine ops to the IFVs beneath them.
+	for _, sid := range r.p.A.Spine {
+		op := r.p.G.Node(sid).Op
+		if _, isConcat := op.(*ops.Concat); isConcat {
+			continue
+		}
+		applies := r.spineApplicable(sid, ordered)
+		for j, i := range ordered {
+			if !applies[i] {
+				continue
+			}
+			v, err := op.Apply([]value.Value{value.NewMat(mats[j])})
+			if err != nil {
+				return nil, fmt.Errorf("weld: spine op %s: %w", op.Name(), err)
+			}
+			m, err := v.AsMatrix()
+			if err != nil {
+				return nil, err
+			}
+			mats[j] = m
+		}
+	}
+	return feature.HStack(mats...), nil
+}
+
+// AllIFVs returns the index list [0, len(IFVs)).
+func (p *Program) AllIFVs() []int {
+	idx := make([]int, len(p.A.IFVs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// RunBatch compiles-and-executes the whole pipeline over a batch, returning
+// the full feature matrix.
+func (p *Program) RunBatch(inputs map[string]value.Value) (feature.Matrix, error) {
+	start := time.Now()
+	r, err := p.NewRun(inputs)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Matrix(p.AllIFVs())
+	p.Prof.addTotal(time.Since(start).Seconds())
+	return m, err
+}
+
+// RunBatchSharded executes the pipeline data-parallel across workers, each
+// handling a contiguous row shard (the paper's batch parallelization mode:
+// different inputs end-to-end on different threads).
+func (p *Program) RunBatchSharded(inputs map[string]value.Value, workers int) (feature.Matrix, error) {
+	vals, n, err := p.resolveInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	_ = vals
+	shards := parallel.Shard(n, workers)
+	if len(shards) <= 1 {
+		return p.RunBatch(inputs)
+	}
+	mats := make([]feature.Matrix, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for w, sh := range shards {
+		wg.Add(1)
+		go func(w int, sh [2]int) {
+			defer wg.Done()
+			rows := make([]int, 0, sh[1]-sh[0])
+			for i := sh[0]; i < sh[1]; i++ {
+				rows = append(rows, i)
+			}
+			sub := make(map[string]value.Value, len(inputs))
+			for k, v := range inputs {
+				sub[k] = v.Gather(rows)
+			}
+			mats[w], errs[w] = p.RunBatch(sub)
+		}(w, sh)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return feature.VStack(mats...), nil
+}
+
+// RunPoint executes the pipeline for a single data input (an
+// example-at-a-time query), sequentially.
+func (p *Program) RunPoint(inputs map[string]value.Value) (feature.Matrix, error) {
+	return p.RunBatch(inputs)
+}
+
+// RunPointParallel executes a single-input query with the IFV generators
+// distributed across workers by LPT over their profiled costs (section 4.4:
+// feature generators are computationally independent, so they run
+// concurrently; static assignment avoids scheduling overhead).
+func (p *Program) RunPointParallel(inputs map[string]value.Value, workers int) (feature.Matrix, error) {
+	if workers <= 1 || len(p.A.IFVs) <= 1 {
+		return p.RunBatch(inputs)
+	}
+	r, err := p.NewRun(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.computePreprocessing(); err != nil {
+		return nil, err
+	}
+	costs := make([]float64, len(p.A.IFVs))
+	for i := range costs {
+		costs[i] = p.Prof.IFVCost(p.A, i)
+	}
+	groups := parallel.Assign(costs, workers)
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for w, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, g []int) {
+			defer wg.Done()
+			// Feature generators are disjoint subgraphs: each worker writes
+			// only its own generators' node slots, so the shared slices are
+			// written race-free.
+			errs[w] = r.ComputeIFVs(g)
+		}(w, g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return r.Matrix(p.AllIFVs())
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
