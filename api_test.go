@@ -1,0 +1,244 @@
+package willump
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"willump/internal/value"
+)
+
+// slowOp is an identity transform over a float column that burns wall-clock
+// time, so tests can cancel a context while a batch is in flight.
+type slowOp struct{ d time.Duration }
+
+func (s slowOp) Name() string      { return "slow" }
+func (s slowOp) Compilable() bool  { return true }
+func (s slowOp) Commutative() bool { return false }
+func (s slowOp) Apply(ins []value.Value) (value.Value, error) {
+	time.Sleep(s.d)
+	return ins[0], nil
+}
+func (s slowOp) ApplyBoxed(ins []any) (any, error) {
+	return []float64{ins[0].(float64)}, nil
+}
+
+// twoColumnData builds a tiny labeled dataset over one float input.
+func twoColumnData(n int) Dataset {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%7) - 3
+		if xs[i] > 0 {
+			ys[i] = 1
+		}
+	}
+	return Dataset{Inputs: Inputs{"x": Floats(xs)}, Y: ys}
+}
+
+func buildSlowPipeline(t *testing.T, d time.Duration) *Pipeline {
+	t.Helper()
+	pipe, err := NewPipeline().
+		Input("x").
+		Node("slow1", slowOp{d: d}, "x").
+		Node("slow2", slowOp{d: d}, "slow1").
+		Model(NewLogistic(LinearConfig{Epochs: 2, Seed: 1})).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return pipe
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	pipe := buildSlowPipeline(t, 0)
+	train := twoColumnData(64)
+	o, rep, err := Optimize(context.Background(), pipe, train, Dataset{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if rep.NumIFVs != 1 {
+		t.Errorf("NumIFVs = %d, want 1", rep.NumIFVs)
+	}
+	preds, err := o.PredictBatch(context.Background(), train.Inputs)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	if len(preds) != train.Len() {
+		t.Errorf("got %d predictions, want %d", len(preds), train.Len())
+	}
+	p, err := o.PredictPoint(context.Background(), Inputs{"x": Floats([]float64{2})})
+	if err != nil {
+		t.Fatalf("PredictPoint: %v", err)
+	}
+	if p < 0 || p > 1 {
+		t.Errorf("PredictPoint = %v, want a probability", p)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	m := NewLogistic(LinearConfig{})
+	cases := []struct {
+		name string
+		b    *PipelineBuilder
+		want string
+	}{
+		{
+			"duplicate node name",
+			NewPipeline().Input("x").Node("f", slowOp{}, "x").Node("f", slowOp{}, "x").Model(m),
+			"duplicate node name",
+		},
+		{
+			"duplicate input name",
+			NewPipeline().Input("x").Input("x").Model(m),
+			"duplicate node name",
+		},
+		{
+			"unknown input reference",
+			NewPipeline().Input("x").Node("f", slowOp{}, "y").Model(m),
+			"unknown input",
+		},
+		{
+			"missing model",
+			NewPipeline().Input("x").Node("f", slowOp{}, "x"),
+			"no model",
+		},
+		{
+			"nil model",
+			NewPipeline().Input("x").Node("f", slowOp{}, "x").Model(nil),
+			"nil model",
+		},
+		{
+			"nil op",
+			NewPipeline().Input("x").Node("f", nil, "x").Model(m),
+			"nil op",
+		},
+		{
+			"no nodes",
+			NewPipeline().Input("x").Model(m),
+			"no transformation nodes",
+		},
+		{
+			"unknown output",
+			NewPipeline().Input("x").Node("f", slowOp{}, "x").Output("g").Model(m),
+			"unknown node",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.b.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded (%+v), want error containing %q", p, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Build error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuilderExplicitOutput(t *testing.T) {
+	pipe, err := NewPipeline().
+		Input("x").
+		Node("a", slowOp{}, "x").
+		Node("b", slowOp{}, "a").
+		Output("a"). // b would be the default; override back to a
+		Model(NewLogistic(LinearConfig{})).
+		Build()
+	if err == nil {
+		// Node b no longer reaches the output, which the graph rejects: that
+		// is the correct behavior for a dead node.
+		t.Fatalf("Build = %+v, want unreachable-node error", pipe)
+	}
+	if !strings.Contains(err.Error(), "does not reach the output") {
+		t.Errorf("Build error = %q, want unreachable-node error", err)
+	}
+}
+
+func TestOptionDefaultsMatchPaperConstants(t *testing.T) {
+	got := resolveOptions()
+	if got.AccuracyTarget != 0.001 {
+		t.Errorf("default AccuracyTarget = %v, want 0.001", got.AccuracyTarget)
+	}
+	if got.Gamma != 0.25 {
+		t.Errorf("default Gamma = %v, want 0.25", got.Gamma)
+	}
+	if got.CK != 10 {
+		t.Errorf("default CK = %v, want 10", got.CK)
+	}
+	if got.MinSubsetFrac != 0.05 {
+		t.Errorf("default MinSubsetFrac = %v, want 0.05", got.MinSubsetFrac)
+	}
+	if got.Cascades || got.TopK || got.FeatureCache || got.Workers != 0 {
+		t.Errorf("optimizations enabled by default: %+v", got)
+	}
+
+	// Zero-valued option arguments keep the paper defaults.
+	got = resolveOptions(WithCascades(0), WithTopK(0, 0))
+	if !got.Cascades || !got.TopK {
+		t.Errorf("WithCascades/WithTopK did not enable their optimizations: %+v", got)
+	}
+	if got.AccuracyTarget != 0.001 || got.CK != 10 || got.MinSubsetFrac != 0.05 {
+		t.Errorf("zero-valued options overrode paper defaults: %+v", got)
+	}
+
+	// Explicit arguments override.
+	got = resolveOptions(WithCascades(0.01), WithGamma(0.5), WithTopK(20, 0.1),
+		WithFeatureCache(128), WithWorkers(4))
+	if got.AccuracyTarget != 0.01 || got.Gamma != 0.5 || got.CK != 20 ||
+		got.MinSubsetFrac != 0.1 {
+		t.Errorf("explicit options not applied: %+v", got)
+	}
+	if !got.FeatureCache || got.FeatureCacheCapacity != 128 || got.Workers != 4 {
+		t.Errorf("cache/worker options not applied: %+v", got)
+	}
+}
+
+func TestPredictBatchContextCancellation(t *testing.T) {
+	// Each of the two ops sleeps long enough that cancellation lands while
+	// the first is executing; the run must abort at the next block boundary.
+	pipe := buildSlowPipeline(t, 100*time.Millisecond)
+	train := twoColumnData(32)
+	o, _, err := Optimize(context.Background(), pipe, train, Dataset{})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = o.PredictBatch(ctx, train.Inputs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictBatch = %v, want context.Canceled", err)
+	}
+	// Both ops would take >= 200ms; a prompt abort returns well before the
+	// second op runs.
+	if elapsed := time.Since(start); elapsed > 180*time.Millisecond {
+		t.Errorf("PredictBatch took %v after cancellation; abort was not prompt", elapsed)
+	}
+
+	// A pre-cancelled context fails immediately.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := o.PredictBatch(dead, train.Inputs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictBatch(dead ctx) = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeContextCancellation(t *testing.T) {
+	pipe := buildSlowPipeline(t, 50*time.Millisecond)
+	train := twoColumnData(32)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := Optimize(ctx, pipe, train, Dataset{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Optimize = %v, want context.Canceled", err)
+	}
+}

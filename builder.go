@@ -1,0 +1,120 @@
+package willump
+
+import (
+	"fmt"
+
+	"willump/internal/core"
+	"willump/internal/graph"
+)
+
+// PipelineBuilder assembles a Pipeline fluently: declare raw inputs, add
+// named transformation nodes wired by name, attach a model, and Build.
+// Errors (duplicate names, unknown references, missing model) accumulate and
+// are reported by Build, so call chains stay unbroken:
+//
+//	pipe, err := willump.NewPipeline().
+//		Input("user").
+//		Node("uf", userFeaturesOp, "user").
+//		Model(m).
+//		Build()
+//
+// Unless Output is called, the last node added is the pipeline's output
+// (the feature vector handed to the model).
+type PipelineBuilder struct {
+	gb     *graph.Builder
+	ids    map[string]graph.NodeID
+	model  Model
+	output string
+	last   string
+	errs   []error
+}
+
+// NewPipeline returns an empty pipeline builder.
+func NewPipeline() *PipelineBuilder {
+	return &PipelineBuilder{gb: graph.NewBuilder(), ids: make(map[string]graph.NodeID)}
+}
+
+func (b *PipelineBuilder) errf(format string, args ...any) *PipelineBuilder {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return b
+}
+
+// Input declares a raw input column with the given name.
+func (b *PipelineBuilder) Input(name string) *PipelineBuilder {
+	if name == "" {
+		return b.errf("willump: empty input name")
+	}
+	if _, dup := b.ids[name]; dup {
+		return b.errf("willump: duplicate node name %q", name)
+	}
+	b.ids[name] = b.gb.Input(name)
+	return b
+}
+
+// Node adds a transformation node named name, applying op to the named
+// inputs (raw inputs or earlier nodes).
+func (b *PipelineBuilder) Node(name string, op Op, inputs ...string) *PipelineBuilder {
+	if name == "" {
+		return b.errf("willump: empty node name")
+	}
+	if op == nil {
+		return b.errf("willump: node %q has a nil op", name)
+	}
+	if _, dup := b.ids[name]; dup {
+		return b.errf("willump: duplicate node name %q", name)
+	}
+	ins := make([]graph.NodeID, len(inputs))
+	for i, in := range inputs {
+		id, ok := b.ids[in]
+		if !ok {
+			return b.errf("willump: node %q reads unknown input %q", name, in)
+		}
+		ins[i] = id
+	}
+	b.ids[name] = b.gb.Add(name, op, ins...)
+	b.last = name
+	return b
+}
+
+// Output marks the named node as the pipeline's output (the feature vector
+// fed to the model). Without it, the last node added is the output.
+func (b *PipelineBuilder) Output(name string) *PipelineBuilder {
+	if _, ok := b.ids[name]; !ok {
+		return b.errf("willump: output references unknown node %q", name)
+	}
+	b.output = name
+	return b
+}
+
+// Model attaches the model executed on the pipeline's feature vector.
+func (b *PipelineBuilder) Model(m Model) *PipelineBuilder {
+	if m == nil {
+		return b.errf("willump: nil model")
+	}
+	b.model = m
+	return b
+}
+
+// Build validates the accumulated pipeline and returns it. The first
+// construction error encountered (in call order) is returned.
+func (b *PipelineBuilder) Build() (*Pipeline, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.model == nil {
+		return nil, fmt.Errorf("willump: pipeline has no model; call Model before Build")
+	}
+	out := b.output
+	if out == "" {
+		out = b.last
+	}
+	if out == "" {
+		return nil, fmt.Errorf("willump: pipeline has no transformation nodes")
+	}
+	b.gb.SetOutput(b.ids[out])
+	g, err := b.gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Pipeline{Graph: g, Model: b.model}, nil
+}

@@ -13,15 +13,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"willump/internal/core"
+	"willump"
 	"willump/internal/pipeline"
 )
 
 func main() {
+	ctx := context.Background()
 	const remoteLatency = 500 * time.Microsecond
 
 	type result struct {
@@ -34,34 +36,37 @@ func main() {
 
 	for _, cfg := range []struct {
 		name  string
-		opts  core.Options
+		opts  []willump.Option
 		notes string
 	}{
-		{"unoptimized", core.Options{}, "every query fetches all five tables"},
-		{"feature-cache", core.Options{FeatureCache: true}, "per-IFV LRU keyed by user/song/... ids"},
-		{"cascades", core.Options{Cascades: true, AccuracyTarget: 0.01}, "easy queries skip the expensive tables"},
-		{"cache+cascades", core.Options{FeatureCache: true, Cascades: true, AccuracyTarget: 0.01}, "both"},
+		{"unoptimized", nil, "every query fetches all five tables"},
+		{"feature-cache", []willump.Option{willump.WithFeatureCache(0)},
+			"per-IFV LRU keyed by user/song/... ids"},
+		{"cascades", []willump.Option{willump.WithCascades(0.01)},
+			"easy queries skip the expensive tables"},
+		{"cache+cascades", []willump.Option{willump.WithFeatureCache(0), willump.WithCascades(0.01)},
+			"both"},
 	} {
 		backend := &pipeline.RemoteBackend{Latency: remoteLatency}
 		bench, err := pipeline.Music(pipeline.Config{Seed: 11, N: 2400, Backend: backend})
 		if err != nil {
 			log.Fatal(err)
 		}
-		optimized, _, err := core.Optimize(bench.Pipeline, bench.Train, bench.Valid, cfg.opts)
+		optimized, _, err := willump.Optimize(ctx, bench.Pipeline, bench.Train, bench.Valid, cfg.opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Serve 300 single-song queries, like an interactive recommender.
 		n := 300
-		queries := make([]core.Dataset, n)
+		queries := make([]willump.Dataset, n)
 		for i := 0; i < n; i++ {
 			queries[i] = bench.Test.Row(i)
 		}
 		before := bench.TotalTableRequests()
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if _, err := optimized.PredictBatch(queries[i].Inputs); err != nil {
+			if _, err := optimized.PredictBatch(ctx, queries[i].Inputs); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -1,5 +1,6 @@
-// Quickstart: build a small ML inference pipeline, hand it to Willump, and
-// serve batch, point, and cascaded predictions.
+// Quickstart: build a small ML inference pipeline with the public willump
+// package, hand it to the optimizer, and serve batch, point, and cascaded
+// predictions.
 //
 // The pipeline classifies short reviews as positive or negative from two
 // independent feature vectors: an expensive TF-IDF bag of words and a cheap
@@ -10,61 +11,54 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"strings"
 
-	"willump/internal/core"
-	"willump/internal/graph"
-	"willump/internal/model"
-	"willump/internal/ops"
-	"willump/internal/value"
+	"willump"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Generate a toy labeled corpus: reviews containing "awful" or
 	// "terrible" are negative (easy); otherwise sentiment hides in word
 	// combinations (hard).
 	texts, labels := makeCorpus(3000)
 
-	// 2. Describe the pipeline as a transformation graph: raw input ->
-	// features -> concatenation. The model consumes the concatenation.
-	b := graph.NewBuilder()
-	review := b.Input("review")
-	clean := b.Add("clean", ops.NewClean(), review)
-	tok := b.Add("tokenize", ops.NewTokenize(), clean)
-	tfidf := b.Add("tfidf", ops.NewTFIDF(800, ops.NormL2), tok)
-	stats := b.Add("stats", ops.NewTextStats([]string{"awful", "terrible"}), review)
-	concat := b.Add("concat", ops.NewConcat(), tfidf, stats)
-	b.SetOutput(concat)
-	g, err := b.Build()
+	// 2. Describe the pipeline fluently: raw input -> features ->
+	// concatenation, plus the model that consumes the concatenation.
+	pipe, err := willump.NewPipeline().
+		Input("review").
+		Node("clean", willump.Clean(), "review").
+		Node("tokenize", willump.Tokenize(), "clean").
+		Node("tfidf", willump.TFIDF(800, willump.NormL2), "tokenize").
+		Node("stats", willump.TextStats([]string{"awful", "terrible"}), "review").
+		Node("features", willump.Concat(), "tfidf", "stats").
+		Model(willump.NewLogistic(willump.LinearConfig{Epochs: 8, Seed: 42})).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Split data and optimize. Optimize trains the model, profiles the
 	// feature generators, builds the cascade, and compiles the pipeline.
-	train := core.Dataset{
-		Inputs: map[string]value.Value{"review": value.NewStrings(texts[:2000])},
+	train := willump.Dataset{
+		Inputs: willump.Inputs{"review": willump.Strings(texts[:2000])},
 		Y:      labels[:2000],
 	}
-	valid := core.Dataset{
-		Inputs: map[string]value.Value{"review": value.NewStrings(texts[2000:2500])},
+	valid := willump.Dataset{
+		Inputs: willump.Inputs{"review": willump.Strings(texts[2000:2500])},
 		Y:      labels[2000:2500],
 	}
-	test := core.Dataset{
-		Inputs: map[string]value.Value{"review": value.NewStrings(texts[2500:])},
+	test := willump.Dataset{
+		Inputs: willump.Inputs{"review": willump.Strings(texts[2500:])},
 		Y:      labels[2500:],
 	}
-	pipe := &core.Pipeline{
-		Graph: g,
-		Model: model.NewLogistic(model.LinearConfig{Epochs: 8, Seed: 42}),
-	}
-	optimized, report, err := core.Optimize(pipe, train, valid, core.Options{
-		Cascades:       true,
-		AccuracyTarget: 0.01,
-	})
+	optimized, report, err := willump.Optimize(ctx, pipe, train, valid,
+		willump.WithCascades(0.01))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,16 +67,16 @@ func main() {
 		report.CascadeThreshold, report.EfficientIFVs)
 
 	// 4. Batch predictions through the cascade.
-	preds, err := optimized.PredictBatch(test.Inputs)
+	preds, err := optimized.PredictBatch(ctx, test.Inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("test accuracy: %.3f over %d reviews\n",
-		model.Accuracy(preds, test.Y), len(preds))
+		willump.Accuracy(preds, test.Y), len(preds))
 
 	// 5. An example-at-a-time query.
-	p, err := optimized.PredictPoint(map[string]value.Value{
-		"review": value.NewStrings([]string{"what an awful product truly terrible"}),
+	p, err := optimized.PredictPoint(ctx, willump.Inputs{
+		"review": willump.Strings([]string{"what an awful product truly terrible"}),
 	})
 	if err != nil {
 		log.Fatal(err)

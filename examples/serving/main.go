@@ -12,24 +12,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"willump/internal/core"
+	"willump"
 	"willump/internal/pipeline"
-	"willump/internal/serving"
 )
 
 func main() {
+	ctx := context.Background()
+
 	bench, err := pipeline.Product(pipeline.Config{Seed: 17, N: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bench.Close()
 
-	optimized, report, err := core.Optimize(bench.Pipeline, bench.Train, bench.Valid,
-		core.Options{Cascades: true, AccuracyTarget: 0.01})
+	optimized, report, err := willump.Optimize(ctx, bench.Pipeline, bench.Train, bench.Valid,
+		willump.WithCascades(0.01))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func main() {
 		report.CascadeBuilt, report.CascadeThreshold)
 
 	// Frontend A: Clipper alone — the unoptimized pipeline as a black box.
-	clipper := serving.NewServer(serving.PredictorFunc(optimized.PredictInterpreted), serving.Options{})
+	clipper := willump.NewServer(willump.PredictorFunc(optimized.PredictInterpreted), willump.ServeOptions{})
 	clipperURL, err := clipper.Start()
 	if err != nil {
 		log.Fatal(err)
@@ -45,24 +47,24 @@ func main() {
 	defer clipper.Close()
 
 	// Frontend B: the same frontend hosting the Willump-optimized pipeline.
-	willump := serving.NewServer(serving.PredictorFunc(optimized.PredictBatch), serving.Options{})
-	willumpURL, err := willump.Start()
+	optimizedFrontend := willump.Serve(optimized, willump.ServeOptions{})
+	willumpURL, err := optimizedFrontend.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer willump.Close()
+	defer optimizedFrontend.Close()
 
 	measure := func(url string, batch int) time.Duration {
-		cli := serving.NewClient(url)
+		cli := willump.NewClient(url)
 		const reps = 20
 		// Warmup.
-		if _, err := cli.Predict(bench.Test.Gather(rows(0, batch)).Inputs); err != nil {
+		if _, err := cli.Predict(ctx, bench.Test.Gather(rows(0, batch)).Inputs); err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
 		for i := 0; i < reps; i++ {
 			off := (i * batch) % (bench.Test.Len() - batch)
-			if _, err := cli.Predict(bench.Test.Gather(rows(off, batch)).Inputs); err != nil {
+			if _, err := cli.Predict(ctx, bench.Test.Gather(rows(off, batch)).Inputs); err != nil {
 				log.Fatal(err)
 			}
 		}

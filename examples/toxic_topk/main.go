@@ -13,24 +13,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"willump/internal/core"
+	"willump"
 	"willump/internal/pipeline"
-	"willump/internal/topk"
 )
 
 func main() {
+	ctx := context.Background()
+
 	bench, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 6000})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bench.Close()
 
-	optimized, report, err := core.Optimize(bench.Pipeline, bench.Train, bench.Valid,
-		core.Options{TopK: true})
+	optimized, report, err := willump.Optimize(ctx, bench.Pipeline, bench.Train, bench.Valid,
+		willump.WithTopK(0, 0)) // paper-default c_k and minimum subset fraction
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func main() {
 
 	// Exact query: full pipeline over the whole feed.
 	start := time.Now()
-	exact, scores, err := optimized.TopKExact(feed, k)
+	exact, scores, err := optimized.TopKExact(ctx, feed, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 
 	// Filtered query: filter model + full model on the subset.
 	start = time.Now()
-	filtered, err := optimized.TopK(feed, k)
+	filtered, err := optimized.TopK(ctx, feed, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 	// Random sampling at matched cost.
 	subset := optimized.Filter.SubsetSize(n, k)
 	ratio := float64(n) / float64(subset)
-	sampled, err := optimized.Filter.SampledTopK(feed, k, ratio, 99)
+	sampled, err := optimized.Filter.SampledTopK(ctx, feed, k, ratio, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,16 +70,16 @@ func main() {
 	fmt.Printf("\nfeed of %d comments, top-%d most-toxic query\n", n, k)
 	fmt.Printf("%-10s %12s %10s %6s %10s\n", "method", "time", "precision", "mAP", "avg score")
 	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "exact",
-		exactTime.Round(time.Millisecond), 1.0, 1.0, topk.AverageValue(exact, scores))
+		exactTime.Round(time.Millisecond), 1.0, 1.0, willump.AverageValue(exact, scores))
 	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "filtered",
 		filteredTime.Round(time.Millisecond),
-		topk.Precision(filtered, exact),
-		topk.MeanAveragePrecision(filtered, exact),
-		topk.AverageValue(filtered, scores))
+		willump.Precision(filtered, exact),
+		willump.MeanAveragePrecision(filtered, exact),
+		willump.AverageValue(filtered, scores))
 	fmt.Printf("%-10s %12s %10.2f %6.2f %10.4f\n", "sampled",
 		"~"+filteredTime.Round(time.Millisecond).String(),
-		topk.Precision(sampled, exact),
-		topk.MeanAveragePrecision(sampled, exact),
-		topk.AverageValue(sampled, scores))
+		willump.Precision(sampled, exact),
+		willump.MeanAveragePrecision(sampled, exact),
+		willump.AverageValue(sampled, scores))
 	fmt.Printf("\nspeedup over exact: %.1fx\n", float64(exactTime)/float64(filteredTime))
 }

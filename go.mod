@@ -1,0 +1,3 @@
+module willump
+
+go 1.24

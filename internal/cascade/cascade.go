@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,7 +57,7 @@ type Approx struct {
 // BuildApprox runs cascade stages 1-3: compute IFV statistics, select the
 // efficient set, and train the small model from the efficient feature
 // vectors. fullModel must already be trained on the full feature matrix x.
-func BuildApprox(prog *weld.Program, fullModel model.Model, trainInputs map[string]value.Value, x feature.Matrix, y []float64, cfg Config) (*Approx, error) {
+func BuildApprox(ctx context.Context, prog *weld.Program, fullModel model.Model, trainInputs map[string]value.Value, x feature.Matrix, y []float64, cfg Config) (*Approx, error) {
 	cfg = cfg.withDefaults()
 	stats, err := ComputeStats(prog, fullModel, x, y)
 	if err != nil {
@@ -74,7 +75,7 @@ func BuildApprox(prog *weld.Program, fullModel model.Model, trainInputs map[stri
 	if len(efficient) == 0 || len(efficient) == len(stats) {
 		return nil, fmt.Errorf("cascade: degenerate efficient set (%d of %d IFVs)", len(efficient), len(stats))
 	}
-	run, err := prog.NewRun(trainInputs)
+	run, err := prog.NewRun(ctx, trainInputs)
 	if err != nil {
 		return nil, err
 	}
@@ -120,19 +121,19 @@ var thresholdCandidates = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 // Train builds a complete cascade: BuildApprox plus threshold selection on
 // the validation set (cascade stage 4). fullModel must be a trained
 // classifier.
-func Train(prog *weld.Program, fullModel model.Model,
+func Train(ctx context.Context, prog *weld.Program, fullModel model.Model,
 	trainInputs map[string]value.Value, trainX feature.Matrix, trainY []float64,
 	validInputs map[string]value.Value, validY []float64, cfg Config) (*Cascade, error) {
 	cfg = cfg.withDefaults()
 	if fullModel.Task() != model.Classification {
 		return nil, fmt.Errorf("cascade: end-to-end cascades require a classification model")
 	}
-	approx, err := BuildApprox(prog, fullModel, trainInputs, trainX, trainY, cfg)
+	approx, err := BuildApprox(ctx, prog, fullModel, trainInputs, trainX, trainY, cfg)
 	if err != nil {
 		return nil, err
 	}
 	c := &Cascade{Approx: approx, Full: fullModel}
-	if err := c.selectThreshold(validInputs, validY, cfg.AccuracyTarget); err != nil {
+	if err := c.selectThreshold(ctx, validInputs, validY, cfg.AccuracyTarget); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -141,8 +142,8 @@ func Train(prog *weld.Program, fullModel model.Model,
 // selectThreshold implements cascade stage 4: the threshold is the lowest
 // candidate such that routing confident inputs to the small model keeps
 // validation accuracy within the target of the full model's accuracy.
-func (c *Cascade) selectThreshold(validInputs map[string]value.Value, validY []float64, target float64) error {
-	run, err := c.Prog.NewRun(validInputs)
+func (c *Cascade) selectThreshold(ctx context.Context, validInputs map[string]value.Value, validY []float64, target float64) error {
+	run, err := c.Prog.NewRun(ctx, validInputs)
 	if err != nil {
 		return err
 	}
@@ -195,14 +196,14 @@ type ServeStats struct {
 // efficient IFVs, predict with the small model, return confident predictions
 // directly, and cascade only the unconfident rows to the full model —
 // computing the remaining IFVs for those rows alone.
-func (c *Cascade) PredictBatch(inputs map[string]value.Value) ([]float64, ServeStats, error) {
-	return c.PredictBatchThreshold(inputs, c.Threshold)
+func (c *Cascade) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, ServeStats, error) {
+	return c.PredictBatchThreshold(ctx, inputs, c.Threshold)
 }
 
 // PredictBatchThreshold serves a batch using an explicit threshold (the
 // Figure 7 threshold sweep).
-func (c *Cascade) PredictBatchThreshold(inputs map[string]value.Value, threshold float64) ([]float64, ServeStats, error) {
-	run, err := c.Prog.NewRun(inputs)
+func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]value.Value, threshold float64) ([]float64, ServeStats, error) {
+	run, err := c.Prog.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
@@ -236,8 +237,8 @@ func (c *Cascade) PredictBatchThreshold(inputs map[string]value.Value, threshold
 }
 
 // PredictPoint serves one example-at-a-time query through the cascade.
-func (c *Cascade) PredictPoint(inputs map[string]value.Value) (float64, error) {
-	preds, _, err := c.PredictBatch(inputs)
+func (c *Cascade) PredictPoint(ctx context.Context, inputs map[string]value.Value) (float64, error) {
+	preds, _, err := c.PredictBatch(ctx, inputs)
 	if err != nil {
 		return 0, err
 	}
@@ -249,8 +250,8 @@ func (c *Cascade) PredictPoint(inputs map[string]value.Value) (float64, error) {
 
 // SmallOnlyPredict runs only the small model over a batch (the orange-X
 // point of Figure 7 and the first stage of top-K filtering).
-func (a *Approx) SmallOnlyPredict(inputs map[string]value.Value) ([]float64, error) {
-	run, err := a.Prog.NewRun(inputs)
+func (a *Approx) SmallOnlyPredict(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	run, err := a.Prog.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -164,7 +165,7 @@ func TestComputeStatsCostsAndImportances(t *testing.T) {
 
 func TestBuildApproxSelectsCheapIFV(t *testing.T) {
 	fx := newFixture(t)
-	approx, err := BuildApprox(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y, Config{})
+	approx, err := BuildApprox(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y, Config{})
 	if err != nil {
 		t.Fatalf("BuildApprox: %v", err)
 	}
@@ -181,7 +182,7 @@ func TestBuildApproxSelectsCheapIFV(t *testing.T) {
 
 func TestTrainCascadeMeetsAccuracyTarget(t *testing.T) {
 	fx := newFixture(t)
-	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	c, err := Train(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
@@ -191,11 +192,11 @@ func TestTrainCascadeMeetsAccuracyTarget(t *testing.T) {
 	}
 	// Evaluate on held-out test data: accuracy loss should stay small and a
 	// meaningful fraction should be served by the small model.
-	preds, stats, err := c.PredictBatch(fx.Test.Inputs)
+	preds, stats, err := c.PredictBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatalf("PredictBatch: %v", err)
 	}
-	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	fullX, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,20 +215,20 @@ func TestTrainCascadeMeetsAccuracyTarget(t *testing.T) {
 
 func TestCascadeThresholdSemantics(t *testing.T) {
 	fx := newFixture(t)
-	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	c, err := Train(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
 	// Threshold above 1: every row cascades; predictions equal the full model.
-	preds, stats, err := c.PredictBatchThreshold(fx.Test.Inputs, 1.5)
+	preds, stats, err := c.PredictBatchThreshold(context.Background(), fx.Test.Inputs, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.SmallOnly != 0 || stats.Cascaded != stats.Total {
 		t.Errorf("threshold 1.5 should cascade everything: %+v", stats)
 	}
-	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	fullX, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestCascadeThresholdSemantics(t *testing.T) {
 		}
 	}
 	// Threshold 0 (below min confidence 0.5): every row is small-only.
-	_, statsZero, err := c.PredictBatchThreshold(fx.Test.Inputs, 0)
+	_, statsZero, err := c.PredictBatchThreshold(context.Background(), fx.Test.Inputs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestCascadeThresholdSemantics(t *testing.T) {
 
 func TestCascadeReducesHeavyLookups(t *testing.T) {
 	fx := newFixture(t)
-	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	c, err := Train(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
@@ -258,7 +259,7 @@ func TestCascadeReducesHeavyLookups(t *testing.T) {
 		t.Skip("threshold selection chose never-small; no reduction to measure")
 	}
 	before := fx.HeavyTable.Requests()
-	_, stats, err := c.PredictBatch(fx.Test.Inputs)
+	_, stats, err := c.PredictBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,13 +272,13 @@ func TestCascadeReducesHeavyLookups(t *testing.T) {
 
 func TestPredictPoint(t *testing.T) {
 	fx := newFixture(t)
-	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	c, err := Train(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
 	one := pointInput(fx.Test, 0)
-	p, err := c.PredictPoint(one)
+	p, err := c.PredictPoint(context.Background(), one)
 	if err != nil {
 		t.Fatalf("PredictPoint: %v", err)
 	}
@@ -289,7 +290,7 @@ func TestPredictPoint(t *testing.T) {
 func TestTrainRejectsRegression(t *testing.T) {
 	fx := newFixture(t)
 	reg := model.NewGBDT(model.GBDTConfig{Task: model.Regression})
-	_, err := Train(fx.Prog, reg, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	_, err := Train(context.Background(), fx.Prog, reg, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{})
 	if err == nil {
 		t.Error("want error training a cascade on a regression model")
@@ -298,7 +299,7 @@ func TestTrainRejectsRegression(t *testing.T) {
 
 func TestOracleSelectFindsValidSubset(t *testing.T) {
 	fx := newFixture(t)
-	subset, err := OracleSelect(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	subset, err := OracleSelect(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, 0.01)
 	if err != nil {
 		t.Fatalf("OracleSelect: %v", err)
@@ -317,16 +318,16 @@ func TestThresholdRobustAcrossValidationSets(t *testing.T) {
 	// on another; loss must stay within the target band (plus sampling
 	// slack).
 	fx := newFixture(t)
-	c, err := Train(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
+	c, err := Train(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y,
 		fx.Valid.Inputs, fx.Valid.Y, Config{AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Train: %v", err)
 	}
-	preds, _, err := c.PredictBatch(fx.Test.Inputs)
+	preds, _, err := c.PredictBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fullX, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	fullX, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

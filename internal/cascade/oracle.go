@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,7 +17,7 @@ import (
 // target on the validation set. It is the "Oracle" column of Table 8 and is
 // exponential in the number of IFVs, which is why Willump approximates it
 // with Algorithm 1.
-func OracleSelect(prog *weld.Program, fullModel model.Model,
+func OracleSelect(ctx context.Context, prog *weld.Program, fullModel model.Model,
 	trainInputs map[string]value.Value, trainX feature.Matrix, trainY []float64,
 	validInputs map[string]value.Value, validY []float64, accuracyTarget float64) ([]int, error) {
 	if fullModel.Task() != model.Classification {
@@ -35,11 +36,11 @@ func OracleSelect(prog *weld.Program, fullModel model.Model,
 		totalCost += s.Cost
 	}
 
-	trainRun, err := prog.NewRun(trainInputs)
+	trainRun, err := prog.NewRun(ctx, trainInputs)
 	if err != nil {
 		return nil, err
 	}
-	validRun, err := prog.NewRun(validInputs)
+	validRun, err := prog.NewRun(ctx, validInputs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,12 @@
-// Package core is Willump's public API: the statistically-aware end-to-end
-// optimizer for ML inference pipelines (the paper's primary contribution).
+// Package core is the internal engine behind Willump's public API: the
+// statistically-aware end-to-end optimizer for ML inference pipelines (the
+// paper's primary contribution). It is internal to this module; users should
+// import the root willump package, whose PipelineBuilder, functional options,
+// and context-aware Optimize/Predict surface are the one supported entry
+// point. The root package resolves its functional options into the Options
+// struct below and delegates here.
 //
-// A user supplies a Pipeline — a transformation graph from raw inputs to a
+// A caller supplies a Pipeline — a transformation graph from raw inputs to a
 // feature vector, plus a model — and training/validation data. Optimize runs
 // the paper's three stages:
 //
@@ -18,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -130,8 +136,10 @@ type Optimized struct {
 	opts Options
 }
 
-// Optimize trains and optimizes a pipeline end-to-end.
-func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Report, error) {
+// Optimize trains and optimizes a pipeline end-to-end. The context bounds
+// the whole optimization (fit, train, cascade construction); cancelling it
+// aborts between graph blocks.
+func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Report, error) {
 	start := time.Now()
 	if p == nil || p.Graph == nil || p.Model == nil {
 		return nil, nil, fmt.Errorf("core: nil pipeline, graph, or model")
@@ -143,7 +151,7 @@ func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Rep
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := prog.Fit(train.Inputs)
+	out, err := prog.Fit(ctx, train.Inputs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,8 +159,16 @@ func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Rep
 	if err != nil {
 		return nil, nil, err
 	}
+	// Model training itself is not preemptible; check the context around it
+	// so a cancelled optimization never reports success.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if err := p.Model.Train(x, train.Y); err != nil {
 		return nil, nil, fmt.Errorf("core: training full model: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	o := &Optimized{Prog: prog, Model: p.Model, opts: opts}
@@ -171,7 +187,7 @@ func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Rep
 			if valid.Len() == 0 {
 				return nil, nil, fmt.Errorf("core: cascades require a validation set")
 			}
-			c, err := cascade.Train(prog, p.Model, train.Inputs, x, train.Y,
+			c, err := cascade.Train(ctx, prog, p.Model, train.Inputs, x, train.Y,
 				valid.Inputs, valid.Y, ccfg)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: building cascade: %w", err)
@@ -182,7 +198,7 @@ func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Rep
 			rep.CascadeThreshold = c.Threshold
 			rep.EfficientIFVs = c.Efficient
 		} else {
-			a, err := cascade.BuildApprox(prog, p.Model, train.Inputs, x, train.Y, ccfg)
+			a, err := cascade.BuildApprox(ctx, prog, p.Model, train.Inputs, x, train.Y, ccfg)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: building filter model: %w", err)
 			}
@@ -199,24 +215,27 @@ func Optimize(p *Pipeline, train, valid Dataset, opts Options) (*Optimized, *Rep
 	if opts.FeatureCache {
 		prog.EnableFeatureCaching(opts.FeatureCacheCapacity, nil)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	rep.OptimizeTime = time.Since(start)
 	return o, rep, nil
 }
 
 // Features computes the full feature matrix for a batch on the compiled
 // path (no cascades).
-func (o *Optimized) Features(inputs map[string]value.Value) (feature.Matrix, error) {
-	return o.Prog.RunBatch(inputs)
+func (o *Optimized) Features(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
+	return o.Prog.RunBatch(ctx, inputs)
 }
 
 // PredictBatch predicts a batch of inputs, through the cascade when one is
 // deployed and through the compiled full pipeline otherwise.
-func (o *Optimized) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
+func (o *Optimized) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 	if o.Cascade != nil {
-		preds, _, err := o.Cascade.PredictBatch(inputs)
+		preds, _, err := o.Cascade.PredictBatch(ctx, inputs)
 		return preds, err
 	}
-	x, err := o.Prog.RunBatch(inputs)
+	x, err := o.Prog.RunBatch(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +244,8 @@ func (o *Optimized) PredictBatch(inputs map[string]value.Value) ([]float64, erro
 
 // PredictFull predicts a batch with the compiled full pipeline, bypassing
 // any cascade (the "Willump Compilation" configuration of Figures 5 and 6).
-func (o *Optimized) PredictFull(inputs map[string]value.Value) ([]float64, error) {
-	x, err := o.Prog.RunBatch(inputs)
+func (o *Optimized) PredictFull(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	x, err := o.Prog.RunBatch(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -235,18 +254,18 @@ func (o *Optimized) PredictFull(inputs map[string]value.Value) ([]float64, error
 
 // PredictPoint answers one example-at-a-time query, applying query-aware
 // parallelization when Workers > 1 and cascades when deployed.
-func (o *Optimized) PredictPoint(inputs map[string]value.Value) (float64, error) {
+func (o *Optimized) PredictPoint(ctx context.Context, inputs map[string]value.Value) (float64, error) {
 	if o.Cascade != nil {
-		return o.Cascade.PredictPoint(inputs)
+		return o.Cascade.PredictPoint(ctx, inputs)
 	}
 	var (
 		x   feature.Matrix
 		err error
 	)
 	if o.opts.Workers > 1 {
-		x, err = o.Prog.RunPointParallel(inputs, o.opts.Workers)
+		x, err = o.Prog.RunPointParallel(ctx, inputs, o.opts.Workers)
 	} else {
-		x, err = o.Prog.RunPoint(inputs)
+		x, err = o.Prog.RunPoint(ctx, inputs)
 	}
 	if err != nil {
 		return 0, err
@@ -259,8 +278,8 @@ func (o *Optimized) PredictPoint(inputs map[string]value.Value) (float64, error)
 
 // PredictInterpreted predicts a batch on the interpreted ("Python") path:
 // the unoptimized baseline of every end-to-end experiment.
-func (o *Optimized) PredictInterpreted(inputs map[string]value.Value) ([]float64, error) {
-	x, err := o.Prog.RunInterpreted(inputs)
+func (o *Optimized) PredictInterpreted(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	x, err := o.Prog.RunInterpreted(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -269,18 +288,18 @@ func (o *Optimized) PredictInterpreted(inputs map[string]value.Value) ([]float64
 
 // TopK answers a top-K query with the automatically constructed filter
 // model. It requires Options.TopK at Optimize time.
-func (o *Optimized) TopK(inputs map[string]value.Value, k int) ([]int, error) {
+func (o *Optimized) TopK(ctx context.Context, inputs map[string]value.Value, k int) ([]int, error) {
 	if o.Filter == nil {
 		return nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
 	}
-	return o.Filter.TopK(inputs, k)
+	return o.Filter.TopK(ctx, inputs, k)
 }
 
 // TopKExact answers a top-K query with the unoptimized full pipeline
 // (ground truth for filter accuracy).
-func (o *Optimized) TopKExact(inputs map[string]value.Value, k int) ([]int, []float64, error) {
+func (o *Optimized) TopKExact(ctx context.Context, inputs map[string]value.Value, k int) ([]int, []float64, error) {
 	if o.Filter == nil {
 		return nil, nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
 	}
-	return o.Filter.ExactTopK(inputs, k)
+	return o.Filter.ExactTopK(ctx, inputs, k)
 }

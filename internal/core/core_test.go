@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,7 +32,7 @@ func classificationPipeline(t *testing.T) (*Pipeline, Dataset, Dataset, Dataset)
 
 func TestOptimizeBaseline(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, rep, err := Optimize(p, train, valid, Options{})
+	o, rep, err := Optimize(context.Background(), p, train, valid, Options{})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestOptimizeBaseline(t *testing.T) {
 	if rep.TrainAccuracy < 0.8 {
 		t.Errorf("train accuracy = %.3f, want >= 0.8", rep.TrainAccuracy)
 	}
-	preds, err := o.PredictBatch(test.Inputs)
+	preds, err := o.PredictBatch(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatalf("PredictBatch: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestOptimizeBaseline(t *testing.T) {
 
 func TestOptimizeWithCascades(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, rep, err := Optimize(p, train, valid, Options{Cascades: true, AccuracyTarget: 0.01})
+	o, rep, err := Optimize(context.Background(), p, train, valid, Options{Cascades: true, AccuracyTarget: 0.01})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -65,11 +66,11 @@ func TestOptimizeWithCascades(t *testing.T) {
 	if len(rep.EfficientIFVs) == 0 {
 		t.Error("no efficient IFVs reported")
 	}
-	cascPreds, err := o.PredictBatch(test.Inputs)
+	cascPreds, err := o.PredictBatch(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fullPreds, err := o.PredictFull(test.Inputs)
+	fullPreds, err := o.PredictFull(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,15 +83,15 @@ func TestOptimizeWithCascades(t *testing.T) {
 
 func TestOptimizeInterpretedMatchesCompiled(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, _, err := Optimize(p, train, valid, Options{})
+	o, _, err := Optimize(context.Background(), p, train, valid, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := o.PredictFull(test.Inputs)
+	a, err := o.PredictFull(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := o.PredictInterpreted(test.Inputs)
+	b, err := o.PredictInterpreted(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,16 +104,16 @@ func TestOptimizeInterpretedMatchesCompiled(t *testing.T) {
 
 func TestOptimizePointQueries(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, _, err := Optimize(p, train, valid, Options{Workers: 2})
+	o, _, err := Optimize(context.Background(), p, train, valid, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := o.PredictFull(test.Inputs)
+	batch, err := o.PredictFull(context.Background(), test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		got, err := o.PredictPoint(test.Row(i).Inputs)
+		got, err := o.PredictPoint(context.Background(), test.Row(i).Inputs)
 		if err != nil {
 			t.Fatalf("PredictPoint(%d): %v", i, err)
 		}
@@ -124,18 +125,18 @@ func TestOptimizePointQueries(t *testing.T) {
 
 func TestOptimizeTopK(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, _, err := Optimize(p, train, valid, Options{TopK: true})
+	o, _, err := Optimize(context.Background(), p, train, valid, Options{TopK: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := o.TopK(test.Inputs, 20)
+	got, err := o.TopK(context.Background(), test.Inputs, 20)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
 	}
 	if len(got) != 20 {
 		t.Fatalf("TopK returned %d rows, want 20", len(got))
 	}
-	exact, _, err := o.TopKExact(test.Inputs, 20)
+	exact, _, err := o.TopKExact(context.Background(), test.Inputs, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,25 +157,25 @@ func TestOptimizeTopK(t *testing.T) {
 
 func TestOptimizeTopKWithoutOption(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, _, err := Optimize(p, train, valid, Options{})
+	o, _, err := Optimize(context.Background(), p, train, valid, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.TopK(test.Inputs, 5); err == nil {
+	if _, err := o.TopK(context.Background(), test.Inputs, 5); err == nil {
 		t.Error("want error using TopK without Options.TopK")
 	}
 }
 
 func TestOptimizeFeatureCache(t *testing.T) {
 	p, train, valid, test := classificationPipeline(t)
-	o, _, err := Optimize(p, train, valid, Options{FeatureCache: true})
+	o, _, err := Optimize(context.Background(), p, train, valid, Options{FeatureCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.PredictBatch(test.Inputs); err != nil {
+	if _, err := o.PredictBatch(context.Background(), test.Inputs); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.PredictBatch(test.Inputs); err != nil {
+	if _, err := o.PredictBatch(context.Background(), test.Inputs); err != nil {
 		t.Fatal(err)
 	}
 	hits, _ := o.Prog.CacheStats()
@@ -184,16 +185,16 @@ func TestOptimizeFeatureCache(t *testing.T) {
 }
 
 func TestOptimizeValidation(t *testing.T) {
-	if _, _, err := Optimize(nil, Dataset{}, Dataset{}, Options{}); err == nil {
+	if _, _, err := Optimize(context.Background(), nil, Dataset{}, Dataset{}, Options{}); err == nil {
 		t.Error("want error for nil pipeline")
 	}
 	p, train, _, _ := classificationPipeline(t)
-	if _, _, err := Optimize(p, Dataset{}, Dataset{}, Options{}); err == nil {
+	if _, _, err := Optimize(context.Background(), p, Dataset{}, Dataset{}, Options{}); err == nil {
 		t.Error("want error for empty training set")
 	}
 	// Cascades without a validation set must fail loudly.
 	p2, train2, _, _ := classificationPipeline(t)
-	if _, _, err := Optimize(p2, train2, Dataset{}, Options{Cascades: true}); err == nil {
+	if _, _, err := Optimize(context.Background(), p2, train2, Dataset{}, Options{Cascades: true}); err == nil {
 		t.Error("want error for cascades without validation data")
 	}
 	_ = train
@@ -210,7 +211,7 @@ func TestOptimizeRegressionSkipsCascades(t *testing.T) {
 	}
 	train := Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
 	valid := Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
-	o, rep, err := Optimize(p, train, valid, Options{Cascades: true, TopK: true})
+	o, rep, err := Optimize(context.Background(), p, train, valid, Options{Cascades: true, TopK: true})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -265,14 +266,14 @@ func TestOptimizeSingleIFVGraphNoApprox(t *testing.T) {
 	}
 	train := Dataset{Inputs: map[string]value.Value{"x": value.NewFloats(xs)}, Y: ys}
 	p := &Pipeline{Graph: g, Model: model.NewLogistic(model.LinearConfig{Seed: 5})}
-	o, rep, err := Optimize(p, train, train, Options{Cascades: true})
+	o, rep, err := Optimize(context.Background(), p, train, train, Options{Cascades: true})
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
 	if rep.CascadeBuilt {
 		t.Error("cascade built on a single-IFV graph")
 	}
-	preds, err := o.PredictBatch(train.Inputs)
+	preds, err := o.PredictBatch(context.Background(), train.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -72,7 +73,7 @@ func buildOptimized(name string, s Setup, backend pipeline.Backend, opts core.Op
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	o, rep, err := core.Optimize(b.Pipeline, b.Train, b.Valid, opts)
+	o, rep, err := core.Optimize(context.Background(), b.Pipeline, b.Train, b.Valid, opts)
 	if err != nil {
 		b.Close()
 		return nil, nil, nil, fmt.Errorf("%s: %w", name, err)

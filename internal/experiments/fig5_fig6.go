@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -59,7 +60,7 @@ func fig5One(name string, s Setup) (Fig5Row, error) {
 	interp := boundedRows(b.Test, s.InterpretedRows)
 	var interpPreds []float64
 	row.PythonThroughput, err = metrics.Throughput(interp.Len(), s.Reps, func() error {
-		interpPreds, err = o.PredictInterpreted(interp.Inputs)
+		interpPreds, err = o.PredictInterpreted(context.Background(), interp.Inputs)
 		return err
 	})
 	if err != nil {
@@ -70,7 +71,7 @@ func fig5One(name string, s Setup) (Fig5Row, error) {
 	// Willump compilation.
 	var compiledPreds []float64
 	row.CompiledThroughput, err = metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		compiledPreds, err = o.PredictFull(b.Test.Inputs)
+		compiledPreds, err = o.PredictFull(context.Background(), b.Test.Inputs)
 		return err
 	})
 	if err != nil {
@@ -89,7 +90,7 @@ func fig5One(name string, s Setup) (Fig5Row, error) {
 		if rep.CascadeBuilt {
 			var cascPreds []float64
 			row.CascadesThroughput, err = metrics.Throughput(bc.Test.Len(), s.Reps, func() error {
-				cascPreds, err = oc.PredictBatch(bc.Test.Inputs)
+				cascPreds, err = oc.PredictBatch(context.Background(), bc.Test.Inputs)
 				return err
 			})
 			if err != nil {
@@ -149,14 +150,14 @@ func fig6One(name string, s Setup) (Fig6Row, error) {
 		points[i] = b.Test.Row(i)
 	}
 	row.PythonLatency, err = metrics.Latency(k, func(i int) error {
-		_, err := o.PredictInterpreted(points[i].Inputs)
+		_, err := o.PredictInterpreted(context.Background(), points[i].Inputs)
 		return err
 	})
 	if err != nil {
 		return Fig6Row{}, err
 	}
 	row.CompiledLatency, err = metrics.Latency(k, func(i int) error {
-		_, err := o.PredictPoint(points[i].Inputs)
+		_, err := o.PredictPoint(context.Background(), points[i].Inputs)
 		return err
 	})
 	if err != nil {
@@ -175,7 +176,7 @@ func fig6One(name string, s Setup) (Fig6Row, error) {
 				cpoints[i] = bc.Test.Row(i)
 			}
 			row.CascadesLatency, err = metrics.Latency(k, func(i int) error {
-				_, err := oc.PredictPoint(cpoints[i].Inputs)
+				_, err := oc.PredictPoint(context.Background(), cpoints[i].Inputs)
 				return err
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -34,7 +35,7 @@ func MicroDrivers(w io.Writer, s Setup) ([]DriverRow, error) {
 		}
 		o.Prog.Prof.ResetDriver()
 		for rep := 0; rep < 3; rep++ {
-			if _, err := o.PredictFull(b.Test.Inputs); err != nil {
+			if _, err := o.PredictFull(context.Background(), b.Test.Inputs); err != nil {
 				b.Close()
 				return nil, err
 			}
@@ -76,12 +77,12 @@ func MicroThreshold(w io.Writer, s Setup) ([]ThresholdRow, error) {
 			b.Close()
 			continue
 		}
-		cascPreds, _, err := o.Cascade.PredictBatch(b.Test.Inputs)
+		cascPreds, _, err := o.Cascade.PredictBatch(context.Background(), b.Test.Inputs)
 		if err != nil {
 			b.Close()
 			return nil, err
 		}
-		fullPreds, err := o.PredictFull(b.Test.Inputs)
+		fullPreds, err := o.PredictFull(context.Background(), b.Test.Inputs)
 		if err != nil {
 			b.Close()
 			return nil, err
@@ -125,12 +126,12 @@ func MicroGamma(w io.Writer, s Setup) ([]GammaRow, error) {
 		return nil, err
 	}
 	defer b.Close()
-	trainX, err := o.Prog.RunBatch(b.Train.Inputs)
+	trainX, err := o.Prog.RunBatch(context.Background(), b.Train.Inputs)
 	if err != nil {
 		return nil, err
 	}
 	baseTput, err := metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		_, err := o.PredictFull(b.Test.Inputs)
+		_, err := o.PredictFull(context.Background(), b.Test.Inputs)
 		return err
 	})
 	if err != nil {
@@ -138,14 +139,14 @@ func MicroGamma(w io.Writer, s Setup) ([]GammaRow, error) {
 	}
 
 	speedup := func(target float64, disable bool) (float64, error) {
-		c, err := cascade.Train(o.Prog, o.Model, b.Train.Inputs, trainX, b.Train.Y,
+		c, err := cascade.Train(context.Background(), o.Prog, o.Model, b.Train.Inputs, trainX, b.Train.Y,
 			b.Valid.Inputs, b.Valid.Y,
 			cascade.Config{AccuracyTarget: target, DisableGammaRule: disable})
 		if err != nil {
 			return 1, nil // degenerate selection: cascades revert to full
 		}
 		cascTput, err := metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-			_, _, err := c.PredictBatch(b.Test.Inputs)
+			_, _, err := c.PredictBatch(context.Background(), b.Test.Inputs)
 			return err
 		})
 		if err != nil {
@@ -188,11 +189,11 @@ func MicroOptTime(w io.Writer, s Setup) ([]OptTimeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, rep, err := core.Optimize(b.Pipeline, b.Train, b.Valid,
+		_, rep, err := core.Optimize(context.Background(), b.Pipeline, b.Train, b.Valid,
 			core.Options{Cascades: true, AccuracyTarget: 0.015, TopK: true})
 		if err != nil {
 			// Regression benchmarks skip cascades; retry with top-K only.
-			_, rep, err = core.Optimize(b.Pipeline, b.Train, b.Valid, core.Options{TopK: true})
+			_, rep, err = core.Optimize(context.Background(), b.Pipeline, b.Train, b.Valid, core.Options{TopK: true})
 			if err != nil {
 				b.Close()
 				return nil, err

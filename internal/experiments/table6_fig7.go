@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -78,7 +79,7 @@ func table6One(name string, s Setup) ([]Table6Row, error) {
 			for j := range rows {
 				rows[j] = start + j
 			}
-			_, err := cli.Predict(b.Test.Gather(rows).Inputs)
+			_, err := cli.Predict(context.Background(), b.Test.Gather(rows).Inputs)
 			return err
 		})
 	}
@@ -155,7 +156,7 @@ func fig7One(name string, s Setup) ([]Fig7Point, error) {
 	// Full model endpoint.
 	var fullPreds []float64
 	tput, err := metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		fullPreds, err = o.PredictFull(b.Test.Inputs)
+		fullPreds, err = o.PredictFull(context.Background(), b.Test.Inputs)
 		return err
 	})
 	if err != nil {
@@ -170,7 +171,7 @@ func fig7One(name string, s Setup) ([]Fig7Point, error) {
 	for _, t := range []float64{0.9, 0.8, 0.7, 0.6, 0.5} {
 		var preds []float64
 		tput, err := metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-			preds, _, err = c.PredictBatchThreshold(b.Test.Inputs, t)
+			preds, _, err = c.PredictBatchThreshold(context.Background(), b.Test.Inputs, t)
 			return err
 		})
 		if err != nil {
@@ -185,7 +186,7 @@ func fig7One(name string, s Setup) ([]Fig7Point, error) {
 	// Small model alone.
 	var smallPreds []float64
 	tput, err = metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		smallPreds, err = c.SmallOnlyPredict(b.Test.Inputs)
+		smallPreds, err = c.SmallOnlyPredict(context.Background(), b.Test.Inputs)
 		return err
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -59,13 +60,13 @@ func table8One(name string, s Setup) ([]Table8Row, error) {
 	defer b.Close()
 
 	origTput, err := metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		_, err := o.PredictFull(b.Test.Inputs)
+		_, err := o.PredictFull(context.Background(), b.Test.Inputs)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	trainX, err := o.Prog.RunBatch(b.Train.Inputs)
+	trainX, err := o.Prog.RunBatch(context.Background(), b.Train.Inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func table8One(name string, s Setup) ([]Table8Row, error) {
 		row := Table8Row{Benchmark: name, Strategy: st.name, OrigThroughput: origTput}
 		cfg := cascade.Config{AccuracyTarget: 0.015, Selection: st.pick}
 		if st.oracle {
-			subset, err := cascade.OracleSelect(o.Prog, o.Model, b.Train.Inputs, trainX,
+			subset, err := cascade.OracleSelect(context.Background(), o.Prog, o.Model, b.Train.Inputs, trainX,
 				b.Train.Y, b.Valid.Inputs, b.Valid.Y, 0.015)
 			if err != nil {
 				// No subset met the target: report the no-cascade numbers.
@@ -95,7 +96,7 @@ func table8One(name string, s Setup) ([]Table8Row, error) {
 			}
 			cfg.Selection = func([]cascade.IFVStat) []int { return subset }
 		}
-		c, err := cascade.Train(o.Prog, o.Model, b.Train.Inputs, trainX, b.Train.Y,
+		c, err := cascade.Train(context.Background(), o.Prog, o.Model, b.Train.Inputs, trainX, b.Train.Y,
 			b.Valid.Inputs, b.Valid.Y, cfg)
 		if err != nil {
 			// Degenerate selection (all or none): cascades revert to full.
@@ -105,7 +106,7 @@ func table8One(name string, s Setup) ([]Table8Row, error) {
 		}
 		row.Efficient = c.Efficient
 		row.CascThroughput, err = metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-			_, _, err := c.PredictBatch(b.Test.Inputs)
+			_, _, err := c.PredictBatch(context.Background(), b.Test.Inputs)
 			return err
 		})
 		if err != nil {
@@ -210,7 +211,7 @@ func fig8Synthetic(s Setup) ([]Fig8Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := prog.Fit(train.Inputs); err != nil {
+	if _, err := prog.Fit(context.Background(), train.Inputs); err != nil {
 		return nil, err
 	}
 	// The sweep is capped at the machine's core count: with fewer cores
@@ -229,7 +230,7 @@ func fig8Sweep(name string, prog *weld.Program, test core.Dataset, s Setup, maxT
 		points[i] = test.Row(i).Inputs
 	}
 	base, err := metrics.Latency(k, func(i int) error {
-		_, err := prog.RunPoint(points[i])
+		_, err := prog.RunPoint(context.Background(), points[i])
 		return err
 	})
 	if err != nil {
@@ -238,7 +239,7 @@ func fig8Sweep(name string, prog *weld.Program, test core.Dataset, s Setup, maxT
 	rows := []Fig8Row{{Benchmark: name, Threads: 1, Speedup: 1}}
 	for threads := 2; threads <= maxThreads; threads++ {
 		lat, err := metrics.Latency(k, func(i int) error {
-			_, err := prog.RunPointParallel(points[i], threads)
+			_, err := prog.RunPointParallel(context.Background(), points[i], threads)
 			return err
 		})
 		if err != nil {

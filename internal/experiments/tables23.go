@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -97,7 +98,7 @@ func tables23One(name string, s Setup) ([]Table23Row, error) {
 		before := b.TotalTableRequests()
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if _, err := pred.PredictBatch(queries[i]); err != nil {
+			if _, err := pred.PredictBatch(context.Background(), queries[i]); err != nil {
 				b.Close()
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,7 +84,7 @@ func table4One(name string, s Setup) (Table4Row, error) {
 	row := Table4Row{Benchmark: name, K: k}
 
 	// Ground truth and true scores from the exact (compiled) query.
-	exact, scores, err := o.TopKExact(b.Test.Inputs, k)
+	exact, scores, err := o.TopKExact(context.Background(), b.Test.Inputs, k)
 	if err != nil {
 		return Table4Row{}, err
 	}
@@ -92,7 +93,7 @@ func table4One(name string, s Setup) (Table4Row, error) {
 	// rank.
 	interp := boundedRows(b.Test, s.InterpretedRows)
 	row.PythonThroughput, err = metrics.Throughput(interp.Len(), s.Reps, func() error {
-		preds, err := o.PredictInterpreted(interp.Inputs)
+		preds, err := o.PredictInterpreted(context.Background(), interp.Inputs)
 		if err != nil {
 			return err
 		}
@@ -109,7 +110,7 @@ func table4One(name string, s Setup) (Table4Row, error) {
 
 	// Compiled unfiltered top-K.
 	row.CompiledThroughput, err = metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		_, _, err := o.TopKExact(b.Test.Inputs, k)
+		_, _, err := o.TopKExact(context.Background(), b.Test.Inputs, k)
 		return err
 	})
 	if err != nil {
@@ -119,7 +120,7 @@ func table4One(name string, s Setup) (Table4Row, error) {
 	// Filtered top-K.
 	var predicted []int
 	row.FilteredThroughput, err = metrics.Throughput(b.Test.Len(), s.Reps, func() error {
-		predicted, err = o.TopK(b.Test.Inputs, k)
+		predicted, err = o.TopK(context.Background(), b.Test.Inputs, k)
 		return err
 	})
 	if err != nil {
@@ -179,11 +180,11 @@ func table5One(name string, s Setup) (Table5Row, error) {
 	}
 	defer b.Close()
 	k := table4K(b.Test.Len())
-	exact, scores, err := o.TopKExact(b.Test.Inputs, k)
+	exact, scores, err := o.TopKExact(context.Background(), b.Test.Inputs, k)
 	if err != nil {
 		return Table5Row{}, err
 	}
-	filtered, err := o.TopK(b.Test.Inputs, k)
+	filtered, err := o.TopK(context.Background(), b.Test.Inputs, k)
 	if err != nil {
 		return Table5Row{}, err
 	}
@@ -196,7 +197,7 @@ func table5One(name string, s Setup) (Table5Row, error) {
 	if ratio < 1 {
 		ratio = 1
 	}
-	sampled, err := o.Filter.SampledTopK(b.Test.Inputs, k, ratio, s.Seed+99)
+	sampled, err := o.Filter.SampledTopK(context.Background(), b.Test.Inputs, k, ratio, s.Seed+99)
 	if err != nil {
 		return Table5Row{}, err
 	}
@@ -256,7 +257,7 @@ func table7One(name string, s Setup) ([]Table7Row, error) {
 	defer b.Close()
 	n := b.Test.Len()
 	k := table4K(n)
-	exact, scores, err := o.TopKExact(b.Test.Inputs, k)
+	exact, scores, err := o.TopKExact(context.Background(), b.Test.Inputs, k)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +269,7 @@ func table7One(name string, s Setup) ([]Table7Row, error) {
 		}
 		var predicted []int
 		tput, err := metrics.Throughput(n, s.Reps, func() error {
-			predicted, err = o.Filter.TopKSubset(b.Test.Inputs, k, size)
+			predicted, err = o.Filter.TopKSubset(context.Background(), b.Test.Inputs, k, size)
 			return err
 		})
 		if err != nil {

@@ -6,6 +6,7 @@
 package fixture
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -168,7 +169,7 @@ func NewClassification(seed int64, nTrain, nValid, nTest int, easyFrac float64, 
 	if err != nil {
 		return nil, err
 	}
-	out, err := prog.Fit(train.Inputs)
+	out, err := prog.Fit(context.Background(), train.Inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +256,7 @@ func NewRegression(seed int64, nTrain, nValid, nTest int, spin int) (*Regression
 	if err != nil {
 		return nil, err
 	}
-	out, err := prog.Fit(train.Inputs)
+	out, err := prog.Fit(context.Background(), train.Inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +274,7 @@ func NewRegression(seed int64, nTrain, nValid, nTest int, spin int) (*Regression
 // Check verifies a fixture's model is meaningfully better than chance on its
 // test split; fixtures failing this are useless for cascade tests.
 func (c *Classification) Check() error {
-	x, err := c.Prog.RunBatch(c.Test.Inputs)
+	x, err := c.Prog.RunBatch(context.Background(), c.Test.Inputs)
 	if err != nil {
 		return err
 	}

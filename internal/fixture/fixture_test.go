@@ -1,6 +1,7 @@
 package fixture
 
 import (
+	"context"
 	"testing"
 
 	"willump/internal/model"
@@ -34,7 +35,7 @@ func TestRegressionFixture(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewRegression: %v", err)
 	}
-	x, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	x, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestHeavyOpMatchesPlainLookupValues(t *testing.T) {
 	}
 	// The heavy op's burn must not change lookup values: recompute features
 	// twice and compare.
-	a, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	a, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fx.Prog.RunBatch(fx.Test.Inputs)
+	b, err := fx.Prog.RunBatch(context.Background(), fx.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

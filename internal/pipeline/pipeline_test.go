@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 
 func optimizeBench(t *testing.T, b *Benchmark, opts core.Options) (*core.Optimized, *core.Report) {
 	t.Helper()
-	o, rep, err := core.Optimize(b.Pipeline, b.Train, b.Valid, opts)
+	o, rep, err := core.Optimize(context.Background(), b.Pipeline, b.Train, b.Valid, opts)
 	if err != nil {
 		t.Fatalf("%s: Optimize: %v", b.Name, err)
 	}
@@ -34,7 +35,7 @@ func TestAllBenchmarksBuildAndLearn(t *testing.T) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			o, rep := optimizeBench(t, b, core.Options{})
-			preds, err := o.PredictBatch(b.Test.Inputs)
+			preds, err := o.PredictBatch(context.Background(), b.Test.Inputs)
 			if err != nil {
 				t.Fatalf("PredictBatch: %v", err)
 			}
@@ -84,11 +85,11 @@ func TestClassificationBenchmarksCascade(t *testing.T) {
 			if !rep.CascadeBuilt {
 				t.Fatal("cascade not built")
 			}
-			cascPreds, err := o.PredictBatch(b.Test.Inputs)
+			cascPreds, err := o.PredictBatch(context.Background(), b.Test.Inputs)
 			if err != nil {
 				t.Fatal(err)
 			}
-			fullPreds, err := o.PredictFull(b.Test.Inputs)
+			fullPreds, err := o.PredictFull(context.Background(), b.Test.Inputs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +111,7 @@ func TestRemoteBackendCountsRequests(t *testing.T) {
 	defer b.Close()
 	o, _ := optimizeBench(t, b, core.Options{})
 	before := b.TotalTableRequests()
-	if _, err := o.PredictFull(b.Test.Inputs); err != nil {
+	if _, err := o.PredictFull(context.Background(), b.Test.Inputs); err != nil {
 		t.Fatal(err)
 	}
 	delta := b.TotalTableRequests() - before
@@ -130,7 +131,7 @@ func TestRemoteLatencyDominatesPointQueries(t *testing.T) {
 	defer b.Close()
 	o, _ := optimizeBench(t, b, core.Options{})
 	start := time.Now()
-	if _, err := o.PredictPoint(b.Test.Row(0).Inputs); err != nil {
+	if _, err := o.PredictPoint(context.Background(), b.Test.Row(0).Inputs); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el < 2*time.Millisecond {
@@ -203,7 +204,7 @@ func TestTrackingHasDegenerateTopK(t *testing.T) {
 	}
 	defer b.Close()
 	o, _ := optimizeBench(t, b, core.Options{})
-	preds, err := o.PredictFull(b.Test.Inputs)
+	preds, err := o.PredictFull(context.Background(), b.Test.Inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -114,11 +115,24 @@ type Server struct {
 	ln    net.Listener
 	wg    sync.WaitGroup
 
+	// baseCtx is the execution context for merged batches; cancelled only
+	// when the server force-closes, so a graceful Shutdown drains in-flight
+	// work to completion.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// stop tells the batcher to drain whatever is queued and exit.
+	stop chan struct{}
+	// shutdownDone closes once the first Shutdown/Close finishes draining;
+	// concurrent callers block on it and observe shutdownErr.
+	shutdownDone chan struct{}
+	shutdownErr  error
+
 	requests atomic.Int64
 	closed   atomic.Bool
 }
 
 type pending struct {
+	ctx    context.Context // the originating request's context
 	inputs map[string]value.Value
 	n      int
 	done   chan batchResult
@@ -139,10 +153,15 @@ func NewServer(p Predictor, opts Options) *Server {
 		}
 		p = NewCachedPredictor(p, capacity, opts.CacheKeyOrder)
 	}
+	baseCtx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		pred:  p,
-		opts:  opts,
-		queue: make(chan *pending, 1024),
+		pred:         p,
+		opts:         opts,
+		queue:        make(chan *pending, 1024),
+		baseCtx:      baseCtx,
+		cancel:       cancel,
+		stop:         make(chan struct{}),
+		shutdownDone: make(chan struct{}),
 	}
 }
 
@@ -172,21 +191,52 @@ func (s *Server) Start() (string, error) {
 	return "http://" + ln.Addr().String(), nil
 }
 
-// Close shuts the server down.
-func (s *Server) Close() error {
+// Shutdown gracefully stops the server: new requests are rejected
+// immediately, in-flight requests (including any batch the batcher is
+// executing) drain to completion, and the batcher exits once the queue is
+// empty. The context bounds how long the drain may take; when it expires,
+// remaining work is cancelled through the execution context and pending
+// waiters receive the cancellation error.
+func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
-		return nil
+		// Another Shutdown/Close is (or was) draining: wait for it to finish
+		// so no caller tears down the hosted predictor's resources early.
+		<-s.shutdownDone
+		return s.shutdownErr
 	}
-	err := s.http.Close()
-	close(s.queue)
+	// Graceful HTTP drain: waits for in-flight handlers, which in turn wait
+	// on the still-running batcher for their results.
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// The drain deadline expired with handlers still waiting: cancel the
+		// execution context so their batches abort between graph blocks and
+		// straggling handlers stop waiting on the batcher.
+		s.cancel()
+	}
+	// Tell the batcher to drain the queue and exit, then wait for it and the
+	// HTTP serve loop.
+	close(s.stop)
 	s.wg.Wait()
+	s.cancel()
+	s.shutdownErr = err
+	close(s.shutdownDone)
 	return err
+}
+
+// Close shuts the server down, draining in-flight batches without a
+// deadline.
+func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
 }
 
 // Requests returns the number of RPC requests served.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: server shutting down"))
+		return
+	}
 	s.requests.Add(1)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -203,19 +253,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	p := &pending{inputs: inputs, n: n, done: make(chan batchResult, 1)}
+	p := &pending{ctx: r.Context(), inputs: inputs, n: n, done: make(chan batchResult, 1)}
 	select {
 	case s.queue <- p:
 	default:
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: queue full"))
 		return
 	}
-	res := <-p.done
-	if res.err != nil {
-		writeError(w, http.StatusInternalServerError, res.err)
-		return
+	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
+	select {
+	case res := <-p.done:
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, res.err)
+			return
+		}
+		json.NewEncoder(w).Encode(wireResponse{Predictions: res.preds}) //nolint:errcheck
+	case <-p.ctx.Done():
+		// The client went away or its deadline expired; the batcher will
+		// notice the dead context when it reaches this request.
+		writeError(w, http.StatusServiceUnavailable, p.ctx.Err())
+	case <-s.baseCtx.Done():
+		// Force-close: a Shutdown deadline expired and the batcher may have
+		// exited without reaching this request. Don't wait for a result that
+		// may never come.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: server shutting down"))
 	}
-	json.NewEncoder(w).Encode(wireResponse{Predictions: res.preds}) //nolint:errcheck
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -227,21 +289,37 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // (without waiting — a lone request must not pay a batching delay), then
 // wait up to BatchTimeout for more only while work keeps arriving, execute
 // the merged batch once, and scatter results back to waiters (Clipper's
-// core serving loop).
+// core serving loop). Requests whose contexts are already dead are answered
+// with the context error instead of joining a batch. On shutdown the batcher
+// drains everything still queued before exiting.
 func (s *Server) batcher() {
-	for first := range s.queue {
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			// Shutdown: serve whatever is still queued, then exit.
+			for {
+				select {
+				case p := <-s.queue:
+					s.runBatch([]*pending{p})
+				default:
+					return
+				}
+			}
+		}
+		if first.ctx.Err() != nil {
+			first.done <- batchResult{err: first.ctx.Err()}
+			continue
+		}
 		batch := []*pending{first}
 		rows := first.n
 		// Non-blocking drain: take whatever is queued right now.
 	drain:
 		for rows < s.opts.MaxBatch {
 			select {
-			case p, ok := <-s.queue:
-				if !ok {
-					break drain
-				}
-				batch = append(batch, p)
-				rows += p.n
+			case p := <-s.queue:
+				batch, rows = appendLive(batch, rows, p)
 			default:
 				break drain
 			}
@@ -252,13 +330,11 @@ func (s *Server) batcher() {
 		fill:
 			for rows < s.opts.MaxBatch {
 				select {
-				case p, ok := <-s.queue:
-					if !ok {
-						break fill
-					}
-					batch = append(batch, p)
-					rows += p.n
+				case p := <-s.queue:
+					batch, rows = appendLive(batch, rows, p)
 				case <-deadline.C:
+					break fill
+				case <-s.stop:
 					break fill
 				}
 			}
@@ -268,10 +344,40 @@ func (s *Server) batcher() {
 	}
 }
 
-// runBatch merges the batch's inputs, predicts once, and distributes.
+// requestCtx derives the execution context for a lone request: cancelled
+// when either the request's own context or the server's base context dies.
+func (s *Server) requestCtx(p *pending) (context.Context, context.CancelFunc) {
+	if p.ctx == nil {
+		return s.baseCtx, func() {}
+	}
+	ctx, cancel := context.WithCancel(p.ctx)
+	detach := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { detach(); cancel() }
+}
+
+// appendLive adds p to the batch unless its request context is already dead,
+// in which case the waiter is answered immediately.
+func appendLive(batch []*pending, rows int, p *pending) ([]*pending, int) {
+	if err := p.ctx.Err(); err != nil {
+		p.done <- batchResult{err: err}
+		return batch, rows
+	}
+	return append(batch, p), rows + p.n
+}
+
+// runBatch merges the batch's inputs, predicts once under the server's
+// execution context, and distributes results to the waiters.
 func (s *Server) runBatch(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
 	if len(batch) == 1 {
-		preds, err := s.pred.PredictBatch(batch[0].inputs)
+		// A lone request executes under its own context, so client
+		// cancellation aborts the prediction itself. A server force-close
+		// (expired Shutdown deadline) also cancels it via the base context.
+		ctx, cancel := s.requestCtx(batch[0])
+		preds, err := s.pred.PredictBatch(ctx, batch[0].inputs)
+		cancel()
 		batch[0].done <- batchResult{preds: preds, err: err}
 		return
 	}
@@ -293,7 +399,10 @@ func (s *Server) runBatch(batch []*pending) {
 		}
 		inputs[k] = cat
 	}
-	preds, err := s.pred.PredictBatch(inputs)
+	// A merged batch serves several independent requests, so one client's
+	// cancellation must not abort the others: execute under the server's
+	// context, which only a force-close cancels.
+	preds, err := s.pred.PredictBatch(s.baseCtx, inputs)
 	if err != nil {
 		for _, p := range batch {
 			p.done <- batchResult{err: err}
@@ -346,8 +455,10 @@ func NewClient(base string) *Client {
 	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// Predict sends one prediction RPC carrying a batch of raw inputs.
-func (c *Client) Predict(inputs map[string]value.Value) ([]float64, error) {
+// Predict sends one prediction RPC carrying a batch of raw inputs. The
+// context's cancellation or deadline propagates to the server, which aborts
+// the queued or in-flight work for this request.
+func (c *Client) Predict(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 	cols, err := encodeInputs(inputs)
 	if err != nil {
 		return nil, err
@@ -356,7 +467,12 @@ func (c *Client) Predict(inputs map[string]value.Value) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serving: rpc: %w", err)
 	}

@@ -7,23 +7,26 @@
 package serving
 
 import (
+	"context"
+
 	"willump/internal/cache"
 	"willump/internal/value"
 )
 
 // Predictor is a batch prediction function: the black box a serving system
 // hosts. Both the unoptimized interpreted pipeline and a Willump-optimized
-// pipeline satisfy it.
+// pipeline satisfy it. The context carries request cancellation and
+// deadlines through to pipeline execution.
 type Predictor interface {
-	PredictBatch(inputs map[string]value.Value) ([]float64, error)
+	PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error)
 }
 
 // PredictorFunc adapts a function to the Predictor interface.
-type PredictorFunc func(inputs map[string]value.Value) ([]float64, error)
+type PredictorFunc func(ctx context.Context, inputs map[string]value.Value) ([]float64, error)
 
 // PredictBatch implements Predictor.
-func (f PredictorFunc) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
-	return f(inputs)
+func (f PredictorFunc) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	return f(ctx, inputs)
 }
 
 // CachedPredictor wraps a Predictor with a Clipper-style end-to-end
@@ -46,7 +49,7 @@ func NewCachedPredictor(inner Predictor, capacity int, keyOrder []string) *Cache
 
 // PredictBatch implements Predictor, serving repeated input tuples from the
 // cache and computing only the misses.
-func (p *CachedPredictor) PredictBatch(inputs map[string]value.Value) ([]float64, error) {
+func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 	cols := make([]value.Value, len(p.keys))
 	n := 0
 	for i, k := range p.keys {
@@ -69,7 +72,7 @@ func (p *CachedPredictor) PredictBatch(inputs map[string]value.Value) ([]float64
 		for k, v := range inputs {
 			sub[k] = v.Gather(missRows)
 		}
-		preds, err := p.Inner.PredictBatch(sub)
+		preds, err := p.Inner.PredictBatch(ctx, sub)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -70,15 +71,15 @@ func (f *Filter) SubsetSize(n, k int) int {
 
 // TopK returns the indices of the predicted K top-scoring rows of the batch,
 // in descending predicted-score order.
-func (f *Filter) TopK(inputs map[string]value.Value, k int) ([]int, error) {
-	return f.TopKSubset(inputs, k, -1)
+func (f *Filter) TopK(ctx context.Context, inputs map[string]value.Value, k int) ([]int, error) {
+	return f.TopKSubset(ctx, inputs, k, -1)
 }
 
 // TopKSubset is TopK with an explicit subset size (the Table 7 sweep);
 // subsetSize < 0 selects the configured default.
-func (f *Filter) TopKSubset(inputs map[string]value.Value, k int, subsetSize int) ([]int, error) {
+func (f *Filter) TopKSubset(ctx context.Context, inputs map[string]value.Value, k int, subsetSize int) ([]int, error) {
 	prog := f.Approx.Prog
-	run, err := prog.NewRun(inputs)
+	run, err := prog.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -120,9 +121,9 @@ func (f *Filter) TopKSubset(inputs map[string]value.Value, k int, subsetSize int
 // model over the whole batch (the unoptimized query the paper measures
 // accuracy against). It returns the indices in descending score order along
 // with every row's full-model score.
-func (f *Filter) ExactTopK(inputs map[string]value.Value, k int) ([]int, []float64, error) {
+func (f *Filter) ExactTopK(ctx context.Context, inputs map[string]value.Value, k int) ([]int, []float64, error) {
 	prog := f.Approx.Prog
-	x, err := prog.RunBatch(inputs)
+	x, err := prog.RunBatch(ctx, inputs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -135,7 +136,7 @@ func (f *Filter) ExactTopK(inputs map[string]value.Value, k int) ([]int, []float
 
 // SampledTopK is the random-sampling baseline of Table 5: sample n/ratio
 // rows uniformly, run the full pipeline on the sample, and return its top K.
-func (f *Filter) SampledTopK(inputs map[string]value.Value, k int, ratio float64, seed int64) ([]int, error) {
+func (f *Filter) SampledTopK(ctx context.Context, inputs map[string]value.Value, k int, ratio float64, seed int64) ([]int, error) {
 	prog := f.Approx.Prog
 	var n int
 	for _, v := range inputs {
@@ -159,7 +160,7 @@ func (f *Filter) SampledTopK(inputs map[string]value.Value, k int, ratio float64
 	for key, v := range inputs {
 		sampled[key] = v.Gather(rows)
 	}
-	x, err := prog.RunBatch(sampled)
+	x, err := prog.RunBatch(ctx, sampled)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -16,7 +17,7 @@ func newFilter(t *testing.T, cfg Config) (*Filter, fixture.Data) {
 	if err != nil {
 		t.Fatalf("fixture: %v", err)
 	}
-	approx, err := cascade.BuildApprox(fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y, cascade.Config{})
+	approx, err := cascade.BuildApprox(context.Background(), fx.Prog, fx.Model, fx.Train.Inputs, fx.TrainX, fx.Train.Y, cascade.Config{})
 	if err != nil {
 		t.Fatalf("BuildApprox: %v", err)
 	}
@@ -53,11 +54,11 @@ func TestSubsetSize(t *testing.T) {
 func TestTopKWholeBatchSubsetIsExact(t *testing.T) {
 	f, test := newFilter(t, Config{})
 	n := test.Inputs["cheap_id"].Len()
-	exact, _, err := f.ExactTopK(test.Inputs, 50)
+	exact, _, err := f.ExactTopK(context.Background(), test.Inputs, 50)
 	if err != nil {
 		t.Fatalf("ExactTopK: %v", err)
 	}
-	got, err := f.TopKSubset(test.Inputs, 50, n)
+	got, err := f.TopKSubset(context.Background(), test.Inputs, 50, n)
 	if err != nil {
 		t.Fatalf("TopKSubset: %v", err)
 	}
@@ -71,11 +72,11 @@ func TestTopKWholeBatchSubsetIsExact(t *testing.T) {
 func TestTopKHighPrecisionAtDefaults(t *testing.T) {
 	f, test := newFilter(t, Config{})
 	const k = 50
-	exact, scores, err := f.ExactTopK(test.Inputs, k)
+	exact, scores, err := f.ExactTopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.TopK(test.Inputs, k)
+	got, err := f.TopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,16 +98,16 @@ func TestTopKHighPrecisionAtDefaults(t *testing.T) {
 func TestTopKShrinkingSubsetDegradesAccuracy(t *testing.T) {
 	f, test := newFilter(t, Config{})
 	const k = 50
-	exact, _, err := f.ExactTopK(test.Inputs, k)
+	exact, _, err := f.ExactTopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := test.Inputs["cheap_id"].Len()
-	large, err := f.TopKSubset(test.Inputs, k, n/2)
+	large, err := f.TopKSubset(context.Background(), test.Inputs, k, n/2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tiny, err := f.TopKSubset(test.Inputs, k, k)
+	tiny, err := f.TopKSubset(context.Background(), test.Inputs, k, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,13 +119,13 @@ func TestTopKShrinkingSubsetDegradesAccuracy(t *testing.T) {
 
 func TestTopKValidation(t *testing.T) {
 	f, test := newFilter(t, Config{})
-	if _, err := f.TopK(test.Inputs, 0); err == nil {
+	if _, err := f.TopK(context.Background(), test.Inputs, 0); err == nil {
 		t.Error("want error for k=0")
 	}
-	if _, err := f.TopK(test.Inputs, 1<<30); err == nil {
+	if _, err := f.TopK(context.Background(), test.Inputs, 1<<30); err == nil {
 		t.Error("want error for k > n")
 	}
-	if _, err := f.SampledTopK(test.Inputs, 10, 0.5, 1); err == nil {
+	if _, err := f.SampledTopK(context.Background(), test.Inputs, 10, 0.5, 1); err == nil {
 		t.Error("want error for ratio < 1")
 	}
 }
@@ -132,15 +133,15 @@ func TestTopKValidation(t *testing.T) {
 func TestSampledTopKWorseThanFilter(t *testing.T) {
 	f, test := newFilter(t, Config{})
 	const k = 50
-	exact, _, err := f.ExactTopK(test.Inputs, k)
+	exact, _, err := f.ExactTopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	filtered, err := f.TopK(test.Inputs, k)
+	filtered, err := f.TopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := f.SampledTopK(test.Inputs, k, 4.0, 3)
+	sampled, err := f.SampledTopK(context.Background(), test.Inputs, k, 4.0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestAverageValueMetric(t *testing.T) {
 func TestTopKResultsSortedByFullScore(t *testing.T) {
 	f, test := newFilter(t, Config{})
 	const k = 30
-	got, err := f.TopK(test.Inputs, k)
+	got, err := f.TopK(context.Background(), test.Inputs, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestTopKResultsSortedByFullScore(t *testing.T) {
 	for key, v := range test.Inputs {
 		sub[key] = v.Gather(rows)
 	}
-	x, err := f.Approx.Prog.RunBatch(sub)
+	x, err := f.Approx.Prog.RunBatch(context.Background(), sub)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package weld
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,14 +14,18 @@ import (
 // operator (vocabularies, encoders, scalers) in dataflow order, profiling
 // per-node runtimes (the cascades cost model), recording IFV output widths
 // and column spans, and finally fusing the compiled plan. It returns the
-// full training-set feature matrix for model training.
-func (p *Program) Fit(inputs map[string]value.Value) (value.Value, error) {
+// full training-set feature matrix for model training. The context is
+// checked between nodes, so cancellation aborts a long fit promptly.
+func (p *Program) Fit(ctx context.Context, inputs map[string]value.Value) (value.Value, error) {
 	vals, _, err := p.resolveInputs(inputs)
 	if err != nil {
 		return value.Value{}, err
 	}
 	// Unfused execution in block order with per-node timing.
 	for _, id := range p.Order {
+		if err := ctx.Err(); err != nil {
+			return value.Value{}, err
+		}
 		n := p.G.Node(id)
 		if n.IsSource() {
 			continue

@@ -1,6 +1,7 @@
 package weld
 
 import (
+	"context"
 	"fmt"
 
 	"willump/internal/feature"
@@ -14,7 +15,7 @@ import (
 // Python baseline; the compiled executor's speedups over it come from the
 // same levers Weld compilation provides (typed columnar batches, fusion, no
 // per-row boxing).
-func (p *Program) RunInterpreted(inputs map[string]value.Value) (feature.Matrix, error) {
+func (p *Program) RunInterpreted(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
 	vals, n, err := p.resolveInputs(inputs)
 	if err != nil {
 		return nil, err
@@ -23,6 +24,9 @@ func (p *Program) RunInterpreted(inputs map[string]value.Value) (feature.Matrix,
 	rows := make([][]float64, n)
 	boxed := make([]any, g.NumNodes())
 	for r := 0; r < n; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, id := range g.Topo() {
 			node := g.Node(id)
 			if node.IsSource() {
@@ -58,8 +62,8 @@ func (p *Program) RunInterpreted(inputs map[string]value.Value) (feature.Matrix,
 
 // RunInterpretedPoint executes one example-at-a-time query on the
 // interpreted path.
-func (p *Program) RunInterpretedPoint(inputs map[string]value.Value) ([]float64, error) {
-	m, err := p.RunInterpreted(inputs)
+func (p *Program) RunInterpretedPoint(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	m, err := p.RunInterpreted(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package weld
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -17,8 +18,13 @@ import (
 // lazily and incrementally: cascades first compute the efficient IFVs, then
 // resume the same run (or a row subset of it) to compute the rest, reusing
 // everything already materialized.
+//
+// A run carries the context it was started with; execution checks it between
+// plan steps (the graph blocks of section 5.2), so cancelling the context
+// aborts a long batch promptly instead of at the end.
 type BatchRun struct {
 	p    *Program
+	ctx  context.Context
 	vals []value.Value // per-node computed values; sources prefilled
 	have []bool
 	n    int
@@ -27,10 +33,14 @@ type BatchRun struct {
 	ifvDone []bool
 }
 
-// NewRun starts a compiled run over the given inputs.
-func (p *Program) NewRun(inputs map[string]value.Value) (*BatchRun, error) {
+// NewRun starts a compiled run over the given inputs. ctx governs the whole
+// run: every subsequent ComputeIFVs/Matrix call on the run observes it.
+func (p *Program) NewRun(ctx context.Context, inputs map[string]value.Value) (*BatchRun, error) {
 	if !p.fitted {
 		return nil, fmt.Errorf("weld: run before Fit")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	vals, n, err := p.resolveInputs(inputs)
 	if err != nil {
@@ -38,6 +48,7 @@ func (p *Program) NewRun(inputs map[string]value.Value) (*BatchRun, error) {
 	}
 	r := &BatchRun{
 		p:       p,
+		ctx:     ctx,
 		vals:    vals,
 		have:    make([]bool, p.G.NumNodes()),
 		n:       n,
@@ -52,8 +63,12 @@ func (p *Program) NewRun(inputs map[string]value.Value) (*BatchRun, error) {
 // Len returns the batch size.
 func (r *BatchRun) Len() int { return r.n }
 
-// runStep executes one plan step, reading and writing r.vals.
+// runStep executes one plan step, reading and writing r.vals. The run's
+// context is checked first, so cancellation lands on a block boundary.
 func (r *BatchRun) runStep(st step) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
 	ins := make([]value.Value, len(st.ins))
 	for i, in := range st.ins {
 		if !r.have[in] {
@@ -239,6 +254,7 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
 func (r *BatchRun) gatherForIFV(i int, rows []int) (*BatchRun, error) {
 	sub := &BatchRun{
 		p:       r.p,
+		ctx:     r.ctx,
 		vals:    make([]value.Value, len(r.vals)),
 		have:    make([]bool, len(r.have)),
 		n:       len(rows),
@@ -265,6 +281,7 @@ func (r *BatchRun) gatherForIFV(i int, rows []int) (*BatchRun, error) {
 func (r *BatchRun) SubsetRun(rows []int) *BatchRun {
 	sub := &BatchRun{
 		p:       r.p,
+		ctx:     r.ctx,
 		vals:    make([]value.Value, len(r.vals)),
 		have:    make([]bool, len(r.have)),
 		n:       len(rows),
@@ -347,10 +364,11 @@ func (p *Program) AllIFVs() []int {
 }
 
 // RunBatch compiles-and-executes the whole pipeline over a batch, returning
-// the full feature matrix.
-func (p *Program) RunBatch(inputs map[string]value.Value) (feature.Matrix, error) {
+// the full feature matrix. The context is checked between plan steps, so
+// cancelling it aborts a long batch promptly.
+func (p *Program) RunBatch(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
 	start := time.Now()
-	r, err := p.NewRun(inputs)
+	r, err := p.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +380,7 @@ func (p *Program) RunBatch(inputs map[string]value.Value) (feature.Matrix, error
 // RunBatchSharded executes the pipeline data-parallel across workers, each
 // handling a contiguous row shard (the paper's batch parallelization mode:
 // different inputs end-to-end on different threads).
-func (p *Program) RunBatchSharded(inputs map[string]value.Value, workers int) (feature.Matrix, error) {
+func (p *Program) RunBatchSharded(ctx context.Context, inputs map[string]value.Value, workers int) (feature.Matrix, error) {
 	vals, n, err := p.resolveInputs(inputs)
 	if err != nil {
 		return nil, err
@@ -370,7 +388,7 @@ func (p *Program) RunBatchSharded(inputs map[string]value.Value, workers int) (f
 	_ = vals
 	shards := parallel.Shard(n, workers)
 	if len(shards) <= 1 {
-		return p.RunBatch(inputs)
+		return p.RunBatch(ctx, inputs)
 	}
 	mats := make([]feature.Matrix, len(shards))
 	errs := make([]error, len(shards))
@@ -387,7 +405,7 @@ func (p *Program) RunBatchSharded(inputs map[string]value.Value, workers int) (f
 			for k, v := range inputs {
 				sub[k] = v.Gather(rows)
 			}
-			mats[w], errs[w] = p.RunBatch(sub)
+			mats[w], errs[w] = p.RunBatch(ctx, sub)
 		}(w, sh)
 	}
 	wg.Wait()
@@ -401,19 +419,19 @@ func (p *Program) RunBatchSharded(inputs map[string]value.Value, workers int) (f
 
 // RunPoint executes the pipeline for a single data input (an
 // example-at-a-time query), sequentially.
-func (p *Program) RunPoint(inputs map[string]value.Value) (feature.Matrix, error) {
-	return p.RunBatch(inputs)
+func (p *Program) RunPoint(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
+	return p.RunBatch(ctx, inputs)
 }
 
 // RunPointParallel executes a single-input query with the IFV generators
 // distributed across workers by LPT over their profiled costs (section 4.4:
 // feature generators are computationally independent, so they run
 // concurrently; static assignment avoids scheduling overhead).
-func (p *Program) RunPointParallel(inputs map[string]value.Value, workers int) (feature.Matrix, error) {
+func (p *Program) RunPointParallel(ctx context.Context, inputs map[string]value.Value, workers int) (feature.Matrix, error) {
 	if workers <= 1 || len(p.A.IFVs) <= 1 {
-		return p.RunBatch(inputs)
+		return p.RunBatch(ctx, inputs)
 	}
-	r, err := p.NewRun(inputs)
+	r, err := p.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}

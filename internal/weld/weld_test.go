@@ -1,6 +1,7 @@
 package weld
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ func fitProgram(t *testing.T, g *graph.Graph, inputs map[string]value.Value) (*P
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	out, err := p.Fit(inputs)
+	out, err := p.Fit(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("Fit: %v", err)
 	}
@@ -120,7 +121,7 @@ func TestFitProducesTrainingMatrix(t *testing.T) {
 func TestCompiledMatchesFitOutput(t *testing.T) {
 	g, inputs := textPipeline(t)
 	p, want := fitProgram(t, g, inputs)
-	got, err := p.RunBatch(inputs)
+	got, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("RunBatch: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestCompiledMatchesFitOutput(t *testing.T) {
 func TestInterpretedMatchesCompiled(t *testing.T) {
 	g, inputs := textPipeline(t)
 	p, want := fitProgram(t, g, inputs)
-	got, err := p.RunInterpreted(inputs)
+	got, err := p.RunInterpreted(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("RunInterpreted: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestInterpretedMatchesCompiled(t *testing.T) {
 func TestInterpretedMatchesCompiledLookups(t *testing.T) {
 	g, inputs, _, _ := lookupPipeline(t)
 	p, want := fitProgram(t, g, inputs)
-	got, err := p.RunInterpreted(inputs)
+	got, err := p.RunInterpreted(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("RunInterpreted: %v", err)
 	}
@@ -161,7 +162,7 @@ func TestFusionHappensAndMatches(t *testing.T) {
 	if fusedSteps == 0 {
 		t.Error("no fused steps produced for a canonical text chain")
 	}
-	got, err := p.RunBatch(inputs)
+	got, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("RunBatch: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestFusionHappensAndMatches(t *testing.T) {
 func TestSubsetIFVMatrix(t *testing.T) {
 	g, inputs, userTable, songTable := lookupPipeline(t)
 	p, full := fitProgram(t, g, inputs)
-	r, err := p.NewRun(inputs)
+	r, err := p.NewRun(context.Background(), inputs)
 	if err != nil {
 		t.Fatalf("NewRun: %v", err)
 	}
@@ -191,7 +192,7 @@ func TestSubsetIFVMatrix(t *testing.T) {
 	}
 	// Computing only IFV 0 must not touch the song table.
 	songBefore := songTable.Requests()
-	r2, _ := p.NewRun(inputs)
+	r2, _ := p.NewRun(context.Background(), inputs)
 	if _, err := r2.Matrix([]int{0}); err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestSubsetIFVMatrix(t *testing.T) {
 func TestResumeRunCompletesFullMatrix(t *testing.T) {
 	g, inputs, _, _ := lookupPipeline(t)
 	p, full := fitProgram(t, g, inputs)
-	r, err := p.NewRun(inputs)
+	r, err := p.NewRun(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestResumeRunCompletesFullMatrix(t *testing.T) {
 func TestSubsetRunGathersComputedState(t *testing.T) {
 	g, inputs, userTable, _ := lookupPipeline(t)
 	p, full := fitProgram(t, g, inputs)
-	r, err := p.NewRun(inputs)
+	r, err := p.NewRun(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestFeatureCachingReducesTableRequests(t *testing.T) {
 	p.EnableFeatureCaching(0, nil)
 	reqU := userTable.Requests()
 	reqS := songTable.Requests()
-	got, err := p.RunBatch(inputs)
+	got, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestFeatureCachingReducesTableRequests(t *testing.T) {
 	}
 	// Second identical run: all hits, zero new requests.
 	reqU = userTable.Requests()
-	got2, err := p.RunBatch(inputs)
+	got2, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,11 +287,11 @@ func TestPointParallelMatchesSequential(t *testing.T) {
 	g, inputs := textPipeline(t)
 	p, _ := fitProgram(t, g, inputs)
 	point := map[string]value.Value{"text": value.NewStrings([]string{"bad dog bad"})}
-	seq, err := p.RunPoint(point)
+	seq, err := p.RunPoint(context.Background(), point)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := p.RunPointParallel(point, 4)
+	par, err := p.RunPointParallel(context.Background(), point, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestPointParallelMatchesSequential(t *testing.T) {
 func TestBatchShardedMatchesSequential(t *testing.T) {
 	g, inputs := textPipeline(t)
 	p, want := fitProgram(t, g, inputs)
-	got, err := p.RunBatchSharded(inputs, 3)
+	got, err := p.RunBatchSharded(context.Background(), inputs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestPythonNodeDriverAccounting(t *testing.T) {
 	}
 	inputs := map[string]value.Value{"x": value.NewFloats(xs)}
 	p, fitOut := fitProgram(t, g, inputs)
-	got, err := p.RunBatch(inputs)
+	got, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestPythonNodeDriverAccounting(t *testing.T) {
 	if p.Prof.DriverSeconds() <= 0 {
 		t.Error("no driver time recorded crossing a Python node during compiled execution")
 	}
-	interp, err := p.RunInterpreted(inputs)
+	interp, err := p.RunInterpreted(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestRunBeforeFitErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.NewRun(inputs); err == nil {
+	if _, err := p.NewRun(context.Background(), inputs); err == nil {
 		t.Error("want error running before Fit")
 	}
 }
@@ -384,10 +385,10 @@ func TestRunBeforeFitErrors(t *testing.T) {
 func TestMissingInputErrors(t *testing.T) {
 	g, inputs := textPipeline(t)
 	p, _ := fitProgram(t, g, inputs)
-	if _, err := p.RunBatch(map[string]value.Value{}); err == nil {
+	if _, err := p.RunBatch(context.Background(), map[string]value.Value{}); err == nil {
 		t.Error("want error for missing input")
 	}
-	if _, err := p.RunBatch(map[string]value.Value{"wrong": value.NewStrings([]string{"x"})}); err == nil {
+	if _, err := p.RunBatch(context.Background(), map[string]value.Value{"wrong": value.NewStrings([]string{"x"})}); err == nil {
 		t.Error("want error for misnamed input")
 	}
 }
@@ -412,13 +413,13 @@ func TestSpineElementwiseOpAppliedPerIFV(t *testing.T) {
 		"y": value.NewFloats([]float64{3, -9, 0}),
 	}
 	p, want := fitProgram(t, g, inputs)
-	got, err := p.RunBatch(inputs)
+	got, err := p.RunBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	matricesClose(t, got, want, 1e-12)
 	// And the interpreted path agrees too.
-	interp, err := p.RunInterpreted(inputs)
+	interp, err := p.RunInterpreted(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,11 +447,11 @@ func TestCompiledInterpretedAgreeProperty(t *testing.T) {
 			docs[i] = s
 		}
 		in := map[string]value.Value{"text": value.NewStrings(docs)}
-		a, err := p.RunBatch(in)
+		a, err := p.RunBatch(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := p.RunInterpreted(in)
+		b, err := p.RunInterpreted(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,18 @@
+package willump
+
+import "willump/internal/topk"
+
+// Precision is top-K precision: the fraction of predicted indices present in
+// the ground-truth top K.
+func Precision(predicted, truth []int) float64 { return topk.Precision(predicted, truth) }
+
+// MeanAveragePrecision is the order-sensitive mean average precision of a
+// predicted top-K ranking against the ground truth.
+func MeanAveragePrecision(predicted, truth []int) float64 {
+	return topk.MeanAveragePrecision(predicted, truth)
+}
+
+// AverageValue is the mean full-model score of the predicted top-K set.
+func AverageValue(predicted []int, scores []float64) float64 {
+	return topk.AverageValue(predicted, scores)
+}

@@ -1,0 +1,38 @@
+package willump
+
+import "willump/internal/model"
+
+// LinearConfig configures the linear models (logistic classification and
+// linear regression).
+type LinearConfig = model.LinearConfig
+
+// GBDTConfig configures the gradient-boosted decision tree model.
+type GBDTConfig = model.GBDTConfig
+
+// MLPConfig configures the multi-layer perceptron model.
+type MLPConfig = model.MLPConfig
+
+// Task kinds for GBDTConfig.Task.
+const (
+	Classification = model.Classification
+	Regression     = model.Regression
+)
+
+// NewLogistic returns an untrained logistic-regression classifier.
+func NewLogistic(cfg LinearConfig) Model { return model.NewLogistic(cfg) }
+
+// NewLinearRegression returns an untrained linear regressor.
+func NewLinearRegression(cfg LinearConfig) Model { return model.NewLinearRegression(cfg) }
+
+// NewGBDT returns an untrained gradient-boosted decision tree model.
+func NewGBDT(cfg GBDTConfig) Model { return model.NewGBDT(cfg) }
+
+// NewMLP returns an untrained multi-layer perceptron.
+func NewMLP(cfg MLPConfig) Model { return model.NewMLP(cfg) }
+
+// Accuracy is the fraction of rows where the thresholded probability matches
+// the binary label.
+func Accuracy(probs, y []float64) float64 { return model.Accuracy(probs, y) }
+
+// MSE is the mean squared error of predictions against targets.
+func MSE(preds, y []float64) float64 { return model.MSE(preds, y) }

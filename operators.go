@@ -1,0 +1,75 @@
+package willump
+
+import "willump/internal/ops"
+
+// Norm selects the vectorizer's row normalization.
+type Norm = ops.Norm
+
+// Row-normalization modes for TFIDF.
+const (
+	NormNone = ops.NormNone
+	NormL2   = ops.NormL2
+)
+
+// Table is a keyed feature table a Lookup operator reads (local map or
+// remote store).
+type Table = ops.Table
+
+// Clean lowercases text and strips non-alphanumeric characters.
+func Clean() Op { return ops.NewClean() }
+
+// Tokenize splits cleaned text on whitespace.
+func Tokenize() Op { return ops.NewTokenize() }
+
+// TFIDF vectorizes token lists into a TF-IDF bag-of-words of at most
+// maxFeatures terms with the given row normalization.
+func TFIDF(maxFeatures int, norm Norm) Op { return ops.NewTFIDF(maxFeatures, norm) }
+
+// CountVectorizer vectorizes token lists into (optionally binary) term
+// counts over at most maxFeatures terms.
+func CountVectorizer(maxFeatures int, binary bool) Op {
+	return ops.NewCountVectorizer(maxFeatures, binary)
+}
+
+// HashingVectorizer vectorizes token lists by feature hashing into the given
+// number of buckets.
+func HashingVectorizer(buckets int) Op { return ops.NewHashingVectorizer(buckets) }
+
+// WordNGrams expands token lists into word n-grams of sizes minN..maxN.
+func WordNGrams(minN, maxN int) Op { return ops.NewWordNGrams(minN, maxN) }
+
+// CharNGrams expands strings into character n-grams of sizes minN..maxN.
+func CharNGrams(minN, maxN int) Op { return ops.NewCharNGrams(minN, maxN) }
+
+// TextStats computes cheap per-document statistics (length, keyword hits)
+// for the given keyword list.
+func TextStats(keywords []string) Op { return ops.NewTextStats(keywords) }
+
+// Concat horizontally concatenates its inputs' feature vectors.
+func Concat() Op { return ops.NewConcat() }
+
+// Clip clamps every feature to [lo, hi].
+func Clip(lo, hi float64) Op { return ops.NewClip(lo, hi) }
+
+// Lookup fetches each input key's feature vector from a keyed table.
+func Lookup(tableName string, table Table) Op { return ops.NewLookup(tableName, table) }
+
+// LocalTable materializes an in-process keyed feature table of width dim.
+func LocalTable(dim int, rows map[int64][]float64) Table { return ops.NewLocalTable(dim, rows) }
+
+// OneHot one-hot encodes a categorical column with at most maxCategories
+// categories.
+func OneHot(maxCategories int) Op { return ops.NewOneHot(maxCategories) }
+
+// Ordinal encodes a categorical column as learned ordinal indices.
+func Ordinal() Op { return ops.NewOrdinal() }
+
+// StandardScale standardizes numeric features to zero mean and unit
+// variance.
+func StandardScale() Op { return ops.NewStandardScale() }
+
+// NumericStats computes summary statistics over a numeric column.
+func NumericStats() Op { return ops.NewNumericStats() }
+
+// Ratio divides its first input by its second, elementwise.
+func Ratio() Op { return ops.NewRatio() }

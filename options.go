@@ -1,0 +1,84 @@
+package willump
+
+import "willump/internal/core"
+
+// Paper-default optimization constants (section 6): the cascade accuracy
+// target and Algorithm 1 stopping constant, and the top-K filter's subset
+// multiplier and minimum subset fraction.
+const (
+	DefaultAccuracyTarget = 0.001
+	DefaultGamma          = 0.25
+	DefaultCK             = 10
+	DefaultMinSubsetFrac  = 0.05
+)
+
+// Option selects and tunes one of Willump's optimizations. Options are
+// applied to the resolved configuration in order; later options win.
+type Option func(*core.Options)
+
+// resolveOptions folds functional options over the paper-default
+// configuration, yielding the internal resolved config handed to core.
+func resolveOptions(opts ...Option) core.Options {
+	o := core.Options{
+		AccuracyTarget: DefaultAccuracyTarget,
+		Gamma:          DefaultGamma,
+		CK:             DefaultCK,
+		MinSubsetFrac:  DefaultMinSubsetFrac,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithCascades enables automatic end-to-end cascades (classification models
+// only; silently skipped for regression, as in the paper). accuracyTarget is
+// the maximum validation accuracy loss; pass 0 for the paper default 0.001
+// (< 0.1%).
+func WithCascades(accuracyTarget float64) Option {
+	return func(o *core.Options) {
+		o.Cascades = true
+		if accuracyTarget > 0 {
+			o.AccuracyTarget = accuracyTarget
+		}
+	}
+}
+
+// WithGamma overrides Algorithm 1's stopping constant (default 0.25).
+func WithGamma(gamma float64) Option {
+	return func(o *core.Options) {
+		if gamma > 0 {
+			o.Gamma = gamma
+		}
+	}
+}
+
+// WithTopK enables automatic top-K filter-model construction. ck is the
+// filter subset multiplier and minSubsetFrac the minimum subset size as a
+// fraction of the batch; pass 0 for the paper defaults (10 and 0.05).
+func WithTopK(ck int, minSubsetFrac float64) Option {
+	return func(o *core.Options) {
+		o.TopK = true
+		if ck > 0 {
+			o.CK = ck
+		}
+		if minSubsetFrac > 0 {
+			o.MinSubsetFrac = minSubsetFrac
+		}
+	}
+}
+
+// WithFeatureCache enables per-IFV feature-level LRU caching. capacity
+// bounds each cache; <= 0 means unbounded.
+func WithFeatureCache(capacity int) Option {
+	return func(o *core.Options) {
+		o.FeatureCache = true
+		o.FeatureCacheCapacity = capacity
+	}
+}
+
+// WithWorkers sets the thread count for query-aware parallelization of
+// example-at-a-time queries (<= 1 disables).
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}

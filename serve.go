@@ -1,0 +1,42 @@
+package willump
+
+import "willump/internal/serving"
+
+// Predictor is the black box a serving frontend hosts: a context-aware batch
+// prediction function. An *Optimized pipeline's PredictBatch method satisfies
+// it via PredictorFunc.
+type Predictor = serving.Predictor
+
+// PredictorFunc adapts a function to the Predictor interface.
+type PredictorFunc = serving.PredictorFunc
+
+// Server is the Clipper-like HTTP serving frontend: request queueing,
+// adaptive batching, optional end-to-end prediction caching, and graceful
+// context-based shutdown (Shutdown drains in-flight batches and rejects new
+// requests).
+type Server = serving.Server
+
+// Client is the RPC client for a serving frontend; Predict takes a context
+// whose cancellation propagates to the server.
+type Client = serving.Client
+
+// ServeOptions configures a serving frontend (batch bounds, batching
+// timeout, prediction cache).
+type ServeOptions = serving.Options
+
+// NewServer wraps a predictor with the serving frontend. Call Start to
+// listen and Shutdown (or Close) to drain and stop.
+func NewServer(p Predictor, opts ServeOptions) *Server {
+	return serving.NewServer(p, opts)
+}
+
+// Serve hosts an optimized pipeline's batch-prediction path behind a new
+// serving frontend (not yet started).
+func Serve(o *Optimized, opts ServeOptions) *Server {
+	return serving.NewServer(PredictorFunc(o.PredictBatch), opts)
+}
+
+// NewClient returns a client for the serving frontend at base URL.
+func NewClient(base string) *Client {
+	return serving.NewClient(base)
+}

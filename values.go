@@ -1,0 +1,12 @@
+package willump
+
+import "willump/internal/value"
+
+// Strings builds a string input column.
+func Strings(s []string) Value { return value.NewStrings(s) }
+
+// Floats builds a float64 input column.
+func Floats(f []float64) Value { return value.NewFloats(f) }
+
+// Ints builds an int64 input column.
+func Ints(i []int64) Value { return value.NewInts(i) }

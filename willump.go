@@ -1,0 +1,86 @@
+// Package willump is the public API of this repository: a statistically-aware
+// end-to-end optimizer for machine learning inference pipelines, after
+// "Willump: A Statistically-Aware End-to-end Optimizer for Machine Learning
+// Inference" (MLSys 2020).
+//
+// A user describes an inference pipeline with the fluent PipelineBuilder —
+// raw inputs, feature-transformation nodes, and a model — and hands it to
+// Optimize together with training and validation data:
+//
+//	pipe, err := willump.NewPipeline().
+//		Input("review").
+//		Node("clean", willump.Clean(), "review").
+//		Node("tfidf", willump.TFIDF(800, willump.NormL2), "clean").
+//		Node("stats", willump.TextStats(keywords), "review").
+//		Node("features", willump.Concat(), "tfidf", "stats").
+//		Model(willump.NewLogistic(willump.LinearConfig{Epochs: 8})).
+//		Build()
+//	...
+//	optimized, report, err := willump.Optimize(ctx, pipe, train, valid,
+//		willump.WithCascades(0.001), willump.WithFeatureCache(1<<16))
+//
+// Optimize runs the paper's three stages — dataflow analysis (independent
+// feature vectors, feature generators, preprocessing), statistically-aware
+// optimization (end-to-end cascades, top-K filter models, feature caching,
+// query-aware parallelization), and compilation (block sorting, operator
+// fusion) — and returns an Optimized pipeline with query-modality entry
+// points: PredictBatch, PredictPoint, and TopK. Every execution entry point
+// takes a context.Context; cancellation and deadlines are observed between
+// the compiled plan's graph blocks, so long batches abort promptly.
+//
+// The Serve / NewServer / NewClient surface hosts an optimized pipeline (or
+// any Predictor) behind the Clipper-like HTTP serving frontend with request
+// queueing, adaptive batching, and graceful context-based shutdown.
+//
+// Everything under internal/ is implementation; this package is the one
+// supported import path.
+package willump
+
+import (
+	"context"
+
+	"willump/internal/core"
+	"willump/internal/graph"
+	"willump/internal/model"
+	"willump/internal/value"
+)
+
+// Pipeline is an unoptimized ML inference pipeline: a transformation graph
+// from raw inputs to a feature vector, plus the model that consumes it.
+// Construct one with NewPipeline.
+type Pipeline = core.Pipeline
+
+// Dataset pairs pipeline inputs (named columns) with labels.
+type Dataset = core.Dataset
+
+// Report summarizes what Optimize did.
+type Report = core.Report
+
+// Optimized is an optimized pipeline: same logical signature as the input
+// pipeline (raw inputs to predictions), with context-aware entry points per
+// query modality (PredictBatch, PredictPoint, TopK).
+type Optimized = core.Optimized
+
+// Op is a feature transformation operator: one node of a pipeline's
+// transformation graph. The constructors in this package (TFIDF, Lookup,
+// Concat, ...) cover the paper's benchmark operators; custom operators
+// implement the interface directly.
+type Op = graph.Op
+
+// Model is a trainable model executed on the pipeline's feature vector.
+type Model = model.Model
+
+// Value is one named input column of a pipeline: a batch of strings, floats,
+// or ints. Construct with Strings, Floats, or Ints.
+type Value = value.Value
+
+// Inputs is a convenience alias for a named batch of input columns.
+type Inputs = map[string]value.Value
+
+// Optimize trains and optimizes a pipeline end-to-end, applying the
+// optimizations selected by the functional options (none by default: the
+// pipeline is still compiled, profiled, and trained). The context bounds the
+// whole optimization; cancelling it aborts between graph blocks.
+func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts ...Option) (*Optimized, *Report, error) {
+	return core.Optimize(ctx, p, train, valid, resolveOptions(opts...))
+}
