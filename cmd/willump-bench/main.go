@@ -10,8 +10,8 @@
 //	willump-bench -exp fig7 -quick       # CI-sized run
 //
 // Experiments: fig5, fig6, table2 (alias table3), table4, table5, table6,
-// table7, table8, fig7, fig8, micro-drivers, micro-threshold, micro-gamma,
-// micro-opttime, all.
+// table7, table8, fig7, fig8, artifact, micro-drivers, micro-threshold,
+// micro-gamma, micro-opttime, all.
 package main
 
 import (
@@ -73,6 +73,7 @@ var runners = []runner{
 	{"table8", "efficient-IFV selection strategies", wrap(experiments.Table8)},
 	{"fig7", "cascade threshold sweep", wrap(experiments.Fig7)},
 	{"fig8", "per-query parallelization speedup", wrap(experiments.Fig8)},
+	{"artifact", "artifact round trip: train once, deploy many", wrap(experiments.Artifact)},
 	{"micro-drivers", "Weld driver overhead", wrap(experiments.MicroDrivers)},
 	{"micro-threshold", "cascade threshold robustness", wrap(experiments.MicroThreshold)},
 	{"micro-gamma", "Algorithm 1 gamma-rule ablation", wrap(experiments.MicroGamma)},

@@ -1,0 +1,135 @@
+// Command willump-serve is the deployment half of Willump's train-once /
+// deploy-many lifecycle: it loads a pipeline artifact written by
+// willump.Save / willump.SaveFile and hosts it behind the Clipper-like HTTP
+// serving frontend (request queueing, adaptive batching, optional
+// prediction cache), with graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	willump-serve -artifact pipeline.willump                  # serve on 127.0.0.1:8000
+//	willump-serve -artifact pipeline.willump -addr :9090      # explicit address
+//	willump-serve -artifact pipeline.willump -cache 65536     # + prediction cache
+//	willump-serve -artifact pipeline.willump -describe        # inspect, don't serve
+//
+// The serving endpoint is POST /predict with the JSON wire format the
+// willump.NewClient speaks; GET /healthz reports liveness.
+//
+// Artifacts whose pipelines join against remote (non-inlined) tables cannot
+// be hosted by this binary — bind their tables programmatically with
+// willump.LoadFile and willump.WithTableBinding instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"willump"
+	"willump/internal/artifact"
+)
+
+func main() {
+	var (
+		path         = flag.String("artifact", "", "path to a pipeline artifact written by willump.SaveFile (required)")
+		addr         = flag.String("addr", "127.0.0.1:8000", "listen address (host:port)")
+		maxBatch     = flag.Int("max-batch", 0, "adaptive batching: max rows per merged batch (0 = default)")
+		batchTimeout = flag.Duration("batch-timeout", 0, "adaptive batching: max wait to fill a batch (0 = default)")
+		cache        = flag.Int("cache", 0, "end-to-end prediction cache capacity (0 disables, < 0 unbounded)")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		describe     = flag.Bool("describe", false, "print the artifact's contents and exit without serving")
+	)
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "willump-serve: -artifact is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*path, *addr, *maxBatch, *batchTimeout, *cache, *drain, *describe); err != nil {
+		fmt.Fprintln(os.Stderr, "willump-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, addr string, maxBatch int, batchTimeout time.Duration, cache int, drain time.Duration, describe bool) error {
+	if describe {
+		return describeArtifact(path)
+	}
+
+	optimized, err := willump.LoadFile(path)
+	if err != nil {
+		return err
+	}
+
+	opts := willump.ServeOptions{MaxBatch: maxBatch, BatchTimeout: batchTimeout}
+	if cache != 0 {
+		opts.CacheCapacity = cache
+		opts.CacheKeyOrder = optimized.Inputs()
+	}
+	server := willump.Serve(optimized, opts)
+	url, err := server.StartOn(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("willump-serve: serving %s on %s (inputs: %v)\n", path, url, optimized.Inputs())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("willump-serve: %v received, draining (up to %v)\n", s, drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("willump-serve: drained cleanly")
+	return nil
+}
+
+// describeArtifact prints a human-readable summary of an artifact without
+// reconstructing (or even validating) the full pipeline.
+func describeArtifact(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	art, err := artifact.Read(f)
+	if err != nil {
+		return err
+	}
+	nodes, sources := 0, 0
+	for _, n := range art.Graph.Nodes {
+		if n.Op == nil {
+			sources++
+		} else {
+			nodes++
+		}
+	}
+	fmt.Printf("artifact:        %s\n", path)
+	fmt.Printf("format version:  %d\n", art.Version)
+	fmt.Printf("graph:           %d inputs, %d transformation nodes, %d IFVs\n", sources, nodes, len(art.Widths))
+	fmt.Printf("model:           %s\n", art.Model.Kind)
+	if art.Approx != nil {
+		fmt.Printf("filter model:    %s on efficient IFVs %v\n", art.Approx.Small.Kind, art.Approx.Efficient)
+	}
+	if art.Cascade != nil {
+		fmt.Printf("cascade:         threshold %.2f (full acc %.4f, cascade acc %.4f)\n",
+			float64(art.Cascade.Threshold), float64(art.Cascade.FullAccuracy), float64(art.Cascade.CascadeAccuracy))
+	}
+	if art.Options.TopK {
+		fmt.Printf("top-K filter:    ck=%d, min subset fraction %.2f\n", art.Options.CK, art.Options.MinSubsetFrac)
+	}
+	if art.Options.FeatureCache {
+		fmt.Printf("feature cache:   capacity %d\n", art.Options.FeatureCacheCapacity)
+	}
+	if art.Options.Workers > 1 {
+		fmt.Printf("parallelism:     %d workers\n", art.Options.Workers)
+	}
+	return nil
+}

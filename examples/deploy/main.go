@@ -1,0 +1,131 @@
+// Deploy: the train-once / deploy-many lifecycle end to end.
+//
+// The optimization phase trains and optimizes the Toxic pipeline with
+// end-to-end cascades and a top-K filter model, then persists everything —
+// fitted TF-IDF vocabulary, trained models, cascade threshold, filter
+// configuration — into a single versioned artifact file. The serving phase
+// loads that artifact back (as a fresh process would: no training data in
+// sight), verifies its predictions are bit-identical to the in-memory
+// pipeline's, and hosts it behind the HTTP serving frontend, which is
+// exactly what the willump-serve binary does:
+//
+//	willump-serve -artifact toxic.willump -addr :8000
+//
+// Run with: go run ./examples/deploy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"willump"
+	"willump/internal/pipeline"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// ---- Phase 1: optimize (runs offline, where the training data lives).
+	bench, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bench.Close()
+
+	optimized, report, err := willump.Optimize(ctx, bench.Pipeline, bench.Train, bench.Valid,
+		willump.WithCascades(0.01), willump.WithTopK(0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized: %d IFVs, cascade=%v (threshold %.1f), filter on %v\n",
+		report.NumIFVs, report.CascadeBuilt, report.CascadeThreshold, report.EfficientIFVs)
+
+	dir, err := os.MkdirTemp("", "willump-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "toxic.willump")
+	if err := willump.SaveFile(optimized, path); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved artifact: %s (%d KB)\n", path, info.Size()/1024)
+
+	// ---- Phase 2: deploy (a fresh process; no training data needed).
+	loaded, err := willump.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feed := bench.Test.Inputs
+	want, err := optimized.PredictBatch(ctx, feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := loaded.PredictBatch(ctx, feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := len(want) == len(got)
+	for i := range want {
+		if !identical || want[i] != got[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("loaded pipeline predictions bit-identical to in-memory: %v (%d rows)\n", identical, len(got))
+
+	wantK, err := optimized.TopK(ctx, feed, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gotK, err := loaded.TopK(ctx, feed, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-10 from artifact matches in-memory: %v\n", equalInts(wantK, gotK))
+
+	// Host the loaded artifact behind the serving frontend (what
+	// willump-serve does) and query it over HTTP.
+	server := willump.Serve(loaded, willump.ServeOptions{})
+	url, err := server.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	client := willump.NewClient(url)
+	rows := make([]int, 50)
+	for i := range rows {
+		rows[i] = i
+	}
+	remote, err := client.Predict(ctx, bench.Test.Gather(rows).Inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	match := true
+	for i, p := range remote {
+		if p != want[rows[i]] {
+			match = false
+			break
+		}
+	}
+	fmt.Printf("served %d predictions over HTTP from %s; identical to training process: %v\n",
+		len(remote), url, match)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

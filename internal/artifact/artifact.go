@@ -1,0 +1,151 @@
+// Package artifact defines the versioned, serializable wire format that
+// carries a trained and optimized Willump pipeline from the offline
+// optimization process to online serving processes (the train-once /
+// deploy-many split). An artifact captures everything Optimize learned —
+// graph topology, fitted operator state, trained model weights, cascade and
+// top-K filter configuration, profiled costs, and the resolved options — so
+// a fresh process can recompile and serve identical predictions without any
+// access to training data.
+//
+// The format is a single JSON document whose first two fields are a magic
+// string and a format version; floats that affect predictions are encoded
+// bit-exactly (see Scalar and Vector). Operator and model payloads are
+// opaque (kind, state) pairs resolved through the registries in
+// internal/ops and internal/model, so user-registered implementations
+// participate without this package knowing about them.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a Willump artifact stream.
+const Magic = "willump/artifact"
+
+// Version is the current artifact format version. Readers reject artifacts
+// with a different version rather than guessing at compatibility.
+const Version = 1
+
+// OpState is one operator's serialized payload: the registry kind plus the
+// operator's own MarshalState output (empty for stateless operators).
+type OpState struct {
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+// Node is one transformation-graph node. Source nodes (raw pipeline inputs)
+// have a nil Op and no inputs. Node order is NodeID order, so positions
+// double as ids.
+type Node struct {
+	Label  string   `json:"label"`
+	Inputs []int    `json:"inputs,omitempty"`
+	Op     *OpState `json:"op,omitempty"`
+}
+
+// Graph is the serialized transformation-graph topology.
+type Graph struct {
+	Nodes  []Node `json:"nodes"`
+	Output int    `json:"output"`
+}
+
+// Model is one model's serialized payload, resolved through the model
+// registry.
+type Model struct {
+	Kind  string          `json:"kind"`
+	State json.RawMessage `json:"state"`
+}
+
+// Options mirrors the resolved optimization options the pipeline was
+// optimized with.
+type Options struct {
+	Cascades             bool    `json:"cascades,omitempty"`
+	AccuracyTarget       float64 `json:"accuracy_target,omitempty"`
+	Gamma                float64 `json:"gamma,omitempty"`
+	TopK                 bool    `json:"top_k,omitempty"`
+	CK                   int     `json:"ck,omitempty"`
+	MinSubsetFrac        float64 `json:"min_subset_frac,omitempty"`
+	FeatureCache         bool    `json:"feature_cache,omitempty"`
+	FeatureCacheCapacity int     `json:"feature_cache_capacity,omitempty"`
+	Workers              int     `json:"workers,omitempty"`
+}
+
+// IFVStat is one IFV's cascade statistics (importance and measured cost).
+type IFVStat struct {
+	Index      int    `json:"index"`
+	Importance Scalar `json:"importance"`
+	Cost       Scalar `json:"cost"`
+}
+
+// Approx is the approximate-model half of a cascade or top-K filter: the
+// small model, the efficient/rest IFV partition, and the statistics the
+// selection was based on.
+type Approx struct {
+	Small     Model     `json:"small"`
+	Efficient []int     `json:"efficient"`
+	Rest      []int     `json:"rest,omitempty"`
+	Stats     []IFVStat `json:"stats,omitempty"`
+}
+
+// Cascade is the deployed cascade's threshold state. The threshold is a
+// Scalar because it is +Inf when no candidate threshold met the accuracy
+// target.
+type Cascade struct {
+	Threshold       Scalar `json:"threshold"`
+	FullAccuracy    Scalar `json:"full_accuracy"`
+	CascadeAccuracy Scalar `json:"cascade_accuracy"`
+}
+
+// Profile carries the per-node cost measurements gathered during Fit. They
+// drive query-aware parallelization (LPT assignment over IFV costs) in the
+// serving process, so deployment preserves them.
+type Profile struct {
+	NodeSeconds map[int]Scalar `json:"node_seconds,omitempty"`
+	NodeRows    map[int]int64  `json:"node_rows,omitempty"`
+}
+
+// Artifact is the complete serialized form of an optimized pipeline. Magic
+// and Version are the first fields of the struct so every artifact stream
+// begins with a stable, pinnable header.
+type Artifact struct {
+	Magic   string  `json:"magic"`
+	Version int     `json:"version"`
+	Options Options `json:"options"`
+	Graph   Graph   `json:"graph"`
+	// Widths maps IFV-root node ids to their fitted output widths (known
+	// only after fitting, e.g. TF-IDF vocabulary size).
+	Widths  map[int]int `json:"widths"`
+	Profile Profile     `json:"profile"`
+	Model   Model       `json:"model"`
+	Approx  *Approx     `json:"approx,omitempty"`
+	Cascade *Cascade    `json:"cascade,omitempty"`
+}
+
+// Write stamps the header onto a and encodes it to w.
+func Write(w io.Writer, a *Artifact) error {
+	a.Magic = Magic
+	a.Version = Version
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("artifact: encoding: %w", err)
+	}
+	return nil
+}
+
+// Read decodes an artifact from r, validating the header before trusting
+// any of the payload.
+func Read(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("artifact: decoding: %w", err)
+	}
+	if a.Magic != Magic {
+		return nil, fmt.Errorf("artifact: bad magic %q: not a willump artifact", a.Magic)
+	}
+	if a.Version != Version {
+		return nil, fmt.Errorf("artifact: version %d not supported (this build reads version %d)", a.Version, Version)
+	}
+	return &a, nil
+}

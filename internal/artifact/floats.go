@@ -1,0 +1,97 @@
+package artifact
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Scalar is a float64 whose JSON form is an exact-round-trip hexadecimal
+// float string (strconv 'x' format). Unlike a plain JSON number it also
+// represents +Inf, -Inf, and NaN, which the cascade threshold can take
+// (a threshold above 1 sends every input to the full model).
+type Scalar float64
+
+// MarshalJSON implements json.Marshaler.
+func (s Scalar) MarshalJSON() ([]byte, error) {
+	return json.Marshal(strconv.FormatFloat(float64(s), 'x', -1, 64))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Scalar) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		// Accept plain JSON numbers too, for hand-edited artifacts.
+		var f float64
+		if nerr := json.Unmarshal(data, &f); nerr == nil {
+			*s = Scalar(f)
+			return nil
+		}
+		return fmt.Errorf("artifact: scalar: %w", err)
+	}
+	f, err := strconv.ParseFloat(str, 64)
+	if err != nil {
+		return fmt.Errorf("artifact: scalar %q: %w", str, err)
+	}
+	*s = Scalar(f)
+	return nil
+}
+
+// Vector is a []float64 whose JSON form is the base64 encoding of the
+// little-endian IEEE-754 bit patterns. Every value round-trips bit-exactly
+// (including negative zero, Inf, and NaN), and large weight vectors encode
+// far more compactly than decimal numbers.
+type Vector []float64
+
+// MarshalJSON implements json.Marshaler.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(f))
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(buf))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return fmt.Errorf("artifact: vector: %w", err)
+	}
+	buf, err := base64.StdEncoding.DecodeString(str)
+	if err != nil {
+		return fmt.Errorf("artifact: vector: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return fmt.Errorf("artifact: vector has %d bytes, not a multiple of 8", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	*v = out
+	return nil
+}
+
+// Vectors converts a [][]float64 into a slice of Vectors (sharing backing
+// arrays).
+func Vectors(m [][]float64) []Vector {
+	out := make([]Vector, len(m))
+	for i, row := range m {
+		out[i] = Vector(row)
+	}
+	return out
+}
+
+// Floats converts a slice of Vectors back into [][]float64 (sharing backing
+// arrays).
+func Floats(vs []Vector) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = []float64(v)
+	}
+	return out
+}

@@ -182,6 +182,20 @@ func (c *Cascade) selectThreshold(ctx context.Context, validInputs map[string]va
 	return nil
 }
 
+// Restore reassembles a deployed cascade from persisted state (an
+// artifact): the decoded approximate model, the trained full model, and the
+// threshold selected at optimization time. No training or validation data
+// is touched — the counterpart of Train for the deploy phase.
+func Restore(approx *Approx, full model.Model, threshold, fullAccuracy, cascadeAccuracy float64) *Cascade {
+	return &Cascade{
+		Approx:          approx,
+		Full:            full,
+		Threshold:       threshold,
+		FullAccuracy:    fullAccuracy,
+		CascadeAccuracy: cascadeAccuracy,
+	}
+}
+
 // ServeStats reports how a batch was served.
 type ServeStats struct {
 	// Total rows in the batch.

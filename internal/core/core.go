@@ -25,6 +25,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"willump/internal/cascade"
@@ -76,6 +77,32 @@ func (d Dataset) Gather(rows []int) Dataset {
 
 // Row returns a single-row dataset (an example-at-a-time query).
 func (d Dataset) Row(i int) Dataset { return d.Gather([]int{i}) }
+
+// Validate checks the dataset's shape: every input column must have the
+// same number of rows, and labels (when present) must match. Len trusts an
+// arbitrary column, so API boundaries call Validate before optimization.
+func (d Dataset) Validate() error {
+	cols := make([]string, 0, len(d.Inputs))
+	for k := range d.Inputs {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	n, ref := -1, ""
+	for _, k := range cols {
+		l := d.Inputs[k].Len()
+		if n == -1 {
+			n, ref = l, k
+			continue
+		}
+		if l != n {
+			return fmt.Errorf("dataset column %q has %d rows, but column %q has %d", k, l, ref, n)
+		}
+	}
+	if d.Y != nil && n >= 0 && len(d.Y) != n {
+		return fmt.Errorf("dataset has %d labels for %d rows", len(d.Y), n)
+	}
+	return nil
+}
 
 // Options selects which optimizations Optimize applies.
 type Options struct {
@@ -164,30 +191,36 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	if err := p.Model.Train(x, train.Y); err != nil {
+	// Train a fresh clone, never the caller's model: optimizing the same
+	// Pipeline twice (or concurrently) must not retrain shared state.
+	full := p.Model.Fresh()
+	if full == nil {
+		return nil, nil, fmt.Errorf("core: model %T returned a nil Fresh clone", p.Model)
+	}
+	if err := full.Train(x, train.Y); err != nil {
 		return nil, nil, fmt.Errorf("core: training full model: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
-	o := &Optimized{Prog: prog, Model: p.Model, opts: opts}
+	o := &Optimized{Prog: prog, Model: full, opts: opts}
 	rep := &Report{NumIFVs: len(prog.A.IFVs)}
-	preds := p.Model.Predict(x)
-	if p.Model.Task() == model.Classification {
+	preds := full.Predict(x)
+	if full.Task() == model.Classification {
 		rep.TrainAccuracy = model.Accuracy(preds, train.Y)
 	} else {
 		rep.TrainMSE = model.MSE(preds, train.Y)
 	}
 
 	ccfg := cascade.Config{AccuracyTarget: opts.AccuracyTarget, Gamma: opts.Gamma}
-	needApprox := (opts.Cascades && p.Model.Task() == model.Classification) || opts.TopK
+	needApprox := (opts.Cascades && full.Task() == model.Classification) || opts.TopK
 	if needApprox && len(prog.A.IFVs) > 1 {
-		if opts.Cascades && p.Model.Task() == model.Classification {
+		if opts.Cascades && full.Task() == model.Classification {
 			if valid.Len() == 0 {
 				return nil, nil, fmt.Errorf("core: cascades require a validation set")
 			}
-			c, err := cascade.Train(ctx, prog, p.Model, train.Inputs, x, train.Y,
+			c, err := cascade.Train(ctx, prog, full, train.Inputs, x, train.Y,
 				valid.Inputs, valid.Y, ccfg)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: building cascade: %w", err)
@@ -198,7 +231,7 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 			rep.CascadeThreshold = c.Threshold
 			rep.EfficientIFVs = c.Efficient
 		} else {
-			a, err := cascade.BuildApprox(ctx, prog, p.Model, train.Inputs, x, train.Y, ccfg)
+			a, err := cascade.BuildApprox(ctx, prog, full, train.Inputs, x, train.Y, ccfg)
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: building filter model: %w", err)
 			}
@@ -210,7 +243,7 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 		if o.Approx == nil {
 			return nil, nil, fmt.Errorf("core: top-K filter models need at least two IFVs")
 		}
-		o.Filter = topk.NewFilter(o.Approx, p.Model, topk.Config{CK: opts.CK, MinSubsetFrac: opts.MinSubsetFrac})
+		o.Filter = topk.NewFilter(o.Approx, full, topk.Config{CK: opts.CK, MinSubsetFrac: opts.MinSubsetFrac})
 	}
 	if opts.FeatureCache {
 		prog.EnableFeatureCaching(opts.FeatureCacheCapacity, nil)
@@ -220,6 +253,17 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 	}
 	rep.OptimizeTime = time.Since(start)
 	return o, rep, nil
+}
+
+// Inputs returns the pipeline's raw input column names in declaration
+// order: the request schema a serving frontend should expect.
+func (o *Optimized) Inputs() []string {
+	srcs := o.Prog.G.Sources()
+	out := make([]string, len(srcs))
+	for i, id := range srcs {
+		out[i] = o.Prog.G.Node(id).Label
+	}
+	return out
 }
 
 // Features computes the full feature matrix for a batch on the compiled

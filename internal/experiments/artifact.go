@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/pipeline"
+)
+
+// ArtifactResult reports one benchmark's artifact round trip: how long
+// Save and Load take, the artifact size, and whether the loaded pipeline's
+// predictions are bit-identical to the in-memory optimized pipeline's (the
+// train-once / deploy-many guarantee).
+type ArtifactResult struct {
+	Benchmark    string
+	SizeBytes    int
+	SaveTime     time.Duration
+	LoadTime     time.Duration
+	BitIdentical bool
+	CascadeSaved bool
+	TopKSaved    bool
+}
+
+// Artifact measures the artifact round trip over the benchmark suite:
+// optimize each pipeline (cascades for classification, plus a top-K filter
+// for Toxic), Save it, Load it back as a deployment process would, and
+// compare predictions for exact equality. It stands in for the paper's
+// premise that optimization happens once offline while serving happens
+// elsewhere, many times.
+func Artifact(w io.Writer, s Setup) ([]ArtifactResult, error) {
+	header(w, "artifact round trip: train once, deploy many")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %9s %8s %14s\n",
+		"benchmark", "size", "save", "load", "cascade", "top-k", "bit-identical")
+
+	type job struct {
+		name string
+		opts core.Options
+	}
+	jobs := []job{
+		{"product", core.Options{Cascades: true, AccuracyTarget: 0.01}},
+		{"toxic", core.Options{Cascades: true, AccuracyTarget: 0.01, TopK: true, CK: 10, MinSubsetFrac: 0.05}},
+		{"music", core.Options{Cascades: true, AccuracyTarget: 0.01}},
+		{"credit", core.Options{}},
+		{"price", core.Options{}},
+	}
+	var out []ArtifactResult
+	for _, j := range jobs {
+		res, err := artifactRoundTrip(j.name, s, j.opts)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: %s: %w", j.name, err)
+		}
+		fmt.Fprintf(w, "%-10s %9dK %10s %10s %9v %8v %14v\n",
+			res.Benchmark, res.SizeBytes/1024,
+			res.SaveTime.Round(time.Millisecond), res.LoadTime.Round(time.Millisecond),
+			res.CascadeSaved, res.TopKSaved, res.BitIdentical)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func artifactRoundTrip(name string, s Setup, opts core.Options) (ArtifactResult, error) {
+	b, o, _, err := buildOptimized(name, s, pipeline.LocalBackend{}, opts)
+	if err != nil {
+		return ArtifactResult{}, err
+	}
+	defer b.Close()
+
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := core.Save(o, &buf); err != nil {
+		return ArtifactResult{}, err
+	}
+	saveTime := time.Since(start)
+
+	start = time.Now()
+	loaded, err := core.Load(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		return ArtifactResult{}, err
+	}
+	loadTime := time.Since(start)
+
+	ctx := context.Background()
+	want, err := o.PredictBatch(ctx, b.Test.Inputs)
+	if err != nil {
+		return ArtifactResult{}, err
+	}
+	got, err := loaded.PredictBatch(ctx, b.Test.Inputs)
+	if err != nil {
+		return ArtifactResult{}, err
+	}
+	identical := len(want) == len(got)
+	if identical {
+		for i := range want {
+			if want[i] != got[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical && o.Filter != nil {
+		wantK, err := o.TopK(ctx, b.Test.Inputs, 10)
+		if err != nil {
+			return ArtifactResult{}, err
+		}
+		gotK, err := loaded.TopK(ctx, b.Test.Inputs, 10)
+		if err != nil {
+			return ArtifactResult{}, err
+		}
+		if len(wantK) != len(gotK) {
+			identical = false
+		} else {
+			for i := range wantK {
+				if wantK[i] != gotK[i] {
+					identical = false
+					break
+				}
+			}
+		}
+	}
+	return ArtifactResult{
+		Benchmark:    name,
+		SizeBytes:    buf.Len(),
+		SaveTime:     saveTime,
+		LoadTime:     loadTime,
+		BitIdentical: identical,
+		CascadeSaved: loaded.Cascade != nil,
+		TopKSaved:    loaded.Filter != nil,
+	}, nil
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-margin assertions (compiled vs interpreted throughput ratios) are
+// skipped under race: instrumentation slows compiled hot loops far more
+// than the boxing-dominated interpreted path, compressing the very margins
+// the tests pin.
+const raceEnabled = true

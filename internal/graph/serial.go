@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+
+	"willump/internal/artifact"
+)
+
+// OpCodec translates operators to and from their serialized (kind, state)
+// form. The canonical implementation is the registry in internal/ops;
+// defining the contract here keeps the graph package free of operator
+// knowledge while letting it own its topology serialization.
+type OpCodec interface {
+	// EncodeOp returns the operator's registry kind and serialized state.
+	EncodeOp(op Op) (kind string, state []byte, err error)
+	// DecodeOp reconstructs an operator from its kind and state.
+	DecodeOp(kind string, state []byte) (Op, error)
+}
+
+// Spec serializes the graph's topology, encoding each node's operator
+// through the codec. Node order is NodeID order, so positions double as ids.
+func (g *Graph) Spec(codec OpCodec) (*artifact.Graph, error) {
+	spec := &artifact.Graph{Nodes: make([]artifact.Node, 0, len(g.nodes)), Output: int(g.output)}
+	for _, n := range g.nodes {
+		ns := artifact.Node{Label: n.Label}
+		if !n.IsSource() {
+			kind, state, err := codec.EncodeOp(n.Op)
+			if err != nil {
+				return nil, fmt.Errorf("graph: encoding node %d (%s): %w", n.ID, n.Label, err)
+			}
+			ns.Op = &artifact.OpState{Kind: kind, State: state}
+			ns.Inputs = make([]int, len(n.Inputs))
+			for i, in := range n.Inputs {
+				ns.Inputs[i] = int(in)
+			}
+		}
+		spec.Nodes = append(spec.Nodes, ns)
+	}
+	return spec, nil
+}
+
+// FromSpec rebuilds a graph from its serialized topology, decoding each
+// node's operator through the codec. The result passes the same validation
+// as a graph assembled through a Builder.
+func FromSpec(spec *artifact.Graph, codec OpCodec) (*Graph, error) {
+	b := NewBuilder()
+	for i, ns := range spec.Nodes {
+		if ns.Op == nil {
+			if id := b.Input(ns.Label); int(id) != i {
+				return nil, fmt.Errorf("graph: source %q decoded out of position (%d != %d)", ns.Label, id, i)
+			}
+			continue
+		}
+		op, err := codec.DecodeOp(ns.Op.Kind, ns.Op.State)
+		if err != nil {
+			return nil, fmt.Errorf("graph: decoding node %d (%s): %w", i, ns.Label, err)
+		}
+		ins := make([]NodeID, len(ns.Inputs))
+		for j, in := range ns.Inputs {
+			if in < 0 || in >= len(spec.Nodes) {
+				return nil, fmt.Errorf("graph: node %d (%s) input %d out of range", i, ns.Label, in)
+			}
+			ins[j] = NodeID(in)
+		}
+		if id := b.Add(ns.Label, op, ins...); int(id) != i {
+			return nil, fmt.Errorf("graph: node %q decoded out of position (%d != %d)", ns.Label, id, i)
+		}
+	}
+	if spec.Output < 0 || spec.Output >= len(spec.Nodes) {
+		return nil, fmt.Errorf("graph: output id %d out of range", spec.Output)
+	}
+	b.SetOutput(NodeID(spec.Output))
+	return b.Build()
+}

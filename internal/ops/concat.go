@@ -1,8 +1,10 @@
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
 
+	"willump/internal/artifact"
 	"willump/internal/feature"
 	"willump/internal/value"
 )
@@ -157,4 +159,29 @@ func (c *Clip) ApplyBoxed(ins []any) (any, error) {
 	default:
 		return nil, errBoxed(c.Name(), 0, ins[0], "float64 or []float64")
 	}
+}
+
+// clipState is the serialized form of a Clip operator. Bounds are stored
+// bit-exactly (they may be +/-Inf for one-sided clipping).
+type clipState struct {
+	Lo artifact.Scalar `json:"lo"`
+	Hi artifact.Scalar `json:"hi"`
+}
+
+// MarshalState implements StateMarshaler.
+func (c *Clip) MarshalState() ([]byte, error) {
+	return json.Marshal(clipState{Lo: artifact.Scalar(c.Lo), Hi: artifact.Scalar(c.Hi)})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (c *Clip) UnmarshalState(state []byte) error {
+	var st clipState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if float64(st.Lo) > float64(st.Hi) {
+		return fmt.Errorf("ops: clip state has lo %v > hi %v", float64(st.Lo), float64(st.Hi))
+	}
+	c.Lo, c.Hi = float64(st.Lo), float64(st.Hi)
+	return nil
 }

@@ -1,10 +1,12 @@
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 
+	"willump/internal/artifact"
 	"willump/internal/feature"
 	"willump/internal/value"
 )
@@ -396,4 +398,100 @@ func (n *NumericStats) ApplyBoxed(ins []any) (any, error) {
 	dst := make([]float64, n.Width())
 	n.row(x, dst)
 	return dst, nil
+}
+
+// oneHotState is the serialized form of a OneHot encoder. Categories are
+// listed in column order.
+type oneHotState struct {
+	MaxCategories int      `json:"max_categories"`
+	Fitted        bool     `json:"fitted"`
+	Categories    []string `json:"categories,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (o *OneHot) MarshalState() ([]byte, error) {
+	st := oneHotState{MaxCategories: o.MaxCategories, Fitted: o.fitted}
+	if o.cats != nil {
+		st.Categories = make([]string, len(o.cats))
+		for cat, col := range o.cats {
+			st.Categories[col] = cat
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (o *OneHot) UnmarshalState(state []byte) error {
+	var st oneHotState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	o.MaxCategories = st.MaxCategories
+	o.fitted = st.Fitted
+	o.cats = make(map[string]int, len(st.Categories))
+	for col, cat := range st.Categories {
+		o.cats[cat] = col
+	}
+	return nil
+}
+
+// ordinalState is the serialized form of an Ordinal encoder. Categories are
+// listed in code order (position i carries code i).
+type ordinalState struct {
+	Fitted     bool     `json:"fitted"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (o *Ordinal) MarshalState() ([]byte, error) {
+	st := ordinalState{Fitted: o.fitted}
+	if o.codes != nil {
+		st.Categories = make([]string, len(o.codes))
+		for cat, code := range o.codes {
+			st.Categories[int(code)] = cat
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (o *Ordinal) UnmarshalState(state []byte) error {
+	var st ordinalState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	o.fitted = st.Fitted
+	o.codes = make(map[string]float64, len(st.Categories))
+	for code, cat := range st.Categories {
+		o.codes[cat] = float64(code)
+	}
+	return nil
+}
+
+// scaleState is the serialized form of a StandardScale operator. Mean and
+// inverse standard deviation are stored bit-exactly.
+type scaleState struct {
+	Fitted bool            `json:"fitted"`
+	Mean   artifact.Vector `json:"mean,omitempty"`
+	InvStd artifact.Vector `json:"inv_std,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (s *StandardScale) MarshalState() ([]byte, error) {
+	return json.Marshal(scaleState{Fitted: s.fitted, Mean: artifact.Vector(s.mean), InvStd: artifact.Vector(s.invStd)})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (s *StandardScale) UnmarshalState(state []byte) error {
+	var st scaleState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if len(st.Mean) != len(st.InvStd) {
+		return fmt.Errorf("ops: standard_scale state has %d means but %d inverse stddevs", len(st.Mean), len(st.InvStd))
+	}
+	s.fitted = st.Fitted
+	s.mean = []float64(st.Mean)
+	s.invStd = []float64(st.InvStd)
+	return nil
 }

@@ -151,13 +151,14 @@ func (f *FusedText) Apply(ins []value.Value) (value.Value, error) {
 	}
 	b := feature.NewCSRBuilder(f.Width())
 	counts := make(map[int]int)
+	tfs := newTFScratch()
 	var scratch []string
 	for _, s := range ins[0].Strings {
 		toks := f.tokensFor(s, scratch)
 		scratch = toks[:0]
 		switch {
 		case f.tfidf != nil:
-			f.tfidf.transformRow(toks, counts, b)
+			f.tfidf.transformRow(toks, tfs, b)
 		case f.cv != nil:
 			f.cv.transformRow(toks, counts, b)
 		default:

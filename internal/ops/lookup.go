@@ -1,10 +1,13 @@
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"willump/internal/artifact"
 	"willump/internal/feature"
 	"willump/internal/value"
 )
@@ -60,12 +63,21 @@ func (t *LocalTable) LookupBatch(keys []int64) ([][]float64, error) {
 // Requests implements Table.
 func (t *LocalTable) Requests() int64 { return t.requests.Load() }
 
+// Rows returns the backing row map (shared, do not mutate). Artifact
+// serialization inlines it so a deployment process needs no external store.
+func (t *LocalTable) Rows() map[int64][]float64 { return t.rows }
+
 // Lookup joins a key column against a feature table, producing one dense
 // feature vector per row. Missing keys produce zero vectors. Lookup is
 // compilable: batch lookups pipeline through the table's LookupBatch.
+//
+// A Lookup decoded from an artifact may arrive without a bound table (when
+// the table was remote and could not be inlined); it must be bound with
+// BindTable before use.
 type Lookup struct {
 	TableName string
 	table     Table
+	dim       int
 
 	mu       sync.Mutex
 	defaults []float64
@@ -76,6 +88,7 @@ func NewLookup(tableName string, table Table) *Lookup {
 	return &Lookup{
 		TableName: tableName,
 		table:     table,
+		dim:       table.Dim(),
 		defaults:  make([]float64, table.Dim()),
 	}
 }
@@ -90,13 +103,35 @@ func (l *Lookup) Compilable() bool { return true }
 func (l *Lookup) Commutative() bool { return false }
 
 // Width returns the joined feature width.
-func (l *Lookup) Width() int { return l.table.Dim() }
+func (l *Lookup) Width() int { return l.dim }
 
-// Table returns the backing table.
+// Table returns the backing table (nil for an unbound decoded Lookup).
 func (l *Lookup) Table() Table { return l.table }
+
+// NeedsTable reports whether the lookup still needs a table bound to it.
+func (l *Lookup) NeedsTable() bool { return l.table == nil }
+
+// TableRef returns the name callers use to bind a table at load time.
+func (l *Lookup) TableRef() string { return l.TableName }
+
+// BindTable attaches a backing table to an unbound decoded Lookup. The
+// table's width must match the width the operator was fitted with.
+func (l *Lookup) BindTable(t Table) error {
+	if t == nil {
+		return fmt.Errorf("ops: %s: BindTable(nil)", l.Name())
+	}
+	if t.Dim() != l.dim {
+		return fmt.Errorf("ops: %s: bound table has width %d, artifact expects %d", l.Name(), t.Dim(), l.dim)
+	}
+	l.table = t
+	return nil
+}
 
 // Apply implements graph.Op.
 func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
+	if l.table == nil {
+		return value.Value{}, fmt.Errorf("ops: %s: no table bound; supply one when loading the artifact", l.Name())
+	}
 	if len(ins) != 1 {
 		return value.Value{}, errArity(l.Name(), len(ins), 1)
 	}
@@ -108,7 +143,7 @@ func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
 	if err != nil {
 		return value.Value{}, fmt.Errorf("ops: %s: %w", l.Name(), err)
 	}
-	out := feature.NewDense(len(keys), l.table.Dim())
+	out := feature.NewDense(len(keys), l.dim)
 	for i, v := range vecs {
 		if v != nil {
 			copy(out.Row(i), v)
@@ -120,6 +155,9 @@ func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
 // ApplyBoxed implements graph.Op: one remote/local request per row, exactly
 // how an unoptimized Python pipeline issues point lookups.
 func (l *Lookup) ApplyBoxed(ins []any) (any, error) {
+	if l.table == nil {
+		return nil, fmt.Errorf("ops: %s: no table bound; supply one when loading the artifact", l.Name())
+	}
 	if len(ins) != 1 {
 		return nil, errArity(l.Name(), len(ins), 1)
 	}
@@ -131,9 +169,63 @@ func (l *Lookup) ApplyBoxed(ins []any) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ops: %s: %w", l.Name(), err)
 	}
-	out := make([]float64, l.table.Dim())
+	out := make([]float64, l.dim)
 	if vecs[0] != nil {
 		copy(out, vecs[0])
 	}
 	return out, nil
+}
+
+// lookupState is the serialized form of a Lookup operator. For local
+// in-memory tables the rows are inlined (keys serialized as decimal
+// strings), making the artifact fully self-contained; remote tables
+// serialize as unbound references that the loader must rebind.
+type lookupState struct {
+	TableName string                     `json:"table_name"`
+	Dim       int                        `json:"dim"`
+	Rows      map[string]artifact.Vector `json:"rows,omitempty"`
+	Inline    bool                       `json:"inline,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (l *Lookup) MarshalState() ([]byte, error) {
+	st := lookupState{TableName: l.TableName, Dim: l.dim}
+	if lt, ok := l.table.(*LocalTable); ok {
+		st.Inline = true
+		st.Rows = make(map[string]artifact.Vector, len(lt.Rows()))
+		for k, v := range lt.Rows() {
+			st.Rows[strconv.FormatInt(k, 10)] = artifact.Vector(v)
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (l *Lookup) UnmarshalState(state []byte) error {
+	var st lookupState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.Dim < 0 {
+		return fmt.Errorf("ops: lookup state has negative width %d", st.Dim)
+	}
+	l.TableName = st.TableName
+	l.dim = st.Dim
+	l.defaults = make([]float64, st.Dim)
+	l.table = nil
+	if st.Inline {
+		rows := make(map[int64][]float64, len(st.Rows))
+		for ks, v := range st.Rows {
+			k, err := strconv.ParseInt(ks, 10, 64)
+			if err != nil {
+				return fmt.Errorf("ops: lookup state key %q: %w", ks, err)
+			}
+			if len(v) != st.Dim {
+				return fmt.Errorf("ops: lookup state key %q has %d features, want %d", ks, len(v), st.Dim)
+			}
+			rows[k] = []float64(v)
+		}
+		l.table = NewLocalTable(st.Dim, rows)
+	}
+	return nil
 }

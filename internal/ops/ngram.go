@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 
 	"willump/internal/value"
@@ -131,4 +133,46 @@ func (c *CharNGrams) ApplyBoxed(ins []any) (any, error) {
 		return nil, errBoxed(c.Name(), 0, ins[0], "string")
 	}
 	return c.expand(s), nil
+}
+
+// ngramState is the serialized configuration shared by the n-gram expanders.
+type ngramState struct {
+	MinN int `json:"min_n"`
+	MaxN int `json:"max_n"`
+}
+
+// MarshalState implements StateMarshaler.
+func (w *WordNGrams) MarshalState() ([]byte, error) {
+	return json.Marshal(ngramState{MinN: w.MinN, MaxN: w.MaxN})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (w *WordNGrams) UnmarshalState(state []byte) error {
+	var st ngramState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.MinN < 1 || st.MaxN < st.MinN {
+		return fmt.Errorf("ops: word_ngrams state needs 1 <= min_n <= max_n, got [%d, %d]", st.MinN, st.MaxN)
+	}
+	w.MinN, w.MaxN = st.MinN, st.MaxN
+	return nil
+}
+
+// MarshalState implements StateMarshaler.
+func (c *CharNGrams) MarshalState() ([]byte, error) {
+	return json.Marshal(ngramState{MinN: c.MinN, MaxN: c.MaxN})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (c *CharNGrams) UnmarshalState(state []byte) error {
+	var st ngramState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.MinN < 1 || st.MaxN < st.MinN {
+		return fmt.Errorf("ops: char_ngrams state needs 1 <= min_n <= max_n, got [%d, %d]", st.MinN, st.MaxN)
+	}
+	c.MinN, c.MaxN = st.MinN, st.MaxN
+	return nil
 }

@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"encoding/json"
+	"sort"
 	"strings"
 	"unicode"
 
@@ -193,4 +195,33 @@ func (t *TextStats) ApplyBoxed(ins []any) (any, error) {
 	dst := make([]float64, t.Width())
 	t.statsRow(s, dst)
 	return dst, nil
+}
+
+// textStatsState is the serialized form of a TextStats operator: the keyword
+// list in sorted order.
+type textStatsState struct {
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (t *TextStats) MarshalState() ([]byte, error) {
+	kws := make([]string, 0, len(t.keywords))
+	for k := range t.keywords {
+		kws = append(kws, k)
+	}
+	sort.Strings(kws)
+	return json.Marshal(textStatsState{Keywords: kws})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (t *TextStats) UnmarshalState(state []byte) error {
+	var st textStatsState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	t.keywords = make(map[string]bool, len(st.Keywords))
+	for _, k := range st.Keywords {
+		t.keywords[strings.ToLower(k)] = true
+	}
+	return nil
 }

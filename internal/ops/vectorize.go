@@ -1,11 +1,13 @@
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"sort"
 
+	"willump/internal/artifact"
 	"willump/internal/feature"
 	"willump/internal/value"
 )
@@ -113,45 +115,68 @@ func (t *TFIDF) Fit(ins []value.Value) error {
 	return nil
 }
 
-// transformRow computes the TF-IDF entries for one document into builder b.
-func (t *TFIDF) transformRow(doc []string, counts map[int]int, b *feature.CSRBuilder) {
-	for k := range counts {
-		delete(counts, k)
+// tfScratch is reusable per-row state for TF-IDF transformation: the term
+// counts plus the touched columns in sorted order. Accumulating the
+// normalization sums in sorted column order (instead of map iteration
+// order) makes every transform bit-deterministic, which artifact round-trip
+// guarantees depend on.
+type tfScratch struct {
+	counts map[int]int
+	cols   []int
+}
+
+func newTFScratch() *tfScratch { return &tfScratch{counts: make(map[int]int)} }
+
+// count tallies vocabulary hits for one document and returns the touched
+// columns sorted ascending.
+func (s *tfScratch) count(doc []string, vocab map[string]int) []int {
+	for k := range s.counts {
+		delete(s.counts, k)
 	}
+	s.cols = s.cols[:0]
 	for _, tok := range doc {
-		if col, ok := t.vocab[tok]; ok {
-			counts[col]++
+		if col, ok := vocab[tok]; ok {
+			if _, seen := s.counts[col]; !seen {
+				s.cols = append(s.cols, col)
+			}
+			s.counts[col]++
 		}
 	}
+	sort.Ints(s.cols)
+	return s.cols
+}
+
+// transformRow computes the TF-IDF entries for one document into builder b.
+func (t *TFIDF) transformRow(doc []string, s *tfScratch, b *feature.CSRBuilder) {
+	cols := s.count(doc, t.vocab)
 	switch t.Norm {
 	case NormNone:
-		for col, c := range counts {
-			b.Add(col, float64(c)*t.idf[col])
+		for _, col := range cols {
+			b.Add(col, float64(s.counts[col])*t.idf[col])
 		}
 	case NormL1:
 		var sum float64
-		for col, c := range counts {
-			v := float64(c) * t.idf[col]
-			sum += math.Abs(v)
+		for _, col := range cols {
+			sum += math.Abs(float64(s.counts[col]) * t.idf[col])
 		}
 		if sum == 0 {
 			sum = 1
 		}
-		for col, c := range counts {
-			b.Add(col, float64(c)*t.idf[col]/sum)
+		for _, col := range cols {
+			b.Add(col, float64(s.counts[col])*t.idf[col]/sum)
 		}
 	case NormL2:
 		var sq float64
-		for col, c := range counts {
-			v := float64(c) * t.idf[col]
+		for _, col := range cols {
+			v := float64(s.counts[col]) * t.idf[col]
 			sq += v * v
 		}
 		norm := math.Sqrt(sq)
 		if norm == 0 {
 			norm = 1
 		}
-		for col, c := range counts {
-			b.Add(col, float64(c)*t.idf[col]/norm)
+		for _, col := range cols {
+			b.Add(col, float64(s.counts[col])*t.idf[col]/norm)
 		}
 	}
 	b.EndRow()
@@ -169,9 +194,9 @@ func (t *TFIDF) Apply(ins []value.Value) (value.Value, error) {
 		return value.Value{}, errKind(t.Name(), 0, ins[0].Kind, value.Tokens)
 	}
 	b := feature.NewCSRBuilder(len(t.idf))
-	counts := make(map[int]int)
+	scratch := newTFScratch()
 	for _, doc := range ins[0].Tokens {
-		t.transformRow(doc, counts, b)
+		t.transformRow(doc, scratch, b)
 	}
 	return value.NewMat(b.Build()), nil
 }
@@ -190,7 +215,7 @@ func (t *TFIDF) ApplyBoxed(ins []any) (any, error) {
 		return nil, errBoxed(t.Name(), 0, ins[0], "[]string")
 	}
 	b := feature.NewCSRBuilder(len(t.idf))
-	t.transformRow(doc, make(map[int]int), b)
+	t.transformRow(doc, newTFScratch(), b)
 	m := b.Build()
 	return feature.RowDense(m, 0, nil), nil
 }
@@ -397,4 +422,105 @@ func (h *HashingVectorizer) ApplyBoxed(ins []any) (any, error) {
 	}
 	b.EndRow()
 	return feature.RowDense(b.Build(), 0, nil), nil
+}
+
+// tfidfState is the serialized form of a TFIDF operator. Terms are listed
+// in column order, so positions double as column indices.
+type tfidfState struct {
+	MaxFeatures int             `json:"max_features"`
+	Norm        int             `json:"norm"`
+	Fitted      bool            `json:"fitted"`
+	Terms       []string        `json:"terms,omitempty"`
+	IDF         artifact.Vector `json:"idf,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (t *TFIDF) MarshalState() ([]byte, error) {
+	st := tfidfState{MaxFeatures: t.MaxFeatures, Norm: int(t.Norm), Fitted: t.fitted, IDF: artifact.Vector(t.idf)}
+	if t.vocab != nil {
+		st.Terms = make([]string, len(t.vocab))
+		for term, col := range t.vocab {
+			st.Terms[col] = term
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (t *TFIDF) UnmarshalState(state []byte) error {
+	var st tfidfState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if len(st.Terms) != len(st.IDF) {
+		return fmt.Errorf("ops: tfidf state has %d terms but %d idf weights", len(st.Terms), len(st.IDF))
+	}
+	t.MaxFeatures = st.MaxFeatures
+	t.Norm = Norm(st.Norm)
+	t.fitted = st.Fitted
+	t.idf = []float64(st.IDF)
+	t.vocab = make(map[string]int, len(st.Terms))
+	for col, term := range st.Terms {
+		t.vocab[term] = col
+	}
+	return nil
+}
+
+// cvState is the serialized form of a CountVectorizer.
+type cvState struct {
+	MaxFeatures int      `json:"max_features"`
+	Binary      bool     `json:"binary,omitempty"`
+	Fitted      bool     `json:"fitted"`
+	Terms       []string `json:"terms,omitempty"`
+}
+
+// MarshalState implements StateMarshaler.
+func (c *CountVectorizer) MarshalState() ([]byte, error) {
+	st := cvState{MaxFeatures: c.MaxFeatures, Binary: c.Binary, Fitted: c.fitted}
+	if c.vocab != nil {
+		st.Terms = make([]string, len(c.vocab))
+		for term, col := range c.vocab {
+			st.Terms[col] = term
+		}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (c *CountVectorizer) UnmarshalState(state []byte) error {
+	var st cvState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	c.MaxFeatures = st.MaxFeatures
+	c.Binary = st.Binary
+	c.fitted = st.Fitted
+	c.vocab = make(map[string]int, len(st.Terms))
+	for col, term := range st.Terms {
+		c.vocab[term] = col
+	}
+	return nil
+}
+
+// hvState is the serialized form of a HashingVectorizer.
+type hvState struct {
+	Buckets int `json:"buckets"`
+}
+
+// MarshalState implements StateMarshaler.
+func (h *HashingVectorizer) MarshalState() ([]byte, error) {
+	return json.Marshal(hvState{Buckets: h.Buckets})
+}
+
+// UnmarshalState implements StateUnmarshaler.
+func (h *HashingVectorizer) UnmarshalState(state []byte) error {
+	var st hvState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return err
+	}
+	if st.Buckets < 1 {
+		return fmt.Errorf("ops: hashing_vectorizer state has %d buckets, want >= 1", st.Buckets)
+	}
+	h.Buckets = st.Buckets
+	return nil
 }

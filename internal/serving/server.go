@@ -168,7 +168,14 @@ func NewServer(p Predictor, opts Options) *Server {
 // Start listens on 127.0.0.1 (ephemeral port) and launches the batcher.
 // It returns the base URL.
 func (s *Server) Start() (string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return s.StartOn("127.0.0.1:0")
+}
+
+// StartOn listens on an explicit address (host:port) and launches the
+// batcher; deployment binaries use it to bind a stable serving endpoint.
+// It returns the base URL.
+func (s *Server) StartOn(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("serving: listen: %w", err)
 	}

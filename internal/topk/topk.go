@@ -56,6 +56,11 @@ func NewFilter(approx *cascade.Approx, full model.Model, cfg Config) *Filter {
 	return &Filter{Approx: approx, Full: full, cfg: cfg.withDefaults()}
 }
 
+// Config returns the filter's resolved serving configuration (defaults
+// applied). Artifact serialization persists it so a reloaded filter keeps
+// the same subset-size policy.
+func (f *Filter) Config() Config { return f.cfg }
+
 // SubsetSize returns the number of candidates the filter keeps for a batch
 // of n rows and a top-K query: max(CK*K, MinSubsetFrac*n), capped at n.
 func (f *Filter) SubsetSize(n, k int) int {

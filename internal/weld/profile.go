@@ -3,6 +3,7 @@ package weld
 import (
 	"sync"
 
+	"willump/internal/artifact"
 	"willump/internal/graph"
 )
 
@@ -104,4 +105,35 @@ func (p *Profile) ResetDriver() {
 	p.driverSeconds = 0
 	p.totalSeconds = 0
 	p.mu.Unlock()
+}
+
+// Snapshot captures the per-node cost measurements for artifact
+// serialization, so a deployment process keeps the cost model the pipeline
+// was optimized under (query-aware parallelization schedules by these).
+func (p *Profile) Snapshot() artifact.Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := artifact.Profile{
+		NodeSeconds: make(map[int]artifact.Scalar, len(p.nodeSeconds)),
+		NodeRows:    make(map[int]int64, len(p.nodeRows)),
+	}
+	for id, sec := range p.nodeSeconds {
+		out.NodeSeconds[int(id)] = artifact.Scalar(sec)
+	}
+	for id, rows := range p.nodeRows {
+		out.NodeRows[int(id)] = rows
+	}
+	return out
+}
+
+// ProfileFromSnapshot rebuilds a profile from its serialized form.
+func ProfileFromSnapshot(spec artifact.Profile) *Profile {
+	p := NewProfile()
+	for id, sec := range spec.NodeSeconds {
+		p.nodeSeconds[graph.NodeID(id)] = float64(sec)
+	}
+	for id, rows := range spec.NodeRows {
+		p.nodeRows[graph.NodeID(id)] = rows
+	}
+	return p
 }

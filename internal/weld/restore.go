@@ -1,0 +1,37 @@
+package weld
+
+import (
+	"fmt"
+
+	"willump/internal/graph"
+)
+
+// Restore marks a freshly compiled program as fitted from state captured in
+// an artifact, instead of running Fit over training data: the IFV output
+// widths recorded at training time (which determine the column spans of the
+// full feature vector) and the profiled cost model. Every operator in the
+// program's graph must already carry its fitted state — decoded operators
+// do. Restore finishes by fusing the compiled plan, exactly like Fit.
+func (p *Program) Restore(widths map[graph.NodeID]int, prof *Profile) error {
+	if p.fitted {
+		return fmt.Errorf("weld: Restore on an already fitted program")
+	}
+	p.Widths = make(map[graph.NodeID]int, len(widths))
+	for id, w := range widths {
+		if int(id) < 0 || int(id) >= p.G.NumNodes() {
+			return fmt.Errorf("weld: restored width for node %d out of range", id)
+		}
+		p.Widths[id] = w
+	}
+	spans, err := p.A.ColumnSpans(p.Widths)
+	if err != nil {
+		return fmt.Errorf("weld: %w", err)
+	}
+	p.Spans = spans
+	if prof != nil {
+		p.Prof = prof
+	}
+	p.fitted = true
+	p.Fuse()
+	return nil
+}

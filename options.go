@@ -78,7 +78,13 @@ func WithFeatureCache(capacity int) Option {
 }
 
 // WithWorkers sets the thread count for query-aware parallelization of
-// example-at-a-time queries (<= 1 disables).
+// example-at-a-time queries (<= 1 disables). Negative values are clamped to
+// zero (disabled) rather than propagated into the scheduler.
 func WithWorkers(n int) Option {
-	return func(o *core.Options) { o.Workers = n }
+	return func(o *core.Options) {
+		if n < 0 {
+			n = 0
+		}
+		o.Workers = n
+	}
 }

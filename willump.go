@@ -28,6 +28,29 @@
 // takes a context.Context; cancellation and deadlines are observed between
 // the compiled plan's graph blocks, so long batches abort promptly.
 //
+// # Train once, deploy many
+//
+// The pipeline lifecycle has two phases. The optimization phase — dataflow
+// analysis, model training, cascade tuning, top-K filter construction —
+// runs once, offline, wherever the training data lives. Its product is a
+// versioned, self-contained Artifact:
+//
+//	if err := willump.SaveFile(optimized, "pipeline.willump"); err != nil { ... }
+//
+// The serving phase then loads the artifact in any number of fresh
+// processes, with no access to training data: Load decodes every fitted
+// operator and trained model, recompiles the weld program in-process, and
+// reassembles the cascade and top-K filter, yielding predictions
+// bit-identical to the pipeline Save captured:
+//
+//	optimized, err := willump.LoadFile("pipeline.willump")
+//
+// The willump-serve binary is the packaged form of the serving phase: it
+// loads an artifact file and hosts it behind the HTTP serving frontend.
+// Custom operators and models participate in artifacts through RegisterOp
+// and RegisterModel; lookup tables in remote stores are rebound at load
+// time with WithTableBinding.
+//
 // The Serve / NewServer / NewClient surface hosts an optimized pipeline (or
 // any Predictor) behind the Clipper-like HTTP serving frontend with request
 // queueing, adaptive batching, and graceful context-based shutdown.
@@ -38,6 +61,7 @@ package willump
 
 import (
 	"context"
+	"fmt"
 
 	"willump/internal/core"
 	"willump/internal/graph"
@@ -81,6 +105,22 @@ type Inputs = map[string]value.Value
 // optimizations selected by the functional options (none by default: the
 // pipeline is still compiled, profiled, and trained). The context bounds the
 // whole optimization; cancelling it aborts between graph blocks.
+//
+// Optimize validates both datasets' shapes (every column the same length,
+// labels matching) before touching the pipeline, and never trains the
+// caller's Model in place: the model stored in the returned Optimized is a
+// fresh clone, so optimizing the same Pipeline repeatedly on the same data
+// yields independent, identical results. Stateful operators, however, live
+// in the Pipeline's graph and are fitted once on first use — to optimize
+// the same topology on different training data, build a new Pipeline (its
+// operator constructors are cheap), and do not call Optimize concurrently
+// on one Pipeline value.
 func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts ...Option) (*Optimized, *Report, error) {
+	if err := train.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("willump: invalid training dataset: %w", err)
+	}
+	if err := valid.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("willump: invalid validation dataset: %w", err)
+	}
 	return core.Optimize(ctx, p, train, valid, resolveOptions(opts...))
 }
