@@ -1,18 +1,28 @@
 // Command willump-serve is the deployment half of Willump's train-once /
-// deploy-many lifecycle: it loads a pipeline artifact written by
-// willump.Save / willump.SaveFile and hosts it behind the Clipper-like HTTP
-// serving frontend (request queueing, adaptive batching, optional
-// prediction cache), with graceful drain on SIGINT/SIGTERM.
+// deploy-many lifecycle: it loads pipeline artifacts written by
+// willump.Save / willump.SaveFile and hosts them behind the multi-model
+// HTTP serving frontend (named/versioned model routes, request queueing
+// with admission control, adaptive batching, per-model stats), with
+// graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	willump-serve -artifact pipeline.willump                  # serve on 127.0.0.1:8000
-//	willump-serve -artifact pipeline.willump -addr :9090      # explicit address
-//	willump-serve -artifact pipeline.willump -cache 65536     # + prediction cache
-//	willump-serve -artifact pipeline.willump -describe        # inspect, don't serve
+//	willump-serve -artifact pipeline.willump               # one artifact on 127.0.0.1:8000
+//	willump-serve -models deploy/ -addr :9090              # every *.willump in deploy/
+//	willump-serve -models deploy/ -default toxic           # choose the legacy-route model
+//	willump-serve -artifact pipeline.willump -describe     # inspect, don't serve
 //
-// The serving endpoint is POST /predict with the JSON wire format the
-// willump.NewClient speaks; GET /healthz reports liveness.
+// In model-directory mode each deploy/NAME.willump file is deployed as
+// model NAME, versioned by its content hash. SIGHUP rescans the directory
+// and hot-swaps changed artifacts with zero downtime: new files deploy,
+// modified files atomically replace their running version (in-flight work
+// drains on the old version), and removed files undeploy. The single
+// -artifact mode reloads its file on SIGHUP the same way.
+//
+// Serving endpoints: POST /v1/models/{name}/predict and /topk with
+// per-request options (cascade threshold, top-K budget, point modality,
+// deadline), GET /v1/models (+ /{name}, /{name}/stats), the legacy POST
+// /predict route against the default model, and GET /healthz.
 //
 // Artifacts whose pipelines join against remote (non-inlined) tables cannot
 // be hosted by this binary — bind their tables programmatically with
@@ -21,10 +31,15 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,53 +49,99 @@ import (
 
 func main() {
 	var (
-		path         = flag.String("artifact", "", "path to a pipeline artifact written by willump.SaveFile (required)")
+		path         = flag.String("artifact", "", "path to a single pipeline artifact written by willump.SaveFile")
+		modelsDir    = flag.String("models", "", "directory of *.willump artifacts to deploy as named models")
+		defaultModel = flag.String("default", "", "model served on the legacy /predict route (default: first deployed)")
 		addr         = flag.String("addr", "127.0.0.1:8000", "listen address (host:port)")
 		maxBatch     = flag.Int("max-batch", 0, "adaptive batching: max rows per merged batch (0 = default)")
 		batchTimeout = flag.Duration("batch-timeout", 0, "adaptive batching: max wait to fill a batch (0 = default)")
-		cache        = flag.Int("cache", 0, "end-to-end prediction cache capacity (0 disables, < 0 unbounded)")
+		queueDepth   = flag.Int("queue-depth", 0, "per-model request queue bound; full queues reject with HTTP 429 (0 = default)")
+		cache        = flag.Int("cache", 0, "per-model end-to-end prediction cache capacity (0 disables, < 0 unbounded)")
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
-		describe     = flag.Bool("describe", false, "print the artifact's contents and exit without serving")
+		describe     = flag.Bool("describe", false, "print the artifacts' contents and exit without serving")
 	)
 	flag.Parse()
 
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "willump-serve: -artifact is required")
+	if (*path == "") == (*modelsDir == "") {
+		fmt.Fprintln(os.Stderr, "willump-serve: exactly one of -artifact or -models is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*path, *addr, *maxBatch, *batchTimeout, *cache, *drain, *describe); err != nil {
+	opts := willump.ServeOptions{
+		MaxBatch:      *maxBatch,
+		BatchTimeout:  *batchTimeout,
+		QueueDepth:    *queueDepth,
+		CacheCapacity: *cache,
+	}
+	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, *drain, *describe); err != nil {
 		fmt.Fprintln(os.Stderr, "willump-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, addr string, maxBatch int, batchTimeout time.Duration, cache int, drain time.Duration, describe bool) error {
-	if describe {
-		return describeArtifact(path)
+func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, drain time.Duration, describe bool) error {
+	scan := func() ([]string, error) { return []string{path}, nil }
+	if modelsDir != "" {
+		scan = func() ([]string, error) { return scanModels(modelsDir) }
 	}
-
-	optimized, err := willump.LoadFile(path)
+	paths, err := scan()
 	if err != nil {
 		return err
 	}
-
-	opts := willump.ServeOptions{MaxBatch: maxBatch, BatchTimeout: batchTimeout}
-	if cache != 0 {
-		opts.CacheCapacity = cache
-		opts.CacheKeyOrder = optimized.Inputs()
+	if describe {
+		for i, p := range paths {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := describeArtifact(p); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	server := willump.Serve(optimized, opts)
+
+	d := &deployer{
+		reg:          willump.NewRegistryWithOptions(opts),
+		deployed:     make(map[string]string),
+		defaultModel: defaultModel,
+	}
+	if err := d.sync(paths); err != nil {
+		return err
+	}
+	if len(d.deployed) == 0 {
+		return fmt.Errorf("no deployable artifacts found")
+	}
+	if defaultModel != "" && d.deployed[defaultModel] == "" {
+		return fmt.Errorf("-default %q: no such artifact deployed", defaultModel)
+	}
+
+	server := willump.ServeRegistry(d.reg)
 	url, err := server.StartOn(addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("willump-serve: serving %s on %s (inputs: %v)\n", path, url, optimized.Inputs())
+	fmt.Printf("willump-serve: serving %d model(s) on %s\n", len(d.deployed), url)
+	for _, name := range sortedNames(d.deployed) {
+		fmt.Printf("willump-serve:   %s (version %s): POST %s/v1/models/%s/predict\n", name, d.deployed[name], url, name)
+	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	fmt.Printf("willump-serve: %v received, draining (up to %v)\n", s, drain)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			paths, err := scan()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "willump-serve: reload: %v\n", err)
+				continue
+			}
+			if err := d.sync(paths); err != nil {
+				fmt.Fprintf(os.Stderr, "willump-serve: reload: %v\n", err)
+			}
+			continue
+		}
+		fmt.Printf("willump-serve: %v received, draining (up to %v)\n", s, drain)
+		break
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -89,6 +150,143 @@ func run(path, addr string, maxBatch int, batchTimeout time.Duration, cache int,
 	}
 	fmt.Println("willump-serve: drained cleanly")
 	return nil
+}
+
+// scanModels lists the *.willump artifacts in dir, sorted by name.
+func scanModels(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("scanning %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".willump") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// deployer reconciles the registry against a set of artifact files: new
+// files deploy, changed files (by content hash) hot-swap, missing files
+// undeploy. A broken artifact is reported and skipped — it must never take
+// down the models already serving.
+type deployer struct {
+	reg      *willump.Registry
+	deployed map[string]string // model name -> deployed version tag
+	// defaultModel is the operator's -default choice, re-asserted after
+	// every sync so reloads never silently reroute the legacy /predict
+	// route.
+	defaultModel string
+}
+
+func (d *deployer) sync(paths []string) error {
+	seen := make(map[string]bool, len(paths))
+	var firstErr error
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".willump")
+		// The file exists in the scan: whatever happens below, this model is
+		// not a removal candidate. A transiently unreadable or corrupt
+		// artifact must never undeploy the healthy version already serving.
+		seen[name] = true
+		tag, err := contentTag(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "willump-serve: %s: %v (skipped)\n", p, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if d.deployed[name] == tag {
+			continue // unchanged
+		}
+		o, err := willump.LoadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "willump-serve: %s: %v (skipped)\n", p, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := d.reg.Deploy(name, tag, o); err != nil {
+			fmt.Fprintf(os.Stderr, "willump-serve: deploying %s: %v (skipped)\n", name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if d.deployed[name] == "" {
+			fmt.Printf("willump-serve: deployed %s (version %s)\n", name, tag)
+		} else {
+			fmt.Printf("willump-serve: hot-swapped %s (%s -> %s)\n", name, d.deployed[name], tag)
+		}
+		d.deployed[name] = tag
+	}
+	for name := range d.deployed {
+		if seen[name] {
+			continue
+		}
+		if err := d.reg.Undeploy(name); err != nil {
+			fmt.Fprintf(os.Stderr, "willump-serve: undeploying %s: %v\n", name, err)
+			continue
+		}
+		delete(d.deployed, name)
+		fmt.Printf("willump-serve: undeployed %s (artifact removed)\n", name)
+	}
+	// Re-assert the serving default deterministically: the operator's
+	// -default choice survives reloads, and otherwise the alphabetically
+	// first deployed model serves /predict — never whichever deploy happened
+	// to reset it.
+	target := d.defaultModel
+	if d.deployed[target] == "" {
+		if names := sortedNames(d.deployed); len(names) > 0 {
+			target = names[0]
+			if d.defaultModel != "" {
+				fmt.Fprintf(os.Stderr, "willump-serve: default model %q is gone; /predict now serves %q\n", d.defaultModel, target)
+			}
+		} else {
+			target = ""
+		}
+	}
+	if target != "" {
+		if err := d.reg.SetDefault(target); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Only fail hard when nothing could be deployed at all; partial
+	// degradation keeps serving.
+	if len(d.deployed) == 0 && firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// contentTag derives a model version tag from the artifact's content hash
+// (streamed, not slurped: artifacts carry model weights and inlined lookup
+// tables), so unchanged files never redeploy and every byte change
+// hot-swaps.
+func contentTag(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:6]), nil
+}
+
+func sortedNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // describeArtifact prints a human-readable summary of an artifact without

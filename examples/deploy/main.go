@@ -1,15 +1,16 @@
-// Deploy: the train-once / deploy-many lifecycle end to end.
+// Deploy: the train-once / deploy-many lifecycle end to end, on the
+// multi-model serving registry.
 //
-// The optimization phase trains and optimizes the Toxic pipeline with
-// end-to-end cascades and a top-K filter model, then persists everything —
-// fitted TF-IDF vocabulary, trained models, cascade threshold, filter
-// configuration — into a single versioned artifact file. The serving phase
-// loads that artifact back (as a fresh process would: no training data in
-// sight), verifies its predictions are bit-identical to the in-memory
-// pipeline's, and hosts it behind the HTTP serving frontend, which is
-// exactly what the willump-serve binary does:
+// The optimization phase trains two pipelines — Toxic (cascades + top-K
+// filter) and Product (cascades) — and persists each into a versioned
+// artifact file. The serving phase deploys both artifacts as named models
+// behind one HTTP frontend (exactly what `willump-serve -models dir/`
+// does), then exercises the production serving features:
 //
-//	willump-serve -artifact toxic.willump -addr :8000
+//   - named, versioned routes: /v1/models/{name}/predict, /topk, /stats
+//   - per-request options: cascade-threshold override, top-K budget
+//   - zero-downtime hot swap: deploy a new version under live traffic
+//   - the legacy /predict route against the default model
 //
 // Run with: go run ./examples/deploy
 package main
@@ -20,6 +21,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"willump"
 	"willump/internal/pipeline"
@@ -29,96 +33,176 @@ func main() {
 	ctx := context.Background()
 
 	// ---- Phase 1: optimize (runs offline, where the training data lives).
-	bench, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 4000})
+	toxic, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer bench.Close()
-
-	optimized, report, err := willump.Optimize(ctx, bench.Pipeline, bench.Train, bench.Valid,
+	defer toxic.Close()
+	toxicOpt, report, err := willump.Optimize(ctx, toxic.Pipeline, toxic.Train, toxic.Valid,
 		willump.WithCascades(0.01), willump.WithTopK(0, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("optimized: %d IFVs, cascade=%v (threshold %.1f), filter on %v\n",
-		report.NumIFVs, report.CascadeBuilt, report.CascadeThreshold, report.EfficientIFVs)
+	fmt.Printf("toxic optimized: %d IFVs, cascade threshold %.1f, filter on %v\n",
+		report.NumIFVs, report.CascadeThreshold, report.EfficientIFVs)
+
+	product, err := pipeline.Product(pipeline.Config{Seed: 17, N: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer product.Close()
+	productOpt, _, err := willump.Optimize(ctx, product.Pipeline, product.Train, product.Valid,
+		willump.WithCascades(0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	dir, err := os.MkdirTemp("", "willump-deploy")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, "toxic.willump")
-	if err := willump.SaveFile(optimized, path); err != nil {
+	toxicPath := filepath.Join(dir, "toxic.willump")
+	productPath := filepath.Join(dir, "product.willump")
+	if err := willump.SaveFile(toxicOpt, toxicPath); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(path)
-	fmt.Printf("saved artifact: %s (%d KB)\n", path, info.Size()/1024)
+	if err := willump.SaveFile(productOpt, productPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved artifacts: %s\n", dir)
 
-	// ---- Phase 2: deploy (a fresh process; no training data needed).
-	loaded, err := willump.LoadFile(path)
+	// ---- Phase 2: deploy both artifacts behind one registry server (a
+	// fresh process would do exactly this; no training data in sight).
+	toxicV1, err := willump.LoadFile(toxicPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	productV1, err := willump.LoadFile(productPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	feed := bench.Test.Inputs
-	want, err := optimized.PredictBatch(ctx, feed)
-	if err != nil {
+	reg := willump.NewRegistry()
+	if err := reg.Deploy("toxic", "v1", toxicV1); err != nil {
 		log.Fatal(err)
 	}
-	got, err := loaded.PredictBatch(ctx, feed)
-	if err != nil {
+	if err := reg.Deploy("product", "v1", productV1); err != nil {
 		log.Fatal(err)
 	}
-	identical := len(want) == len(got)
-	for i := range want {
-		if !identical || want[i] != got[i] {
-			identical = false
-			break
-		}
-	}
-	fmt.Printf("loaded pipeline predictions bit-identical to in-memory: %v (%d rows)\n", identical, len(got))
-
-	wantK, err := optimized.TopK(ctx, feed, 10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gotK, err := loaded.TopK(ctx, feed, 10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("top-10 from artifact matches in-memory: %v\n", equalInts(wantK, gotK))
-
-	// Host the loaded artifact behind the serving frontend (what
-	// willump-serve does) and query it over HTTP.
-	server := willump.Serve(loaded, willump.ServeOptions{})
+	server := willump.ServeRegistry(reg)
 	url, err := server.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer server.Close()
+	client := willump.NewClient(url, willump.WithHTTPTimeout(time.Minute))
 
-	client := willump.NewClient(url)
-	rows := make([]int, 50)
-	for i := range rows {
-		rows[i] = i
-	}
-	remote, err := client.Predict(ctx, bench.Test.Gather(rows).Inputs)
+	models, err := client.Models(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	match := true
-	for i, p := range remote {
-		if p != want[rows[i]] {
-			match = false
-			break
+	for _, m := range models {
+		fmt.Printf("deployed %s (version %s): inputs=%v cascade=%v topk=%v\n",
+			m.Name, m.Version, m.Inputs, m.Cascade, m.TopK)
+	}
+
+	// Named routes serve each model; the legacy /predict route serves the
+	// default (first-deployed) model, bit-identical to the training process.
+	feed := toxic.Test.Gather(rows(0, 50)).Inputs
+	want, err := toxicOpt.PredictBatch(ctx, feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	named, err := client.PredictModel(ctx, "toxic", feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy, err := client.Predict(ctx, feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("named route identical to training process: %v; legacy route: %v\n",
+		equalFloats(named, want), equalFloats(legacy, want))
+
+	// Per-request options carry Willump's statistically-aware knobs over the
+	// wire: threshold 2.0 routes every row to the full model for maximum
+	// accuracy; a raised budget widens the top-K filter's candidate set.
+	fullRoute, err := client.PredictModel(ctx, "toxic", feed, willump.WithThreshold(2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	changed := 0
+	for i := range fullRoute {
+		if fullRoute[i] != named[i] {
+			changed++
 		}
 	}
-	fmt.Printf("served %d predictions over HTTP from %s; identical to training process: %v\n",
-		len(remote), url, match)
+	fmt.Printf("per-request threshold override changed %d/%d predictions\n", changed, len(fullRoute))
+
+	top, err := client.TopK(ctx, "toxic", feed, 5, willump.WithBudget(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 under a 25-candidate budget: %v\n", top)
+
+	// ---- Zero-downtime hot swap: deploy toxic v2 while clients hammer the
+	// model. No request fails; queued work drains on the old version.
+	toxicV2, err := willump.LoadFile(toxicPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var served, failed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := client.PredictModel(ctx, "toxic", toxic.Test.Gather(rows(0, 5)).Inputs); err != nil {
+					failed.Add(1)
+				} else {
+					served.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := reg.Deploy("toxic", "v2", toxicV2); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	fmt.Printf("hot swap v1 -> v2 under load: %d requests served, %d failed\n",
+		served.Load(), failed.Load())
+
+	// Per-model telemetry from the stats route.
+	stats, err := client.Stats(ctx, "toxic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("toxic stats: version=%s requests=%d qps=%.0f p50=%s p99=%s cascade hit rate=%.2f\n",
+		stats.Version, stats.Requests, stats.QPS,
+		stats.LatencyP50.Round(10*time.Microsecond), stats.LatencyP99.Round(10*time.Microsecond),
+		stats.CascadeHitRate)
 }
 
-func equalInts(a, b []int) bool {
+func rows(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+func equalFloats(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -79,6 +79,35 @@ func main() {
 			c.Round(10*time.Microsecond), w.Round(10*time.Microsecond),
 			float64(c)/float64(w))
 	}
+
+	// The statistically-aware knobs are per-request serving parameters: a
+	// client can override the cascade confidence threshold on one call
+	// (threshold 2.0 = route everything to the full model), and read the
+	// frontend's per-model telemetry.
+	cli := willump.NewClient(willumpURL)
+	feed := bench.Test.Gather(rows(0, 100)).Inputs
+	cascaded, err := cli.PredictModel(ctx, "default", feed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullOnly, err := cli.PredictModel(ctx, "default", feed, willump.WithThreshold(2.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	changed := 0
+	for i := range cascaded {
+		if cascaded[i] != fullOnly[i] {
+			changed++
+		}
+	}
+	stats, err := cli.Stats(ctx, "default")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-request threshold override (t_c=2.0) changed %d/%d predictions\n", changed, len(cascaded))
+	fmt.Printf("frontend stats: requests=%d p50=%s p99=%s cascade hit rate=%.2f\n",
+		stats.Requests, stats.LatencyP50.Round(10*time.Microsecond),
+		stats.LatencyP99.Round(10*time.Microsecond), stats.CascadeHitRate)
 }
 
 func rows(start, n int) []int {

@@ -252,7 +252,13 @@ func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]v
 
 // PredictPoint serves one example-at-a-time query through the cascade.
 func (c *Cascade) PredictPoint(ctx context.Context, inputs map[string]value.Value) (float64, error) {
-	preds, _, err := c.PredictBatch(ctx, inputs)
+	return c.PredictPointThreshold(ctx, inputs, c.Threshold)
+}
+
+// PredictPointThreshold serves one example-at-a-time query using an
+// explicit confidence threshold (the serving layer's per-request override).
+func (c *Cascade) PredictPointThreshold(ctx context.Context, inputs map[string]value.Value, threshold float64) (float64, error) {
+	preds, _, err := c.PredictBatchThreshold(ctx, inputs, threshold)
 	if err != nil {
 		return 0, err
 	}

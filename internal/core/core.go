@@ -273,17 +273,12 @@ func (o *Optimized) Features(ctx context.Context, inputs map[string]value.Value)
 }
 
 // PredictBatch predicts a batch of inputs, through the cascade when one is
-// deployed and through the compiled full pipeline otherwise.
-func (o *Optimized) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
-	if o.Cascade != nil {
-		preds, _, err := o.Cascade.PredictBatch(ctx, inputs)
-		return preds, err
-	}
-	x, err := o.Prog.RunBatch(ctx, inputs)
-	if err != nil {
-		return nil, err
-	}
-	return o.Model.Predict(x), nil
+// deployed and through the compiled full pipeline otherwise. Per-request
+// options (cascade-threshold override, deadline) apply to this call alone;
+// with no options the result is bit-identical to the pipeline's defaults.
+func (o *Optimized) PredictBatch(ctx context.Context, inputs map[string]value.Value, opts ...PredictOption) ([]float64, error) {
+	preds, _, err := o.PredictBatchOptions(ctx, inputs, ResolvePredict(opts...))
+	return preds, err
 }
 
 // PredictFull predicts a batch with the compiled full pipeline, bypassing
@@ -297,11 +292,14 @@ func (o *Optimized) PredictFull(ctx context.Context, inputs map[string]value.Val
 }
 
 // PredictPoint answers one example-at-a-time query, applying query-aware
-// parallelization when Workers > 1 and cascades when deployed.
-func (o *Optimized) PredictPoint(ctx context.Context, inputs map[string]value.Value) (float64, error) {
-	if o.Cascade != nil {
-		return o.Cascade.PredictPoint(ctx, inputs)
-	}
+// parallelization when Workers > 1 and cascades when deployed. Per-request
+// options (cascade-threshold override, deadline) apply to this call alone.
+func (o *Optimized) PredictPoint(ctx context.Context, inputs map[string]value.Value, opts ...PredictOption) (float64, error) {
+	return o.PredictPointOptions(ctx, inputs, ResolvePredict(opts...))
+}
+
+// predictPointCompiled is the compiled (no-cascade) point path.
+func (o *Optimized) predictPointCompiled(ctx context.Context, inputs map[string]value.Value) (float64, error) {
 	var (
 		x   feature.Matrix
 		err error
@@ -331,12 +329,12 @@ func (o *Optimized) PredictInterpreted(ctx context.Context, inputs map[string]va
 }
 
 // TopK answers a top-K query with the automatically constructed filter
-// model. It requires Options.TopK at Optimize time.
-func (o *Optimized) TopK(ctx context.Context, inputs map[string]value.Value, k int) ([]int, error) {
-	if o.Filter == nil {
-		return nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
-	}
-	return o.Filter.TopK(ctx, inputs, k)
+// model. It requires Options.TopK at Optimize time. Per-request options
+// (filter budget override, deadline) apply to this call alone.
+func (o *Optimized) TopK(ctx context.Context, inputs map[string]value.Value, k int, opts ...PredictOption) ([]int, error) {
+	po := ResolvePredict(opts...)
+	po.K = k
+	return o.TopKOptions(ctx, inputs, po)
 }
 
 // TopKExact answers a top-K query with the unoptimized full pipeline

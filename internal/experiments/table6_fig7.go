@@ -90,7 +90,7 @@ func table6One(name string, s Setup) ([]Table6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		willump, err := measure(serving.PredictorFunc(o.PredictBatch), batchSize)
+		willump, err := measure(serving.PredictorFunc(o.BatchPredictor()), batchSize)
 		if err != nil {
 			return nil, err
 		}

@@ -79,7 +79,7 @@ func tables23One(name string, s Setup) ([]Table23Row, error) {
 
 		// Serve the test set as a stream of single-input queries — the
 		// online serving pattern Tables 2-3 measure.
-		var pred serving.Predictor = serving.PredictorFunc(o.PredictBatch)
+		var pred serving.Predictor = serving.PredictorFunc(o.BatchPredictor())
 		if cfg == "e2e-cache" {
 			keys := make([]string, 0, len(b.Test.Inputs))
 			for k := range b.Test.Inputs {

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a bounded ring of the most recent observations, safe for
+// concurrent use. The serving layer records per-request latencies into one
+// and reads streaming quantiles from it; memory stays fixed no matter how
+// long the server runs.
+type Window struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count int   // live observations in buf (<= len(buf))
+	total int64 // observations ever recorded
+}
+
+// NewWindow returns a window keeping the last capacity observations
+// (capacity < 1 is raised to 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Observe records one observation, evicting the oldest when full.
+func (w *Window) Observe(x float64) {
+	w.mu.Lock()
+	w.buf[w.next] = x
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Total returns the number of observations ever recorded (not just those
+// still in the window).
+func (w *Window) Total() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Snapshot copies the live observations out of the ring, oldest first.
+func (w *Window) Snapshot() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, 0, w.count)
+	start := w.next - w.count
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.buf[(start+i+len(w.buf))%len(w.buf)])
+	}
+	return out
+}
+
+// Quantile returns the p-th percentile (0 <= p <= 100) of the windowed
+// observations, 0 when none have been recorded.
+func (w *Window) Quantile(p float64) float64 {
+	return Percentile(w.Snapshot(), p)
+}
+
+// Meter counts events against a sliding wall-clock window, for request
+// rates (QPS). Events are accumulated into one-second buckets, so memory is
+// fixed by the window length and the reported rate never saturates no
+// matter how high the event rate climbs.
+type Meter struct {
+	mu      sync.Mutex
+	window  time.Duration
+	buckets []int64     // events per second-of-window
+	starts  []time.Time // each bucket's second, to expire stale ones
+}
+
+// NewMeter returns a meter over a sliding window (window <= 0 defaults to
+// one minute; sub-second windows are raised to one second).
+func NewMeter(window time.Duration) *Meter {
+	if window <= 0 {
+		window = time.Minute
+	}
+	n := int(window / time.Second)
+	if n < 1 {
+		n = 1
+		window = time.Second
+	}
+	return &Meter{window: window, buckets: make([]int64, n), starts: make([]time.Time, n)}
+}
+
+// Mark records one event at time now.
+func (m *Meter) Mark(now time.Time) {
+	m.mu.Lock()
+	sec := now.Truncate(time.Second)
+	i := int(sec.Unix()%int64(len(m.buckets))+int64(len(m.buckets))) % len(m.buckets)
+	if !m.starts[i].Equal(sec) {
+		m.starts[i] = sec
+		m.buckets[i] = 0
+	}
+	m.buckets[i]++
+	m.mu.Unlock()
+}
+
+// Rate returns events per second over the window ending at now.
+func (m *Meter) Rate(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := now.Add(-m.window)
+	var total int64
+	for i := range m.buckets {
+		if m.starts[i].After(cutoff) && !m.starts[i].After(now) {
+			total += m.buckets[i]
+		}
+	}
+	return float64(total) / m.window.Seconds()
+}

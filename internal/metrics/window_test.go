@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowQuantiles(t *testing.T) {
+	w := NewWindow(100)
+	if got := w.Quantile(50); got != 0 {
+		t.Errorf("empty window quantile = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	if got := w.Quantile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := w.Quantile(99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := w.Total(); got != 100 {
+		t.Errorf("Total = %d, want 100", got)
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Observe(float64(i))
+	}
+	snap := w.Snapshot()
+	want := []float64{7, 8, 9, 10}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", snap, want)
+		}
+	}
+	if got := w.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Observe(1)
+				w.Quantile(50)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Total(); got != 800 {
+		t.Errorf("Total = %d, want 800", got)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	base := time.Unix(1000, 0)
+	m := NewMeter(10 * time.Second)
+	for i := 0; i < 50; i++ {
+		m.Mark(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	// All 50 events fall within the 10s window: 5 events/sec.
+	if got := m.Rate(base.Add(5 * time.Second)); got != 5 {
+		t.Errorf("Rate = %v, want 5", got)
+	}
+	// 20s later every event has aged out.
+	if got := m.Rate(base.Add(25 * time.Second)); got != 0 {
+		t.Errorf("Rate after window = %v, want 0", got)
+	}
+}
+
+// TestMeterHighRateNoSaturation: the bucketed meter reports true rates at
+// loads far beyond what a bounded event ring could remember.
+func TestMeterHighRateNoSaturation(t *testing.T) {
+	base := time.Unix(2000, 0)
+	m := NewMeter(10 * time.Second)
+	for s := 0; s < 10; s++ {
+		for i := 0; i < 10000; i++ {
+			m.Mark(base.Add(time.Duration(s) * time.Second))
+		}
+	}
+	if got := m.Rate(base.Add(9 * time.Second)); got != 10000 {
+		t.Errorf("Rate = %v, want 10000 (no saturation)", got)
+	}
+}
+
+// TestMeterBucketReuse: a bucket whose second has lapsed a full window is
+// reset, not double-counted, when its slot is reused.
+func TestMeterBucketReuse(t *testing.T) {
+	base := time.Unix(3000, 0)
+	m := NewMeter(2 * time.Second)
+	m.Mark(base)
+	m.Mark(base.Add(2 * time.Second)) // same slot, new second
+	if got := m.Rate(base.Add(2 * time.Second)); got != 0.5 {
+		t.Errorf("Rate = %v, want 0.5 (1 event / 2s window)", got)
+	}
+}

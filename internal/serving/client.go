@@ -1,0 +1,207 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/value"
+)
+
+// Client is an RPC client for a serving frontend.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	timeout    time.Duration
+	httpClient *http.Client
+}
+
+// WithHTTPTimeout sets the client's end-to-end HTTP timeout (default 30s).
+// Ignored when WithHTTPClient supplies a client, whose own timeout governs.
+func WithHTTPTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithHTTPClient supplies the underlying *http.Client, reused verbatim —
+// connection pools, transports, and timeouts stay under the caller's
+// control (and may be shared across many Clients).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *clientConfig) { c.httpClient = h }
+}
+
+// NewClient returns a client for the server at base URL.
+func NewClient(base string, opts ...ClientOption) *Client {
+	cfg := clientConfig{timeout: 30 * time.Second}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	hc := cfg.httpClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.timeout}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+// post sends one RPC and maps the transport- and protocol-level failure
+// modes: HTTP 429 becomes the retryable ErrOverloaded, 404 becomes
+// ErrModelNotFound, and any server-reported error is surfaced verbatim.
+func (c *Client) post(ctx context.Context, path string, body any) (*wireResponse, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serving: rpc: %w", err)
+	}
+	defer resp.Body.Close()
+	// Map the status code before insisting on a JSON body: unmatched routes
+	// are answered by net/http's mux with plain text, and the typed errors
+	// must survive that.
+	var wire wireResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&wire)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w (server: %s)", ErrOverloaded, wire.Error)
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w (server: %s)", ErrModelNotFound, wire.Error)
+	}
+	if wire.Error != "" {
+		return nil, fmt.Errorf("serving: server error: %s", wire.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serving: unexpected status %s", resp.Status)
+	}
+	if decodeErr != nil {
+		return nil, fmt.Errorf("serving: decoding response: %w", decodeErr)
+	}
+	return &wire, nil
+}
+
+// get fetches a JSON document from the server.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("serving: rpc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		var wire wireResponse
+		json.NewDecoder(resp.Body).Decode(&wire) //nolint:errcheck
+		return fmt.Errorf("%w (server: %s)", ErrModelNotFound, wire.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serving: unexpected status %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serving: decoding response: %w", err)
+	}
+	return nil
+}
+
+// buildRequest assembles the wire request for a batch of inputs and
+// resolved per-request options.
+func buildRequest(inputs map[string]value.Value, po core.PredictOptions) (wireRequest, error) {
+	cols, err := encodeInputs(inputs)
+	if err != nil {
+		return wireRequest{}, err
+	}
+	return wireRequest{Inputs: cols, Options: fromPredictOptions(po)}, nil
+}
+
+// Predict sends one prediction RPC against the server's default model (the
+// legacy /predict route). The context's cancellation or deadline propagates
+// to the server, which aborts the queued or in-flight work for this
+// request.
+func (c *Client) Predict(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	req, err := buildRequest(inputs, core.PredictOptions{})
+	if err != nil {
+		return nil, err
+	}
+	wire, err := c.post(ctx, "/predict", req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Predictions, nil
+}
+
+// PredictModel sends one prediction RPC against a named model, carrying
+// any per-request options (cascade-threshold override, point modality,
+// server-side deadline) on the wire.
+func (c *Client) PredictModel(ctx context.Context, model string, inputs map[string]value.Value, opts ...core.PredictOption) ([]float64, error) {
+	req, err := buildRequest(inputs, core.ResolvePredict(opts...))
+	if err != nil {
+		return nil, err
+	}
+	wire, err := c.post(ctx, "/v1/models/"+url.PathEscape(model)+"/predict", req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Predictions, nil
+}
+
+// TopK asks a named model for the indices of the k top-scoring rows of the
+// request batch, in descending predicted-score order. Per-request options
+// may override the filter's candidate budget.
+func (c *Client) TopK(ctx context.Context, model string, inputs map[string]value.Value, k int, opts ...core.PredictOption) ([]int, error) {
+	po := core.ResolvePredict(opts...)
+	po.K = k
+	req, err := buildRequest(inputs, po)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := c.post(ctx, "/v1/models/"+url.PathEscape(model)+"/topk", req)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Indices, nil
+}
+
+// Models lists the server's deployed models.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var list wireModelList
+	if err := c.get(ctx, "/v1/models", &list); err != nil {
+		return nil, err
+	}
+	out := make([]ModelInfo, len(list.Models))
+	for i, wi := range list.Models {
+		out[i] = fromWireModelInfo(wi)
+	}
+	return out, nil
+}
+
+// Stats fetches one model's serving telemetry.
+func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
+	var ws wireStats
+	if err := c.get(ctx, "/v1/models/"+url.PathEscape(model)+"/stats", &ws); err != nil {
+		return ModelStats{}, err
+	}
+	return fromWireStats(ws), nil
+}

@@ -1,0 +1,597 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/value"
+)
+
+// ErrOverloaded reports that a model's bounded request queue was full and
+// admission control turned the request away (HTTP 429 on the wire). It is
+// retryable: the queue drains at the model's service rate, so backing off
+// and retrying is the correct client response.
+var ErrOverloaded = errors.New("serving: server overloaded")
+
+// ErrModelNotFound reports that no deployed model matches the requested
+// name (HTTP 404 on the wire).
+var ErrModelNotFound = errors.New("serving: model not found")
+
+// errVersionStopped is the internal signal that an enqueue raced a version
+// swap; the caller re-resolves the active version and retries.
+var errVersionStopped = errors.New("serving: model version draining")
+
+// Registry hosts many named, versioned models behind one serving frontend.
+// Each deployed version owns a bounded request queue and an adaptive
+// batcher; Deploy atomically swaps a model's active version while the old
+// version's batcher drains its in-flight work, so a hot swap loses no
+// requests. A Registry is hosted by (at most) one Server, whose Shutdown
+// closes it.
+type Registry struct {
+	opts Options
+
+	mu          sync.RWMutex
+	models      map[string]*Hosted
+	defaultName string
+	closed      bool
+
+	// baseCtx is the execution context for batch prediction; cancelled only
+	// on force-close, so graceful drains run work to completion.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// batchers tracks every version's batcher goroutine, including versions
+	// already swapped out but still draining.
+	batchers sync.WaitGroup
+}
+
+// NewRegistry returns an empty registry. opts supplies the serving defaults
+// (batch bounds, queue depth, prediction cache) applied to every deployed
+// model.
+func NewRegistry(opts Options) *Registry {
+	baseCtx, cancel := context.WithCancel(context.Background())
+	return &Registry{
+		opts:    opts.withDefaults(),
+		models:  make(map[string]*Hosted),
+		baseCtx: baseCtx,
+		cancel:  cancel,
+	}
+}
+
+// Hosted is one named model: an atomically swappable active version plus
+// telemetry that survives swaps.
+type Hosted struct {
+	name   string
+	active atomic.Pointer[version]
+	stats  *modelStats
+	// direct bounds concurrent direct-path requests (per-request options,
+	// top-K) the same way the queue bounds batched ones: admission control
+	// applies to every route, not just the batcher.
+	direct chan struct{}
+}
+
+// admitDirect reserves a direct-execution slot; the caller must release().
+func (h *Hosted) admitDirect() (release func(), err error) {
+	select {
+	case h.direct <- struct{}{}:
+		return func() { <-h.direct }, nil
+	default:
+		return nil, ErrOverloaded
+	}
+}
+
+// version is one immutable deployed model version with its own request
+// queue and adaptive batcher.
+type version struct {
+	model  string
+	tag    string
+	opt    *core.Optimized // nil when hosting a black-box Predictor
+	pred   Predictor       // default batch path (cache-wrapped when enabled)
+	inputs []string
+	opts   Options
+	stats  *modelStats
+
+	queue chan *pending
+	stop  chan struct{} // closed to begin the drain
+	done  chan struct{} // closed when the batcher has exited
+
+	// mu fences enqueues against the swap: once stopped is set under the
+	// write lock, no further request can slip into the queue, so the
+	// batcher's final drain pass observes everything.
+	mu      sync.RWMutex
+	stopped bool
+
+	baseCtx context.Context
+}
+
+// Deploy installs version tag of the optimized pipeline under name,
+// atomically replacing any previously active version. The old version's
+// batcher keeps running until its queued work drains, so requests in flight
+// across the swap complete on the version that admitted them. The first
+// model deployed becomes the registry default (the legacy /predict route).
+func (r *Registry) Deploy(name, tag string, o *core.Optimized) error {
+	if o == nil {
+		return fmt.Errorf("serving: deploying %q: nil optimized pipeline", name)
+	}
+	return r.deploy(name, tag, o, nil, o.Inputs())
+}
+
+// DeployPredictor installs a black-box batch predictor under name. inputs
+// is its request schema for describe routes and cache keys (may be nil).
+// Black-box models serve default and deadline-bounded requests; requests
+// overriding cascade thresholds or top-K budgets are rejected, since the
+// registry cannot see inside the predictor.
+func (r *Registry) DeployPredictor(name, tag string, p Predictor, inputs []string) error {
+	if p == nil {
+		return fmt.Errorf("serving: deploying %q: nil predictor", name)
+	}
+	return r.deploy(name, tag, nil, p, inputs)
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serving: empty model name")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("serving: model name %q may not contain slashes or whitespace", name)
+	}
+	return nil
+}
+
+func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inputs []string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if tag == "" {
+		return fmt.Errorf("serving: deploying %q: empty version tag", name)
+	}
+	if r.opts.CacheCapacity != 0 && len(r.opts.CacheKeyOrder) == 0 && len(inputs) == 0 {
+		// Detectable now, fatal later: a keyless cache would fail every
+		// prediction at request time.
+		return fmt.Errorf("serving: deploying %q: prediction cache enabled but no cache key columns (set CacheKeyOrder or deploy a pipeline with a known input schema)", name)
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("serving: registry is closed")
+	}
+	h, ok := r.models[name]
+	if !ok {
+		h = &Hosted{name: name, stats: newModelStats(), direct: make(chan struct{}, r.opts.QueueDepth)}
+		r.models[name] = h
+		if r.defaultName == "" {
+			r.defaultName = name
+		}
+	}
+	v := &version{
+		model:   name,
+		tag:     tag,
+		opt:     o,
+		inputs:  append([]string(nil), inputs...),
+		opts:    r.opts,
+		stats:   h.stats,
+		queue:   make(chan *pending, r.opts.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		baseCtx: r.baseCtx,
+	}
+	v.pred = v.buildPredictor(o, p)
+	r.batchers.Add(1)
+	go func() {
+		defer r.batchers.Done()
+		defer close(v.done)
+		v.batcher()
+	}()
+	old := h.active.Swap(v)
+	r.mu.Unlock()
+
+	if old != nil {
+		old.beginDrain()
+	}
+	return nil
+}
+
+// buildPredictor assembles the version's default batch path: the optimized
+// pipeline's zero-option entry point (recording cascade serve stats) or the
+// supplied black box, wrapped in a per-version prediction cache when the
+// registry enables one.
+func (v *version) buildPredictor(o *core.Optimized, p Predictor) Predictor {
+	var pred Predictor
+	if o != nil {
+		stats := v.stats
+		pred = PredictorFunc(func(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+			preds, cs, err := o.PredictBatchOptions(ctx, inputs, core.PredictOptions{})
+			if err == nil {
+				stats.recordCascade(cs)
+			}
+			return preds, err
+		})
+	} else {
+		pred = p
+	}
+	if v.opts.CacheCapacity != 0 {
+		capacity := v.opts.CacheCapacity
+		if capacity < 0 {
+			capacity = 0 // unbounded LRU
+		}
+		keys := v.opts.CacheKeyOrder
+		if len(keys) == 0 {
+			keys = v.inputs
+		}
+		pred = NewCachedPredictor(pred, capacity, keys)
+	}
+	return pred
+}
+
+// Undeploy removes a model from the registry. Its active version drains in
+// the background; requests already admitted complete, new requests 404.
+func (r *Registry) Undeploy(name string) error {
+	r.mu.Lock()
+	h, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("serving: undeploy %q: %w", name, ErrModelNotFound)
+	}
+	delete(r.models, name)
+	if r.defaultName == name {
+		r.defaultName = ""
+	}
+	r.mu.Unlock()
+
+	if v := h.active.Swap(nil); v != nil {
+		v.beginDrain()
+	}
+	return nil
+}
+
+// SetDefault designates the model served by the legacy /predict route.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; !ok {
+		return fmt.Errorf("serving: set default %q: %w", name, ErrModelNotFound)
+	}
+	r.defaultName = name
+	return nil
+}
+
+// lookup resolves a model by name; the empty name resolves the default.
+func (r *Registry) lookup(name string) (*Hosted, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.defaultName
+		if name == "" {
+			return nil, fmt.Errorf("serving: no default model deployed: %w", ErrModelNotFound)
+		}
+	}
+	h, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serving: model %q: %w", name, ErrModelNotFound)
+	}
+	return h, nil
+}
+
+// ModelInfo describes one deployed model, as reported on /v1/models.
+type ModelInfo struct {
+	// Name and Version identify the active deployment.
+	Name    string
+	Version string
+	// Default marks the model behind the legacy /predict route.
+	Default bool
+	// Inputs is the request schema: the pipeline's raw input column names.
+	Inputs []string
+	// Cascade reports whether an end-to-end cascade is deployed, and
+	// CascadeThreshold its Optimize-time confidence threshold.
+	Cascade          bool
+	CascadeThreshold float64
+	// TopK reports whether the model answers /topk queries.
+	TopK bool
+}
+
+// Models lists the deployed models, sorted by name.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for name, h := range r.models {
+		v := h.active.Load()
+		if v == nil {
+			continue
+		}
+		out = append(out, v.info(name == r.defaultName))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (v *version) info(isDefault bool) ModelInfo {
+	mi := ModelInfo{
+		Name:    v.model,
+		Version: v.tag,
+		Default: isDefault,
+		Inputs:  append([]string(nil), v.inputs...),
+	}
+	if v.opt != nil {
+		if v.opt.Cascade != nil {
+			mi.Cascade = true
+			mi.CascadeThreshold = v.opt.Cascade.Threshold
+		}
+		mi.TopK = v.opt.Filter != nil
+	}
+	return mi
+}
+
+// Stats snapshots a model's serving telemetry.
+func (r *Registry) Stats(name string) (ModelStats, error) {
+	h, err := r.lookup(name)
+	if err != nil {
+		return ModelStats{}, err
+	}
+	tag := ""
+	if v := h.active.Load(); v != nil {
+		tag = v.tag
+	}
+	return h.stats.snapshot(h.name, tag), nil
+}
+
+// Close drains every deployed version's batcher and closes the registry
+// against further deploys. ctx bounds the drain; when it expires, remaining
+// work is cancelled through the execution context and Close keeps waiting
+// for the (now rapidly exiting) batchers.
+func (r *Registry) Close(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	var active []*version
+	for _, h := range r.models {
+		if v := h.active.Load(); v != nil {
+			active = append(active, v)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, v := range active {
+		v.beginDrain()
+	}
+	drained := make(chan struct{})
+	go func() {
+		r.batchers.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		r.cancel() // abort in-flight batches between graph blocks
+		<-drained
+	}
+	r.cancel()
+	return err
+}
+
+// enqueue admits one request to the model's active version, retrying when
+// the enqueue races a hot swap (the drained version refuses, the fresh one
+// accepts). A full queue is an admission failure: ErrOverloaded.
+func (h *Hosted) enqueue(p *pending) error {
+	for attempt := 0; attempt < 8; attempt++ {
+		v := h.active.Load()
+		if v == nil {
+			return fmt.Errorf("serving: model %q: %w", h.name, ErrModelNotFound)
+		}
+		err := v.enqueue(p)
+		if !errors.Is(err, errVersionStopped) {
+			return err
+		}
+		// A swap is installing a new active version; re-resolve it.
+	}
+	return fmt.Errorf("serving: model %q: version churn, request not admitted", h.name)
+}
+
+func (v *version) enqueue(p *pending) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.stopped {
+		return errVersionStopped
+	}
+	select {
+	case v.queue <- p:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// beginDrain stops admission to this version and tells its batcher to
+// serve whatever is already queued, then exit. The write lock guarantees
+// every successful enqueue happened before the queue's final drain pass.
+func (v *version) beginDrain() {
+	v.mu.Lock()
+	if v.stopped {
+		v.mu.Unlock()
+		return
+	}
+	v.stopped = true
+	v.mu.Unlock()
+	close(v.stop)
+}
+
+type pending struct {
+	ctx    context.Context // the originating request's context
+	inputs map[string]value.Value
+	n      int
+	done   chan batchResult
+}
+
+type batchResult struct {
+	preds []float64
+	err   error
+}
+
+// batcher implements adaptive batching per deployed version: drain every
+// request already queued (without waiting — a lone request must not pay a
+// batching delay), then wait up to BatchTimeout for more only while work
+// keeps arriving, execute the merged batch once, and scatter results back
+// to waiters (Clipper's core serving loop). Requests whose contexts are
+// already dead are answered with the context error instead of joining a
+// batch. When the version is swapped out or the registry closes, the
+// batcher drains everything still queued before exiting.
+func (v *version) batcher() {
+	for {
+		var first *pending
+		select {
+		case first = <-v.queue:
+		case <-v.stop:
+			// Drain: serve whatever is still queued, then exit.
+			for {
+				select {
+				case p := <-v.queue:
+					v.runBatch([]*pending{p})
+				default:
+					return
+				}
+			}
+		}
+		if first.ctx.Err() != nil {
+			first.done <- batchResult{err: first.ctx.Err()}
+			continue
+		}
+		batch := []*pending{first}
+		rows := first.n
+		// Non-blocking drain: take whatever is queued right now.
+	drain:
+		for rows < v.opts.MaxBatch {
+			select {
+			case p := <-v.queue:
+				batch, rows = appendLive(batch, rows, p)
+			default:
+				break drain
+			}
+		}
+		// If we found concurrent work, wait briefly for stragglers.
+		if len(batch) > 1 && rows < v.opts.MaxBatch {
+			deadline := time.NewTimer(v.opts.BatchTimeout)
+		fill:
+			for rows < v.opts.MaxBatch {
+				select {
+				case p := <-v.queue:
+					batch, rows = appendLive(batch, rows, p)
+				case <-deadline.C:
+					break fill
+				case <-v.stop:
+					break fill
+				}
+			}
+			deadline.Stop()
+		}
+		v.runBatch(batch)
+	}
+}
+
+// requestCtx derives the execution context for a lone request: cancelled
+// when either the request's own context or the registry's base context
+// dies.
+func (v *version) requestCtx(p *pending) (context.Context, context.CancelFunc) {
+	if p.ctx == nil {
+		return v.baseCtx, func() {}
+	}
+	ctx, cancel := context.WithCancel(p.ctx)
+	detach := context.AfterFunc(v.baseCtx, cancel)
+	return ctx, func() { detach(); cancel() }
+}
+
+// appendLive adds p to the batch unless its request context is already dead,
+// in which case the waiter is answered immediately.
+func appendLive(batch []*pending, rows int, p *pending) ([]*pending, int) {
+	if err := p.ctx.Err(); err != nil {
+		p.done <- batchResult{err: err}
+		return batch, rows
+	}
+	return append(batch, p), rows + p.n
+}
+
+// runBatch merges the batch's inputs, predicts once under the registry's
+// execution context, and distributes results to the waiters.
+func (v *version) runBatch(batch []*pending) {
+	if len(batch) == 0 {
+		return
+	}
+	if len(batch) == 1 {
+		// A lone request executes under its own context, so client
+		// cancellation aborts the prediction itself. A force-close (expired
+		// Shutdown deadline) also cancels it via the base context.
+		ctx, cancel := v.requestCtx(batch[0])
+		preds, err := v.pred.PredictBatch(ctx, batch[0].inputs)
+		cancel()
+		batch[0].done <- batchResult{preds: preds, err: err}
+		return
+	}
+	// Merge columns across the batch's requests.
+	merged := make(map[string][]value.Value)
+	for _, p := range batch {
+		for k, val := range p.inputs {
+			merged[k] = append(merged[k], val)
+		}
+	}
+	inputs := make(map[string]value.Value, len(merged))
+	for k, vs := range merged {
+		cat, err := concatValues(vs)
+		if err != nil {
+			for _, p := range batch {
+				p.done <- batchResult{err: err}
+			}
+			return
+		}
+		inputs[k] = cat
+	}
+	// A merged batch serves several independent requests, so one client's
+	// cancellation must not abort the others: execute under the registry's
+	// context, which only a force-close cancels.
+	preds, err := v.pred.PredictBatch(v.baseCtx, inputs)
+	if err != nil {
+		for _, p := range batch {
+			p.done <- batchResult{err: err}
+		}
+		return
+	}
+	off := 0
+	for _, p := range batch {
+		p.done <- batchResult{preds: preds[off : off+p.n]}
+		off += p.n
+	}
+}
+
+func concatValues(vs []value.Value) (value.Value, error) {
+	if len(vs) == 1 {
+		return vs[0], nil
+	}
+	switch vs[0].Kind {
+	case value.Strings:
+		var out []string
+		for _, v := range vs {
+			out = append(out, v.Strings...)
+		}
+		return value.NewStrings(out), nil
+	case value.Floats:
+		var out []float64
+		for _, v := range vs {
+			out = append(out, v.Floats...)
+		}
+		return value.NewFloats(out), nil
+	case value.Ints:
+		var out []int64
+		for _, v := range vs {
+			out = append(out, v.Ints...)
+		}
+		return value.NewInts(out), nil
+	default:
+		return value.Value{}, fmt.Errorf("serving: cannot merge %s columns", vs[0].Kind)
+	}
+}

@@ -1,83 +1,19 @@
 package serving
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"willump/internal/core"
 	"willump/internal/value"
 )
-
-// wireColumn is the JSON wire format for one input column.
-type wireColumn struct {
-	Kind    string    `json:"kind"`
-	Strings []string  `json:"strings,omitempty"`
-	Floats  []float64 `json:"floats,omitempty"`
-	Ints    []int64   `json:"ints,omitempty"`
-}
-
-// wireRequest is a prediction RPC request: a batch of raw inputs.
-type wireRequest struct {
-	Inputs map[string]wireColumn `json:"inputs"`
-}
-
-// wireResponse carries predictions or an error.
-type wireResponse struct {
-	Predictions []float64 `json:"predictions,omitempty"`
-	Error       string    `json:"error,omitempty"`
-}
-
-func encodeInputs(inputs map[string]value.Value) (map[string]wireColumn, error) {
-	out := make(map[string]wireColumn, len(inputs))
-	for k, v := range inputs {
-		switch v.Kind {
-		case value.Strings:
-			out[k] = wireColumn{Kind: "strings", Strings: v.Strings}
-		case value.Floats:
-			out[k] = wireColumn{Kind: "floats", Floats: v.Floats}
-		case value.Ints:
-			out[k] = wireColumn{Kind: "ints", Ints: v.Ints}
-		default:
-			return nil, fmt.Errorf("serving: cannot serialize %s column %q", v.Kind, k)
-		}
-	}
-	return out, nil
-}
-
-func decodeInputs(cols map[string]wireColumn) (map[string]value.Value, int, error) {
-	out := make(map[string]value.Value, len(cols))
-	n := -1
-	for k, c := range cols {
-		var v value.Value
-		switch c.Kind {
-		case "strings":
-			v = value.NewStrings(c.Strings)
-		case "floats":
-			v = value.NewFloats(c.Floats)
-		case "ints":
-			v = value.NewInts(c.Ints)
-		default:
-			return nil, 0, fmt.Errorf("serving: unknown column kind %q", c.Kind)
-		}
-		if n == -1 {
-			n = v.Len()
-		} else if v.Len() != n {
-			return nil, 0, fmt.Errorf("serving: column %q has %d rows, want %d", k, v.Len(), n)
-		}
-		out[k] = v
-	}
-	if n <= 0 {
-		return nil, 0, fmt.Errorf("serving: empty request")
-	}
-	return out, n, nil
-}
 
 // Options configures the serving frontend.
 type Options struct {
@@ -87,11 +23,15 @@ type Options struct {
 	// BatchTimeout is how long the batcher waits to fill a batch
 	// (default 500us).
 	BatchTimeout time.Duration
-	// CacheCapacity, when non-zero, enables the end-to-end prediction cache
-	// (< 0 for unbounded).
+	// QueueDepth bounds each deployed model's request queue (default 1024).
+	// A full queue rejects new requests with HTTP 429 — bounded-queue
+	// admission control instead of unbounded memory growth under overload.
+	QueueDepth int
+	// CacheCapacity, when non-zero, enables a per-deployed-version
+	// end-to-end prediction cache (< 0 for unbounded).
 	CacheCapacity int
-	// CacheKeyOrder fixes the input-column order for cache keys; required
-	// when the cache is enabled.
+	// CacheKeyOrder fixes the input-column order for cache keys; when empty,
+	// a deployed pipeline's own input schema is used.
 	CacheKeyOrder []string
 }
 
@@ -102,78 +42,80 @@ func (o Options) withDefaults() Options {
 	if o.BatchTimeout <= 0 {
 		o.BatchTimeout = 500 * time.Microsecond
 	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
 	return o
 }
 
-// Server is the Clipper-like serving frontend.
+// DefaultModelName is the name NewServer deploys a lone predictor under.
+const DefaultModelName = "default"
+
+// errBadRequest marks errors caused by the request itself (HTTP 400).
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Server is the HTTP serving frontend over a model Registry.
+//
+// Routes:
+//
+//	POST /v1/models/{name}/predict   prediction (batch, point, overrides)
+//	POST /v1/models/{name}/topk      top-K ranking within the request batch
+//	GET  /v1/models/{name}/stats     per-model serving telemetry
+//	GET  /v1/models/{name}           describe one model
+//	GET  /v1/models                  list deployed models
+//	POST /predict                    legacy route: the default model
+//	GET  /healthz                    liveness
 type Server struct {
-	pred Predictor
-	opts Options
+	reg *Registry
 
-	queue chan *pending
-	http  *http.Server
-	ln    net.Listener
-	wg    sync.WaitGroup
+	http *http.Server
+	ln   net.Listener
+	wg   sync.WaitGroup
 
-	// baseCtx is the execution context for merged batches; cancelled only
-	// when the server force-closes, so a graceful Shutdown drains in-flight
-	// work to completion.
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	// stop tells the batcher to drain whatever is queued and exit.
-	stop chan struct{}
+	requests atomic.Int64
+	closed   atomic.Bool
 	// shutdownDone closes once the first Shutdown/Close finishes draining;
 	// concurrent callers block on it and observe shutdownErr.
 	shutdownDone chan struct{}
 	shutdownErr  error
-
-	requests atomic.Int64
-	closed   atomic.Bool
 }
 
-type pending struct {
-	ctx    context.Context // the originating request's context
-	inputs map[string]value.Value
-	n      int
-	done   chan batchResult
-}
-
-type batchResult struct {
-	preds []float64
-	err   error
-}
-
-// NewServer wraps a predictor with the serving frontend.
+// NewServer wraps a single predictor with the serving frontend, deploying
+// it as the registry's default model. Use NewRegistryServer to host many
+// named, versioned models behind one server. NewServer panics on a
+// configuration that could never serve a request: a nil predictor, or a
+// prediction cache enabled without CacheKeyOrder (previously such a server
+// constructed fine and then failed every request).
 func NewServer(p Predictor, opts Options) *Server {
-	opts = opts.withDefaults()
-	if opts.CacheCapacity != 0 {
-		capacity := opts.CacheCapacity
-		if capacity < 0 {
-			capacity = 0 // unbounded LRU
-		}
-		p = NewCachedPredictor(p, capacity, opts.CacheKeyOrder)
+	reg := NewRegistry(opts)
+	if err := reg.DeployPredictor(DefaultModelName, "v1", p, opts.CacheKeyOrder); err != nil {
+		panic(fmt.Sprintf("serving: deploying default model: %v", err))
 	}
-	baseCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		pred:         p,
-		opts:         opts,
-		queue:        make(chan *pending, 1024),
-		baseCtx:      baseCtx,
-		cancel:       cancel,
-		stop:         make(chan struct{}),
-		shutdownDone: make(chan struct{}),
-	}
+	return NewRegistryServer(reg)
 }
 
-// Start listens on 127.0.0.1 (ephemeral port) and launches the batcher.
-// It returns the base URL.
+// NewRegistryServer wraps a registry with the HTTP serving frontend. The
+// server owns the registry's lifecycle: Shutdown (or Close) drains and
+// closes it.
+func NewRegistryServer(reg *Registry) *Server {
+	return &Server{reg: reg, shutdownDone: make(chan struct{})}
+}
+
+// Registry returns the registry this server hosts, for deploying and
+// undeploying models while the server runs.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start listens on 127.0.0.1 (ephemeral port). It returns the base URL.
 func (s *Server) Start() (string, error) {
 	return s.StartOn("127.0.0.1:0")
 }
 
-// StartOn listens on an explicit address (host:port) and launches the
-// batcher; deployment binaries use it to bind a stable serving endpoint.
-// It returns the base URL.
+// StartOn listens on an explicit address (host:port); deployment binaries
+// use it to bind a stable serving endpoint. It returns the base URL.
 func (s *Server) StartOn(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -181,50 +123,59 @@ func (s *Server) StartOn(addr string) (string, error) {
 	}
 	s.ln = ln
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePredict(w, r, "")
+	})
+	mux.HandleFunc("POST /v1/models/{name}/predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePredict(w, r, r.PathValue("name"))
+	})
+	mux.HandleFunc("POST /v1/models/{name}/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/models/{name}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleDescribe)
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	s.http = &http.Server{Handler: mux}
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
-	}()
-	go func() {
-		defer s.wg.Done()
-		s.batcher()
 	}()
 	return "http://" + ln.Addr().String(), nil
 }
 
 // Shutdown gracefully stops the server: new requests are rejected
-// immediately, in-flight requests (including any batch the batcher is
-// executing) drain to completion, and the batcher exits once the queue is
+// immediately, in-flight requests (including any batch a model's batcher is
+// executing) drain to completion, and every batcher exits once its queue is
 // empty. The context bounds how long the drain may take; when it expires,
 // remaining work is cancelled through the execution context and pending
 // waiters receive the cancellation error.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		// Another Shutdown/Close is (or was) draining: wait for it to finish
-		// so no caller tears down the hosted predictor's resources early.
+		// so no caller tears down the hosted models' resources early.
 		<-s.shutdownDone
 		return s.shutdownErr
 	}
-	// Graceful HTTP drain: waits for in-flight handlers, which in turn wait
-	// on the still-running batcher for their results.
-	err := s.http.Shutdown(ctx)
-	if err != nil {
-		// The drain deadline expired with handlers still waiting: cancel the
-		// execution context so their batches abort between graph blocks and
-		// straggling handlers stop waiting on the batcher.
-		s.cancel()
+	var err error
+	if s.http != nil {
+		// Graceful HTTP drain: waits for in-flight handlers, which in turn
+		// wait on the still-running batchers for their results.
+		err = s.http.Shutdown(ctx)
+		if err != nil {
+			// The drain deadline expired with handlers still waiting: cancel
+			// the execution context so their batches abort between graph
+			// blocks and straggling handlers stop waiting on the batchers.
+			s.reg.cancel()
+		}
 	}
-	// Tell the batcher to drain the queue and exit, then wait for it and the
-	// HTTP serve loop.
-	close(s.stop)
+	// Drain every model's batcher, then wait for the HTTP serve loop.
+	if cerr := s.reg.Close(ctx); err == nil {
+		err = cerr
+	}
 	s.wg.Wait()
-	s.cancel()
+	s.reg.cancel()
 	s.shutdownErr = err
 	close(s.shutdownDone)
 	return err
@@ -236,54 +187,26 @@ func (s *Server) Close() error {
 	return s.Shutdown(context.Background())
 }
 
-// Requests returns the number of RPC requests served.
+// Requests returns the number of prediction RPC requests received.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: server shutting down"))
-		return
-	}
-	s.requests.Add(1)
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	var req wireRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	inputs, n, err := decodeInputs(req.Inputs)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	p := &pending{ctx: r.Context(), inputs: inputs, n: n, done: make(chan batchResult, 1)}
-	select {
-	case s.queue <- p:
+var errShuttingDown = errors.New("serving: server shutting down")
+
+// statusFor maps serving errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrModelNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable
 	default:
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: queue full"))
-		return
-	}
-	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
-	select {
-	case res := <-p.done:
-		if res.err != nil {
-			writeError(w, http.StatusInternalServerError, res.err)
-			return
-		}
-		json.NewEncoder(w).Encode(wireResponse{Predictions: res.preds}) //nolint:errcheck
-	case <-p.ctx.Done():
-		// The client went away or its deadline expired; the batcher will
-		// notice the dead context when it reaches this request.
-		writeError(w, http.StatusServiceUnavailable, p.ctx.Err())
-	case <-s.baseCtx.Done():
-		// Force-close: a Shutdown deadline expired and the batcher may have
-		// exited without reaching this request. Don't wait for a result that
-		// may never come.
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serving: server shutting down"))
+		return http.StatusInternalServerError
 	}
 }
 
@@ -292,204 +215,294 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(wireResponse{Error: err.Error()}) //nolint:errcheck
 }
 
-// batcher implements adaptive batching: drain every request already queued
-// (without waiting — a lone request must not pay a batching delay), then
-// wait up to BatchTimeout for more only while work keeps arriving, execute
-// the merged batch once, and scatter results back to waiters (Clipper's
-// core serving loop). Requests whose contexts are already dead are answered
-// with the context error instead of joining a batch. On shutdown the batcher
-// drains everything still queued before exiting.
-func (s *Server) batcher() {
-	for {
-		var first *pending
-		select {
-		case first = <-s.queue:
-		case <-s.stop:
-			// Shutdown: serve whatever is still queued, then exit.
-			for {
-				select {
-				case p := <-s.queue:
-					s.runBatch([]*pending{p})
-				default:
-					return
-				}
-			}
-		}
-		if first.ctx.Err() != nil {
-			first.done <- batchResult{err: first.ctx.Err()}
-			continue
-		}
-		batch := []*pending{first}
-		rows := first.n
-		// Non-blocking drain: take whatever is queued right now.
-	drain:
-		for rows < s.opts.MaxBatch {
-			select {
-			case p := <-s.queue:
-				batch, rows = appendLive(batch, rows, p)
-			default:
-				break drain
-			}
-		}
-		// If we found concurrent work, wait briefly for stragglers.
-		if len(batch) > 1 && rows < s.opts.MaxBatch {
-			deadline := time.NewTimer(s.opts.BatchTimeout)
-		fill:
-			for rows < s.opts.MaxBatch {
-				select {
-				case p := <-s.queue:
-					batch, rows = appendLive(batch, rows, p)
-				case <-deadline.C:
-					break fill
-				case <-s.stop:
-					break fill
-				}
-			}
-			deadline.Stop()
-		}
-		s.runBatch(batch)
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// decodeRequest parses a prediction/top-K request body.
+func decodeRequest(r *http.Request) (map[string]value.Value, int, core.PredictOptions, error) {
+	var req wireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, 0, core.PredictOptions{}, badRequestf("decoding request: %v", err)
+	}
+	inputs, n, err := decodeInputs(req.Inputs)
+	if err != nil {
+		return nil, 0, core.PredictOptions{}, fmt.Errorf("%w: %s", errBadRequest, err)
+	}
+	po, err := req.Options.toPredictOptions()
+	if err != nil {
+		return nil, 0, core.PredictOptions{}, fmt.Errorf("%w: %s", errBadRequest, err)
+	}
+	return inputs, n, po, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errShuttingDown)
+		return
+	}
+	s.requests.Add(1)
+	inputs, n, po, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	h, err := s.reg.lookup(name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	start := time.Now()
+	var preds []float64
+	if po.IsZero() {
+		preds, err = s.executeBatched(r.Context(), h, inputs, n)
+	} else {
+		preds, err = s.executeDirect(r.Context(), h, inputs, n, po)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		h.stats.reject()
+	} else {
+		h.stats.record(start, err)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, wireResponse{Predictions: preds})
+}
+
+// executeBatched admits a default-options request to the model's adaptive
+// batcher, where it may merge with concurrent requests — the pre-registry
+// single-model serving path, bit for bit.
+func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int) ([]float64, error) {
+	p := &pending{ctx: rctx, inputs: inputs, n: n, done: make(chan batchResult, 1)}
+	if err := h.enqueue(p); err != nil {
+		return nil, err
+	}
+	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
+	select {
+	case res := <-p.done:
+		return res.preds, res.err
+	case <-rctx.Done():
+		// The client went away or its deadline expired; the batcher will
+		// notice the dead context when it reaches this request.
+		return nil, rctx.Err()
+	case <-s.reg.baseCtx.Done():
+		// Force-close: a Shutdown deadline expired and the batcher may have
+		// exited without reaching this request. Don't wait for a result that
+		// may never come.
+		return nil, errShuttingDown
 	}
 }
 
-// requestCtx derives the execution context for a lone request: cancelled
-// when either the request's own context or the server's base context dies.
-func (s *Server) requestCtx(p *pending) (context.Context, context.CancelFunc) {
-	if p.ctx == nil {
-		return s.baseCtx, func() {}
-	}
-	ctx, cancel := context.WithCancel(p.ctx)
-	detach := context.AfterFunc(s.baseCtx, cancel)
+// joinContext derives an execution context cancelled when either the
+// request's context or the registry's base context dies.
+func (s *Server) joinContext(rctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(rctx)
+	detach := context.AfterFunc(s.reg.baseCtx, cancel)
 	return ctx, func() { detach(); cancel() }
 }
 
-// appendLive adds p to the batch unless its request context is already dead,
-// in which case the waiter is answered immediately.
-func appendLive(batch []*pending, rows int, p *pending) ([]*pending, int) {
-	if err := p.ctx.Err(); err != nil {
-		p.done <- batchResult{err: err}
-		return batch, rows
+// executeDirect serves a request carrying per-request options. Such
+// requests never merge into shared batches: one request's overrides must
+// not leak into another's results (and deadlines stay the request's own).
+// Direct execution is still admission-controlled: concurrent direct
+// requests are bounded like the batch queue, rejecting with ErrOverloaded
+// beyond the configured depth.
+func (s *Server) executeDirect(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int, po core.PredictOptions) ([]float64, error) {
+	release, err := h.admitDirect()
+	if err != nil {
+		return nil, err
 	}
-	return append(batch, p), rows + p.n
+	defer release()
+	v := h.active.Load()
+	if v == nil {
+		return nil, fmt.Errorf("serving: model %q: %w", h.name, ErrModelNotFound)
+	}
+	ctx, cancel := s.joinContext(rctx)
+	defer cancel()
+	if v.opt == nil {
+		// Black-box predictor: the registry cannot reach inside it to
+		// override optimizer knobs, but deadline and point modality are
+		// generic (a point query is a single-row batch).
+		if po.CascadeThreshold != nil || po.Budget > 0 {
+			return nil, badRequestf("model %q is a black-box predictor and does not support optimizer overrides", h.name)
+		}
+		if po.Point && n != 1 {
+			return nil, badRequestf("point query carries %d rows, want 1", n)
+		}
+		if po.Deadline > 0 {
+			var dcancel context.CancelFunc
+			ctx, dcancel = context.WithTimeout(ctx, po.Deadline)
+			defer dcancel()
+		}
+		return v.pred.PredictBatch(ctx, inputs)
+	}
+	if po.Point {
+		if n != 1 {
+			return nil, badRequestf("point query carries %d rows, want 1", n)
+		}
+		f, err := v.opt.PredictPointOptions(ctx, inputs, po)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{f}, nil
+	}
+	preds, cs, err := v.opt.PredictBatchOptions(ctx, inputs, po)
+	if err == nil {
+		h.stats.recordCascade(cs)
+	}
+	return preds, err
 }
 
-// runBatch merges the batch's inputs, predicts once under the server's
-// execution context, and distributes results to the waiters.
-func (s *Server) runBatch(batch []*pending) {
-	if len(batch) == 0 {
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errShuttingDown)
 		return
 	}
-	if len(batch) == 1 {
-		// A lone request executes under its own context, so client
-		// cancellation aborts the prediction itself. A server force-close
-		// (expired Shutdown deadline) also cancels it via the base context.
-		ctx, cancel := s.requestCtx(batch[0])
-		preds, err := s.pred.PredictBatch(ctx, batch[0].inputs)
-		cancel()
-		batch[0].done <- batchResult{preds: preds, err: err}
+	s.requests.Add(1)
+	inputs, _, po, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, statusFor(err), err)
 		return
 	}
-	// Merge columns in the first request's key set.
-	merged := make(map[string][]value.Value)
-	for _, p := range batch {
-		for k, v := range p.inputs {
-			merged[k] = append(merged[k], v)
-		}
+	h, err := s.reg.lookup(r.PathValue("name"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
 	}
-	inputs := make(map[string]value.Value, len(merged))
-	for k, vs := range merged {
-		cat, err := concatValues(vs)
-		if err != nil {
-			for _, p := range batch {
-				p.done <- batchResult{err: err}
-			}
+	start := time.Now()
+	idx, err := s.executeTopK(r.Context(), h, inputs, po)
+	if errors.Is(err, ErrOverloaded) {
+		h.stats.reject()
+	} else {
+		h.stats.record(start, err)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, wireResponse{Indices: idx})
+}
+
+// executeTopK serves a top-K ranking over the request's batch. Top-K is a
+// whole-batch query — the ranking is relative to the rows the client sent —
+// so it never merges with other requests.
+func (s *Server) executeTopK(rctx context.Context, h *Hosted, inputs map[string]value.Value, po core.PredictOptions) ([]int, error) {
+	release, err := h.admitDirect()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	v := h.active.Load()
+	if v == nil {
+		return nil, fmt.Errorf("serving: model %q: %w", h.name, ErrModelNotFound)
+	}
+	if v.opt == nil || v.opt.Filter == nil {
+		return nil, badRequestf("model %q was not optimized for top-K queries", h.name)
+	}
+	if po.K <= 0 {
+		return nil, badRequestf("top-K query requires options.k > 0")
+	}
+	ctx, cancel := s.joinContext(rctx)
+	defer cancel()
+	return v.opt.TopKOptions(ctx, inputs, po)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.reg.Models()
+	out := wireModelList{Models: make([]wireModelInfo, len(infos))}
+	for i, mi := range infos {
+		out.Models[i] = toWireModelInfo(mi)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	for _, mi := range s.reg.Models() {
+		if mi.Name == name {
+			writeJSON(w, toWireModelInfo(mi))
 			return
 		}
-		inputs[k] = cat
 	}
-	// A merged batch serves several independent requests, so one client's
-	// cancellation must not abort the others: execute under the server's
-	// context, which only a force-close cancels.
-	preds, err := s.pred.PredictBatch(s.baseCtx, inputs)
+	writeError(w, http.StatusNotFound, fmt.Errorf("serving: model %q: %w", name, ErrModelNotFound))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.Stats(r.PathValue("name"))
 	if err != nil {
-		for _, p := range batch {
-			p.done <- batchResult{err: err}
-		}
+		writeError(w, statusFor(err), err)
 		return
 	}
-	off := 0
-	for _, p := range batch {
-		p.done <- batchResult{preds: preds[off : off+p.n]}
-		off += p.n
+	writeJSON(w, toWireStats(st))
+}
+
+func toWireModelInfo(mi ModelInfo) wireModelInfo {
+	return wireModelInfo{
+		Name:             mi.Name,
+		Version:          mi.Version,
+		Default:          mi.Default,
+		Inputs:           mi.Inputs,
+		Cascade:          mi.Cascade,
+		CascadeThreshold: mi.CascadeThreshold,
+		TopK:             mi.TopK,
 	}
 }
 
-func concatValues(vs []value.Value) (value.Value, error) {
-	if len(vs) == 1 {
-		return vs[0], nil
+func fromWireModelInfo(wi wireModelInfo) ModelInfo {
+	return ModelInfo{
+		Name:             wi.Name,
+		Version:          wi.Version,
+		Default:          wi.Default,
+		Inputs:           wi.Inputs,
+		Cascade:          wi.Cascade,
+		CascadeThreshold: wi.CascadeThreshold,
+		TopK:             wi.TopK,
 	}
-	switch vs[0].Kind {
-	case value.Strings:
-		var out []string
-		for _, v := range vs {
-			out = append(out, v.Strings...)
+}
+
+func toWireStats(st ModelStats) wireStats {
+	out := wireStats{
+		Model:    st.Model,
+		Version:  st.Version,
+		Requests: st.Requests,
+		Errors:   st.Errors,
+		Rejected: st.Rejected,
+		QPS:      st.QPS,
+		LatencyMS: wireLatency{
+			P50: float64(st.LatencyP50) / float64(time.Millisecond),
+			P90: float64(st.LatencyP90) / float64(time.Millisecond),
+			P99: float64(st.LatencyP99) / float64(time.Millisecond),
+		},
+	}
+	if st.CascadeTotal > 0 {
+		out.Cascade = &wireCascade{
+			Total:     st.CascadeTotal,
+			SmallOnly: st.CascadeSmallOnly,
+			HitRate:   st.CascadeHitRate,
 		}
-		return value.NewStrings(out), nil
-	case value.Floats:
-		var out []float64
-		for _, v := range vs {
-			out = append(out, v.Floats...)
-		}
-		return value.NewFloats(out), nil
-	case value.Ints:
-		var out []int64
-		for _, v := range vs {
-			out = append(out, v.Ints...)
-		}
-		return value.NewInts(out), nil
-	default:
-		return value.Value{}, fmt.Errorf("serving: cannot merge %s columns", vs[0].Kind)
 	}
+	return out
 }
 
-// Client is an RPC client for a serving frontend.
-type Client struct {
-	base string
-	http *http.Client
-}
-
-// NewClient returns a client for the server at base URL.
-func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
-}
-
-// Predict sends one prediction RPC carrying a batch of raw inputs. The
-// context's cancellation or deadline propagates to the server, which aborts
-// the queued or in-flight work for this request.
-func (c *Client) Predict(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
-	cols, err := encodeInputs(inputs)
-	if err != nil {
-		return nil, err
+func fromWireStats(ws wireStats) ModelStats {
+	out := ModelStats{
+		Model:      ws.Model,
+		Version:    ws.Version,
+		Requests:   ws.Requests,
+		Errors:     ws.Errors,
+		Rejected:   ws.Rejected,
+		QPS:        ws.QPS,
+		LatencyP50: time.Duration(ws.LatencyMS.P50 * float64(time.Millisecond)),
+		LatencyP90: time.Duration(ws.LatencyMS.P90 * float64(time.Millisecond)),
+		LatencyP99: time.Duration(ws.LatencyMS.P99 * float64(time.Millisecond)),
 	}
-	body, err := json.Marshal(wireRequest{Inputs: cols})
-	if err != nil {
-		return nil, err
+	if ws.Cascade != nil {
+		out.CascadeTotal = ws.Cascade.Total
+		out.CascadeSmallOnly = ws.Cascade.SmallOnly
+		out.CascadeHitRate = ws.Cascade.HitRate
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/predict", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("serving: rpc: %w", err)
-	}
-	defer resp.Body.Close()
-	var wire wireResponse
-	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("serving: decoding response: %w", err)
-	}
-	if wire.Error != "" {
-		return nil, fmt.Errorf("serving: server error: %s", wire.Error)
-	}
-	return wire.Predictions, nil
+	return out
 }

@@ -8,6 +8,9 @@ package serving
 
 import (
 	"context"
+	"fmt"
+	"sort"
+	"strings"
 
 	"willump/internal/cache"
 	"willump/internal/value"
@@ -48,13 +51,26 @@ func NewCachedPredictor(inner Predictor, capacity int, keyOrder []string) *Cache
 }
 
 // PredictBatch implements Predictor, serving repeated input tuples from the
-// cache and computing only the misses.
+// cache and computing only the misses. Every column named in the cache key
+// order must be present and the same length — a missing column would
+// otherwise silently key the cache on a zero value and miscount the batch.
 func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+	if len(p.keys) == 0 {
+		return nil, fmt.Errorf("serving: cached predictor has an empty cache key order")
+	}
 	cols := make([]value.Value, len(p.keys))
-	n := 0
+	n := -1
 	for i, k := range p.keys {
-		cols[i] = inputs[k]
-		n = cols[i].Len()
+		v, ok := inputs[k]
+		if !ok {
+			return nil, fmt.Errorf("serving: cache key column %q missing from request (have %s)", k, columnNames(inputs))
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, fmt.Errorf("serving: cache key column %q has %d rows, want %d", k, v.Len(), n)
+		}
+		cols[i] = v
 	}
 	out := make([]float64, n)
 	var missRows []int
@@ -86,3 +102,13 @@ func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]va
 
 // Stats returns the end-to-end cache's hit and miss counts.
 func (p *CachedPredictor) Stats() (hits, misses int64) { return p.cache.Stats() }
+
+// columnNames renders a request's column names for error messages.
+func columnNames(inputs map[string]value.Value) string {
+	names := make([]string, 0, len(inputs))
+	for k := range inputs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,101 @@
+package serving
+
+import (
+	"sync/atomic"
+	"time"
+
+	"willump/internal/cascade"
+	"willump/internal/metrics"
+)
+
+// modelStats accumulates per-model serving telemetry. One instance lives on
+// each Hosted model and survives version hot swaps, so operators see a
+// continuous series across deployments.
+type modelStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+
+	latencies *metrics.Window // milliseconds
+	meter     *metrics.Meter
+
+	cascadeTotal atomic.Int64
+	cascadeSmall atomic.Int64
+}
+
+func newModelStats() *modelStats {
+	return &modelStats{
+		latencies: metrics.NewWindow(2048),
+		meter:     metrics.NewMeter(time.Minute),
+	}
+}
+
+// record accounts one served request: its latency, its outcome, and its
+// contribution to the QPS meter.
+func (s *modelStats) record(start time.Time, err error) {
+	now := time.Now()
+	s.requests.Add(1)
+	s.meter.Mark(now)
+	s.latencies.Observe(float64(now.Sub(start)) / float64(time.Millisecond))
+	if err != nil {
+		s.errors.Add(1)
+	}
+}
+
+// reject accounts one request turned away by admission control (HTTP 429).
+func (s *modelStats) reject() { s.rejected.Add(1) }
+
+// recordCascade folds one batch's cascade serving counters in.
+func (s *modelStats) recordCascade(cs cascade.ServeStats) {
+	if cs.Total == 0 {
+		return
+	}
+	s.cascadeTotal.Add(int64(cs.Total))
+	s.cascadeSmall.Add(int64(cs.SmallOnly))
+}
+
+// ModelStats is a point-in-time snapshot of one model's serving telemetry,
+// as reported on /v1/models/{name}/stats.
+type ModelStats struct {
+	// Model and Version identify the deployment the snapshot was taken of.
+	Model   string
+	Version string
+	// Requests, Errors, and Rejected count served, failed, and
+	// admission-rejected (HTTP 429) requests since deployment.
+	Requests int64
+	Errors   int64
+	Rejected int64
+	// QPS is the request rate over the trailing minute.
+	QPS float64
+	// LatencyP50/P90/P99 are streaming quantiles over recent requests.
+	LatencyP50 time.Duration
+	LatencyP90 time.Duration
+	LatencyP99 time.Duration
+	// CascadeTotal and CascadeSmallOnly count rows served through the
+	// cascade and the subset answered by the small model alone;
+	// CascadeHitRate is their ratio (0 when no cascade is deployed).
+	CascadeTotal     int64
+	CascadeSmallOnly int64
+	CascadeHitRate   float64
+}
+
+// snapshot captures the current counters.
+func (s *modelStats) snapshot(model, version string) ModelStats {
+	ms := ModelStats{
+		Model:            model,
+		Version:          version,
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		Rejected:         s.rejected.Load(),
+		QPS:              s.meter.Rate(time.Now()),
+		LatencyP50:       time.Duration(s.latencies.Quantile(50) * float64(time.Millisecond)),
+		LatencyP90:       time.Duration(s.latencies.Quantile(90) * float64(time.Millisecond)),
+		LatencyP99:       time.Duration(s.latencies.Quantile(99) * float64(time.Millisecond)),
+		CascadeTotal:     s.cascadeTotal.Load(),
+		CascadeSmallOnly: s.cascadeSmall.Load(),
+	}
+	if ms.CascadeTotal > 0 {
+		ms.CascadeHitRate = float64(ms.CascadeSmallOnly) / float64(ms.CascadeTotal)
+	}
+	return ms
+}

@@ -1,0 +1,173 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"willump/internal/core"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite wire protocol golden files")
+
+// goldenCheck marshals v (indented, stable key order) and compares it
+// byte-for-byte against the named golden file, then decodes the golden file
+// back into a fresh instance and compares structs — pinning both directions
+// of the wire format the way the artifact header test pins its encoding.
+func goldenCheck[T any](t *testing.T, name string, v T) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire encoding drifted from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+	var back T
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("decoding golden: %v", err)
+	}
+	if !reflect.DeepEqual(back, v) {
+		t.Errorf("golden round trip drifted:\n got: %+v\nwant: %+v", back, v)
+	}
+}
+
+func TestWireRequestGolden(t *testing.T) {
+	th := 0.85
+	req := wireRequest{
+		Inputs: map[string]wireColumn{
+			"title": {Kind: "strings", Strings: []string{"abc", "def"}},
+			"score": {Kind: "floats", Floats: []float64{1.5, -2.25}},
+			"id":    {Kind: "ints", Ints: []int64{7, 8}},
+		},
+		Options: &wireOptions{
+			CascadeThreshold: &th,
+			K:                10,
+			Budget:           200,
+			Point:            false,
+			DeadlineMillis:   1500,
+		},
+	}
+	goldenCheck(t, "wire_request_options.golden.json", req)
+}
+
+// TestWireRequestLegacyGolden pins the pre-options request shape: a request
+// without per-request options must serialize with no options key at all, so
+// new clients speak byte-identically to old servers.
+func TestWireRequestLegacyGolden(t *testing.T) {
+	req := wireRequest{
+		Inputs: map[string]wireColumn{
+			"x": {Kind: "floats", Floats: []float64{1, 2, 3}},
+		},
+	}
+	goldenCheck(t, "wire_request_legacy.golden.json", req)
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("options")) {
+		t.Errorf("zero-option request leaks an options field: %s", raw)
+	}
+}
+
+func TestWireResponseGolden(t *testing.T) {
+	goldenCheck(t, "wire_response_predictions.golden.json",
+		wireResponse{Predictions: []float64{0.25, 0.75}})
+	goldenCheck(t, "wire_response_indices.golden.json",
+		wireResponse{Indices: []int{4, 1, 3}})
+	goldenCheck(t, "wire_response_error.golden.json",
+		wireResponse{Error: "serving: empty request"})
+}
+
+func TestWireModelListGolden(t *testing.T) {
+	goldenCheck(t, "wire_models.golden.json", wireModelList{Models: []wireModelInfo{
+		{
+			Name: "toxic", Version: "v2", Default: true,
+			Inputs: []string{"comment"}, Cascade: true, CascadeThreshold: 0.7, TopK: true,
+		},
+		{Name: "product", Version: "v1", Inputs: []string{"title"}},
+	}})
+}
+
+func TestWireStatsGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats.golden.json", wireStats{
+		Model: "toxic", Version: "v2",
+		Requests: 1200, Errors: 3, Rejected: 17, QPS: 56.5,
+		LatencyMS: wireLatency{P50: 1.25, P90: 4.5, P99: 12.75},
+		Cascade:   &wireCascade{Total: 4800, SmallOnly: 4100, HitRate: 0.8541666666666666},
+	})
+}
+
+// TestWireOptionsConversion checks the wire <-> core options mapping both
+// ways, including the nil (no overrides) fast path.
+func TestWireOptionsConversion(t *testing.T) {
+	po, err := (*wireOptions)(nil).toPredictOptions()
+	if err != nil || !po.IsZero() {
+		t.Fatalf("nil options = %+v, %v; want zero", po, err)
+	}
+	if w := fromPredictOptions(core.PredictOptions{}); w != nil {
+		t.Fatalf("zero options encoded as %+v, want nil", w)
+	}
+	th := 0.6
+	in := core.ResolvePredict(
+		core.WithCascadeThreshold(th),
+		core.WithTopKBudget(42),
+		core.WithPointQuery(),
+		core.WithPredictDeadline(250*1e6), // 250ms
+	)
+	w := fromPredictOptions(in)
+	back, err := w.toPredictOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back.CascadeThreshold != th || back.Budget != 42 || !back.Point || back.Deadline != 250*1e6 {
+		t.Errorf("round trip = %+v, want %+v", back, in)
+	}
+	// Sub-millisecond deadlines survive the wire exactly.
+	sub := fromPredictOptions(core.ResolvePredict(core.WithPredictDeadline(500 * 1e3))) // 500us
+	subBack, err := sub.toPredictOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subBack.Deadline != 500*1e3 {
+		t.Errorf("sub-ms deadline round trip = %v, want 500us", subBack.Deadline)
+	}
+	// Invalid options are rejected at the boundary.
+	if _, err := (&wireOptions{K: -1}).toPredictOptions(); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := (&wireOptions{DeadlineMillis: -5}).toPredictOptions(); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+// TestWireUnknownFieldsIgnored: older servers must tolerate requests from
+// newer clients that add optional fields.
+func TestWireUnknownFieldsIgnored(t *testing.T) {
+	raw := []byte(`{"inputs":{"x":{"kind":"floats","floats":[1]}},"options":{"k":3,"future_knob":true},"future_field":1}`)
+	var req wireRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		t.Fatalf("decoding forward-compatible request: %v", err)
+	}
+	if req.Options == nil || req.Options.K != 3 {
+		t.Errorf("options = %+v, want k=3", req.Options)
+	}
+	if _, _, err := decodeInputs(req.Inputs); err != nil {
+		t.Errorf("decodeInputs: %v", err)
+	}
+}

@@ -80,8 +80,10 @@ func (f *Filter) TopK(ctx context.Context, inputs map[string]value.Value, k int)
 	return f.TopKSubset(ctx, inputs, k, -1)
 }
 
-// TopKSubset is TopK with an explicit subset size (the Table 7 sweep);
-// subsetSize < 0 selects the configured default.
+// TopKSubset is TopK with an explicit subset size — the Table 7 sweep, and
+// the serving layer's per-request budget override (PredictOptions.Budget);
+// subsetSize < 0 selects the configured default policy. Explicit sizes are
+// clamped to [k, n].
 func (f *Filter) TopKSubset(ctx context.Context, inputs map[string]value.Value, k int, subsetSize int) ([]int, error) {
 	prog := f.Approx.Prog
 	run, err := prog.NewRun(ctx, inputs)

@@ -1,6 +1,10 @@
 package willump
 
-import "willump/internal/core"
+import (
+	"time"
+
+	"willump/internal/core"
+)
 
 // Paper-default optimization constants (section 6): the cascade accuracy
 // target and Algorithm 1 stopping constant, and the top-K filter's subset
@@ -88,3 +92,36 @@ func WithWorkers(n int) Option {
 		o.Workers = n
 	}
 }
+
+// PredictOptions carries the per-request serving knobs of one prediction or
+// top-K call: the statistically-aware parameters Optimize selects (cascade
+// confidence threshold, top-K filter budget) exposed at the serving
+// boundary, plus query modality and a server-side deadline. The zero value
+// applies no overrides — such calls are bit-identical to the plain entry
+// points. PredictOptions travels on the serving wire protocol, so remote
+// calls through Client behave exactly like in-process ones.
+type PredictOptions = core.PredictOptions
+
+// PredictOption sets one per-request serving knob; pass them to
+// PredictBatch, PredictPoint, TopK, or the Client's model-addressed calls.
+type PredictOption = core.PredictOption
+
+// WithThreshold overrides the cascade's confidence threshold t_c for one
+// call: lower values trust the small model more (faster, bounded accuracy
+// cost), values above 1 route every row to the full model. No-op for
+// pipelines without a cascade.
+func WithThreshold(t float64) PredictOption { return core.WithCascadeThreshold(t) }
+
+// WithBudget overrides the top-K filter's candidate subset size (the
+// paper's c_k*K / 5%-floor policy) for one call; values <= 0 keep the
+// configured policy.
+func WithBudget(n int) PredictOption { return core.WithTopKBudget(n) }
+
+// WithPointQuery marks the call as an example-at-a-time query: single-row,
+// served on the point path (query-aware parallelization, no cross-request
+// batching).
+func WithPointQuery() PredictOption { return core.WithPointQuery() }
+
+// WithDeadline bounds one call's wall-clock time server-side; values <= 0
+// keep only the caller's context.
+func WithDeadline(d time.Duration) PredictOption { return core.WithPredictDeadline(d) }

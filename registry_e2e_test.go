@@ -1,0 +1,338 @@
+package willump
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"willump/internal/pipeline"
+)
+
+// equalFloats asserts bitwise equality (the repo's bit-identical serving
+// guarantee, not approximate closeness).
+func equalFloats(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d predictions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: prediction %d = %v, want %v (not bit-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+func equalIndices(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: got %v, want %v", label, got, want)
+		}
+	}
+}
+
+// TestRegistryEndToEnd is the redesign's acceptance test: two named
+// artifacts served from one server, a zero-downtime hot swap under
+// concurrent client load, per-request cascade-threshold and top-K overrides
+// behaving over HTTP exactly as in process, and no-override requests
+// remaining bit-identical to the pre-redesign single-model path — including
+// through the legacy /predict route.
+func TestRegistryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end serving test in -short mode")
+	}
+	ctx := context.Background()
+
+	// --- Train and save two artifacts (the offline optimization phase).
+	toxicBench, err := pipeline.Toxic(pipeline.Config{Seed: 5, N: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toxicBench.Close()
+	toxicOpt, toxicRep, err := Optimize(ctx, toxicBench.Pipeline, toxicBench.Train, toxicBench.Valid,
+		WithCascades(0.01), WithTopK(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !toxicRep.CascadeBuilt {
+		t.Fatal("toxic benchmark did not build a cascade; the override checks need one")
+	}
+
+	productBench, err := pipeline.Product(pipeline.Config{Seed: 17, N: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer productBench.Close()
+	productOpt, _, err := Optimize(ctx, productBench.Pipeline, productBench.Train, productBench.Valid,
+		WithCascades(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	toxicPath := filepath.Join(dir, "toxic.willump")
+	productPath := filepath.Join(dir, "product.willump")
+	if err := SaveFile(toxicOpt, toxicPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(productOpt, productPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Deploy both artifacts behind one server (the serving phase).
+	toxicV1, err := LoadFile(toxicPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	productV1, err := LoadFile(productPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Deploy("toxic", "v1", toxicV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Deploy("product", "v1", productV1); err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeRegistry(reg)
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(base, WithHTTPTimeout(time.Minute))
+
+	models, err := cli.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("Models = %+v, want 2 entries", models)
+	}
+	for _, m := range models {
+		if !m.Cascade {
+			t.Errorf("model %s reports no cascade", m.Name)
+		}
+		if m.Name == "toxic" && !m.TopK {
+			t.Errorf("toxic model reports no top-K support")
+		}
+	}
+
+	toxicFeed := toxicBench.Test.Gather(seqRows(0, 200)).Inputs
+	productFeed := productBench.Test.Gather(seqRows(0, 100)).Inputs
+
+	// --- (b) No-override requests are bit-identical to the pre-redesign
+	// single-model path: the in-process default entry point, the named
+	// route, and the legacy /predict route all agree.
+	wantToxic, err := toxicV1.PredictBatch(ctx, toxicFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNamed, err := cli.PredictModel(ctx, "toxic", toxicFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloats(t, "named route vs in-process", gotNamed, wantToxic)
+
+	gotLegacy, err := cli.Predict(ctx, toxicFeed) // toxic deployed first: the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloats(t, "legacy /predict vs in-process", gotLegacy, wantToxic)
+
+	wantProduct, err := productV1.PredictBatch(ctx, productFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProduct, err := cli.PredictModel(ctx, "product", productFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloats(t, "second model vs in-process", gotProduct, wantProduct)
+
+	// The pre-redesign single-model surface (Serve) still serves the same
+	// bits through its legacy route.
+	single := Serve(toxicV1, ServeOptions{})
+	singleBase, err := single.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	gotSingle, err := NewClient(singleBase).Predict(ctx, toxicFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalFloats(t, "single-model Serve vs in-process", gotSingle, wantToxic)
+
+	// --- (a) Per-request overrides behave over HTTP exactly as in process.
+	// Threshold 2.0 routes every row to the full model; 0.49 trusts the
+	// small model everywhere (confidence is always > 0.49).
+	for _, th := range []float64{0.49, 2.0} {
+		inProc, err := toxicV1.PredictBatch(ctx, toxicFeed, WithThreshold(th))
+		if err != nil {
+			t.Fatal(err)
+		}
+		overHTTP, err := cli.PredictModel(ctx, "toxic", toxicFeed, WithThreshold(th))
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalFloats(t, fmt.Sprintf("threshold %v over HTTP vs in-process", th), overHTTP, inProc)
+	}
+	// The override genuinely changes behavior: pure-small-model and
+	// pure-full-model outputs differ somewhere on a real batch.
+	allSmall, _ := cli.PredictModel(ctx, "toxic", toxicFeed, WithThreshold(0.49))
+	allFull, _ := cli.PredictModel(ctx, "toxic", toxicFeed, WithThreshold(2.0))
+	differs := false
+	for i := range allSmall {
+		if allSmall[i] != allFull[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("threshold overrides did not change behavior: small-only and full-only outputs identical")
+	}
+
+	// Top-K: default budget and an explicit per-request budget, HTTP vs
+	// in-process.
+	wantTop, err := toxicV1.TopK(ctx, toxicFeed, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, err := cli.TopK(ctx, "toxic", toxicFeed, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIndices(t, "topk over HTTP vs in-process", gotTop, wantTop)
+
+	wantTopB, err := toxicV1.TopK(ctx, toxicFeed, 10, WithBudget(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTopB, err := cli.TopK(ctx, "toxic", toxicFeed, 10, WithBudget(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIndices(t, "topk budget override over HTTP vs in-process", gotTopB, wantTopB)
+
+	// Point modality over HTTP matches the in-process point path.
+	pointFeed := toxicBench.Test.Gather([]int{3}).Inputs
+	wantPoint, err := toxicV1.PredictPoint(ctx, pointFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPoint, err := cli.PredictModel(ctx, "toxic", pointFeed, WithPointQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPoint) != 1 || math.Float64bits(gotPoint[0]) != math.Float64bits(wantPoint) {
+		t.Fatalf("point over HTTP = %v, want [%v]", gotPoint, wantPoint)
+	}
+
+	// --- Hot swap under concurrent load: deploy toxic v2 (a freshly loaded
+	// copy of the same artifact) while clients hammer the model; no request
+	// may fail, and every response must stay bit-identical (v1 and v2 serve
+	// the same artifact).
+	toxicV2, err := LoadFile(toxicPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallFeed := toxicBench.Test.Gather(seqRows(0, 5)).Inputs
+	wantSmall, err := toxicV1.PredictBatch(ctx, smallFeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				preds, err := cli.PredictModel(ctx, "toxic", smallFeed)
+				if err != nil {
+					t.Errorf("request failed during hot swap: %v", err)
+					return
+				}
+				for i := range preds {
+					if math.Float64bits(preds[i]) != math.Float64bits(wantSmall[i]) {
+						t.Errorf("prediction drifted during hot swap: %v vs %v", preds[i], wantSmall[i])
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // load is flowing
+	if err := reg.Deploy("toxic", "v2", toxicV2); err != nil {
+		t.Fatalf("hot swap: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // keep hammering across the drain
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no requests served across the hot swap")
+	}
+
+	models, err = cli.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		if m.Name == "toxic" && m.Version != "v2" {
+			t.Errorf("toxic version after swap = %s, want v2", m.Version)
+		}
+	}
+
+	// --- Telemetry: the stats route reports traffic and cascade activity.
+	st, err := cli.Stats(ctx, "toxic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 {
+		t.Error("stats report zero requests after the load test")
+	}
+	if st.CascadeTotal == 0 {
+		t.Error("stats report zero cascade activity for a cascade-serving model")
+	}
+	if st.Version != "v2" {
+		t.Errorf("stats version = %s, want v2", st.Version)
+	}
+
+	// --- Typed errors reach the client.
+	if _, err := cli.PredictModel(ctx, "missing", smallFeed); !errors.Is(err, ErrModelNotFound) {
+		t.Errorf("unknown model error = %v, want ErrModelNotFound", err)
+	}
+
+	// Artifacts on disk stay readable after everything above (sanity that
+	// serving never mutates them).
+	if _, err := os.Stat(toxicPath); err != nil {
+		t.Error(err)
+	}
+}
+
+func seqRows(start, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}

@@ -1,42 +1,116 @@
 package willump
 
-import "willump/internal/serving"
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"willump/internal/serving"
+)
 
 // Predictor is the black box a serving frontend hosts: a context-aware batch
-// prediction function. An *Optimized pipeline's PredictBatch method satisfies
-// it via PredictorFunc.
+// prediction function. Adapt an *Optimized pipeline with
+// PredictorFunc(o.BatchPredictor()).
 type Predictor = serving.Predictor
 
 // PredictorFunc adapts a function to the Predictor interface.
 type PredictorFunc = serving.PredictorFunc
 
-// Server is the Clipper-like HTTP serving frontend: request queueing,
-// adaptive batching, optional end-to-end prediction caching, and graceful
-// context-based shutdown (Shutdown drains in-flight batches and rejects new
-// requests).
+// Registry hosts many named, versioned models behind one serving frontend.
+// Deploy atomically swaps a model's active version while the old version's
+// batcher drains its in-flight work (zero-downtime hot swap); every
+// deployed model gets its own bounded request queue, adaptive batcher, and
+// serving telemetry.
+type Registry = serving.Registry
+
+// ModelInfo describes one deployed model (GET /v1/models).
+type ModelInfo = serving.ModelInfo
+
+// ModelStats is a snapshot of one model's serving telemetry
+// (GET /v1/models/{name}/stats): request counts, rejections, QPS, latency
+// quantiles, cascade hit rate.
+type ModelStats = serving.ModelStats
+
+// Server is the HTTP serving frontend over a model registry: versioned
+// model routes (/v1/models/{name}/predict, /topk, /stats), the legacy
+// /predict route against the default model, request queueing with
+// bounded-queue admission control (HTTP 429 on overload), adaptive
+// batching, and graceful context-based shutdown (Shutdown drains in-flight
+// batches and rejects new requests).
 type Server = serving.Server
 
-// Client is the RPC client for a serving frontend; Predict takes a context
-// whose cancellation propagates to the server.
+// Client is the RPC client for a serving frontend; Predict/PredictModel/
+// TopK take a context whose cancellation propagates to the server.
 type Client = serving.Client
 
-// ServeOptions configures a serving frontend (batch bounds, batching
-// timeout, prediction cache).
+// ClientOption configures a Client at construction (HTTP timeout, shared
+// *http.Client).
+type ClientOption = serving.ClientOption
+
+// ServeOptions configures a serving frontend: batch bounds, batching
+// timeout, per-model queue depth (admission control), prediction cache.
 type ServeOptions = serving.Options
 
-// NewServer wraps a predictor with the serving frontend. Call Start to
-// listen and Shutdown (or Close) to drain and stop.
+// ErrOverloaded is returned (wrapped) by Client calls rejected with HTTP
+// 429: the model's bounded request queue was full. It is retryable — back
+// off and resend. Test with errors.Is(err, willump.ErrOverloaded).
+var ErrOverloaded = serving.ErrOverloaded
+
+// ErrModelNotFound is returned (wrapped) by Client calls naming a model the
+// server does not host. Test with errors.Is(err, willump.ErrModelNotFound).
+var ErrModelNotFound = serving.ErrModelNotFound
+
+// NewRegistry returns an empty model registry using default serving
+// options; NewRegistryWithOptions tunes them. Deploy models, then host the
+// registry with ServeRegistry.
+func NewRegistry() *Registry {
+	return serving.NewRegistry(serving.Options{})
+}
+
+// NewRegistryWithOptions returns an empty model registry whose deployed
+// models use the given serving options (batch bounds, queue depth, cache).
+func NewRegistryWithOptions(opts ServeOptions) *Registry {
+	return serving.NewRegistry(opts)
+}
+
+// ServeRegistry hosts a registry's models behind a new serving frontend
+// (not yet started). The server owns the registry's lifecycle: its
+// Shutdown/Close drains and closes the registry.
+func ServeRegistry(reg *Registry) *Server {
+	return serving.NewRegistryServer(reg)
+}
+
+// NewServer wraps a single predictor with the serving frontend, deploying
+// it as the default model of a fresh registry. Call Start to listen and
+// Shutdown (or Close) to drain and stop.
 func NewServer(p Predictor, opts ServeOptions) *Server {
 	return serving.NewServer(p, opts)
 }
 
-// Serve hosts an optimized pipeline's batch-prediction path behind a new
-// serving frontend (not yet started).
+// Serve hosts an optimized pipeline behind a new serving frontend (not yet
+// started), deployed as the default model — so the legacy /predict route,
+// per-request options, and /topk (when the pipeline was optimized for
+// top-K) all work against it.
 func Serve(o *Optimized, opts ServeOptions) *Server {
-	return serving.NewServer(PredictorFunc(o.PredictBatch), opts)
+	reg := serving.NewRegistry(opts)
+	if err := reg.Deploy(serving.DefaultModelName, "v1", o); err != nil {
+		// Deploy only fails on a nil pipeline or malformed name; surface the
+		// nil-pipeline misuse the same way a nil predictor always has.
+		reg.Close(context.Background()) //nolint:errcheck
+		panic("willump: Serve called with a nil optimized pipeline")
+	}
+	return serving.NewRegistryServer(reg)
 }
 
 // NewClient returns a client for the serving frontend at base URL.
-func NewClient(base string) *Client {
-	return serving.NewClient(base)
+// Options configure the HTTP timeout or supply a shared *http.Client.
+func NewClient(base string, opts ...ClientOption) *Client {
+	return serving.NewClient(base, opts...)
 }
+
+// WithHTTPTimeout sets a Client's end-to-end HTTP timeout (default 30s).
+func WithHTTPTimeout(d time.Duration) ClientOption { return serving.WithHTTPTimeout(d) }
+
+// WithHTTPClient supplies the Client's underlying *http.Client verbatim,
+// for shared connection pools and custom transports.
+func WithHTTPClient(h *http.Client) ClientOption { return serving.WithHTTPClient(h) }

@@ -51,9 +51,37 @@
 // and RegisterModel; lookup tables in remote stores are rebound at load
 // time with WithTableBinding.
 //
-// The Serve / NewServer / NewClient surface hosts an optimized pipeline (or
-// any Predictor) behind the Clipper-like HTTP serving frontend with request
-// queueing, adaptive batching, and graceful context-based shutdown.
+// # Serving many models
+//
+// The serving frontend is organized around a model Registry: many named,
+// versioned pipelines hosted behind one server, each with its own bounded
+// request queue, adaptive batcher, and telemetry:
+//
+//	reg := willump.NewRegistry()
+//	reg.Deploy("toxic", "v1", optimized)
+//	reg.Deploy("product", "v3", other)
+//	srv := willump.ServeRegistry(reg)
+//	url, err := srv.Start()
+//
+// Models are served on /v1/models/{name}/predict and /v1/models/{name}/topk,
+// listed on /v1/models, and observed on /v1/models/{name}/stats (QPS,
+// latency quantiles, cascade hit rate); the legacy /predict route serves the
+// registry's default model unchanged. Deploying a new version of a live
+// model hot-swaps it atomically: the old version's batcher drains its
+// in-flight work while new requests land on the new version, so a rollout
+// loses no requests. Overload is handled by bounded-queue admission control:
+// a full queue rejects with HTTP 429, which Client surfaces as the
+// retryable ErrOverloaded.
+//
+// Per-request options carry Willump's statistically-aware knobs to the
+// serving boundary: WithThreshold overrides the cascade confidence
+// threshold, WithBudget the top-K filter's candidate budget, WithPointQuery
+// selects the example-at-a-time path, and WithDeadline bounds server-side
+// execution — per request, in process or over HTTP, with no-override calls
+// bit-identical to the Optimize-time defaults.
+//
+// The single-model Serve / NewServer surface remains for hosting one
+// pipeline (or any Predictor) as the default model.
 //
 // Everything under internal/ is implementation; this package is the one
 // supported import path.
