@@ -1,0 +1,182 @@
+package willump_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/value"
+)
+
+// allocFixture builds one optimized pipeline for the allocation-regression
+// tests (small data: the assertions are about steady-state allocation, not
+// model quality).
+func allocFixture(t *testing.T, opts core.Options) (*core.Optimized, *fixture.Classification) {
+	t.Helper()
+	fx, err := fixture.NewClassification(3, 600, 200, 200, 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	o, _, err := core.Optimize(context.Background(), p, train, valid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, fx
+}
+
+// skipIfRace skips allocation-count assertions under the race detector,
+// whose instrumentation allocates shadow state of its own.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+}
+
+func onePoint() map[string]value.Value {
+	return map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{41}),
+		"heavy_id": value.NewInts([]int64{13}),
+	}
+}
+
+// TestPredictPointZeroAllocs is the build-failing regression guard for the
+// pooled executor: a warm compiled point query must not touch the heap.
+func TestPredictPointZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	o, _ := allocFixture(t, core.Options{})
+	ctx := context.Background()
+	in := onePoint()
+	// Warm the program's state pool and every ApplyInto scratch buffer.
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm compiled PredictPoint allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPredictPointCascadeZeroAllocs asserts the cascade point path — small
+// model on the efficient IFVs, full-model resume on unconfident queries —
+// is also allocation-free once warm, for both routing outcomes.
+func TestPredictPointCascadeZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	o, fx := allocFixture(t, core.Options{Cascades: true})
+	if o.Cascade == nil {
+		t.Fatal("fixture did not build a cascade")
+	}
+	ctx := context.Background()
+	in := onePoint()
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cascade PredictPoint allocates %.1f objects/op, want 0", allocs)
+	}
+	// Force the full-model resume with an impossible threshold: still zero.
+	hard := core.WithCascadeThreshold(1.5)
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in, hard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in, hard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The threshold override itself materializes one options struct (it is
+	// a non-default request); the execution underneath must stay clean.
+	if allocs > 2 {
+		t.Fatalf("warm full-resume PredictPoint allocates %.1f objects/op, want <= 2", allocs)
+	}
+	_ = fx
+}
+
+// TestPredictBatchAllocBound guards the pooled batch path: the compiled
+// batch predict may allocate only its result slice, and the cascade batch
+// path only results plus routing state — far below the pre-pooling
+// dozens-of-allocations regime.
+func TestPredictBatchAllocBound(t *testing.T) {
+	skipIfRace(t)
+	ctx := context.Background()
+
+	o, fx := allocFixture(t, core.Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm compiled PredictBatch allocates %.1f objects/op, want <= 2", allocs)
+	}
+
+	oc, fxc := allocFixture(t, core.Options{Cascades: true})
+	for i := 0; i < 5; i++ {
+		if _, err := oc.PredictBatch(ctx, fxc.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := oc.PredictBatch(ctx, fxc.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("warm cascade PredictBatch allocates %.1f objects/op, want <= 8", allocs)
+	}
+}
+
+// TestShardedBatchMatchesSequential pins the data-parallel compiled batch
+// path bit-identically to the sequential one across worker counts,
+// including more workers than rows.
+func TestShardedBatchMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	o, fx := allocFixture(t, core.Options{})
+	want, err := o.PredictBatch(ctx, fx.Test.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := len(want)
+	for _, workers := range []int{2, runtime.NumCPU(), rows + 16} {
+		ow, fw := allocFixture(t, core.Options{Workers: workers})
+		_ = fw
+		got, err := ow.PredictBatch(ctx, fx.Test.Inputs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d preds, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+				t.Fatalf("workers=%d: pred[%d] = %v, want bit-identical %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +27,17 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig5, fig6, table2..table8, fig7, fig8, micro-*, all)")
-		n     = flag.Int("n", 0, "rows per benchmark (0 = experiment default)")
-		seed  = flag.Int64("seed", 1, "dataset seed")
-		quick = flag.Bool("quick", false, "CI-sized datasets and repetition counts")
+		exp      = flag.String("exp", "all", "experiment id (fig5, fig6, table2..table8, fig7, fig8, perf, micro-*, all)")
+		n        = flag.Int("n", 0, "rows per benchmark (0 = experiment default)")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		quick    = flag.Bool("quick", false, "CI-sized datasets and repetition counts")
+		jsonOut  = flag.Bool("json", false, "run the perf workloads and write BENCH_<rev>.json (ns/op, allocs/op, p50/p99 per workload)")
+		rev      = flag.String("rev", "dev", "revision label used in the BENCH_<rev>.json filename")
+		outDir   = flag.String("out", ".", "directory for BENCH_<rev>.json")
+		jsonExit = func(err error) {
+			fmt.Fprintln(os.Stderr, "willump-bench:", err)
+			os.Exit(1)
+		}
 	)
 	flag.Parse()
 
@@ -42,10 +50,55 @@ func main() {
 	}
 	s.Seed = *seed
 
-	if err := run(os.Stdout, *exp, s); err != nil {
-		fmt.Fprintln(os.Stderr, "willump-bench:", err)
-		os.Exit(1)
+	if *jsonOut {
+		if err := writeBenchJSON(os.Stdout, s, *rev, *outDir); err != nil {
+			jsonExit(err)
+		}
+		return
 	}
+
+	if err := run(os.Stdout, *exp, s); err != nil {
+		jsonExit(err)
+	}
+}
+
+// benchFile is the BENCH_<rev>.json schema: one perf row per predict-path
+// workload, plus enough metadata to compare files across revisions.
+type benchFile struct {
+	Revision  string                `json:"revision"`
+	Timestamp string                `json:"timestamp"`
+	Rows      []experiments.PerfRow `json:"workloads"`
+}
+
+// writeBenchJSON runs the perf workloads and records them as
+// BENCH_<rev>.json in dir, tracking ns/op, allocs/op and latency quantiles
+// across PRs.
+func writeBenchJSON(w io.Writer, s experiments.Setup, rev, dir string) error {
+	rows, err := experiments.Perf(w, s)
+	if err != nil {
+		return err
+	}
+	out := benchFile{
+		Revision:  rev,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Rows:      rows,
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, rev)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", path)
+	return nil
 }
 
 type runner struct {
@@ -74,6 +127,7 @@ var runners = []runner{
 	{"fig7", "cascade threshold sweep", wrap(experiments.Fig7)},
 	{"fig8", "per-query parallelization speedup", wrap(experiments.Fig8)},
 	{"artifact", "artifact round trip: train once, deploy many", wrap(experiments.Artifact)},
+	{"perf", "pooled-executor predict paths: ns/op, allocs/op, latency quantiles", wrap(experiments.Perf)},
 	{"micro-drivers", "Weld driver overhead", wrap(experiments.MicroDrivers)},
 	{"micro-threshold", "cascade threshold robustness", wrap(experiments.MicroThreshold)},
 	{"micro-gamma", "Algorithm 1 gamma-rule ablation", wrap(experiments.MicroGamma)},

@@ -215,19 +215,23 @@ func (c *Cascade) PredictBatch(ctx context.Context, inputs map[string]value.Valu
 }
 
 // PredictBatchThreshold serves a batch using an explicit threshold (the
-// Figure 7 threshold sweep).
+// Figure 7 threshold sweep). The run and its hard-row sub-run execute on
+// pooled states with shared feature buffers: predictions are extracted
+// before both are recycled, so the steady-state batch path allocates only
+// its result and routing slices.
 func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]value.Value, threshold float64) ([]float64, ServeStats, error) {
 	run, err := c.Prog.NewRun(ctx, inputs)
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
-	effX, err := run.Matrix(c.Efficient)
+	defer run.Close()
+	effX, err := run.MatrixShared(c.Efficient)
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
 	out := c.Small.Predict(effX)
 	stats := ServeStats{Total: len(out)}
-	var hardRows []int
+	hardRows := make([]int, 0, len(out)) // one allocation instead of log2(n) regrows
 	for i, p := range out {
 		if model.Confidence(p) > threshold {
 			stats.SmallOnly++
@@ -238,7 +242,8 @@ func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]v
 	stats.Cascaded = len(hardRows)
 	if len(hardRows) > 0 {
 		sub := run.SubsetRun(hardRows)
-		fullX, err := sub.Matrix(c.Prog.AllIFVs())
+		defer sub.Close()
+		fullX, err := sub.MatrixShared(c.Prog.AllIFVs())
 		if err != nil {
 			return nil, ServeStats{}, err
 		}
@@ -257,15 +262,34 @@ func (c *Cascade) PredictPoint(ctx context.Context, inputs map[string]value.Valu
 
 // PredictPointThreshold serves one example-at-a-time query using an
 // explicit confidence threshold (the serving layer's per-request override).
+// The query executes on the pooled point path: efficient IFVs materialize
+// into the state's feature-vector buffer, the small model scores in place,
+// and only unconfident queries resume the same state to compute the
+// remaining IFVs — zero heap allocations once warm.
 func (c *Cascade) PredictPointThreshold(ctx context.Context, inputs map[string]value.Value, threshold float64) (float64, error) {
-	preds, _, err := c.PredictBatchThreshold(ctx, inputs, threshold)
+	run, err := c.Prog.NewRun(ctx, inputs)
 	if err != nil {
 		return 0, err
 	}
-	if len(preds) != 1 {
-		return 0, fmt.Errorf("cascade: point query got %d rows", len(preds))
+	defer run.Close()
+	if run.Len() != 1 {
+		return 0, fmt.Errorf("cascade: point query got %d rows", run.Len())
 	}
-	return preds[0], nil
+	s := model.GetScratch()
+	defer model.PutScratch(s)
+	effX, err := run.PointMatrix(c.Efficient)
+	if err != nil {
+		return 0, err
+	}
+	p := model.ScoreRow(c.Small, effX, 0, s)
+	if model.Confidence(p) > threshold {
+		return p, nil
+	}
+	fullX, err := run.PointMatrix(c.Prog.AllIFVs())
+	if err != nil {
+		return 0, err
+	}
+	return model.ScoreRow(c.Full, fullX, 0, s), nil
 }
 
 // SmallOnlyPredict runs only the small model over a batch (the orange-X
@@ -275,7 +299,8 @@ func (a *Approx) SmallOnlyPredict(ctx context.Context, inputs map[string]value.V
 	if err != nil {
 		return nil, err
 	}
-	effX, err := run.Matrix(a.Efficient)
+	defer run.Close()
+	effX, err := run.MatrixShared(a.Efficient)
 	if err != nil {
 		return nil, err
 	}

@@ -283,11 +283,14 @@ func (o *Optimized) PredictBatch(ctx context.Context, inputs map[string]value.Va
 
 // PredictFull predicts a batch with the compiled full pipeline, bypassing
 // any cascade (the "Willump Compilation" configuration of Figures 5 and 6).
+// The features materialize into a pooled run state that is recycled once
+// the model has consumed them.
 func (o *Optimized) PredictFull(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
-	x, err := o.Prog.RunBatch(ctx, inputs)
+	run, x, err := o.Prog.RunBatchShared(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
+	defer run.Close()
 	return o.Model.Predict(x), nil
 }
 
@@ -298,24 +301,32 @@ func (o *Optimized) PredictPoint(ctx context.Context, inputs map[string]value.Va
 	return o.PredictPointOptions(ctx, inputs, ResolvePredict(opts...))
 }
 
-// predictPointCompiled is the compiled (no-cascade) point path.
+// predictPointCompiled is the compiled (no-cascade) point path: a pooled
+// run state, the plan executed over the single row (query-aware parallel
+// when Workers > 1), the feature vector materialized into the state's
+// buffer, and the model scored in place — zero heap allocations once warm
+// for fully compiled plans.
 func (o *Optimized) predictPointCompiled(ctx context.Context, inputs map[string]value.Value) (float64, error) {
-	var (
-		x   feature.Matrix
-		err error
-	)
-	if o.opts.Workers > 1 {
-		x, err = o.Prog.RunPointParallel(ctx, inputs, o.opts.Workers)
-	} else {
-		x, err = o.Prog.RunPoint(ctx, inputs)
-	}
+	run, err := o.Prog.NewRun(ctx, inputs)
 	if err != nil {
 		return 0, err
 	}
-	if x.Rows() != 1 {
-		return 0, fmt.Errorf("core: point query got %d rows", x.Rows())
+	defer run.Close()
+	if run.Len() != 1 {
+		return 0, fmt.Errorf("core: point query got %d rows", run.Len())
 	}
-	return o.Model.PredictRow(x, 0), nil
+	if o.opts.Workers > 1 {
+		if err := run.ComputeIFVsParallel(o.Prog.AllIFVs(), o.opts.Workers); err != nil {
+			return 0, err
+		}
+	}
+	x, err := run.PointMatrix(o.Prog.AllIFVs())
+	if err != nil {
+		return 0, err
+	}
+	s := model.GetScratch()
+	defer model.PutScratch(s)
+	return model.ScoreRow(o.Model, x, 0, s), nil
 }
 
 // PredictInterpreted predicts a batch on the interpreted ("Python") path:

@@ -81,7 +81,13 @@ func (po PredictOptions) boundCtx(ctx context.Context) (context.Context, context
 type PredictOption func(*PredictOptions)
 
 // ResolvePredict folds per-request options over the zero configuration.
+// The zero-option path returns before the options struct is declared:
+// taking its address for the option callbacks forces it to the heap, and
+// default predictions must stay allocation-free.
 func ResolvePredict(opts ...PredictOption) PredictOptions {
+	if len(opts) == 0 {
+		return PredictOptions{}
+	}
 	var po PredictOptions
 	for _, opt := range opts {
 		if opt != nil {
@@ -140,10 +146,21 @@ func (o *Optimized) PredictBatchOptions(ctx context.Context, inputs map[string]v
 		}
 		return o.Cascade.PredictBatchThreshold(ctx, inputs, t)
 	}
-	x, err := o.Prog.RunBatch(ctx, inputs)
+	if o.opts.Workers > 1 {
+		// Data-parallel compiled batch: contiguous row shards end-to-end on
+		// separate workers. Every operator is row-local, so the merged
+		// result is bit-identical to the sequential path.
+		x, err := o.Prog.RunBatchSharded(ctx, inputs, o.opts.Workers)
+		if err != nil {
+			return nil, cascade.ServeStats{}, err
+		}
+		return o.Model.Predict(x), cascade.ServeStats{}, nil
+	}
+	run, x, err := o.Prog.RunBatchShared(ctx, inputs)
 	if err != nil {
 		return nil, cascade.ServeStats{}, err
 	}
+	defer run.Close()
 	return o.Model.Predict(x), cascade.ServeStats{}, nil
 }
 

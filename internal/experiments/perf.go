@@ -1,0 +1,132 @@
+package experiments
+
+// This file implements the allocation/latency regression workload behind
+// `willump-bench -exp perf` and its -json mode: the pooled executor's
+// predict paths (point and batch, compiled and cascaded) measured with
+// testing.Benchmark for ns/op and allocs/op, plus a manual timing loop for
+// latency quantiles, so the performance trajectory is tracked across PRs in
+// BENCH_<rev>.json files.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/value"
+)
+
+// PerfRow is one workload's measurement, serialized into BENCH_<rev>.json.
+type PerfRow struct {
+	Workload    string  `json:"workload"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+}
+
+// perfQuantileIters bounds the manual latency-quantile loop.
+const perfQuantileIters = 2000
+
+// Perf measures the predict-path workloads on the standard two-generator
+// fixture pipeline (lookup features into a GBDT, the cascade topology).
+func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
+	header(w, "Perf: pooled executor predict paths (ns/op, allocs/op, latency quantiles)")
+	n := s.N
+	if n <= 0 || n > 4000 {
+		n = 2000
+	}
+	fx, err := fixture.NewClassification(s.Seed, n, n/4, n/4, 0.7, 40)
+	if err != nil {
+		return nil, err
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	ctx := context.Background()
+
+	compiled, _, err := core.Optimize(ctx, p, train, valid, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cascaded, _, err := core.Optimize(ctx, p, train, valid, core.Options{Cascades: true})
+	if err != nil {
+		return nil, err
+	}
+
+	point := map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{17}),
+		"heavy_id": value.NewInts([]int64{23}),
+	}
+	batch := fx.Test.Inputs
+
+	workloads := []struct {
+		name string
+		fn   func() error
+	}{
+		{"point-compiled", func() error { _, err := compiled.PredictPoint(ctx, point); return err }},
+		{"point-cascade", func() error { _, err := cascaded.PredictPoint(ctx, point); return err }},
+		{"batch-compiled", func() error { _, err := compiled.PredictBatch(ctx, batch); return err }},
+		{"batch-cascade", func() error { _, err := cascaded.PredictBatch(ctx, batch); return err }},
+	}
+
+	fmt.Fprintf(w, "%-16s %12s %10s %10s %12s %12s\n", "workload", "ns/op", "allocs/op", "B/op", "p50", "p99")
+	out := make([]PerfRow, 0, len(workloads))
+	for _, wl := range workloads {
+		// Warm the program pools and scratch buffers before measuring.
+		for i := 0; i < 10; i++ {
+			if err := wl.fn(); err != nil {
+				return nil, fmt.Errorf("perf %s: %w", wl.name, err)
+			}
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := wl.fn(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("perf %s: %w", wl.name, benchErr)
+		}
+		p50, p99, err := latencyQuantiles(wl.fn, perfQuantileIters)
+		if err != nil {
+			return nil, fmt.Errorf("perf %s: %w", wl.name, err)
+		}
+		row := PerfRow{
+			Workload:    wl.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			P50Ns:       p50.Nanoseconds(),
+			P99Ns:       p99.Nanoseconds(),
+		}
+		out = append(out, row)
+		fmt.Fprintf(w, "%-16s %12.0f %10d %10d %12s %12s\n",
+			row.Workload, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, p50, p99)
+	}
+	return out, nil
+}
+
+// latencyQuantiles times iters calls of fn individually and returns the p50
+// and p99 latencies.
+func latencyQuantiles(fn func() error, iters int) (p50, p99 time.Duration, err error) {
+	lat := make([]time.Duration, iters)
+	for i := range lat {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return lat[iters/2], lat[iters*99/100], nil
+}

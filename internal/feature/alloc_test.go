@@ -1,0 +1,96 @@
+package feature
+
+import "testing"
+
+// buildTestCSR assembles a small CSR matrix through the builder.
+func buildTestCSR(tb testing.TB) *CSR {
+	tb.Helper()
+	b := NewCSRBuilder(16)
+	for r := 0; r < 8; r++ {
+		for c := r % 3; c < 16; c += 3 {
+			b.Add(c, float64(r*16+c+1))
+		}
+		b.EndRow()
+	}
+	return b.Build()
+}
+
+// TestCSRRowIterationZeroAllocs pins the row-iteration primitives the
+// models' hot loops depend on: visiting a CSR row via ForEachNZ, RowView,
+// and Dot must not touch the heap.
+func TestCSRRowIterationZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	m := buildTestCSR(t)
+	w := make([]float64, m.Cols())
+	for i := range w {
+		w[i] = float64(i) * 0.5
+	}
+	var sink float64
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for r := 0; r < m.Rows(); r++ {
+			m.ForEachNZ(r, func(c int, v float64) { sink += v })
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSR ForEachNZ allocates %.1f objects/op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		for r := 0; r < m.Rows(); r++ {
+			cols, vals := m.RowView(r)
+			for i := range cols {
+				sink += vals[i]
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSR RowView allocates %.1f objects/op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(200, func() {
+		for r := 0; r < m.Rows(); r++ {
+			sink += Dot(m, r, w)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSR Dot allocates %.1f objects/op, want 0", allocs)
+	}
+
+	// RowDense with a caller-provided buffer: the materialization path the
+	// point query uses.
+	buf := make([]float64, 0, m.Cols())
+	allocs = testing.AllocsPerRun(200, func() {
+		for r := 0; r < m.Rows(); r++ {
+			buf = RowDense(m, r, buf[:0])
+			sink += buf[0]
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSR RowDense (reused buffer) allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestCSRBuilderReuse exercises ResetFrom/BuildInto round trips: a builder
+// reclaiming a previously built matrix must reproduce fresh-build results.
+func TestCSRBuilderReuse(t *testing.T) {
+	want := buildTestCSR(t)
+	m := buildTestCSR(t)
+	var b CSRBuilder
+	for round := 0; round < 3; round++ {
+		b.ResetFrom(16, m)
+		for r := 0; r < 8; r++ {
+			for c := r % 3; c < 16; c += 3 {
+				b.Add(c, float64(r*16+c+1))
+			}
+			b.EndRow()
+		}
+		b.BuildInto(m)
+		if !Equal(want, m) {
+			t.Fatalf("round %d: rebuilt matrix differs from fresh build", round)
+		}
+	}
+}

@@ -90,11 +90,43 @@ func (d *Dense) RowNNZ(r int) int {
 
 // Gather returns a new dense matrix with the selected rows, in order.
 func (d *Dense) Gather(rows []int) Matrix {
-	out := NewDense(len(rows), d.cols)
+	return d.GatherReuse(rows, nil)
+}
+
+// GatherReuse gathers the selected rows into prev's storage when it has
+// enough capacity, allocating only when it does not. prev must not alias d
+// and must no longer be in use.
+func (d *Dense) GatherReuse(rows []int, prev *Dense) *Dense {
+	out := GrowDense(prev, len(rows), d.cols)
 	for i, r := range rows {
 		copy(out.Row(i), d.Row(r))
 	}
 	return out
+}
+
+// GrowDense returns a rows x cols dense matrix, reusing prev's header and
+// backing slice when capacity allows. The returned matrix's entries are NOT
+// zeroed when reused; callers must overwrite every cell (or use NewDense).
+func GrowDense(prev *Dense, rows, cols int) *Dense {
+	n := rows * cols
+	if prev == nil {
+		return NewDense(rows, cols)
+	}
+	if cap(prev.data) < n {
+		prev.data = make([]float64, n)
+	}
+	prev.data = prev.data[:n]
+	prev.rows, prev.cols = rows, cols
+	return prev
+}
+
+// SetData re-points d at a new shape and backing slice, reusing the header.
+// len(data) must equal rows*cols.
+func (d *Dense) SetData(rows, cols int, data []float64) {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("feature: SetData: len(data)=%d, want %d", len(data), rows*cols))
+	}
+	d.rows, d.cols, d.data = rows, cols, data
 }
 
 // Clone returns a deep copy of d.

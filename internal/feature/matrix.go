@@ -27,25 +27,69 @@ type Matrix interface {
 }
 
 // Dot returns the inner product of row r of m with the dense vector w.
-// It panics if len(w) < m.Cols().
+// It panics if len(w) < m.Cols(). The concrete matrix types take
+// devirtualized loops so the hot model paths (linear scores, importances)
+// stay allocation-free; passing a closure through the Matrix interface would
+// otherwise heap-allocate the accumulator on every call.
 func Dot(m Matrix, r int, w []float64) float64 {
 	if len(w) < m.Cols() {
 		panic(fmt.Sprintf("feature: Dot weight length %d < cols %d", len(w), m.Cols()))
 	}
 	var s float64
-	m.ForEachNZ(r, func(c int, v float64) { s += v * w[c] })
+	switch t := m.(type) {
+	case *Dense:
+		// Skip zeros like ForEachNZ does, keeping sums bit-identical to the
+		// interface path.
+		for c, v := range t.Row(r) {
+			if v != 0 {
+				s += v * w[c]
+			}
+		}
+	case *CSR:
+		cols, vals := t.RowView(r)
+		for i, c := range cols {
+			s += vals[i] * w[c]
+		}
+	default:
+		// The closure's accumulator is scoped to this branch: capturing s
+		// itself would force it to the heap on every call, including the
+		// devirtualized ones above.
+		var ds float64
+		m.ForEachNZ(r, func(c int, v float64) { ds += v * w[c] })
+		s = ds
+	}
 	return s
 }
 
 // RowDense appends row r of m, fully materialized, to dst and returns the
-// extended slice. dst may be nil.
+// extended slice. dst may be nil; passing a slice with spare capacity makes
+// the call allocation-free.
 func RowDense(m Matrix, r int, dst []float64) []float64 {
 	start := len(dst)
-	for i := 0; i < m.Cols(); i++ {
-		dst = append(dst, 0)
+	cols := m.Cols()
+	if cap(dst) >= start+cols {
+		dst = dst[:start+cols]
+	} else {
+		dst = append(dst, make([]float64, cols)...)
 	}
 	row := dst[start:]
-	m.ForEachNZ(r, func(c int, v float64) { row[c] = v })
+	switch t := m.(type) {
+	case *Dense:
+		copy(row, t.Row(r))
+	case *CSR:
+		for i := range row {
+			row[i] = 0
+		}
+		cs, vs := t.RowView(r)
+		for i, c := range cs {
+			row[c] = vs[i]
+		}
+	default:
+		for i := range row {
+			row[i] = 0
+		}
+		m.ForEachNZ(r, func(c int, v float64) { row[c] = v })
+	}
 	return dst
 }
 

@@ -71,21 +71,61 @@ func (m *CSR) ForEachNZ(r int, fn func(c int, v float64)) {
 // RowNNZ returns the number of stored entries in row r.
 func (m *CSR) RowNNZ(r int) int { return m.indptr[r+1] - m.indptr[r] }
 
+// RowView returns views of row r's stored column indices and values (not
+// copies; callers must not mutate them). It is the allocation-free
+// alternative to ForEachNZ for hot loops.
+func (m *CSR) RowView(r int) ([]int, []float64) {
+	lo, hi := m.indptr[r], m.indptr[r+1]
+	return m.indices[lo:hi], m.values[lo:hi]
+}
+
 // Gather returns a new CSR matrix with the selected rows, in order.
 func (m *CSR) Gather(rows []int) Matrix {
-	indptr := make([]int, len(rows)+1)
+	return m.GatherReuse(rows, nil)
+}
+
+// GatherReuse gathers the selected rows into prev's storage when capacity
+// allows, allocating only when it does not. prev must not alias m and must
+// no longer be in use.
+func (m *CSR) GatherReuse(rows []int, prev *CSR) *CSR {
 	nnz := 0
-	for i, r := range rows {
-		nnz += m.RowNNZ(r)
-		indptr[i+1] = nnz
-	}
-	indices := make([]int, 0, nnz)
-	values := make([]float64, 0, nnz)
 	for _, r := range rows {
-		indices = append(indices, m.indices[m.indptr[r]:m.indptr[r+1]]...)
-		values = append(values, m.values[m.indptr[r]:m.indptr[r+1]]...)
+		nnz += m.RowNNZ(r)
 	}
-	return &CSR{rows: len(rows), cols: m.cols, indptr: indptr, indices: indices, values: values}
+	if prev == nil {
+		prev = &CSR{}
+	}
+	prev.indptr = growInts(prev.indptr, len(rows)+1)
+	prev.indices = growInts(prev.indices, nnz)
+	prev.values = growFloats(prev.values, nnz)
+	prev.rows, prev.cols = len(rows), m.cols
+	prev.indptr[0] = 0
+	at := 0
+	for i, r := range rows {
+		lo, hi := m.indptr[r], m.indptr[r+1]
+		at += copy(prev.indices[at:], m.indices[lo:hi])
+		copy(prev.values[at-(hi-lo):], m.values[lo:hi])
+		prev.indptr[i+1] = at
+	}
+	return prev
+}
+
+// growInts returns a slice of length n, reusing s's backing array when
+// possible. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns a slice of length n, reusing s's backing array when
+// possible. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // ToDense materializes the matrix densely.
@@ -106,6 +146,7 @@ type CSRBuilder struct {
 	// scratch for sorting a row's entries before commit
 	rowCols []int
 	rowVals []float64
+	sorter  rowSorter // reused across EndRow calls to avoid per-row boxing
 }
 
 // NewCSRBuilder returns a builder for matrices with the given column count.
@@ -130,7 +171,8 @@ func (b *CSRBuilder) Add(c int, v float64) {
 // duplicates summed.
 func (b *CSRBuilder) EndRow() {
 	if len(b.rowCols) > 1 {
-		sort.Sort(&rowSorter{cols: b.rowCols, vals: b.rowVals})
+		b.sorter.cols, b.sorter.vals = b.rowCols, b.rowVals
+		sort.Sort(&b.sorter)
 	}
 	for i := 0; i < len(b.rowCols); i++ {
 		c, v := b.rowCols[i], b.rowVals[i]
@@ -148,15 +190,41 @@ func (b *CSRBuilder) EndRow() {
 	b.rowVals = b.rowVals[:0]
 }
 
-// Build finalizes and returns the CSR matrix. The builder must not be reused.
+// Build finalizes and returns the CSR matrix. The builder must not be reused
+// afterwards, unless reinitialized with ResetFrom on the built matrix.
 func (b *CSRBuilder) Build() *CSR {
-	return &CSR{
-		rows:    len(b.indptr) - 1,
-		cols:    b.cols,
-		indptr:  b.indptr,
-		indices: b.indices,
-		values:  b.values,
+	m := &CSR{}
+	b.BuildInto(m)
+	return m
+}
+
+// BuildInto finalizes the matrix into m, reusing m's header. The builder
+// must not be reused afterwards, unless reinitialized with ResetFrom(m).
+func (b *CSRBuilder) BuildInto(m *CSR) {
+	m.rows = len(b.indptr) - 1
+	m.cols = b.cols
+	m.indptr = b.indptr
+	m.indices = b.indices
+	m.values = b.values
+}
+
+// ResetFrom reinitializes the builder for a matrix with the given column
+// count, reclaiming the backing slices of a previously built matrix m (which
+// must no longer be in use). A nil m resets with the builder's own slices.
+func (b *CSRBuilder) ResetFrom(cols int, m *CSR) {
+	if m != nil {
+		b.indptr, b.indices, b.values = m.indptr, m.indices, m.values
 	}
+	b.cols = cols
+	if cap(b.indptr) == 0 {
+		b.indptr = make([]int, 1, 8)
+	}
+	b.indptr = b.indptr[:1]
+	b.indptr[0] = 0
+	b.indices = b.indices[:0]
+	b.values = b.values[:0]
+	b.rowCols = b.rowCols[:0]
+	b.rowVals = b.rowVals[:0]
 }
 
 type rowSorter struct {

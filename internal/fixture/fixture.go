@@ -66,6 +66,20 @@ func (h *HeavyOp) Apply(ins []value.Value) (value.Value, error) {
 	return out, nil
 }
 
+// ApplyInto implements graph.IntoApplier, delegating to the wrapped
+// lookup's reuse path so fixture pipelines exercise the executor's
+// allocation-free contract end to end.
+func (h *HeavyOp) ApplyInto(ins []value.Value, out *value.Value, scratch *any) error {
+	if err := h.inner.ApplyInto(ins, out, scratch); err != nil {
+		return err
+	}
+	m := out.Mat.(*feature.Dense)
+	for r := 0; r < m.Rows(); r++ {
+		m.Set(r, 0, m.At(r, 0)+0*h.burn(ins[0].Ints[r]))
+	}
+	return nil
+}
+
 // ApplyBoxed implements graph.Op.
 func (h *HeavyOp) ApplyBoxed(ins []any) (any, error) {
 	out, err := h.inner.ApplyBoxed(ins)

@@ -34,6 +34,27 @@ type Op interface {
 	Commutative() bool
 }
 
+// IntoApplier is an optional Op extension for allocation-free steady-state
+// execution. ApplyInto evaluates the operator exactly like Apply, but may
+// reuse the buffers of *out — the value the same plan slot produced on a
+// previous execution, dead by the executor's pooling contract — and *scratch,
+// an operator-owned reusable state cell the executor keeps per plan step
+// (never shared across concurrent runs). Implementations must write a value
+// bit-identical to Apply's into *out and must not retain ins.
+type IntoApplier interface {
+	ApplyInto(ins []value.Value, out *value.Value, scratch *any) error
+}
+
+// Elementwise is an optional extension for commutative spine operators that
+// map each feature value independently. The pooled executor applies
+// ApplyScalar in place over materialized feature buffers instead of routing
+// through Apply. When applied to sparse matrices only stored entries are
+// mapped, matching the operators' own sparse Apply semantics (implicit zeros
+// stay zero).
+type Elementwise interface {
+	ApplyScalar(v float64) float64
+}
+
 // NodeID indexes a node within its graph.
 type NodeID int
 

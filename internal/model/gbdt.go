@@ -164,9 +164,20 @@ func (m *GBDT) rawScore(x feature.Matrix, r int) float64 {
 	return s
 }
 
-// PredictRow implements Model.
+// PredictRow implements Model. Dense inputs take the row-slice tree walk;
+// either way the call is allocation-free (the trees are walked iteratively,
+// no explicit stack needed).
 func (m *GBDT) PredictRow(x feature.Matrix, r int) float64 {
-	s := m.rawScore(x, r)
+	var s float64
+	if d, ok := x.(*feature.Dense); ok {
+		row := d.Row(r)
+		s = m.base
+		for _, t := range m.trees {
+			s += m.cfg.LearningRate * t.predictVec(row)
+		}
+	} else {
+		s = m.rawScore(x, r)
+	}
 	if m.cfg.Task == Classification {
 		return sigmoid(s)
 	}

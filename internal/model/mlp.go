@@ -167,14 +167,46 @@ func (m *MLP) Train(x feature.Matrix, y []float64) error {
 
 // PredictRow implements Model.
 func (m *MLP) PredictRow(x feature.Matrix, r int) float64 {
+	s := GetScratch()
+	out := m.PredictRowScratch(x, r, s)
+	PutScratch(s)
+	return out
+}
+
+// PredictRowScratch implements RowScorer: the forward pass reuses the
+// scratch's hidden-activation buffer, and the first layer devirtualizes the
+// input iteration for the concrete matrix types, so a warm call performs no
+// heap allocation.
+func (m *MLP) PredictRowScratch(x feature.Matrix, r int, s *Scratch) float64 {
 	h := m.cfg.Hidden
-	hidden := make([]float64, h)
+	hidden := s.grow(h)
 	copy(hidden, m.b1)
-	x.ForEachNZ(r, func(c int, v float64) {
-		for j := 0; j < h; j++ {
-			hidden[j] += m.w1[j][c] * v
+	switch t := x.(type) {
+	case *feature.Dense:
+		for c, v := range t.Row(r) {
+			if v == 0 {
+				continue
+			}
+			w1c := v
+			for j := 0; j < h; j++ {
+				hidden[j] += m.w1[j][c] * w1c
+			}
 		}
-	})
+	case *feature.CSR:
+		cols, vals := t.RowView(r)
+		for i, c := range cols {
+			v := vals[i]
+			for j := 0; j < h; j++ {
+				hidden[j] += m.w1[j][c] * v
+			}
+		}
+	default:
+		x.ForEachNZ(r, func(c int, v float64) {
+			for j := 0; j < h; j++ {
+				hidden[j] += m.w1[j][c] * v
+			}
+		})
+	}
 	out := m.b2
 	for j := 0; j < h; j++ {
 		if hidden[j] > 0 {
@@ -190,8 +222,10 @@ func (m *MLP) PredictRow(x feature.Matrix, r int) float64 {
 // Predict implements Model.
 func (m *MLP) Predict(x feature.Matrix) []float64 {
 	out := make([]float64, x.Rows())
+	s := GetScratch()
 	for r := range out {
-		out[r] = m.PredictRow(x, r)
+		out[r] = m.PredictRowScratch(x, r, s)
 	}
+	PutScratch(s)
 	return out
 }

@@ -14,7 +14,11 @@
 //     data (section 4.2, "Computing IFV Statistics").
 package model
 
-import "willump/internal/feature"
+import (
+	"sync"
+
+	"willump/internal/feature"
+)
 
 // Task distinguishes classification from regression models. End-to-end
 // cascades apply only to classification (section 6.3).
@@ -43,6 +47,49 @@ type Model interface {
 	PredictRow(x feature.Matrix, r int) float64
 	// NumFeatures returns the trained input width (0 before Train).
 	NumFeatures() int
+}
+
+// Scratch holds reusable per-call inference buffers (currently the MLP's
+// hidden-layer activations). A Scratch may be reused across calls on one
+// goroutine but never concurrently; the serving point path keeps one per
+// pooled execution state so warm predictions allocate nothing.
+type Scratch struct {
+	hidden []float64
+}
+
+// grow returns a length-n buffer, reusing the scratch's backing array.
+func (s *Scratch) grow(n int) []float64 {
+	if cap(s.hidden) < n {
+		s.hidden = make([]float64, n)
+	}
+	s.hidden = s.hidden[:n]
+	return s.hidden
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch fetches an inference scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch recycles a scratch obtained from GetScratch.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// RowScorer is implemented by models whose single-row scoring needs working
+// buffers: PredictRowScratch behaves exactly like PredictRow but draws its
+// buffers from the caller-owned Scratch instead of the heap.
+type RowScorer interface {
+	PredictRowScratch(x feature.Matrix, r int, s *Scratch) float64
+}
+
+// ScoreRow scores row r of x with m, routing through the model's scratch
+// fast path when it has one. The remaining families' PredictRow is already
+// allocation-free (GBDT walks its trees iteratively; the linear models use
+// the devirtualized feature.Dot), so they need no scratch.
+func ScoreRow(m Model, x feature.Matrix, r int, s *Scratch) float64 {
+	if rs, ok := m.(RowScorer); ok {
+		return rs.PredictRowScratch(x, r, s)
+	}
+	return m.PredictRow(x, r)
 }
 
 // Importancer is implemented by models with native per-feature prediction

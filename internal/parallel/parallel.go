@@ -12,6 +12,12 @@ import "sort"
 // group; groups are non-empty unless there are fewer items than workers.
 // This is how Willump "statically assigns feature generators to threads
 // using the feature generators' computational costs" (section 5.2).
+//
+// The least-loaded worker is tracked with a binary min-heap, so an
+// assignment costs O(n log n + n log w) instead of the O(n*w) linear scan a
+// naive implementation pays — it matters for wide pipelines scheduled at
+// request time. Ties break toward the lowest worker index, reproducing the
+// linear scan's assignment exactly.
 func Assign(costs []float64, workers int) [][]int {
 	if workers < 1 {
 		workers = 1
@@ -33,23 +39,65 @@ func Assign(costs []float64, workers int) [][]int {
 		return order[a] < order[b]
 	})
 	groups := make([][]int, workers)
-	load := make([]float64, workers)
+	h := newLoadHeap(workers)
 	for _, item := range order {
-		// Place on the least-loaded worker.
-		best := 0
-		for w := 1; w < workers; w++ {
-			if load[w] < load[best] {
-				best = w
-			}
-		}
-		groups[best] = append(groups[best], item)
-		load[best] += costs[item]
+		w := h.min()
+		groups[w] = append(groups[w], item)
+		h.addLoad(costs[item])
 	}
 	// Keep items within each group in their original order.
 	for _, g := range groups {
 		sort.Ints(g)
 	}
 	return groups
+}
+
+// loadHeap is a binary min-heap of workers keyed by (load, worker index):
+// the root is always the least-loaded worker, lowest index first on ties.
+type loadHeap struct {
+	load []float64 // load[i] is the heap slot's accumulated cost
+	id   []int     // id[i] is the worker index in that slot
+}
+
+func newLoadHeap(workers int) *loadHeap {
+	h := &loadHeap{load: make([]float64, workers), id: make([]int, workers)}
+	for i := range h.id {
+		h.id[i] = i // all loads zero: already a valid heap, ids ascending
+	}
+	return h
+}
+
+// less orders slots by load, then worker index for determinism.
+func (h *loadHeap) less(i, j int) bool {
+	if h.load[i] != h.load[j] {
+		return h.load[i] < h.load[j]
+	}
+	return h.id[i] < h.id[j]
+}
+
+// min returns the worker index at the root.
+func (h *loadHeap) min() int { return h.id[0] }
+
+// addLoad adds cost to the root worker and restores the heap by sifting it
+// down.
+func (h *loadHeap) addLoad(cost float64) {
+	h.load[0] += cost
+	i, n := 0, len(h.load)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.load[i], h.load[smallest] = h.load[smallest], h.load[i]
+		h.id[i], h.id[smallest] = h.id[smallest], h.id[i]
+		i = smallest
+	}
 }
 
 // Shard splits n rows into at most workers contiguous [start, end) ranges of

@@ -2,6 +2,9 @@ package parallel
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -133,5 +136,96 @@ func TestShardCoversRangeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// naiveAssign is the reference O(items*workers) least-loaded scan the
+// min-heap implementation replaced; Assign must reproduce it exactly.
+func naiveAssign(costs []float64, workers int) [][]int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(costs) {
+		workers = len(costs)
+	}
+	if workers == 0 {
+		return nil
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] > costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, workers)
+	load := make([]float64, workers)
+	for _, item := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		groups[best] = append(groups[best], item)
+		load[best] += costs[item]
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+func TestAssignMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(rng.Intn(8)) // ties on purpose
+		}
+		workers := 1 + rng.Intn(12)
+		got := Assign(costs, workers)
+		want := naiveAssign(costs, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, w=%d): heap %v != scan %v (costs %v)", trial, n, workers, got, want, costs)
+		}
+	}
+}
+
+// TestAssignWorkerCounts covers the deployment-relevant worker counts: a
+// single worker, the machine's CPU count, and more workers than items.
+func TestAssignWorkerCounts(t *testing.T) {
+	costs := []float64{5, 3, 9, 1, 7, 2, 8, 4}
+	for _, workers := range []int{1, runtime.NumCPU(), len(costs) + 7} {
+		groups := Assign(costs, workers)
+		wantGroups := workers
+		if wantGroups > len(costs) {
+			wantGroups = len(costs)
+		}
+		if wantGroups < 1 {
+			wantGroups = 1
+		}
+		if len(groups) != wantGroups {
+			t.Fatalf("workers=%d: got %d groups, want %d", workers, len(groups), wantGroups)
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			if len(g) == 0 && workers <= len(costs) {
+				t.Errorf("workers=%d: empty group despite items >= workers", workers)
+			}
+			for _, item := range g {
+				if seen[item] {
+					t.Fatalf("workers=%d: item %d assigned twice", workers, item)
+				}
+				seen[item] = true
+			}
+		}
+		if len(seen) != len(costs) {
+			t.Fatalf("workers=%d: %d items assigned, want %d", workers, len(seen), len(costs))
+		}
 	}
 }

@@ -1,0 +1,68 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/value"
+)
+
+// TestRegistryPointPredictAllocBound guards the in-process half of the
+// /v1/models/{name}/predict point path — model lookup, direct-path
+// admission, context joining, and the pooled PredictPointOptions execution
+// underneath. net/http and JSON codec costs are excluded by construction:
+// the test drives the same executeDirect path the HTTP handler calls after
+// decoding. The pipeline execution itself is allocation-free (see the root
+// TestPredictPointZeroAllocs); the small remaining budget is the per-request
+// context plumbing (joinContext's WithCancel + AfterFunc) and the response
+// slice.
+func TestRegistryPointPredictAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	fx, err := fixture.NewClassification(5, 600, 200, 200, 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	o, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(Options{})
+	if err := reg.Deploy("m", "v1", o); err != nil {
+		t.Fatal(err)
+	}
+	s := NewRegistryServer(reg)
+	defer s.Close()
+
+	h, err := reg.lookup("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{19}),
+		"heavy_id": value.NewInts([]int64{7}),
+	}
+	po := core.PredictOptions{Point: true}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.executeDirect(ctx, h, inputs, 1, po); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.executeDirect(ctx, h, inputs, 1, po); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("warm registry point predict allocates %.1f objects/op, want <= %d (context plumbing + response slice only)", allocs, budget)
+	}
+}

@@ -107,6 +107,12 @@ type version struct {
 	mu      sync.RWMutex
 	stopped bool
 
+	// Batcher-owned merge scratch, reused across batches; the batcher
+	// goroutine is its only user and every prediction completes before the
+	// next batch is assembled.
+	mergeCols  map[string][]value.Value
+	mergeInput map[string]value.Value
+
 	baseCtx context.Context
 }
 
@@ -533,15 +539,28 @@ func (v *version) runBatch(batch []*pending) {
 		batch[0].done <- batchResult{preds: preds, err: err}
 		return
 	}
-	// Merge columns across the batch's requests.
-	merged := make(map[string][]value.Value)
+	// Merge columns across the batch's requests, reusing the version's
+	// batcher-owned scratch maps (column names are stable across batches).
+	if v.mergeCols == nil {
+		v.mergeCols = make(map[string][]value.Value)
+		v.mergeInput = make(map[string]value.Value)
+	}
+	merged := v.mergeCols
+	for k, s := range merged {
+		clear(s) // drop the previous batch's column references, not just the length
+		merged[k] = s[:0]
+	}
 	for _, p := range batch {
 		for k, val := range p.inputs {
 			merged[k] = append(merged[k], val)
 		}
 	}
-	inputs := make(map[string]value.Value, len(merged))
+	inputs := v.mergeInput
+	clear(inputs)
 	for k, vs := range merged {
+		if len(vs) == 0 {
+			continue // column absent from this batch's requests
+		}
 		cat, err := concatValues(vs)
 		if err != nil {
 			for _, p := range batch {

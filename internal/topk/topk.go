@@ -90,7 +90,8 @@ func (f *Filter) TopKSubset(ctx context.Context, inputs map[string]value.Value, 
 	if err != nil {
 		return nil, err
 	}
-	effX, err := run.Matrix(f.Approx.Efficient)
+	defer run.Close()
+	effX, err := run.MatrixShared(f.Approx.Efficient)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +112,8 @@ func (f *Filter) TopKSubset(ctx context.Context, inputs map[string]value.Value, 
 	candidates := TopIndices(approxScores, subsetSize)
 
 	sub := run.SubsetRun(candidates)
-	fullX, err := sub.Matrix(prog.AllIFVs())
+	defer sub.Close()
+	fullX, err := sub.MatrixShared(prog.AllIFVs())
 	if err != nil {
 		return nil, err
 	}

@@ -131,6 +131,67 @@ func (v Value) Gather(rows []int) Value {
 	}
 }
 
+// GatherInto gathers the given rows of src into dst, reusing dst's backing
+// buffers when its kind matches src's and capacity allows. dst must be
+// exclusively owned by the caller and must not alias src; the pooled
+// executor tracks buffer ownership per plan slot to guarantee both.
+func GatherInto(dst *Value, src Value, rows []int) {
+	switch src.Kind {
+	case Strings:
+		out := growSlice(dst.Strings, len(rows), src.Kind == dst.Kind)
+		for i, r := range rows {
+			out[i] = src.Strings[r]
+		}
+		*dst = NewStrings(out)
+	case Floats:
+		out := growSlice(dst.Floats, len(rows), src.Kind == dst.Kind)
+		for i, r := range rows {
+			out[i] = src.Floats[r]
+		}
+		*dst = NewFloats(out)
+	case Ints:
+		out := growSlice(dst.Ints, len(rows), src.Kind == dst.Kind)
+		for i, r := range rows {
+			out[i] = src.Ints[r]
+		}
+		*dst = NewInts(out)
+	case Tokens:
+		out := growSlice(dst.Tokens, len(rows), src.Kind == dst.Kind)
+		for i, r := range rows {
+			out[i] = src.Tokens[r]
+		}
+		*dst = NewTokens(out)
+	case Mat:
+		switch m := src.Mat.(type) {
+		case *feature.Dense:
+			prev, _ := dst.Mat.(*feature.Dense)
+			if dst.Kind != Mat {
+				prev = nil
+			}
+			*dst = NewMat(m.GatherReuse(rows, prev))
+		case *feature.CSR:
+			prev, _ := dst.Mat.(*feature.CSR)
+			if dst.Kind != Mat {
+				prev = nil
+			}
+			*dst = NewMat(m.GatherReuse(rows, prev))
+		default:
+			*dst = NewMat(src.Mat.Gather(rows))
+		}
+	default:
+		*dst = Value{}
+	}
+}
+
+// growSlice returns a slice of length n, reusing s when reuse is requested
+// and capacity allows. Contents are unspecified.
+func growSlice[T any](s []T, n int, reuse bool) []T {
+	if !reuse || cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // AsMatrix converts the value to a feature matrix: scalar columns become
 // single-column dense matrices.
 func (v Value) AsMatrix() (feature.Matrix, error) {
@@ -175,12 +236,32 @@ func (v Value) Box(r int) any {
 // direction interpreted->compiled. All rows must have the same boxed type.
 // Rows boxed as []float64 become a dense matrix.
 func FromBoxed(rows []any) (Value, error) {
+	var v Value
+	if err := FromBoxedInto(rows, &v); err != nil {
+		return Value{}, err
+	}
+	return v, nil
+}
+
+// FromBoxedInto is FromBoxed writing into dst, reusing dst's buffers when
+// its kind matches the boxed rows and capacity allows. dst must be
+// exclusively owned by the caller.
+func FromBoxedInto(rows []any, dst *Value) error {
+	v, err := fromBoxedReuse(rows, *dst)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+func fromBoxedReuse(rows []any, prev Value) (Value, error) {
 	if len(rows) == 0 {
 		return Value{}, fmt.Errorf("value: FromBoxed on empty batch")
 	}
 	switch rows[0].(type) {
 	case string:
-		out := make([]string, len(rows))
+		out := growSlice(prev.Strings, len(rows), prev.Kind == Strings)
 		for i, r := range rows {
 			s, ok := r.(string)
 			if !ok {
@@ -190,7 +271,7 @@ func FromBoxed(rows []any) (Value, error) {
 		}
 		return NewStrings(out), nil
 	case float64:
-		out := make([]float64, len(rows))
+		out := growSlice(prev.Floats, len(rows), prev.Kind == Floats)
 		for i, r := range rows {
 			f, ok := r.(float64)
 			if !ok {
@@ -200,7 +281,7 @@ func FromBoxed(rows []any) (Value, error) {
 		}
 		return NewFloats(out), nil
 	case int64:
-		out := make([]int64, len(rows))
+		out := growSlice(prev.Ints, len(rows), prev.Kind == Ints)
 		for i, r := range rows {
 			n, ok := r.(int64)
 			if !ok {
@@ -210,25 +291,33 @@ func FromBoxed(rows []any) (Value, error) {
 		}
 		return NewInts(out), nil
 	case []float64:
-		vecs := make([][]float64, len(rows))
+		first := rows[0].([]float64)
+		var prevDense *feature.Dense
+		if prev.Kind == Mat {
+			prevDense, _ = prev.Mat.(*feature.Dense)
+		}
+		m := feature.GrowDense(prevDense, len(rows), len(first))
 		for i, r := range rows {
 			vec, ok := r.([]float64)
 			if !ok {
 				return Value{}, fmt.Errorf("value: FromBoxed: row %d is %T, want []float64", i, r)
 			}
-			vecs[i] = vec
+			if len(vec) != len(first) {
+				return Value{}, fmt.Errorf("value: FromBoxed: row %d has %d cols, want %d", i, len(vec), len(first))
+			}
+			copy(m.Row(i), vec)
 		}
-		return NewMat(feature.DenseFromRows(vecs)), nil
+		return NewMat(m), nil
 	case []string:
-		toks := make([][]string, len(rows))
+		out := growSlice(prev.Tokens, len(rows), prev.Kind == Tokens)
 		for i, r := range rows {
 			ts, ok := r.([]string)
 			if !ok {
 				return Value{}, fmt.Errorf("value: FromBoxed: row %d is %T, want []string", i, r)
 			}
-			toks[i] = ts
+			out[i] = ts
 		}
-		return NewTokens(toks), nil
+		return NewTokens(out), nil
 	default:
 		return Value{}, fmt.Errorf("value: FromBoxed: unsupported boxed type %T", rows[0])
 	}

@@ -23,6 +23,16 @@ func (p *Program) RunInterpreted(ctx context.Context, inputs map[string]value.Va
 	g := p.G
 	rows := make([][]float64, n)
 	boxed := make([]any, g.NumNodes())
+	// Per-node argument scratch, hoisted out of the row loop: the baseline
+	// models per-row boxing and dynamic dispatch, not gratuitous slice
+	// churn, so the argument buffers are allocated once per run (operators
+	// do not retain their argument slice).
+	insBuf := make([][]any, g.NumNodes())
+	for _, id := range g.Topo() {
+		if node := g.Node(id); !node.IsSource() {
+			insBuf[id] = make([]any, len(node.Inputs))
+		}
+	}
 	for r := 0; r < n; r++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -33,7 +43,7 @@ func (p *Program) RunInterpreted(ctx context.Context, inputs map[string]value.Va
 				boxed[id] = vals[id].Box(r)
 				continue
 			}
-			ins := make([]any, len(node.Inputs))
+			ins := insBuf[id]
 			for i, in := range node.Inputs {
 				ins[i] = boxed[in]
 			}

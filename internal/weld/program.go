@@ -19,6 +19,7 @@ package weld
 
 import (
 	"fmt"
+	"sync"
 
 	"willump/internal/cache"
 	"willump/internal/graph"
@@ -61,6 +62,20 @@ type Program struct {
 	// caches[i], when non-nil, is the feature-level LRU for IFV i.
 	caches []*cache.LRU
 
+	// pool recycles run states shaped for the fused plan (see state.go).
+	// Installed by Fuse; nil before the program is fitted.
+	pool *sync.Pool
+
+	// ifvSpine[i] lists the non-concat spine operators applicable to IFV i,
+	// in spine order; precomputed so Matrix/MatrixShared need no per-call
+	// ancestor analysis. spineFallback is true when any of them does not
+	// implement graph.Elementwise, forcing the generic Apply-based path.
+	ifvSpine      [][]graph.Op
+	spineFallback bool
+
+	// allIFVs is the cached [0, len(IFVs)) index list (shared, read-only).
+	allIFVs []int
+
 	fitted bool
 }
 
@@ -78,8 +93,41 @@ func Compile(g *graph.Graph) (*Program, error) {
 		Order: graph.BlockSort(g),
 		Prof:  NewProfile(),
 	}
+	p.allIFVs = make([]int, len(a.IFVs))
+	for i := range p.allIFVs {
+		p.allIFVs[i] = i
+	}
+	p.buildSpineIndex()
 	p.buildSteps(false)
 	return p, nil
+}
+
+// buildSpineIndex precomputes, per IFV, the chain of non-concat spine
+// operators that apply to it (the elementwise transforms Matrix folds over
+// each IFV's output before concatenation).
+func (p *Program) buildSpineIndex() {
+	p.ifvSpine = make([][]graph.Op, len(p.A.IFVs))
+	p.spineFallback = false
+	for _, sid := range p.A.Spine {
+		op := p.G.Node(sid).Op
+		if _, isConcat := op.(*ops.Concat); isConcat {
+			continue
+		}
+		if _, ok := op.(graph.Elementwise); !ok {
+			p.spineFallback = true
+		} else if ss, ok := op.(interface{ SparseSafe() bool }); ok && !ss.SparseSafe() {
+			// The op's in-place sparse application would diverge from its
+			// Apply semantics (e.g. a clip whose bounds exclude zero); keep
+			// such plans on the generic path.
+			p.spineFallback = true
+		}
+		anc := p.G.AncestorsOf(sid)
+		for i, ifv := range p.A.IFVs {
+			if anc[ifv.Root] {
+				p.ifvSpine[i] = append(p.ifvSpine[i], op)
+			}
+		}
+	}
 }
 
 // buildSteps constructs the execution plan, fusing compilable
@@ -195,9 +243,11 @@ func topoSortSteps(steps []step, g *graph.Graph) []step {
 }
 
 // Fuse rebuilds the plan with chain fusion enabled. It requires fitted
-// operators and is called automatically at the end of Fit.
+// operators and is called automatically at the end of Fit (and Restore).
+// Fusing also installs the run-state pool sized for the final plan shape.
 func (p *Program) Fuse() {
 	p.buildSteps(true)
+	p.initPool()
 }
 
 // EnableFeatureCaching attaches a feature-level LRU of the given capacity

@@ -9,7 +9,6 @@ import (
 	"willump/internal/cache"
 	"willump/internal/feature"
 	"willump/internal/graph"
-	"willump/internal/ops"
 	"willump/internal/parallel"
 	"willump/internal/value"
 )
@@ -22,15 +21,37 @@ import (
 // A run carries the context it was started with; execution checks it between
 // plan steps (the graph blocks of section 5.2), so cancelling the context
 // aborts a long batch promptly instead of at the end.
+//
+// Runs are pooled per Program: NewRun acquires a state whose buffers were
+// preallocated from the plan shape, and Close recycles it (see state.go for
+// the reuse and ownership contract). Callers that let derived matrices
+// escape must not Close.
 type BatchRun struct {
-	p    *Program
-	ctx  context.Context
-	vals []value.Value // per-node computed values; sources prefilled
-	have []bool
-	n    int
+	p   *Program
+	ctx context.Context
+	n   int
+
+	vals  []value.Value // per-node computed values; sources prefilled
+	owned []bool        // slot buffers allocated (and exclusively held) by this state
+	have  []bool
 
 	preDone bool
 	ifvDone []bool
+
+	// Per-step reusable execution state.
+	stepIns [][]value.Value
+	scratch []any
+
+	// Point-query output: the concatenated feature vector and its 1-row
+	// dense wrapper.
+	vec  []float64
+	mat1 *feature.Dense
+
+	// MatrixShared output buffers.
+	hsDense   *feature.Dense
+	hsCSR     *feature.CSR
+	hsBuilder feature.CSRBuilder
+	ordered   []int
 }
 
 // NewRun starts a compiled run over the given inputs. ctx governs the whole
@@ -42,20 +63,10 @@ func (p *Program) NewRun(ctx context.Context, inputs map[string]value.Value) (*B
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	vals, n, err := p.resolveInputs(inputs)
-	if err != nil {
+	r := p.getRun(ctx)
+	if err := r.resolveInto(inputs); err != nil {
+		r.Close()
 		return nil, err
-	}
-	r := &BatchRun{
-		p:       p,
-		ctx:     ctx,
-		vals:    vals,
-		have:    make([]bool, p.G.NumNodes()),
-		n:       n,
-		ifvDone: make([]bool, len(p.A.IFVs)),
-	}
-	for _, sid := range p.G.Sources() {
-		r.have[sid] = true
 	}
 	return r, nil
 }
@@ -63,13 +74,16 @@ func (p *Program) NewRun(ctx context.Context, inputs map[string]value.Value) (*B
 // Len returns the batch size.
 func (r *BatchRun) Len() int { return r.n }
 
-// runStep executes one plan step, reading and writing r.vals. The run's
+// runStep executes plan step si, reading and writing r.vals. The run's
 // context is checked first, so cancellation lands on a block boundary.
-func (r *BatchRun) runStep(st step) error {
+// Operators implementing graph.IntoApplier execute through the reuse path,
+// recycling the slot's previous output buffers and the step's scratch cell.
+func (r *BatchRun) runStep(si int) error {
 	if err := r.ctx.Err(); err != nil {
 		return err
 	}
-	ins := make([]value.Value, len(st.ins))
+	st := &r.p.Steps[si]
+	ins := r.stepIns[si]
 	for i, in := range st.ins {
 		if !r.have[in] {
 			return fmt.Errorf("weld: step %d input %d not computed", st.out, in)
@@ -77,28 +91,53 @@ func (r *BatchRun) runStep(st step) error {
 		ins[i] = r.vals[in]
 	}
 	if !st.op.Compilable() {
-		return r.runPythonStep(st, ins)
+		return r.runPythonStep(si, ins)
 	}
-	out, err := st.op.Apply(ins)
-	if err != nil {
-		return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+	if ia, ok := st.op.(graph.IntoApplier); ok {
+		if !r.owned[st.out] {
+			r.vals[st.out] = value.Value{}
+		}
+		if err := ia.ApplyInto(ins, &r.vals[st.out], &r.scratch[si]); err != nil {
+			return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+		}
+	} else {
+		out, err := st.op.Apply(ins)
+		if err != nil {
+			return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+		}
+		r.vals[st.out] = out
 	}
-	r.vals[st.out] = out
+	r.owned[st.out] = true
 	r.have[st.out] = true
 	return nil
+}
+
+// pyScratch is the per-step driver buffer pair for interpreted-boundary
+// crossings. It lives in the step's scratch cell, not on the run: parallel
+// IFV workers execute disjoint steps, so per-step buffers stay race-free
+// where run-level ones would not.
+type pyScratch struct {
+	boxed, outs []any
 }
 
 // runPythonStep crosses into the interpreted runtime: it unboxes the
 // columnar inputs row by row, applies the operator's boxed path, and reboxes
 // the results into a column. The marshaling time on both sides is the
-// "driver" overhead of section 5.2. The out-driver reuses one boxed-argument
-// buffer across rows (operators do not retain their argument slice),
+// "driver" overhead of section 5.2. The out-driver reuses the step's boxed
+// buffers across runs (operators do not retain their argument slice),
 // mirroring the O(1)-conversion drivers the paper built.
-func (r *BatchRun) runPythonStep(st step, ins []value.Value) error {
+func (r *BatchRun) runPythonStep(si int, ins []value.Value) error {
+	st := &r.p.Steps[si]
 	n := r.n
+	ps, _ := r.scratch[si].(*pyScratch)
+	if ps == nil {
+		ps = &pyScratch{}
+		r.scratch[si] = ps
+	}
 	// Driver out: columnar -> boxed argument rows.
 	start := time.Now()
-	boxed := make([]any, len(ins)*n)
+	ps.boxed = growAny(ps.boxed, len(ins)*n)
+	boxed := ps.boxed
 	for row := 0; row < n; row++ {
 		for i := range ins {
 			boxed[row*len(ins)+i] = ins[i].Box(row)
@@ -108,7 +147,8 @@ func (r *BatchRun) runPythonStep(st step, ins []value.Value) error {
 
 	// Interpreted execution.
 	opStart := time.Now()
-	outs := make([]any, n)
+	ps.outs = growAny(ps.outs, n)
+	outs := ps.outs
 	for row := 0; row < n; row++ {
 		out, err := st.op.ApplyBoxed(boxed[row*len(ins) : (row+1)*len(ins)])
 		if err != nil {
@@ -121,15 +161,23 @@ func (r *BatchRun) runPythonStep(st step, ins []value.Value) error {
 		r.p.Prof.addNode(id, n, opSec/float64(len(st.nodes)))
 	}
 
-	// Driver in: boxed -> columnar.
+	// Driver in: boxed -> columnar, reusing the slot's previous column when
+	// the state owns it.
 	start = time.Now()
-	col, err := value.FromBoxed(outs)
+	if !r.owned[st.out] {
+		r.vals[st.out] = value.Value{}
+	}
+	err := value.FromBoxedInto(outs[:n], &r.vals[st.out])
+	// Drop the boxed references either way: they point into caller input
+	// columns, and a pooled state must not extend their lifetime.
+	clear(boxed)
+	clear(outs)
 	if err != nil {
 		return fmt.Errorf("weld: python step %s: %w", st.op.Name(), err)
 	}
 	r.p.Prof.addDriver(time.Since(start).Seconds())
 
-	r.vals[st.out] = col
+	r.owned[st.out] = true
 	r.have[st.out] = true
 	return nil
 }
@@ -139,12 +187,13 @@ func (r *BatchRun) computePreprocessing() error {
 	if r.preDone {
 		return nil
 	}
-	for _, st := range r.p.Steps {
+	for si := range r.p.Steps {
+		st := &r.p.Steps[si]
 		if st.ifv == -1 && !st.spine {
 			if r.have[st.out] {
 				continue
 			}
-			if err := r.runStep(st); err != nil {
+			if err := r.runStep(si); err != nil {
 				return err
 			}
 		}
@@ -183,11 +232,12 @@ func (r *BatchRun) ComputeIFVs(idx []int) error {
 
 // computeIFVDirect executes the IFV's generator steps over the whole batch.
 func (r *BatchRun) computeIFVDirect(i int) error {
-	for _, st := range r.p.Steps {
+	for si := range r.p.Steps {
+		st := &r.p.Steps[si]
 		if st.ifv != i || r.have[st.out] {
 			continue
 		}
-		if err := r.runStep(st); err != nil {
+		if err := r.runStep(si); err != nil {
 			return err
 		}
 	}
@@ -243,8 +293,10 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
 			}
 			c.Put(keys[repr], vec)
 		}
+		sub.Close()
 	}
 	r.vals[ifv.Root] = value.NewMat(out)
+	r.owned[ifv.Root] = true
 	r.have[ifv.Root] = true
 	return nil
 }
@@ -252,18 +304,12 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
 // gatherForIFV builds a sub-run over the given rows containing everything
 // the IFV's generator reads: raw sources and preprocessing outputs.
 func (r *BatchRun) gatherForIFV(i int, rows []int) (*BatchRun, error) {
-	sub := &BatchRun{
-		p:       r.p,
-		ctx:     r.ctx,
-		vals:    make([]value.Value, len(r.vals)),
-		have:    make([]bool, len(r.have)),
-		n:       len(rows),
-		preDone: true,
-		ifvDone: make([]bool, len(r.ifvDone)),
-	}
+	sub := r.p.getRun(r.ctx)
+	sub.n = len(rows)
+	sub.preDone = true
 	for id, ok := range r.have {
 		if ok {
-			sub.vals[id] = r.vals[id].Gather(rows)
+			sub.setOwnedValue(id, r.vals[id], rows)
 			sub.have[id] = true
 		}
 	}
@@ -277,44 +323,30 @@ func (r *BatchRun) gatherForIFV(i int, rows []int) (*BatchRun, error) {
 // SubsetRun returns a new run restricted to the given rows, carrying over
 // every value already computed (gathered to the subset). Cascades use it to
 // run the full model only on low-confidence rows; top-K uses it to re-rank
-// the filtered subset.
+// the filtered subset. The sub-run is pooled like any other: Close it when
+// nothing derived from it escapes.
 func (r *BatchRun) SubsetRun(rows []int) *BatchRun {
-	sub := &BatchRun{
-		p:       r.p,
-		ctx:     r.ctx,
-		vals:    make([]value.Value, len(r.vals)),
-		have:    make([]bool, len(r.have)),
-		n:       len(rows),
-		preDone: r.preDone,
-		ifvDone: make([]bool, len(r.ifvDone)),
-	}
+	sub := r.p.getRun(r.ctx)
+	sub.n = len(rows)
+	sub.preDone = r.preDone
 	copy(sub.ifvDone, r.ifvDone)
 	for id, ok := range r.have {
 		if ok {
-			sub.vals[id] = r.vals[id].Gather(rows)
+			sub.setOwnedValue(id, r.vals[id], rows)
 			sub.have[id] = true
 		}
 	}
 	return sub
 }
 
-// spineApplicable returns the IFV indices (among idx) that are ancestors of
-// the given spine node, i.e. whose features flow through it.
-func (r *BatchRun) spineApplicable(spineID graph.NodeID, idx []int) map[int]bool {
-	anc := r.p.G.AncestorsOf(spineID)
-	out := make(map[int]bool)
-	for _, i := range idx {
-		if anc[r.p.A.IFVs[i].Root] {
-			out[i] = true
-		}
-	}
-	return out
-}
-
 // Matrix computes and horizontally concatenates the selected IFVs in leaf
 // order, applying elementwise spine operators per IFV (valid because they
 // commute with concatenation). Selecting every IFV reproduces the full
 // feature vector of the original pipeline.
+//
+// Matrix allocates its result; runs whose Matrix output escapes must not be
+// Closed. Predict paths that consume the features in place use MatrixShared
+// instead.
 func (r *BatchRun) Matrix(idx []int) (feature.Matrix, error) {
 	if err := r.ComputeIFVs(idx); err != nil {
 		return nil, err
@@ -330,16 +362,8 @@ func (r *BatchRun) Matrix(idx []int) (feature.Matrix, error) {
 		mats[j] = m
 	}
 	// Apply elementwise (non-concat) spine ops to the IFVs beneath them.
-	for _, sid := range r.p.A.Spine {
-		op := r.p.G.Node(sid).Op
-		if _, isConcat := op.(*ops.Concat); isConcat {
-			continue
-		}
-		applies := r.spineApplicable(sid, ordered)
-		for j, i := range ordered {
-			if !applies[i] {
-				continue
-			}
+	for j, i := range ordered {
+		for _, op := range r.p.ifvSpine[i] {
 			v, err := op.Apply([]value.Value{value.NewMat(mats[j])})
 			if err != nil {
 				return nil, fmt.Errorf("weld: spine op %s: %w", op.Name(), err)
@@ -354,18 +378,213 @@ func (r *BatchRun) Matrix(idx []int) (feature.Matrix, error) {
 	return feature.HStack(mats...), nil
 }
 
-// AllIFVs returns the index list [0, len(IFVs)).
-func (p *Program) AllIFVs() []int {
-	idx := make([]int, len(p.A.IFVs))
-	for i := range idx {
-		idx[i] = i
+// MatrixShared computes the same matrix as Matrix into run-owned pooled
+// buffers: after warm-up it performs no heap allocation. The result is valid
+// only until the next MatrixShared/PointMatrix call on this run or Close;
+// it must be consumed (model prediction, row extraction) before either.
+func (r *BatchRun) MatrixShared(idx []int) (feature.Matrix, error) {
+	if r.p.spineFallback {
+		// A non-elementwise spine operator is present; only the generic
+		// Apply-based path can evaluate it.
+		return r.Matrix(idx)
 	}
-	return idx
+	if err := r.ComputeIFVs(idx); err != nil {
+		return nil, err
+	}
+	r.ordered = append(r.ordered[:0], idx...)
+	ordered := r.ordered
+	sortInts(ordered)
+
+	total, allDense := 0, true
+	for _, i := range ordered {
+		root := r.p.A.IFVs[i].Root
+		v := r.vals[root]
+		switch v.Kind {
+		case value.Floats, value.Ints:
+			total++
+		case value.Mat:
+			total += v.Mat.Cols()
+			if _, ok := v.Mat.(*feature.Dense); !ok {
+				allDense = false
+			}
+		default:
+			return nil, fmt.Errorf("weld: IFV %d output: cannot view %s as matrix", i, v.Kind)
+		}
+	}
+
+	if allDense {
+		dst := feature.GrowDense(r.hsDense, r.n, total)
+		r.hsDense = dst
+		off := 0
+		for _, i := range ordered {
+			root := r.p.A.IFVs[i].Root
+			v := r.vals[root]
+			w := 1
+			if v.Kind == value.Mat {
+				w = v.Mat.Cols()
+			}
+			for row := 0; row < r.n; row++ {
+				seg := dst.Row(row)[off : off+w]
+				switch v.Kind {
+				case value.Floats:
+					seg[0] = v.Floats[row]
+				case value.Ints:
+					seg[0] = float64(v.Ints[row])
+				case value.Mat:
+					copy(seg, v.Mat.(*feature.Dense).Row(row))
+				}
+				for _, op := range r.p.ifvSpine[i] {
+					applyElementwise(op.(graph.Elementwise), seg)
+				}
+			}
+			off += w
+		}
+		return dst, nil
+	}
+
+	// Sparse (or mixed) path: stream every row straight into a reused CSR
+	// builder, applying elementwise spine ops per stored entry — their
+	// sparse semantics (implicit zeros stay zero) by construction.
+	b := &r.hsBuilder
+	prev := r.hsCSR
+	b.ResetFrom(total, prev)
+	for row := 0; row < r.n; row++ {
+		off := 0
+		for _, i := range ordered {
+			root := r.p.A.IFVs[i].Root
+			v := r.vals[root]
+			ew := r.p.ifvSpine[i]
+			switch v.Kind {
+			case value.Floats:
+				b.Add(off, applySpineScalar(ew, v.Floats[row]))
+				off++
+			case value.Ints:
+				b.Add(off, applySpineScalar(ew, float64(v.Ints[row])))
+				off++
+			case value.Mat:
+				switch m := v.Mat.(type) {
+				case *feature.Dense:
+					// Skip zeros like the ForEachNZ-based HStack path did:
+					// storing them would inflate nnz for mostly-zero dense
+					// blocks (spine ops here are sparse-safe, f(0) == 0).
+					for c, x := range m.Row(row) {
+						if x != 0 {
+							b.Add(off+c, applySpineScalar(ew, x))
+						}
+					}
+				case *feature.CSR:
+					cols, vals := m.RowView(row)
+					for k, c := range cols {
+						b.Add(off+c, applySpineScalar(ew, vals[k]))
+					}
+				default:
+					m.ForEachNZ(row, func(c int, x float64) {
+						b.Add(off+c, applySpineScalar(ew, x))
+					})
+				}
+				off += v.Mat.Cols()
+			}
+		}
+		b.EndRow()
+	}
+	if prev == nil {
+		prev = b.Build()
+	} else {
+		b.BuildInto(prev)
+	}
+	r.hsCSR = prev
+	return r.hsCSR, nil
 }
+
+// applySpineScalar folds a chain of elementwise spine ops over one value.
+func applySpineScalar(ops []graph.Op, v float64) float64 {
+	for _, op := range ops {
+		v = op.(graph.Elementwise).ApplyScalar(v)
+	}
+	return v
+}
+
+// PointMatrix computes the selected IFVs of a single-row run and returns a
+// pooled 1 x w dense matrix over the run's feature-vector buffer. After
+// warm-up the call performs no heap allocation for fully compiled plans.
+// The result is valid until the next PointMatrix/MatrixShared call on this
+// run or Close. Calling it again with a superset of IFVs (the cascade
+// resume) reuses everything already computed.
+func (r *BatchRun) PointMatrix(idx []int) (feature.Matrix, error) {
+	if r.n != 1 {
+		return nil, fmt.Errorf("weld: point query got %d rows", r.n)
+	}
+	if r.p.spineFallback {
+		m, err := r.Matrix(idx)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	if err := r.ComputeIFVs(idx); err != nil {
+		return nil, err
+	}
+	r.ordered = append(r.ordered[:0], idx...)
+	ordered := r.ordered
+	sortInts(ordered)
+	total := 0
+	for _, i := range ordered {
+		total += r.p.Widths[r.p.A.IFVs[i].Root]
+	}
+	if cap(r.vec) < total {
+		r.vec = make([]float64, total)
+	}
+	vec := r.vec[:total]
+	off := 0
+	for _, i := range ordered {
+		root := r.p.A.IFVs[i].Root
+		w := r.p.Widths[root]
+		seg := vec[off : off+w]
+		v := r.vals[root]
+		switch v.Kind {
+		case value.Floats:
+			seg[0] = v.Floats[0]
+		case value.Ints:
+			seg[0] = float64(v.Ints[0])
+		case value.Mat:
+			switch m := v.Mat.(type) {
+			case *feature.Dense:
+				copy(seg, m.Row(0))
+			case *feature.CSR:
+				for j := range seg {
+					seg[j] = 0
+				}
+				cols, vals := m.RowView(0)
+				for k, c := range cols {
+					seg[c] = vals[k]
+				}
+			default:
+				for j := range seg {
+					seg[j] = 0
+				}
+				m.ForEachNZ(0, func(c int, x float64) { seg[c] = x })
+			}
+		default:
+			return nil, fmt.Errorf("weld: IFV %d output: cannot view %s as matrix", i, v.Kind)
+		}
+		for _, op := range r.p.ifvSpine[i] {
+			applyElementwise(op.(graph.Elementwise), seg)
+		}
+		off += w
+	}
+	r.mat1.SetData(1, total, vec)
+	return r.mat1, nil
+}
+
+// AllIFVs returns the index list [0, len(IFVs)). The slice is shared and
+// must not be mutated.
+func (p *Program) AllIFVs() []int { return p.allIFVs }
 
 // RunBatch compiles-and-executes the whole pipeline over a batch, returning
 // the full feature matrix. The context is checked between plan steps, so
-// cancelling it aborts a long batch promptly.
+// cancelling it aborts a long batch promptly. The returned matrix escapes
+// the run, so the state is left to the GC instead of the pool; predict
+// paths that consume features in place use NewRun + MatrixShared + Close.
 func (p *Program) RunBatch(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
 	start := time.Now()
 	r, err := p.NewRun(ctx, inputs)
@@ -377,19 +596,59 @@ func (p *Program) RunBatch(ctx context.Context, inputs map[string]value.Value) (
 	return m, err
 }
 
+// RunBatchShared executes the whole pipeline over a batch on a pooled run,
+// returning the run together with its shared feature matrix. The caller
+// consumes the matrix (e.g. model prediction) and then Closes the run to
+// recycle every buffer. End-to-end timing is recorded like RunBatch, so the
+// profiler's driver-overhead accounting is preserved.
+func (p *Program) RunBatchShared(ctx context.Context, inputs map[string]value.Value) (*BatchRun, feature.Matrix, error) {
+	start := time.Now()
+	r, err := p.NewRun(ctx, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := r.MatrixShared(p.AllIFVs())
+	if err != nil {
+		r.Close()
+		return nil, nil, err
+	}
+	p.Prof.addTotal(time.Since(start).Seconds())
+	return r, m, nil
+}
+
 // RunBatchSharded executes the pipeline data-parallel across workers, each
 // handling a contiguous row shard (the paper's batch parallelization mode:
-// different inputs end-to-end on different threads).
+// different inputs end-to-end on different threads). Each shard runs on its
+// own pooled state; the shard matrices are merged into a fresh result and
+// the states recycled.
 func (p *Program) RunBatchSharded(ctx context.Context, inputs map[string]value.Value, workers int) (feature.Matrix, error) {
-	vals, n, err := p.resolveInputs(inputs)
-	if err != nil {
-		return nil, err
+	if !p.fitted {
+		return nil, fmt.Errorf("weld: run before Fit")
 	}
-	_ = vals
+	// Validate presence and equal lengths up front: a mismatch must be an
+	// error here, not an out-of-range panic inside a shard goroutine.
+	n := -1
+	for _, sid := range p.G.Sources() {
+		label := p.G.Node(sid).Label
+		v, ok := inputs[label]
+		if !ok {
+			return nil, fmt.Errorf("weld: missing input %q", label)
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, fmt.Errorf("weld: input %q has %d rows, want %d", label, v.Len(), n)
+		}
+	}
+	if n <= 0 {
+		return p.RunBatch(ctx, inputs) // resolve reports the precise error
+	}
 	shards := parallel.Shard(n, workers)
 	if len(shards) <= 1 {
 		return p.RunBatch(ctx, inputs)
 	}
+	start := time.Now()
+	runs := make([]*BatchRun, len(shards))
 	mats := make([]feature.Matrix, len(shards))
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
@@ -405,7 +664,13 @@ func (p *Program) RunBatchSharded(ctx context.Context, inputs map[string]value.V
 			for k, v := range inputs {
 				sub[k] = v.Gather(rows)
 			}
-			mats[w], errs[w] = p.RunBatch(ctx, sub)
+			r, err := p.NewRun(ctx, sub)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			runs[w] = r
+			mats[w], errs[w] = r.MatrixShared(p.AllIFVs())
 		}(w, sh)
 	}
 	wg.Wait()
@@ -414,33 +679,39 @@ func (p *Program) RunBatchSharded(ctx context.Context, inputs map[string]value.V
 			return nil, e
 		}
 	}
-	return feature.VStack(mats...), nil
+	// VStack copies the shard matrices into the merged result, so the shard
+	// states can be recycled immediately after.
+	out := feature.VStack(mats...)
+	for _, r := range runs {
+		r.Close()
+	}
+	p.Prof.addTotal(time.Since(start).Seconds())
+	return out, nil
 }
 
 // RunPoint executes the pipeline for a single data input (an
-// example-at-a-time query), sequentially.
+// example-at-a-time query), sequentially. The returned matrix escapes; the
+// allocation-free point path is NewRun + PointMatrix + Close.
 func (p *Program) RunPoint(ctx context.Context, inputs map[string]value.Value) (feature.Matrix, error) {
 	return p.RunBatch(ctx, inputs)
 }
 
-// RunPointParallel executes a single-input query with the IFV generators
-// distributed across workers by LPT over their profiled costs (section 4.4:
+// ComputeIFVsParallel computes the given IFVs with their generators
+// distributed across workers by LPT over profiled costs (section 4.4:
 // feature generators are computationally independent, so they run
-// concurrently; static assignment avoids scheduling overhead).
-func (p *Program) RunPointParallel(ctx context.Context, inputs map[string]value.Value, workers int) (feature.Matrix, error) {
-	if workers <= 1 || len(p.A.IFVs) <= 1 {
-		return p.RunBatch(ctx, inputs)
-	}
-	r, err := p.NewRun(ctx, inputs)
-	if err != nil {
-		return nil, err
+// concurrently; static assignment avoids scheduling overhead). Feature
+// generators are disjoint subgraphs, so each worker writes only its own
+// generators' node slots and the shared state stays race-free.
+func (r *BatchRun) ComputeIFVsParallel(idx []int, workers int) error {
+	if workers <= 1 || len(idx) <= 1 {
+		return r.ComputeIFVs(idx)
 	}
 	if err := r.computePreprocessing(); err != nil {
-		return nil, err
+		return err
 	}
-	costs := make([]float64, len(p.A.IFVs))
-	for i := range costs {
-		costs[i] = p.Prof.IFVCost(p.A, i)
+	costs := make([]float64, len(idx))
+	for j, i := range idx {
+		costs[j] = r.p.Prof.IFVCost(r.p.A, i)
 	}
 	groups := parallel.Assign(costs, workers)
 	errs := make([]error, len(groups))
@@ -452,17 +723,35 @@ func (p *Program) RunPointParallel(ctx context.Context, inputs map[string]value.
 		wg.Add(1)
 		go func(w int, g []int) {
 			defer wg.Done()
-			// Feature generators are disjoint subgraphs: each worker writes
-			// only its own generators' node slots, so the shared slices are
-			// written race-free.
-			errs[w] = r.ComputeIFVs(g)
+			ifvs := make([]int, len(g))
+			for j, gi := range g {
+				ifvs[j] = idx[gi]
+			}
+			errs[w] = r.ComputeIFVs(ifvs)
 		}(w, g)
 	}
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
-			return nil, e
+			return e
 		}
+	}
+	return nil
+}
+
+// RunPointParallel executes a single-input query with query-aware
+// parallelization. The returned matrix escapes; the pooled path is NewRun +
+// ComputeIFVsParallel + PointMatrix + Close.
+func (p *Program) RunPointParallel(ctx context.Context, inputs map[string]value.Value, workers int) (feature.Matrix, error) {
+	if workers <= 1 || len(p.A.IFVs) <= 1 {
+		return p.RunBatch(ctx, inputs)
+	}
+	r, err := p.NewRun(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ComputeIFVsParallel(p.AllIFVs(), workers); err != nil {
+		return nil, err
 	}
 	return r.Matrix(p.AllIFVs())
 }

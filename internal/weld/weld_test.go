@@ -458,3 +458,57 @@ func TestCompiledInterpretedAgreeProperty(t *testing.T) {
 		matricesClose(t, a, b, 1e-9)
 	}
 }
+
+// TestParallelPythonStepsRaceFree pins the per-step driver-buffer contract:
+// two non-compilable feature generators executed by ComputeIFVsParallel
+// must not share interpreted-boundary scratch (run with -race to enforce),
+// and the parallel result must match sequential execution exactly.
+func TestParallelPythonStepsRaceFree(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.Input("a")
+	c := b.Input("b")
+	g0 := b.Add("ratio0", ops.NewRatio(), a, c)
+	g1 := b.Add("ratio1", ops.NewRatio(), c, a)
+	cat := b.Add("concat", ops.NewConcat(), g0, g1)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	av := make([]float64, n)
+	bv := make([]float64, n)
+	for i := range av {
+		av[i] = float64(i + 1)
+		bv[i] = float64(2*i + 3)
+	}
+	inputs := map[string]value.Value{"a": value.NewFloats(av), "b": value.NewFloats(bv)}
+	if _, err := p.Fit(context.Background(), inputs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.RunBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 20; rep++ {
+		r, err := p.NewRun(context.Background(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ComputeIFVsParallel(p.AllIFVs(), 2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.MatrixShared(p.AllIFVs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feature.Equal(want, got) {
+			t.Fatalf("rep %d: parallel python-step result differs from sequential", rep)
+		}
+		r.Close()
+	}
+}

@@ -1,0 +1,99 @@
+package willump_test
+
+import (
+	"context"
+	"testing"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/value"
+)
+
+// perfFixture builds one fitted classification pipeline shared by the
+// predict-path benchmarks: two lookup feature generators feeding a GBDT,
+// the canonical cascade topology.
+func perfFixture(b *testing.B, opts core.Options) (*core.Optimized, *fixture.Classification) {
+	b.Helper()
+	fx, err := fixture.NewClassification(7, 2000, 500, 500, 0.7, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	o, _, err := core.Optimize(context.Background(), p, train, valid, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, fx
+}
+
+// pointInputs returns a reusable single-row input map.
+func pointInputs(fx *fixture.Classification) map[string]value.Value {
+	return map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{17}),
+		"heavy_id": value.NewInts([]int64{23}),
+	}
+}
+
+func BenchmarkPredictPointCompiled(b *testing.B) {
+	o, fx := perfFixture(b, core.Options{})
+	in := pointInputs(fx)
+	ctx := context.Background()
+	if _, err := o.PredictPoint(ctx, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictPointCascade(b *testing.B) {
+	o, fx := perfFixture(b, core.Options{Cascades: true})
+	in := pointInputs(fx)
+	ctx := context.Background()
+	if _, err := o.PredictPoint(ctx, in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatchCompiled(b *testing.B) {
+	o, fx := perfFixture(b, core.Options{})
+	ctx := context.Background()
+	if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatchCascade(b *testing.B) {
+	o, fx := perfFixture(b, core.Options{Cascades: true})
+	ctx := context.Background()
+	if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

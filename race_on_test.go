@@ -1,0 +1,9 @@
+//go:build race
+
+package willump_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are skipped under race: the detector's
+// instrumentation allocates shadow state of its own, so AllocsPerRun counts
+// stop measuring the production executor.
+const raceEnabled = true
