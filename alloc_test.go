@@ -113,6 +113,56 @@ func TestPredictPointCascadeZeroAllocs(t *testing.T) {
 	_ = fx
 }
 
+// TestPredictPointCachedZeroAllocs extends the zero-alloc guard to the
+// feature-cached point path: once the key is cached, a warm hit — key
+// encoding, inline hashing, sharded lookup, and the copy into the pooled
+// feature vector — must not touch the heap.
+func TestPredictPointCachedZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	o, _ := allocFixture(t, core.Options{FeatureCache: true, FeatureCacheBudget: 1024})
+	ctx := context.Background()
+	in := onePoint()
+	// Warm the state pool and populate the caches (first calls miss).
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm cache-hit PredictPoint allocates %.1f objects/op, want 0", allocs)
+	}
+	if st, ok := o.FeatureCacheStats(); !ok || st.Hits == 0 {
+		t.Fatalf("cache stats = %+v, ok=%v; want hits recorded", st, ok)
+	}
+}
+
+// TestPredictBatchCachedAllocBound: an all-hit cached batch must stay at the
+// compiled batch budget (the result slice), since hit rows copy from the
+// cache into pooled buffers without allocating.
+func TestPredictBatchCachedAllocBound(t *testing.T) {
+	skipIfRace(t)
+	o, fx := allocFixture(t, core.Options{FeatureCache: true, FeatureCacheCapacity: 0})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // first run misses and fills; the rest all hit
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := o.PredictBatch(ctx, fx.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm all-hit cached PredictBatch allocates %.1f objects/op, want <= 2", allocs)
+	}
+}
+
 // TestPredictBatchAllocBound guards the pooled batch path: the compiled
 // batch predict may allocate only its result slice, and the cascade batch
 // path only results plus routing state — far below the pre-pooling

@@ -324,7 +324,20 @@ func describeArtifact(path string) error {
 		fmt.Printf("top-K filter:    ck=%d, min subset fraction %.2f\n", art.Options.CK, art.Options.MinSubsetFrac)
 	}
 	if art.Options.FeatureCache {
-		fmt.Printf("feature cache:   capacity %d\n", art.Options.FeatureCacheCapacity)
+		switch {
+		case len(art.Options.FeatureCachePlan) > 0:
+			fmt.Printf("feature cache:   budget %d entries, plan", art.Options.FeatureCacheBudget)
+			for _, sp := range art.Options.FeatureCachePlan {
+				if sp.Capacity > 0 {
+					fmt.Printf(" ifv%d=%d", sp.IFV, sp.Capacity)
+				} else {
+					fmt.Printf(" ifv%d=unbounded", sp.IFV)
+				}
+			}
+			fmt.Println()
+		default:
+			fmt.Printf("feature cache:   capacity %d\n", art.Options.FeatureCacheCapacity)
+		}
 	}
 	if art.Options.Workers > 1 {
 		fmt.Printf("parallelism:     %d workers\n", art.Options.Workers)

@@ -57,18 +57,34 @@ type Model struct {
 	State json.RawMessage `json:"state"`
 }
 
+// CacheSpec is one IFV's planned feature-cache capacity (0 = unbounded).
+// The plan is computed from training statistics at Optimize time and
+// persisted so deployment processes — which never see training data —
+// replay exactly the same statistically-aware cache layout.
+type CacheSpec struct {
+	IFV      int `json:"ifv"`
+	Capacity int `json:"capacity,omitempty"`
+}
+
 // Options mirrors the resolved optimization options the pipeline was
 // optimized with.
 type Options struct {
-	Cascades             bool    `json:"cascades,omitempty"`
-	AccuracyTarget       float64 `json:"accuracy_target,omitempty"`
-	Gamma                float64 `json:"gamma,omitempty"`
-	TopK                 bool    `json:"top_k,omitempty"`
-	CK                   int     `json:"ck,omitempty"`
-	MinSubsetFrac        float64 `json:"min_subset_frac,omitempty"`
-	FeatureCache         bool    `json:"feature_cache,omitempty"`
-	FeatureCacheCapacity int     `json:"feature_cache_capacity,omitempty"`
-	Workers              int     `json:"workers,omitempty"`
+	Cascades             bool        `json:"cascades,omitempty"`
+	AccuracyTarget       float64     `json:"accuracy_target,omitempty"`
+	Gamma                float64     `json:"gamma,omitempty"`
+	TopK                 bool        `json:"top_k,omitempty"`
+	CK                   int         `json:"ck,omitempty"`
+	MinSubsetFrac        float64     `json:"min_subset_frac,omitempty"`
+	FeatureCache         bool `json:"feature_cache,omitempty"`
+	FeatureCacheCapacity int  `json:"feature_cache_capacity,omitempty"`
+	FeatureCacheBudget   int  `json:"feature_cache_budget,omitempty"`
+	// FeatureCachePlanned marks artifacts written by the statistical cache
+	// planner: FeatureCachePlan is then authoritative even when empty (the
+	// planner selected nothing). Without it — artifacts from pre-planner
+	// builds — readers fall back to the legacy flat-capacity layout.
+	FeatureCachePlanned bool        `json:"feature_cache_planned,omitempty"`
+	FeatureCachePlan    []CacheSpec `json:"feature_cache_plan,omitempty"`
+	Workers             int         `json:"workers,omitempty"`
 }
 
 // IFVStat is one IFV's cascade statistics (importance and measured cost).

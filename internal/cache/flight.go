@@ -1,0 +1,69 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Miss coalescing (singleflight): under skewed traffic, many concurrent
+// requests miss on the same hot key at once — without coalescing each one
+// recomputes the feature vector (and, for lookup features, each one issues
+// the remote request). Coalesce lets exactly one caller compute while the
+// rest wait and then re-read the cache.
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// flightGroup tracks in-flight computations by exact key bytes.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced atomic.Int64
+}
+
+// Coalesce runs compute for key at most once across concurrent callers. The
+// first caller (the leader) executes compute — which is expected to Put the
+// result into the cache — and returns leader=true with compute's error.
+// Every concurrent caller blocks until the leader finishes or its own ctx
+// dies, whichever comes first: a waiter's per-request deadline is honored
+// even when the leader's computation is slow. On the leader's completion a
+// waiter returns leader=false with the leader's error and should re-read
+// the cache (PeekInto, so the coalesced lookup is not double-counted as a
+// hit), falling back to computing itself in the rare case the entry was
+// already evicted. This path allocates: it only runs on misses, which
+// compute features anyway.
+func (c *Sharded) Coalesce(ctx context.Context, key []byte, compute func() error) (leader bool, err error) {
+	g := &c.flight
+	ks := string(key)
+	g.mu.Lock()
+	if call, ok := g.calls[ks]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			g.coalesced.Add(1)
+			return false, call.err
+		case <-ctx.Done():
+			// The waiter's own request died; the leader keeps computing for
+			// everyone else.
+			return false, ctx.Err()
+		}
+	}
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[ks] = call
+	g.mu.Unlock()
+
+	call.err = compute()
+
+	g.mu.Lock()
+	delete(g.calls, ks)
+	g.mu.Unlock()
+	close(call.done)
+	return true, call.err
+}

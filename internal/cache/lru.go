@@ -1,8 +1,3 @@
-// Package cache implements the caching layers of the paper's section 4.5:
-// a generic fixed-size LRU, the feature-level cache (one LRU per independent
-// feature vector, keyed by the raw-input sources of the IFV's feature
-// generator), and the Clipper-style end-to-end prediction cache used as the
-// baseline in Tables 2 and 3.
 package cache
 
 import (
@@ -10,9 +5,13 @@ import (
 	"sync"
 )
 
-// LRU is a thread-safe fixed-capacity least-recently-used cache. Capacity
-// <= 0 means unbounded (the "unlimited cache size" configuration of the
-// paper's remote-feature experiments).
+// LRU is a thread-safe fixed-capacity least-recently-used cache behind one
+// global mutex. Capacity <= 0 means unbounded.
+//
+// Deprecated in production: Sharded replaced it on every serving path (the
+// global mutex serializes concurrent workers, Get leaks an internal slice,
+// and string keys allocate per lookup). It is retained as the single-mutex
+// reference baseline the concurrent cache benchmarks compare against.
 type LRU struct {
 	mu       sync.Mutex
 	capacity int
@@ -22,7 +21,7 @@ type LRU struct {
 	hits, misses int64
 }
 
-type entry struct {
+type lruEntry struct {
 	key string
 	val []float64
 }
@@ -45,7 +44,7 @@ func (c *LRU) Get(key string) ([]float64, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*entry).val, true
+		return el.Value.(*lruEntry).val, true
 	}
 	c.misses++
 	return nil, false
@@ -58,16 +57,16 @@ func (c *LRU) Put(key string, val []float64) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*entry).val = val
+		el.Value.(*lruEntry).val = val
 		return
 	}
-	el := c.ll.PushFront(&entry{key: key, val: val})
+	el := c.ll.PushFront(&lruEntry{key: key, val: val})
 	c.items[key] = el
 	if c.capacity > 0 && c.ll.Len() > c.capacity {
 		last := c.ll.Back()
 		if last != nil {
 			c.ll.Remove(last)
-			delete(c.items, last.Value.(*entry).key)
+			delete(c.items, last.Value.(*lruEntry).key)
 		}
 	}
 }

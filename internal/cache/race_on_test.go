@@ -1,0 +1,9 @@
+//go:build race
+
+package cache
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count and timing-ratio assertions are skipped under race: the
+// instrumentation allocates shadow state and distorts lock-contention
+// profiles, so those measurements stop reflecting the production cache.
+const raceEnabled = true

@@ -1,0 +1,393 @@
+package cache
+
+import (
+	"bytes"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Stats are a cache's cumulative counters.
+type Stats struct {
+	// Hits and Misses count lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts entries displaced by the CLOCK policy.
+	Evictions int64
+	// Coalesced counts lookups that waited on another request's in-flight
+	// computation of the same key instead of computing it themselves.
+	Coalesced int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Sharded is a concurrent fixed-capacity feature-vector cache: a power-of-two
+// number of independently locked shards, each an open-addressing hash table
+// over a slab of entries with CLOCK eviction. It replaces the global-mutex
+// list-based LRU on the serving hot path:
+//
+//   - lookups take one shard mutex, not a global one, so concurrent workers
+//     on different keys proceed in parallel;
+//   - keys are 64-bit hashes computed inline from raw row bytes (Hash64 over
+//     AppendRowKey output); the exact key bytes are kept in per-entry buffers
+//     for collision verification, so no key string is ever built;
+//   - entries live in a slab and eviction recycles their key/value buffers in
+//     place — no container/list, no per-entry allocation once warm;
+//   - CopyInto copies the cached vector into a caller-owned destination, so
+//     no internal slice escapes (the aliasing footgun of the old LRU.Get).
+//
+// Capacity <= 0 means unbounded (the "unlimited cache size" configuration of
+// the paper's remote-feature experiments): shards grow and never evict.
+type Sharded struct {
+	shards []shard
+	shift  uint // shard index = hash >> shift (top bits; tables use low bits)
+	flight flightGroup
+}
+
+// entry is one cached key/value pair in a shard's slab. Its buffers are
+// recycled in place when CLOCK eviction reuses the slot.
+type entry struct {
+	hash uint64
+	key  []byte
+	val  []float64
+	ref  bool // CLOCK reference bit
+}
+
+// shard is one independently locked segment: an open-addressing table of
+// slab indices plus the slab itself.
+type shard struct {
+	mu sync.Mutex
+	// table holds entry index + 1 per slot (0 = empty), indexed by the low
+	// bits of the hash with linear probing.
+	table []int32
+	tmask uint64
+	// entries is the slab; bounded shards never exceed capacity entries.
+	entries  []entry
+	capacity int // max entries; 0 = unbounded
+	hand     int // CLOCK hand over the slab
+
+	hits, misses, evictions int64
+}
+
+// defaultShardCount returns a power-of-two shard count sized to the machine.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return nextPow2(n)
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NewSharded returns a cache holding at most capacity entries in total
+// (capacity <= 0 for unbounded), spread over nShards power-of-two shards.
+// nShards <= 0 picks a default sized to GOMAXPROCS; small bounded capacities
+// reduce the shard count so each shard keeps a useful number of entries.
+func NewSharded(capacity, nShards int) *Sharded {
+	if nShards <= 0 {
+		nShards = defaultShardCount()
+	}
+	nShards = nextPow2(nShards)
+	if capacity > 0 {
+		// Keep at least ~4 entries per shard so the budget split is not
+		// destroyed by rounding per-shard capacities up.
+		for nShards > 1 && capacity/nShards < 4 {
+			nShards /= 2
+		}
+	}
+	c := &Sharded{
+		shards: make([]shard, nShards),
+		// For a single shard this is 64; shardFor short-circuits that case.
+		shift: uint(64 - bits.Len(uint(nShards-1))),
+	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + nShards - 1) / nShards
+	}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// init sizes one shard for its per-shard capacity (0 = unbounded).
+func (s *shard) init(capacity int) {
+	s.capacity = capacity
+	size := 64
+	if capacity > 0 {
+		size = nextPow2(2 * capacity)
+		if size < 8 {
+			size = 8
+		}
+	}
+	s.table = make([]int32, size)
+	s.tmask = uint64(size - 1)
+	if capacity > 0 {
+		s.entries = make([]entry, 0, capacity)
+	}
+}
+
+// shardFor picks the shard from the hash's top bits (the table index uses
+// the low bits, so both stay well distributed).
+func (c *Sharded) shardFor(hash uint64) *shard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	return &c.shards[hash>>c.shift]
+}
+
+// find returns the slab index of the entry matching (hash, key), or -1.
+// Caller holds s.mu.
+func (s *shard) find(hash uint64, key []byte) int {
+	i := hash & s.tmask
+	for {
+		ti := s.table[i]
+		if ti == 0 {
+			return -1
+		}
+		e := &s.entries[ti-1]
+		if e.hash == hash && bytes.Equal(e.key, key) {
+			return int(ti - 1)
+		}
+		i = (i + 1) & s.tmask
+	}
+}
+
+// CopyInto looks up (hash, key) and, on a hit, copies the cached vector into
+// dst and returns true. dst must have the value's length (the per-cache
+// vector width is fixed by construction). Nothing internal escapes, so the
+// caller may freely mutate dst afterwards.
+func (c *Sharded) CopyInto(hash uint64, key []byte, dst []float64) bool {
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	if ei := s.find(hash, key); ei >= 0 {
+		e := &s.entries[ei]
+		e.ref = true
+		copy(dst, e.val)
+		s.hits++
+		s.mu.Unlock()
+		return true
+	}
+	s.misses++
+	s.mu.Unlock()
+	return false
+}
+
+// PeekInto is CopyInto without the hit/miss accounting (the reference bit is
+// still refreshed). Coalesced waiters re-read the leader's published entry
+// with it, so one logical lookup that missed and then coalesced is not also
+// counted as a hit — hits + misses stays equal to logical lookups and the
+// reported hit rate is not biased toward 0.5 on exactly the hot-key traffic
+// coalescing serves best.
+func (c *Sharded) PeekInto(hash uint64, key []byte, dst []float64) bool {
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	if ei := s.find(hash, key); ei >= 0 {
+		e := &s.entries[ei]
+		e.ref = true
+		copy(dst, e.val)
+		s.mu.Unlock()
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// Contains reports whether (hash, key) is cached without copying the value
+// or refreshing recency. It still counts as a hit or miss.
+func (c *Sharded) Contains(hash uint64, key []byte) bool {
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	ok := s.find(hash, key) >= 0
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Put inserts or refreshes (hash, key) -> val, copying both key and value
+// into entry-owned buffers. When a bounded shard is full the CLOCK policy
+// evicts one entry and recycles its buffers, so a warm bounded cache
+// allocates nothing per Put.
+func (c *Sharded) Put(hash uint64, key []byte, val []float64) {
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	if ei := s.find(hash, key); ei >= 0 {
+		e := &s.entries[ei]
+		e.val = append(e.val[:0], val...)
+		e.ref = true
+		s.mu.Unlock()
+		return
+	}
+	if s.capacity > 0 && len(s.entries) >= s.capacity {
+		ei := s.evict()
+		e := &s.entries[ei]
+		e.hash = hash
+		e.key = append(e.key[:0], key...)
+		e.val = append(e.val[:0], val...)
+		e.ref = true
+		s.insert(ei)
+	} else {
+		s.entries = append(s.entries, entry{
+			hash: hash,
+			key:  append([]byte(nil), key...),
+			val:  append([]float64(nil), val...),
+			ref:  true,
+		})
+		// Insert before any rehash: maybeGrow rebuilds the table from the
+		// slab, so inserting afterwards would leave a second slot aliasing
+		// this entry and break unlink()'s one-slot-per-entry invariant.
+		s.insert(len(s.entries) - 1)
+		s.maybeGrow()
+	}
+	s.mu.Unlock()
+}
+
+// insert links slab entry ei into the table by linear probing from its
+// hash's home slot. Caller holds s.mu and guarantees the key is absent.
+func (s *shard) insert(ei int) {
+	i := s.entries[ei].hash & s.tmask
+	for s.table[i] != 0 {
+		i = (i + 1) & s.tmask
+	}
+	s.table[i] = int32(ei + 1)
+}
+
+// evict runs the CLOCK hand over the slab: referenced entries get a second
+// chance (ref cleared), the first unreferenced entry is unlinked from the
+// table and its slab slot returned for reuse. Caller holds s.mu; the slab is
+// non-empty.
+func (s *shard) evict() int {
+	for {
+		if s.hand >= len(s.entries) {
+			s.hand = 0
+		}
+		e := &s.entries[s.hand]
+		if e.ref {
+			e.ref = false
+			s.hand++
+			continue
+		}
+		victim := s.hand
+		s.hand++
+		s.unlink(victim)
+		s.evictions++
+		return victim
+	}
+}
+
+// unlink removes slab entry ei from the probe table using backward-shift
+// deletion, preserving the linear-probing invariant without tombstones.
+// Caller holds s.mu.
+func (s *shard) unlink(ei int) {
+	// Locate the table slot holding ei.
+	i := s.entries[ei].hash & s.tmask
+	for s.table[i] != int32(ei+1) {
+		i = (i + 1) & s.tmask
+	}
+	mask := s.tmask
+	j := i
+	for {
+		s.table[i] = 0
+		for {
+			j = (j + 1) & mask
+			if s.table[j] == 0 {
+				return
+			}
+			home := s.entries[s.table[j]-1].hash & mask
+			// Entry at j may move into the hole at i only if its home slot
+			// does not lie in the cyclic interval (i, j].
+			if j > i {
+				if home <= i || home > j {
+					break
+				}
+			} else if home <= i && home > j {
+				break
+			}
+		}
+		s.table[i] = s.table[j]
+		i = j
+	}
+}
+
+// maybeGrow rehashes an unbounded shard's table once it passes 3/4 load.
+// Caller holds s.mu.
+func (s *shard) maybeGrow() {
+	if s.capacity > 0 || len(s.entries) < len(s.table)*3/4 {
+		return
+	}
+	s.table = make([]int32, len(s.table)*2)
+	s.tmask = uint64(len(s.table) - 1)
+	for i := range s.entries {
+		s.insert(i)
+	}
+}
+
+// Len returns the total number of cached entries.
+func (c *Sharded) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the configured total entry bound (0 = unbounded). The
+// effective bound is the per-shard rounding of the requested capacity.
+func (c *Sharded) Capacity() int {
+	total := 0
+	for i := range c.shards {
+		if c.shards[i].capacity == 0 {
+			return 0
+		}
+		total += c.shards[i].capacity
+	}
+	return total
+}
+
+// Stats returns the cache's cumulative counters, summed over shards.
+func (c *Sharded) Stats() Stats {
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	out.Coalesced = c.flight.coalesced.Load()
+	return out
+}
+
+// Reset clears contents and statistics.
+func (c *Sharded) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		clear(s.table)
+		s.entries = s.entries[:0]
+		s.hand = 0
+		s.hits, s.misses, s.evictions = 0, 0, 0
+		s.mu.Unlock()
+	}
+	c.flight.coalesced.Store(0)
+}

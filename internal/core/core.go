@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"willump/internal/cache"
 	"willump/internal/cascade"
 	"willump/internal/feature"
 	"willump/internal/graph"
@@ -120,10 +121,17 @@ type Options struct {
 	CK int
 	// MinSubsetFrac is the filter's minimum subset fraction (default 0.05).
 	MinSubsetFrac float64
-	// FeatureCache enables per-IFV feature-level LRU caching.
+	// FeatureCache enables feature-level caching: sharded concurrent caches
+	// over the IFVs the statistical planner selects (see cacheplan.go).
 	FeatureCache bool
-	// FeatureCacheCapacity bounds each IFV cache (<= 0 for unbounded).
+	// FeatureCacheCapacity is the flat per-IFV entry capacity (<= 0 for
+	// unbounded) used when no FeatureCacheBudget is set.
 	FeatureCacheCapacity int
+	// FeatureCacheBudget, when positive, is a single global entry budget the
+	// planner splits across per-IFV caches proportional to profiled cost x
+	// estimated hit rate, caching only IFVs worth the entries. It takes
+	// precedence over FeatureCacheCapacity.
+	FeatureCacheBudget int
 	// Workers sets the thread count for query-aware parallelization of
 	// example-at-a-time queries (<= 1 disables).
 	Workers int
@@ -148,6 +156,9 @@ type Report struct {
 	// TrainAccuracy or TrainMSE describe full-model fit quality.
 	TrainAccuracy float64
 	TrainMSE      float64
+	// CachePlan records the feature-cache planner's per-IFV measurements and
+	// decisions (empty when feature caching is off).
+	CachePlan []IFVCacheStat
 }
 
 // Optimized is the optimized pipeline Optimize returns. It has the same
@@ -246,7 +257,9 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 		o.Filter = topk.NewFilter(o.Approx, full, topk.Config{CK: opts.CK, MinSubsetFrac: opts.MinSubsetFrac})
 	}
 	if opts.FeatureCache {
-		prog.EnableFeatureCaching(opts.FeatureCacheCapacity, nil)
+		specs, cstats := planFeatureCaches(prog, train, opts)
+		prog.EnableFeatureCachingSpecs(specs)
+		rep.CachePlan = cstats
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -264,6 +277,15 @@ func (o *Optimized) Inputs() []string {
 		out[i] = o.Prog.G.Node(id).Label
 	}
 	return out
+}
+
+// FeatureCacheStats reports the feature-level caches' cumulative counters
+// and whether feature caching is enabled at all.
+func (o *Optimized) FeatureCacheStats() (cache.Stats, bool) {
+	if len(o.Prog.CacheSpecs()) == 0 {
+		return cache.Stats{}, false
+	}
+	return o.Prog.FeatureCacheStats(), true
 }
 
 // Features computes the full feature matrix for a batch on the compiled

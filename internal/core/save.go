@@ -57,6 +57,9 @@ func Save(o *Optimized, w io.Writer) error {
 			MinSubsetFrac:        o.opts.MinSubsetFrac,
 			FeatureCache:         o.opts.FeatureCache,
 			FeatureCacheCapacity: o.opts.FeatureCacheCapacity,
+			FeatureCacheBudget:   o.opts.FeatureCacheBudget,
+			FeatureCachePlanned:  o.opts.FeatureCache,
+			FeatureCachePlan:     encodeCachePlan(o.Prog.CacheSpecs()),
 			Workers:              o.opts.Workers,
 		},
 		Graph:   *gspec,
@@ -149,6 +152,7 @@ func Load(r io.Reader, tables map[string]ops.Table) (*Optimized, error) {
 			MinSubsetFrac:        art.Options.MinSubsetFrac,
 			FeatureCache:         art.Options.FeatureCache,
 			FeatureCacheCapacity: art.Options.FeatureCacheCapacity,
+			FeatureCacheBudget:   art.Options.FeatureCacheBudget,
 			Workers:              art.Options.Workers,
 		},
 	}
@@ -191,10 +195,41 @@ func Load(r io.Reader, tables map[string]ops.Table) (*Optimized, error) {
 		}
 		o.Filter = topk.NewFilter(o.Approx, m, topk.Config{CK: o.opts.CK, MinSubsetFrac: o.opts.MinSubsetFrac})
 	}
-	if o.opts.FeatureCache {
-		prog.EnableFeatureCaching(o.opts.FeatureCacheCapacity, nil)
-	}
+	applyLoadedCachePlan(prog, art.Options)
 	return o, nil
+}
+
+// applyLoadedCachePlan re-installs a loaded artifact's feature-cache layout.
+// Planner-written artifacts (FeatureCachePlanned) replay their recorded plan
+// verbatim — an empty plan means the planner deliberately cached nothing
+// (e.g. every generator was uncacheable), not that information is missing.
+// Only pre-planner artifacts fall back to the legacy flat layout.
+func applyLoadedCachePlan(prog *weld.Program, opts artifact.Options) {
+	if !opts.FeatureCache {
+		return
+	}
+	if opts.FeatureCachePlanned {
+		specs := make([]weld.CacheSpec, len(opts.FeatureCachePlan))
+		for i, sp := range opts.FeatureCachePlan {
+			specs[i] = weld.CacheSpec{IFV: sp.IFV, Capacity: sp.Capacity}
+		}
+		prog.EnableFeatureCachingSpecs(specs)
+		return
+	}
+	prog.EnableFeatureCaching(opts.FeatureCacheCapacity, nil)
+}
+
+// encodeCachePlan converts the program's active cache plan to its artifact
+// form (nil when caching is off).
+func encodeCachePlan(specs []weld.CacheSpec) []artifact.CacheSpec {
+	if len(specs) == 0 {
+		return nil
+	}
+	out := make([]artifact.CacheSpec, len(specs))
+	for i, sp := range specs {
+		out[i] = artifact.CacheSpec{IFV: sp.IFV, Capacity: sp.Capacity}
+	}
+	return out
 }
 
 // bindTables attaches caller-supplied tables to every decoded operator

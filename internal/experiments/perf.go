@@ -11,10 +11,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
+	"willump/internal/cache"
 	"willump/internal/core"
 	"willump/internal/fixture"
 	"willump/internal/value"
@@ -58,6 +61,27 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The cached workloads run on a second fixture with a genuinely
+	// expensive feature generator (heavier spin): section 4.5 caches the
+	// computations profiling identifies as costly, and a cache over
+	// trivially cheap generators would only measure its own overhead. The
+	// uncached *-heavy rows are the apples-to-apples baselines.
+	fxHeavy, err := fixture.NewClassification(s.Seed+1, n, n/4, n/4, 0.7, 2000)
+	if err != nil {
+		return nil, err
+	}
+	pHeavy := &core.Pipeline{Graph: fxHeavy.Prog.G, Model: fxHeavy.Model}
+	trainHeavy := core.Dataset{Inputs: fxHeavy.Train.Inputs, Y: fxHeavy.Train.Y}
+	validHeavy := core.Dataset{Inputs: fxHeavy.Valid.Inputs, Y: fxHeavy.Valid.Y}
+	heavy, _, err := core.Optimize(ctx, pHeavy, trainHeavy, validHeavy, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cached, _, err := core.Optimize(ctx, pHeavy, trainHeavy, validHeavy,
+		core.Options{FeatureCache: true, FeatureCacheBudget: 1024})
+	if err != nil {
+		return nil, err
+	}
 
 	point := map[string]value.Value{
 		"cheap_id": value.NewInts([]int64{17}),
@@ -65,14 +89,74 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 	}
 	batch := fx.Test.Inputs
 
+	// Zipfian key streams over the fixture's 4096-key tables: the skewed
+	// serving traffic the feature cache targets. The point workload mutates
+	// a reused single-row input; the batch workload rotates prebuilt
+	// batches so every iteration mixes hits and misses the way a serving
+	// window would.
+	zrng := rand.New(rand.NewSource(s.Seed + 100))
+	zipf := rand.NewZipf(zrng, 1.1, 1, 4095)
+	const zipfStream = 8192
+	zipfCheap := make([]int64, zipfStream)
+	zipfHeavy := make([]int64, zipfStream)
+	for i := 0; i < zipfStream; i++ {
+		zipfCheap[i] = int64(zipf.Uint64())
+		zipfHeavy[i] = int64(zipf.Uint64())
+	}
+	pcCheap, pcHeavy := []int64{0}, []int64{0}
+	pointCached := map[string]value.Value{
+		"cheap_id": value.NewInts(pcCheap),
+		"heavy_id": value.NewInts(pcHeavy),
+	}
+	var zi int
+	const cachedBatches, cachedBatchRows = 8, 512
+	batches := make([]map[string]value.Value, cachedBatches)
+	for b := range batches {
+		cheap := make([]int64, cachedBatchRows)
+		heavy := make([]int64, cachedBatchRows)
+		for r := range cheap {
+			cheap[r] = int64(zipf.Uint64())
+			heavy[r] = int64(zipf.Uint64())
+		}
+		batches[b] = map[string]value.Value{
+			"cheap_id": value.NewInts(cheap),
+			"heavy_id": value.NewInts(heavy),
+		}
+	}
+	var bi int
+
 	workloads := []struct {
 		name string
 		fn   func() error
 	}{
 		{"point-compiled", func() error { _, err := compiled.PredictPoint(ctx, point); return err }},
 		{"point-cascade", func() error { _, err := cascaded.PredictPoint(ctx, point); return err }},
+		{"point-heavy", func() error {
+			zi++
+			pcCheap[0] = zipfCheap[zi%zipfStream]
+			pcHeavy[0] = zipfHeavy[zi%zipfStream]
+			_, err := heavy.PredictPoint(ctx, pointCached)
+			return err
+		}},
+		{"point-cached", func() error {
+			zi++
+			pcCheap[0] = zipfCheap[zi%zipfStream]
+			pcHeavy[0] = zipfHeavy[zi%zipfStream]
+			_, err := cached.PredictPoint(ctx, pointCached)
+			return err
+		}},
 		{"batch-compiled", func() error { _, err := compiled.PredictBatch(ctx, batch); return err }},
 		{"batch-cascade", func() error { _, err := cascaded.PredictBatch(ctx, batch); return err }},
+		{"batch-heavy", func() error {
+			bi++
+			_, err := heavy.PredictBatch(ctx, batches[bi%cachedBatches])
+			return err
+		}},
+		{"batch-cached", func() error {
+			bi++
+			_, err := cached.PredictBatch(ctx, batches[bi%cachedBatches])
+			return err
+		}},
 	}
 
 	fmt.Fprintf(w, "%-16s %12s %10s %10s %12s %12s\n", "workload", "ns/op", "allocs/op", "B/op", "p50", "p99")
@@ -113,7 +197,124 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 		fmt.Fprintf(w, "%-16s %12.0f %10d %10d %12s %12s\n",
 			row.Workload, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, p50, p99)
 	}
+	for _, row := range cachePerfRows(s) {
+		out = append(out, row)
+		fmt.Fprintf(w, "%-16s %12.0f %10d %10d %12s %12s\n",
+			row.Workload, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
+			time.Duration(row.P50Ns), time.Duration(row.P99Ns))
+	}
 	return out, nil
+}
+
+// cacheZipfWorkers and cacheZipfOps shape the raw-cache comparison workload:
+// 8 goroutines of Zipfian lookup-or-insert traffic, the acceptance bar of
+// the sharded-cache rewrite (>= 2x the old single-mutex LRU).
+const (
+	cacheZipfWorkers = 8
+	cacheZipfOps     = 60000
+)
+
+// cachePerfRows measures the cache structures themselves under concurrent
+// Zipfian load: the sharded production cache against the retained
+// single-mutex LRU baseline, both serving the same key stream. ns/op is
+// per operation per worker (wall time x workers / total ops); quantiles are
+// per-1000-op chunks divided down, since a single cache op is below timer
+// resolution.
+func cachePerfRows(s Setup) []PerfRow {
+	rng := rand.New(rand.NewSource(s.Seed + 200))
+	zipf := rand.NewZipf(rng, 1.1, 1, 16383)
+	keys := make([]int64, 1<<16)
+	for i := range keys {
+		keys[i] = int64(zipf.Uint64())
+	}
+	const capacity = 1024
+
+	shardedRun := func(c *cache.Sharded, workers, ops int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ids := []int64{0}
+				cols := []value.Value{value.NewInts(ids)}
+				kb := make([]byte, 0, 16)
+				dst := make([]float64, 2)
+				val := []float64{1, 2}
+				for i := 0; i < ops; i++ {
+					ids[0] = keys[(w*ops+i)%len(keys)]
+					kb = cache.AppendRowKey(kb[:0], cols, 0)
+					h := cache.Hash64(kb)
+					if !c.CopyInto(h, kb, dst) {
+						c.Put(h, kb, val)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	lruRun := func(c *cache.LRU, workers, ops int) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ids := []int64{0}
+				cols := []value.Value{value.NewInts(ids)}
+				val := []float64{1, 2}
+				for i := 0; i < ops; i++ {
+					ids[0] = keys[(w*ops+i)%len(keys)]
+					key := cache.RowKey(cols, 0)
+					if _, ok := c.Get(key); !ok {
+						c.Put(key, val)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	measure := func(name string, run func(workers, ops int) time.Duration) PerfRow {
+		run(cacheZipfWorkers, 4096) // warm
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			if d := run(cacheZipfWorkers, cacheZipfOps); d < best {
+				best = d
+			}
+		}
+		totalOps := cacheZipfWorkers * cacheZipfOps
+		// Per-chunk latency quantiles on a single worker (1000 ops/chunk).
+		const chunk = 1000
+		lats := make([]time.Duration, 64)
+		for i := range lats {
+			start := time.Now()
+			run(1, chunk)
+			lats[i] = time.Since(start) / chunk
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		// ns/op is aggregate throughput: wall time over total operations
+		// completed by all workers. The sharded/mutex-LRU ratio of this
+		// number is the headline speedup.
+		return PerfRow{
+			Workload: name,
+			NsPerOp:  float64(best.Nanoseconds()) / float64(totalOps),
+			P50Ns:    lats[len(lats)/2].Nanoseconds(),
+			P99Ns:    lats[len(lats)*99/100].Nanoseconds(),
+		}
+	}
+
+	sharded := cache.NewSharded(capacity, 0)
+	shardedRow := measure("cache-zipf-sharded", func(workers, ops int) time.Duration {
+		return shardedRun(sharded, workers, ops)
+	})
+	lru := cache.NewLRU(capacity)
+	lruRow := measure("cache-zipf-mutexlru", func(workers, ops int) time.Duration {
+		return lruRun(lru, workers, ops)
+	})
+	return []PerfRow{shardedRow, lruRow}
 }
 
 // latencyQuantiles times iters calls of fn individually and returns the p50

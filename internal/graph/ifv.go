@@ -158,6 +158,32 @@ func Analyze(g *Graph) (*Analysis, error) {
 	return a, nil
 }
 
+// NonDeterministic is an optional Op extension: operators whose output is
+// not a pure function of their inputs (sampling transforms, wall-clock
+// features) implement it to opt their feature generator out of feature-level
+// caching. Operators without the method are assumed deterministic.
+type NonDeterministic interface {
+	NonDeterministic() bool
+}
+
+// Cacheable reports whether IFV i can be served from a feature-level cache:
+// its generator must read at least one raw source (the cache key) and every
+// generator op must be deterministic, so a cached row is a faithful stand-in
+// for recomputation. The cache planner consults this before assigning any
+// budget.
+func (a *Analysis) Cacheable(g *Graph, i int) bool {
+	ifv := a.IFVs[i]
+	if len(ifv.Sources) == 0 {
+		return false
+	}
+	for _, id := range ifv.Nodes {
+		if nd, ok := g.Node(id).Op.(NonDeterministic); ok && nd.NonDeterministic() {
+			return false
+		}
+	}
+	return true
+}
+
 // Span is a half-open column interval [Start, End) in the full feature vector.
 type Span struct {
 	Start, End int

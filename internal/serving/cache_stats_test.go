@@ -1,0 +1,93 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/value"
+)
+
+// TestRegistryFeatureCacheStats deploys a feature-cached pipeline and checks
+// the cache counters surface on the registry's stats — in process and over
+// the HTTP stats route — and reset across a hot swap to an uncached version.
+func TestRegistryFeatureCacheStats(t *testing.T) {
+	fx, err := fixture.NewClassification(9, 600, 200, 200, 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	ctx := context.Background()
+	cached, _, err := core.Optimize(ctx, p, train, valid,
+		core.Options{FeatureCache: true, FeatureCacheBudget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, _, err := core.Optimize(ctx, p, train, valid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(Options{})
+	if err := reg.Deploy("music", "v1", cached); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRegistryServer(reg)
+	url, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	in := map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{3}),
+		"heavy_id": value.NewInts([]int64{5}),
+	}
+	cl := NewClient(url)
+	for i := 0; i < 4; i++ { // first request misses, the rest hit
+		if _, err := cl.PredictModel(ctx, "music", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := reg.Stats("music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FeatureCache == nil {
+		t.Fatal("stats carry no feature-cache section for a cached pipeline")
+	}
+	if st.FeatureCache.Hits == 0 || st.FeatureCache.Misses == 0 {
+		t.Errorf("feature cache counters = %+v, want hits and misses", *st.FeatureCache)
+	}
+	if st.FeatureCache.HitRate <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st.FeatureCache.HitRate)
+	}
+
+	// The same snapshot over the HTTP wire.
+	remote, err := cl.Stats(ctx, "music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.FeatureCache == nil {
+		t.Fatal("wire stats dropped the feature-cache section")
+	}
+	if *remote.FeatureCache != *st.FeatureCache {
+		t.Errorf("wire feature-cache stats = %+v, want %+v", *remote.FeatureCache, *st.FeatureCache)
+	}
+
+	// Hot swap to an uncached version: the section disappears.
+	if err := reg.Deploy("music", "v2", uncached); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := reg.Stats("music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FeatureCache != nil {
+		t.Errorf("uncached version still reports feature-cache stats: %+v", *st2.FeatureCache)
+	}
+}

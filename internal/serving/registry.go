@@ -335,17 +335,32 @@ func (v *version) info(isDefault bool) ModelInfo {
 	return mi
 }
 
-// Stats snapshots a model's serving telemetry.
+// Stats snapshots a model's serving telemetry, including the active
+// version's feature-level cache counters when its pipeline carries caches.
 func (r *Registry) Stats(name string) (ModelStats, error) {
 	h, err := r.lookup(name)
 	if err != nil {
 		return ModelStats{}, err
 	}
 	tag := ""
+	var fc *FeatureCacheStats
 	if v := h.active.Load(); v != nil {
 		tag = v.tag
+		if v.opt != nil {
+			if cs, ok := v.opt.FeatureCacheStats(); ok {
+				fc = &FeatureCacheStats{
+					Hits:      cs.Hits,
+					Misses:    cs.Misses,
+					Evictions: cs.Evictions,
+					Coalesced: cs.Coalesced,
+					HitRate:   cs.HitRate(),
+				}
+			}
+		}
 	}
-	return h.stats.snapshot(h.name, tag), nil
+	ms := h.stats.snapshot(h.name, tag)
+	ms.FeatureCache = fc
+	return ms, nil
 }
 
 // Close drains every deployed version's batcher and closes the registry

@@ -484,6 +484,15 @@ func toWireStats(st ModelStats) wireStats {
 			HitRate:   st.CascadeHitRate,
 		}
 	}
+	if st.FeatureCache != nil {
+		out.FeatureCache = &wireFeatureCache{
+			Hits:      st.FeatureCache.Hits,
+			Misses:    st.FeatureCache.Misses,
+			Evictions: st.FeatureCache.Evictions,
+			Coalesced: st.FeatureCache.Coalesced,
+			HitRate:   st.FeatureCache.HitRate,
+		}
+	}
 	return out
 }
 
@@ -503,6 +512,15 @@ func fromWireStats(ws wireStats) ModelStats {
 		out.CascadeTotal = ws.Cascade.Total
 		out.CascadeSmallOnly = ws.Cascade.SmallOnly
 		out.CascadeHitRate = ws.Cascade.HitRate
+	}
+	if ws.FeatureCache != nil {
+		out.FeatureCache = &FeatureCacheStats{
+			Hits:      ws.FeatureCache.Hits,
+			Misses:    ws.FeatureCache.Misses,
+			Evictions: ws.FeatureCache.Evictions,
+			Coalesced: ws.FeatureCache.Coalesced,
+			HitRate:   ws.FeatureCache.HitRate,
+		}
 	}
 	return out
 }

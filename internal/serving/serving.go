@@ -35,25 +35,30 @@ func (f PredictorFunc) PredictBatch(ctx context.Context, inputs map[string]value
 // CachedPredictor wraps a Predictor with a Clipper-style end-to-end
 // prediction cache: the key is the entire raw input tuple, the value the
 // prediction. It is the baseline of the paper's Tables 2 and 3 — contrast
-// with feature-level caching, which keys on each IFV's sources instead.
+// with feature-level caching, which keys on each IFV's sources instead. The
+// cache is the same sharded concurrent structure the feature-level caches
+// use, so concurrent requests through one deployed version do not serialize
+// on a cache mutex.
 type CachedPredictor struct {
 	Inner Predictor
-	cache *cache.LRU
+	cache *cache.Sharded
 	keys  []string // input column order for stable keys
 }
 
-// NewCachedPredictor wraps inner with an end-to-end LRU (capacity <= 0 for
-// unbounded). keyOrder fixes the input-column order used in cache keys.
+// NewCachedPredictor wraps inner with an end-to-end sharded cache (capacity
+// <= 0 for unbounded). keyOrder fixes the input-column order used in cache
+// keys.
 func NewCachedPredictor(inner Predictor, capacity int, keyOrder []string) *CachedPredictor {
 	ks := make([]string, len(keyOrder))
 	copy(ks, keyOrder)
-	return &CachedPredictor{Inner: inner, cache: cache.NewLRU(capacity), keys: ks}
+	return &CachedPredictor{Inner: inner, cache: cache.NewSharded(capacity, 0), keys: ks}
 }
 
 // PredictBatch implements Predictor, serving repeated input tuples from the
 // cache and computing only the misses. Every column named in the cache key
 // order must be present and the same length — a missing column would
 // otherwise silently key the cache on a zero value and miscount the batch.
+// Cached predictions are copied out (CopyInto), never aliased.
 func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 	if len(p.keys) == 0 {
 		return nil, fmt.Errorf("serving: cached predictor has an empty cache key order")
@@ -74,14 +79,17 @@ func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]va
 	}
 	out := make([]float64, n)
 	var missRows []int
-	keys := make([]string, n)
+	var keyBuf []byte
+	offs := make([]int, n+1)
+	hashes := make([]uint64, n)
 	for r := 0; r < n; r++ {
-		keys[r] = cache.RowKey(cols, r)
-		if v, ok := p.cache.Get(keys[r]); ok {
-			out[r] = v[0]
-			continue
+		keyBuf = cache.AppendRowKey(keyBuf, cols, r)
+		offs[r+1] = len(keyBuf)
+		key := keyBuf[offs[r]:offs[r+1]]
+		hashes[r] = cache.Hash64(key)
+		if !p.cache.CopyInto(hashes[r], key, out[r:r+1]) {
+			missRows = append(missRows, r)
 		}
-		missRows = append(missRows, r)
 	}
 	if len(missRows) > 0 {
 		sub := make(map[string]value.Value, len(inputs))
@@ -94,14 +102,17 @@ func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]va
 		}
 		for i, r := range missRows {
 			out[r] = preds[i]
-			p.cache.Put(keys[r], []float64{preds[i]})
+			p.cache.Put(hashes[r], keyBuf[offs[r]:offs[r+1]], preds[i:i+1])
 		}
 	}
 	return out, nil
 }
 
 // Stats returns the end-to-end cache's hit and miss counts.
-func (p *CachedPredictor) Stats() (hits, misses int64) { return p.cache.Stats() }
+func (p *CachedPredictor) Stats() (hits, misses int64) {
+	s := p.cache.Stats()
+	return s.Hits, s.Misses
+}
 
 // columnNames renders a request's column names for error messages.
 func columnNames(inputs map[string]value.Value) string {

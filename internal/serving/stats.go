@@ -54,6 +54,22 @@ func (s *modelStats) recordCascade(cs cascade.ServeStats) {
 	s.cascadeSmall.Add(int64(cs.SmallOnly))
 }
 
+// FeatureCacheStats is a snapshot of a deployed pipeline's feature-level
+// cache counters, summed over its per-IFV caches. Unlike the other counters
+// it lives on the pipeline (the active version), not the Hosted model, so a
+// hot swap naturally starts it fresh with the new version's caches.
+type FeatureCacheStats struct {
+	// Hits and Misses count per-row cache lookups by outcome.
+	Hits, Misses int64
+	// Evictions counts entries displaced by the eviction policy.
+	Evictions int64
+	// Coalesced counts lookups served by waiting on another request's
+	// in-flight computation of the same key (singleflight miss coalescing).
+	Coalesced int64
+	// HitRate is Hits / (Hits + Misses), 0 before any lookup.
+	HitRate float64
+}
+
 // ModelStats is a point-in-time snapshot of one model's serving telemetry,
 // as reported on /v1/models/{name}/stats.
 type ModelStats struct {
@@ -77,6 +93,9 @@ type ModelStats struct {
 	CascadeTotal     int64
 	CascadeSmallOnly int64
 	CascadeHitRate   float64
+	// FeatureCache carries the active version's feature-level cache
+	// counters; nil when the deployed pipeline has no feature caches.
+	FeatureCache *FeatureCacheStats
 }
 
 // snapshot captures the current counters.

@@ -85,16 +85,28 @@ type wireCascade struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// wireFeatureCache carries feature-level cache counters (absent when the
+// deployed pipeline has no feature caches, so pre-cache clients see the
+// stats shape unchanged).
+type wireFeatureCache struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Coalesced int64   `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 // wireStats is the GET /v1/models/{name}/stats response.
 type wireStats struct {
-	Model     string       `json:"model"`
-	Version   string       `json:"version"`
-	Requests  int64        `json:"requests"`
-	Errors    int64        `json:"errors"`
-	Rejected  int64        `json:"rejected"`
-	QPS       float64      `json:"qps"`
-	LatencyMS wireLatency  `json:"latency_ms"`
-	Cascade   *wireCascade `json:"cascade,omitempty"`
+	Model        string            `json:"model"`
+	Version      string            `json:"version"`
+	Requests     int64             `json:"requests"`
+	Errors       int64             `json:"errors"`
+	Rejected     int64             `json:"rejected"`
+	QPS          float64           `json:"qps"`
+	LatencyMS    wireLatency       `json:"latency_ms"`
+	Cascade      *wireCascade      `json:"cascade,omitempty"`
+	FeatureCache *wireFeatureCache `json:"feature_cache,omitempty"`
 }
 
 // toPredictOptions converts wire options to the internal per-request

@@ -113,6 +113,21 @@ func TestWireStatsGolden(t *testing.T) {
 	})
 }
 
+// TestWireStatsFeatureCacheGolden pins the stats shape for a model whose
+// pipeline carries feature-level caches. The field is omitempty, so the
+// pre-cache golden above also pins that cacheless models serialize
+// byte-identically to older servers.
+func TestWireStatsFeatureCacheGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats_feature_cache.golden.json", wireStats{
+		Model: "music", Version: "v5",
+		Requests: 900, QPS: 12.25,
+		LatencyMS: wireLatency{P50: 0.5, P90: 1.5, P99: 3.75},
+		FeatureCache: &wireFeatureCache{
+			Hits: 8000, Misses: 2000, Evictions: 450, Coalesced: 120, HitRate: 0.8,
+		},
+	})
+}
+
 // TestWireOptionsConversion checks the wire <-> core options mapping both
 // ways, including the nil (no overrides) fast path.
 func TestWireOptionsConversion(t *testing.T) {

@@ -59,8 +59,11 @@ type Program struct {
 	// and driver marshaling time during interpreted-boundary crossings.
 	Prof *Profile
 
-	// caches[i], when non-nil, is the feature-level LRU for IFV i.
-	caches []*cache.LRU
+	// caches[i], when non-nil, is the sharded feature-level cache for IFV i.
+	// cacheSpecs records the plan the caches were built from, so artifacts
+	// can persist and replay it without re-deriving it from training data.
+	caches     []*cache.Sharded
+	cacheSpecs []CacheSpec
 
 	// pool recycles run states shaped for the fused plan (see state.go).
 	// Installed by Fuse; nil before the program is fitted.
@@ -250,35 +253,84 @@ func (p *Program) Fuse() {
 	p.initPool()
 }
 
-// EnableFeatureCaching attaches a feature-level LRU of the given capacity
-// (<= 0 for unbounded) to each IFV whose generator performs lookups or
-// computation worth caching. Passing nil selects all IFVs.
-func (p *Program) EnableFeatureCaching(capacity int, ifvs []int) {
-	p.caches = make([]*cache.LRU, len(p.A.IFVs))
-	if ifvs == nil {
-		for i := range p.caches {
-			p.caches[i] = cache.NewLRU(capacity)
+// CacheSpec assigns one IFV a feature-level cache of the given entry
+// capacity (<= 0 for unbounded). The statistically-aware cache planner in
+// internal/core produces these from profiled generator costs and
+// training-set key reuse; artifacts persist them so deployments replay the
+// same plan.
+type CacheSpec struct {
+	IFV      int
+	Capacity int
+}
+
+// EnableFeatureCachingSpecs attaches a sharded feature-level cache per spec,
+// replacing any previous caching configuration. Specs naming out-of-range
+// IFVs are ignored.
+func (p *Program) EnableFeatureCachingSpecs(specs []CacheSpec) {
+	p.caches = make([]*cache.Sharded, len(p.A.IFVs))
+	p.cacheSpecs = p.cacheSpecs[:0]
+	for _, sp := range specs {
+		if sp.IFV < 0 || sp.IFV >= len(p.A.IFVs) {
+			continue
 		}
-		return
-	}
-	for _, i := range ifvs {
-		p.caches[i] = cache.NewLRU(capacity)
+		p.caches[sp.IFV] = cache.NewSharded(sp.Capacity, 0)
+		p.cacheSpecs = append(p.cacheSpecs, sp)
 	}
 }
 
-// DisableFeatureCaching removes all feature-level caches.
-func (p *Program) DisableFeatureCaching() { p.caches = nil }
+// EnableFeatureCaching attaches a feature-level cache of one flat capacity
+// (<= 0 for unbounded) to the listed IFVs; passing nil selects all IFVs.
+// This is the pre-planner flat configuration, kept for callers that tune
+// capacity by hand.
+func (p *Program) EnableFeatureCaching(capacity int, ifvs []int) {
+	if ifvs == nil {
+		ifvs = p.allIFVs
+	}
+	specs := make([]CacheSpec, len(ifvs))
+	for j, i := range ifvs {
+		specs[j] = CacheSpec{IFV: i, Capacity: capacity}
+	}
+	p.EnableFeatureCachingSpecs(specs)
+}
 
-// CacheStats sums hits and misses over all feature-level caches.
-func (p *Program) CacheStats() (hits, misses int64) {
+// DisableFeatureCaching removes all feature-level caches.
+func (p *Program) DisableFeatureCaching() {
+	p.caches = nil
+	p.cacheSpecs = nil
+}
+
+// CacheSpecs returns the active caching plan (nil when caching is off). The
+// slice is shared; callers must not mutate it.
+func (p *Program) CacheSpecs() []CacheSpec { return p.cacheSpecs }
+
+// FeatureCacheStats sums counters over all feature-level caches.
+func (p *Program) FeatureCacheStats() cache.Stats {
+	var out cache.Stats
 	for _, c := range p.caches {
 		if c != nil {
-			h, m := c.Stats()
-			hits += h
-			misses += m
+			s := c.Stats()
+			out.Hits += s.Hits
+			out.Misses += s.Misses
+			out.Evictions += s.Evictions
+			out.Coalesced += s.Coalesced
 		}
 	}
-	return hits, misses
+	return out
+}
+
+// IFVCacheStats returns IFV i's cache counters and whether it has a cache.
+func (p *Program) IFVCacheStats(i int) (cache.Stats, bool) {
+	if p.caches == nil || i < 0 || i >= len(p.caches) || p.caches[i] == nil {
+		return cache.Stats{}, false
+	}
+	return p.caches[i].Stats(), true
+}
+
+// CacheStats sums hits and misses over all feature-level caches (the legacy
+// two-counter form; FeatureCacheStats reports the full counter set).
+func (p *Program) CacheStats() (hits, misses int64) {
+	s := p.FeatureCacheStats()
+	return s.Hits, s.Misses
 }
 
 // Fitted reports whether Fit has completed.

@@ -52,6 +52,26 @@ type BatchRun struct {
 	hsCSR     *feature.CSR
 	hsBuilder feature.CSRBuilder
 	ordered   []int
+
+	// cacheScr[i] is IFV i's cached-execution scratch. Indexed per IFV so
+	// ComputeIFVsParallel workers (which own disjoint IFV sets) never share
+	// a buffer.
+	cacheScr []ifvCacheScratch
+}
+
+// ifvCacheScratch holds one IFV's reusable cached-path state: source-column
+// views, encoded key bytes with per-row offsets and hashes, the gathered
+// miss rows, a row-extraction buffer, and the pooled dense output the cache
+// copies hits into. After warm-up an all-hit batch (and every warm point
+// hit) allocates nothing.
+type ifvCacheScratch struct {
+	srcVals  []value.Value
+	keyBuf   []byte
+	offs     []int
+	hashes   []uint64
+	missRows []int
+	rowBuf   []float64
+	dense    *feature.Dense
 }
 
 // NewRun starts a compiled run over the given inputs. ctx governs the whole
@@ -136,7 +156,7 @@ func (r *BatchRun) runPythonStep(si int, ins []value.Value) error {
 	}
 	// Driver out: columnar -> boxed argument rows.
 	start := time.Now()
-	ps.boxed = growAny(ps.boxed, len(ins)*n)
+	ps.boxed = growScratch(ps.boxed, len(ins)*n)
 	boxed := ps.boxed
 	for row := 0; row < n; row++ {
 		for i := range ins {
@@ -147,7 +167,7 @@ func (r *BatchRun) runPythonStep(si int, ins []value.Value) error {
 
 	// Interpreted execution.
 	opStart := time.Now()
-	ps.outs = growAny(ps.outs, n)
+	ps.outs = growScratch(ps.outs, n)
 	outs := ps.outs
 	for row := 0; row < n; row++ {
 		out, err := st.op.ApplyBoxed(boxed[row*len(ins) : (row+1)*len(ins)])
@@ -212,7 +232,7 @@ func (r *BatchRun) ComputeIFVs(idx []int) error {
 		if r.ifvDone[i] {
 			continue
 		}
-		var c *cache.LRU
+		var c *cache.Sharded
 		if r.p.caches != nil {
 			c = r.p.caches[i]
 		}
@@ -244,37 +264,54 @@ func (r *BatchRun) computeIFVDirect(i int) error {
 	return nil
 }
 
-// computeIFVCached serves rows from the IFV's LRU and computes only the
-// misses, via a gathered sub-run of the generator. Cached entries hold the
-// IFV's dense feature-vector rows, keyed by the generator's raw sources
-// (section 4.5).
-func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
+// computeIFVCached serves rows from the IFV's sharded feature cache and
+// computes only the misses. Cached entries hold the IFV's dense
+// feature-vector rows, keyed by the length-prefixed encoding of the
+// generator's raw sources (section 4.5). All per-call state lives in the
+// run's per-IFV scratch, so a warm all-hit batch — and every warm point hit
+// — performs zero heap allocations.
+func (r *BatchRun) computeIFVCached(i int, c *cache.Sharded) error {
 	ifv := r.p.A.IFVs[i]
 	width := r.p.Widths[ifv.Root]
-	srcVals := make([]value.Value, len(ifv.Sources))
+	cs := &r.cacheScr[i]
+	cs.srcVals = growScratch(cs.srcVals, len(ifv.Sources))
 	for j, s := range ifv.Sources {
-		srcVals[j] = r.vals[s]
+		cs.srcVals[j] = r.vals[s]
 	}
-	out := feature.NewDense(r.n, width)
-	keys := make([]string, r.n)
-	// Deduplicate misses within the batch: one computation per distinct key,
-	// scattered to every row sharing it. This is where feature-level caching
-	// beats end-to-end caching — repeated sub-keys recur across data inputs
-	// even when full inputs never repeat (section 4.5).
-	missRowsByKey := make(map[string][]int)
-	var reprRows []int
+	if r.n == 1 {
+		return r.computePointCached(i, c, width, cs)
+	}
+
+	out := feature.GrowDense(cs.dense, r.n, width)
+	cs.dense = out
+	cs.offs = growScratch(cs.offs, r.n+1)
+	cs.hashes = growScratch(cs.hashes, r.n)
+	cs.missRows = cs.missRows[:0]
+	cs.keyBuf = cs.keyBuf[:0]
+	cs.offs[0] = 0
 	for row := 0; row < r.n; row++ {
-		keys[row] = cache.RowKey(srcVals, row)
-		if vec, ok := c.Get(keys[row]); ok {
-			copy(out.Row(row), vec)
-			continue
+		cs.keyBuf = cache.AppendRowKey(cs.keyBuf, cs.srcVals, row)
+		cs.offs[row+1] = len(cs.keyBuf)
+		key := cs.keyBuf[cs.offs[row]:cs.offs[row+1]]
+		cs.hashes[row] = cache.Hash64(key)
+		if !c.CopyInto(cs.hashes[row], key, out.Row(row)) {
+			cs.missRows = append(cs.missRows, row)
 		}
-		if _, seen := missRowsByKey[keys[row]]; !seen {
-			reprRows = append(reprRows, row)
-		}
-		missRowsByKey[keys[row]] = append(missRowsByKey[keys[row]], row)
 	}
-	if len(reprRows) > 0 {
+	if len(cs.missRows) > 0 {
+		// Deduplicate misses within the batch: one computation per distinct
+		// key, scattered to every row sharing it. This is where feature-level
+		// caching beats end-to-end caching — repeated sub-keys recur across
+		// data inputs even when full inputs never repeat (section 4.5).
+		rowsByKey := make(map[string][]int, len(cs.missRows))
+		var reprRows []int
+		for _, row := range cs.missRows {
+			key := cs.keyBuf[cs.offs[row]:cs.offs[row+1]]
+			if _, seen := rowsByKey[string(key)]; !seen {
+				reprRows = append(reprRows, row)
+			}
+			rowsByKey[string(key)] = append(rowsByKey[string(key)], row)
+		}
 		sub, err := r.gatherForIFV(i, reprRows)
 		if err != nil {
 			return err
@@ -282,16 +319,17 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
 		if err := sub.computeIFVDirect(i); err != nil {
 			return err
 		}
-		m, err := sub.vals[ifv.Root].AsMatrix()
-		if err != nil {
-			return fmt.Errorf("weld: IFV %d output: %w", i, err)
-		}
 		for k, repr := range reprRows {
-			vec := feature.RowDense(m, k, nil)
-			for _, row := range missRowsByKey[keys[repr]] {
+			vec, err := appendRowVec(cs.rowBuf[:0], sub.vals[ifv.Root], k)
+			if err != nil {
+				return fmt.Errorf("weld: IFV %d output: %w", i, err)
+			}
+			cs.rowBuf = vec
+			key := cs.keyBuf[cs.offs[repr]:cs.offs[repr+1]]
+			for _, row := range rowsByKey[string(key)] {
 				copy(out.Row(row), vec)
 			}
-			c.Put(keys[repr], vec)
+			c.Put(cs.hashes[repr], key, vec)
 		}
 		sub.Close()
 	}
@@ -299,6 +337,82 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.LRU) error {
 	r.owned[ifv.Root] = true
 	r.have[ifv.Root] = true
 	return nil
+}
+
+// computePointCached is the compiled point fast path through the feature
+// cache: encode the key into the run's reused buffer, hash it inline, and on
+// a hit copy the cached row straight into the run's pooled output dense —
+// zero heap allocations once warm. Misses are coalesced: concurrent point
+// queries for the same hot key compute the feature vector once (critical for
+// Zipfian traffic against remote/lookup features), with everyone else
+// waiting and then reading the published entry.
+func (r *BatchRun) computePointCached(i int, c *cache.Sharded, width int, cs *ifvCacheScratch) error {
+	root := r.p.A.IFVs[i].Root
+	cs.keyBuf = cache.AppendRowKey(cs.keyBuf[:0], cs.srcVals, 0)
+	key := cs.keyBuf
+	h := cache.Hash64(key)
+	out := feature.GrowDense(cs.dense, 1, width)
+	cs.dense = out
+	if c.CopyInto(h, key, out.Row(0)) {
+		r.vals[root] = value.NewMat(out)
+		r.owned[root] = true
+		r.have[root] = true
+		return nil
+	}
+	leader, err := c.Coalesce(r.ctx, key, func() error {
+		// The leader computes the generator directly on this run (the output
+		// lands in the root slot, exactly like the uncached path) and
+		// publishes the materialized row.
+		if err := r.computeIFVDirect(i); err != nil {
+			return err
+		}
+		vec, err := appendRowVec(cs.rowBuf[:0], r.vals[root], 0)
+		if err != nil {
+			return fmt.Errorf("weld: IFV %d output: %w", i, err)
+		}
+		cs.rowBuf = vec
+		c.Put(h, key, vec)
+		return nil
+	})
+	if err != nil {
+		if leader {
+			return err
+		}
+		// The leader failed, or this waiter's own context died while waiting
+		// — neither may silently corrupt this request. Compute locally: a
+		// dead context fails fast on the first plan-step check.
+		return r.computeIFVDirect(i)
+	}
+	if leader {
+		return nil // the root slot already holds the computed value
+	}
+	// PeekInto, not CopyInto: this lookup already counted its miss above,
+	// and the coalesced re-read must not also count a hit.
+	if c.PeekInto(h, key, out.Row(0)) {
+		r.vals[root] = value.NewMat(out)
+		r.owned[root] = true
+		r.have[root] = true
+		return nil
+	}
+	// The published entry was evicted before we could read it (tiny cache
+	// under hostile churn): compute locally, without re-coalescing.
+	return r.computeIFVDirect(i)
+}
+
+// appendRowVec materializes one row of an IFV root's value into dst
+// (appending, buffer reused by the caller). Scalar columns widen to their
+// 1-element vector form, matching Value.AsMatrix.
+func appendRowVec(dst []float64, v value.Value, row int) ([]float64, error) {
+	switch v.Kind {
+	case value.Mat:
+		return feature.RowDense(v.Mat, row, dst), nil
+	case value.Floats:
+		return append(dst, v.Floats[row]), nil
+	case value.Ints:
+		return append(dst, float64(v.Ints[row])), nil
+	default:
+		return dst, fmt.Errorf("cannot view %s as matrix", v.Kind)
+	}
 }
 
 // gatherForIFV builds a sub-run over the given rows containing everything

@@ -39,13 +39,14 @@ func (p *Program) initPool() {
 func (p *Program) newState() *BatchRun {
 	nn := p.G.NumNodes()
 	r := &BatchRun{
-		p:       p,
-		vals:    make([]value.Value, nn),
-		owned:   make([]bool, nn),
-		have:    make([]bool, nn),
-		ifvDone: make([]bool, len(p.A.IFVs)),
-		stepIns: make([][]value.Value, len(p.Steps)),
-		scratch: make([]any, len(p.Steps)),
+		p:        p,
+		vals:     make([]value.Value, nn),
+		owned:    make([]bool, nn),
+		have:     make([]bool, nn),
+		ifvDone:  make([]bool, len(p.A.IFVs)),
+		stepIns:  make([][]value.Value, len(p.Steps)),
+		scratch:  make([]any, len(p.Steps)),
+		cacheScr: make([]ifvCacheScratch, len(p.A.IFVs)),
 	}
 	for i := range p.Steps {
 		r.stepIns[i] = make([]value.Value, len(p.Steps[i].ins))
@@ -102,6 +103,14 @@ func (r *BatchRun) Close() {
 			ins[i] = value.Value{}
 		}
 	}
+	// Cache scratch holds views of node-slot values (which may be caller
+	// input columns); drop them too. Key/row/dense buffers stay as the reuse
+	// arena.
+	for i := range r.cacheScr {
+		for j := range r.cacheScr[i].srcVals {
+			r.cacheScr[i].srcVals[j] = value.Value{}
+		}
+	}
 	r.ctx = nil
 	r.p.pool.Put(r)
 }
@@ -143,11 +152,11 @@ func (r *BatchRun) setOwnedValue(id int, src value.Value, rows []int) {
 	r.owned[id] = true
 }
 
-// growAny returns an []any of length n reusing s's backing array when
+// growScratch returns a slice of length n reusing s's backing array when
 // possible. Contents are unspecified.
-func growAny(s []any, n int) []any {
+func growScratch[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]any, n)
+		return make([]T, n)
 	}
 	return s[:n]
 }

@@ -72,12 +72,30 @@ func WithTopK(ck int, minSubsetFrac float64) Option {
 	}
 }
 
-// WithFeatureCache enables per-IFV feature-level LRU caching. capacity
-// bounds each cache; <= 0 means unbounded.
+// WithFeatureCache enables feature-level caching with a flat per-IFV entry
+// capacity (<= 0 means unbounded). The optimizer still decides which IFVs
+// are cacheable, but every selected IFV gets the same capacity; use
+// WithFeatureCacheBudget for the statistically-aware split.
 func WithFeatureCache(capacity int) Option {
 	return func(o *core.Options) {
 		o.FeatureCache = true
 		o.FeatureCacheCapacity = capacity
+	}
+}
+
+// WithFeatureCacheBudget enables feature-level caching under a single global
+// entry budget. Optimize splits the budget across per-IFV caches proportional
+// to profiled generator cost x training-set key reuse (the paper's section
+// 4.5 statistic), caching only the IFVs worth the entries — an expensive
+// generator over a skewed key space gets nearly the whole budget, a cheap
+// generator over unique keys gets none. Values <= 0 fall back to
+// WithFeatureCache(0) semantics (unbounded caches on every cacheable IFV).
+func WithFeatureCacheBudget(entries int) Option {
+	return func(o *core.Options) {
+		o.FeatureCache = true
+		if entries > 0 {
+			o.FeatureCacheBudget = entries
+		}
 	}
 }
 
