@@ -69,6 +69,66 @@ func TestPredictPointZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPredictPointTracedUnsampledZeroAllocs asserts the observability
+// guarantee: with tracing enabled, an unsampled request pays one atomic add
+// for the sampling decision plus a histogram observation and otherwise runs
+// the exact untraced code path — the warm compiled point query stays
+// allocation-free. A huge sampling interval makes every test request the
+// unsampled case.
+func TestPredictPointTracedUnsampledZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	o, _ := allocFixture(t, core.Options{})
+	o.EnableTracing(1<<30, 8)
+	ctx := context.Background()
+	in := onePoint()
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm traced-unsampled PredictPoint allocates %.1f objects/op, want 0", allocs)
+	}
+	sampled, tailed := o.Tracer().Counts()
+	if sampled != 0 || tailed != 0 {
+		t.Fatalf("sampled=%d tailed=%d, want 0/0 (warm µs-scale queries, huge interval)", sampled, tailed)
+	}
+	if hs := o.Tracer().TotalHist(); hs.Count == 0 {
+		t.Fatal("total latency histogram saw no requests")
+	}
+}
+
+// TestPredictPointCascadeTracedUnsampledZeroAllocs extends the guard to the
+// cascade point path.
+func TestPredictPointCascadeTracedUnsampledZeroAllocs(t *testing.T) {
+	skipIfRace(t)
+	o, _ := allocFixture(t, core.Options{Cascades: true})
+	if o.Cascade == nil {
+		t.Fatal("fixture did not build a cascade")
+	}
+	o.EnableTracing(1<<30, 8)
+	ctx := context.Background()
+	in := onePoint()
+	for i := 0; i < 10; i++ {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := o.PredictPoint(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm traced-unsampled cascade PredictPoint allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // TestPredictPointCascadeZeroAllocs asserts the cascade point path — small
 // model on the efficient IFVs, full-model resume on unconfident queries —
 // is also allocation-free once warm, for both routing outcomes.

@@ -22,7 +22,10 @@
 // Serving endpoints: POST /v1/models/{name}/predict and /topk with
 // per-request options (cascade threshold, top-K budget, point modality,
 // deadline), GET /v1/models (+ /{name}, /{name}/stats), the legacy POST
-// /predict route against the default model, and GET /healthz.
+// /predict route against the default model, GET /healthz, and the
+// observability surface: GET /metrics (Prometheus text exposition) and —
+// with -trace — GET /v1/traces (retained request traces). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 //
 // Artifacts whose pipelines join against remote (non-inlined) tables cannot
 // be hosted by this binary — bind their tables programmatically with
@@ -59,6 +62,10 @@ func main() {
 		cache        = flag.Int("cache", 0, "per-model end-to-end prediction cache capacity (0 disables, < 0 unbounded)")
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		describe     = flag.Bool("describe", false, "print the artifacts' contents and exit without serving")
+		traceOn      = flag.Bool("trace", false, "enable per-request tracing and shadow profiling on deployed pipelines")
+		traceSample  = flag.Float64("trace-sample", 0.01, "head-sampling rate with -trace (1 traces every request)")
+		traceBuffer  = flag.Int("trace-buffer", 0, "retained-trace ring capacity with -trace (0 = default)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -73,13 +80,31 @@ func main() {
 		QueueDepth:    *queueDepth,
 		CacheCapacity: *cache,
 	}
-	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, *drain, *describe); err != nil {
+	obs := obsConfig{pprof: *pprofOn}
+	if *traceOn {
+		// Rate -> 1-in-N, same rounding as willump.WithTracing.
+		obs.traceEvery = 1
+		if *traceSample < 1 && *traceSample > 0 {
+			obs.traceEvery = int(1/(*traceSample) + 0.5)
+		}
+		obs.traceBuffer = *traceBuffer
+	}
+	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, obs, *drain, *describe); err != nil {
 		fmt.Fprintln(os.Stderr, "willump-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, drain time.Duration, describe bool) error {
+// obsConfig carries the observability flags: tracing (0 traceEvery means
+// disabled — artifacts never persist tracing, so the deployer re-enables it
+// on every loaded pipeline) and the pprof mount.
+type obsConfig struct {
+	traceEvery  int
+	traceBuffer int
+	pprof       bool
+}
+
+func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, obs obsConfig, drain time.Duration, describe bool) error {
 	scan := func() ([]string, error) { return []string{path}, nil }
 	if modelsDir != "" {
 		scan = func() ([]string, error) { return scanModels(modelsDir) }
@@ -104,6 +129,7 @@ func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, 
 		reg:          willump.NewRegistryWithOptions(opts),
 		deployed:     make(map[string]string),
 		defaultModel: defaultModel,
+		obs:          obs,
 	}
 	if err := d.sync(paths); err != nil {
 		return err
@@ -116,6 +142,9 @@ func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, 
 	}
 
 	server := willump.ServeRegistry(d.reg)
+	if obs.pprof {
+		server.EnablePprof()
+	}
 	url, err := server.StartOn(addr)
 	if err != nil {
 		return err
@@ -180,6 +209,7 @@ type deployer struct {
 	// every sync so reloads never silently reroute the legacy /predict
 	// route.
 	defaultModel string
+	obs          obsConfig
 }
 
 func (d *deployer) sync(paths []string) error {
@@ -209,6 +239,11 @@ func (d *deployer) sync(paths []string) error {
 				firstErr = err
 			}
 			continue
+		}
+		if d.obs.traceEvery > 0 {
+			// Tracing is a runtime property, never persisted in artifacts;
+			// every loaded (or hot-swapped) pipeline re-enables it here.
+			o.EnableTracing(d.obs.traceEvery, d.obs.traceBuffer)
 		}
 		if err := d.reg.Deploy(name, tag, o); err != nil {
 			fmt.Fprintf(os.Stderr, "willump-serve: deploying %s: %v (skipped)\n", name, err)

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"willump"
+	"willump/internal/observ"
+	"willump/internal/pipeline"
+)
+
+// TestObservabilitySmoke is the end-to-end smoke test for the deployment
+// binary's observability surface: build willump-serve, serve a real saved
+// artifact with tracing and pprof on, drive predictions through the client,
+// scrape /metrics and assert the exposition parses, read back traces, hit
+// pprof, and verify a clean SIGTERM drain.
+func TestObservabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the serving binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "willump-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building willump-serve: %v\n%s", err, out)
+	}
+
+	// A real artifact: optimize the toxic text benchmark (all built-in,
+	// serializable operators) and save it.
+	b, err := pipeline.ByName("toxic", pipeline.Config{Seed: 5, N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	o, _, err := willump.Optimize(context.Background(), b.Pipeline, b.Train, b.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := filepath.Join(dir, "smoke.willump")
+	if err := willump.SaveFile(o, art); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-artifact", art,
+		"-addr", "127.0.0.1:0",
+		"-trace", "-trace-sample", "1",
+		"-pprof")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	})
+
+	// The startup banner carries the bound URL; keep draining stdout after it
+	// so the final drain message is captured and the child never blocks on a
+	// full pipe.
+	var output bytes.Buffer
+	var outMu sync.Mutex
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			outMu.Lock()
+			fmt.Fprintln(&output, line)
+			outMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "willump-serve: serving "); ok {
+				if i := strings.LastIndex(rest, " on "); i >= 0 {
+					select {
+					case urlCh <- rest[i+len(" on "):]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-urlCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never printed its serving banner\nstderr: %s", stderr.String())
+	}
+
+	ctx := context.Background()
+	cl := willump.NewClient(base)
+	for i := 0; i < 5; i++ {
+		if _, err := cl.PredictModel(ctx, "smoke", b.Test.Inputs); err != nil {
+			t.Fatalf("prediction %d: %v", i, err)
+		}
+	}
+
+	// /metrics parses as Prometheus text exposition and covers the traffic.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := observ.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics exposition does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"willump_requests_total",
+		"willump_request_duration_seconds_bucket",
+		"willump_trace_sampled_total",
+		"willump_goroutines",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("metric %s missing from /metrics", name)
+		}
+	}
+
+	// Traces were retained (every request head-sampled) with stage spans.
+	trs, err := cl.Traces(ctx, "smoke", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) == 0 {
+		t.Error("no traces retained with -trace -trace-sample 1")
+	} else if len(trs[0].Spans) == 0 {
+		t.Errorf("trace has no spans: %+v", trs[0])
+	}
+
+	// -pprof mounted the profiling index.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+
+	// SIGTERM drains cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("server exited uncleanly: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	outMu.Lock()
+	all := output.String()
+	outMu.Unlock()
+	if !strings.Contains(all, "drained cleanly") {
+		t.Errorf("drain message missing from output:\n%s", all)
+	}
+}

@@ -69,15 +69,15 @@ type CacheSpec struct {
 // Options mirrors the resolved optimization options the pipeline was
 // optimized with.
 type Options struct {
-	Cascades             bool        `json:"cascades,omitempty"`
-	AccuracyTarget       float64     `json:"accuracy_target,omitempty"`
-	Gamma                float64     `json:"gamma,omitempty"`
-	TopK                 bool        `json:"top_k,omitempty"`
-	CK                   int         `json:"ck,omitempty"`
-	MinSubsetFrac        float64     `json:"min_subset_frac,omitempty"`
-	FeatureCache         bool `json:"feature_cache,omitempty"`
-	FeatureCacheCapacity int  `json:"feature_cache_capacity,omitempty"`
-	FeatureCacheBudget   int  `json:"feature_cache_budget,omitempty"`
+	Cascades             bool    `json:"cascades,omitempty"`
+	AccuracyTarget       float64 `json:"accuracy_target,omitempty"`
+	Gamma                float64 `json:"gamma,omitempty"`
+	TopK                 bool    `json:"top_k,omitempty"`
+	CK                   int     `json:"ck,omitempty"`
+	MinSubsetFrac        float64 `json:"min_subset_frac,omitempty"`
+	FeatureCache         bool    `json:"feature_cache,omitempty"`
+	FeatureCacheCapacity int     `json:"feature_cache_capacity,omitempty"`
+	FeatureCacheBudget   int     `json:"feature_cache_budget,omitempty"`
 	// FeatureCachePlanned marks artifacts written by the statistical cache
 	// planner: FeatureCachePlan is then authoritative even when empty (the
 	// planner selected nothing). Without it — artifacts from pre-planner

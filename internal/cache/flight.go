@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"willump/internal/trace"
 )
 
 // Miss coalescing (singleflight): under skewed traffic, many concurrent
@@ -42,9 +45,17 @@ func (c *Sharded) Coalesce(ctx context.Context, key []byte, compute func() error
 	g.mu.Lock()
 	if call, ok := g.calls[ks]; ok {
 		g.mu.Unlock()
+		// Waiters record how long they blocked behind the leader; Record is
+		// a no-op on unsampled (nil-trace) requests.
+		tw := trace.FromContext(ctx)
+		t0 := time.Time{}
+		if tw != nil {
+			t0 = time.Now()
+		}
 		select {
 		case <-call.done:
 			g.coalesced.Add(1)
+			tw.Record(trace.StageCacheCoalesce, t0)
 			return false, call.err
 		case <-ctx.Done():
 			// The waiter's own request died; the leader keeps computing for

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"willump/internal/feature"
 	"willump/internal/model"
+	"willump/internal/trace"
 	"willump/internal/value"
 	"willump/internal/weld"
 )
@@ -225,11 +227,19 @@ func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]v
 		return nil, ServeStats{}, err
 	}
 	defer run.Close()
+	tr := trace.FromContext(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	effX, err := run.MatrixShared(c.Efficient)
 	if err != nil {
 		return nil, ServeStats{}, err
 	}
 	out := c.Small.Predict(effX)
+	if tr != nil {
+		tr.Record(trace.StageCascadeSmall, t0)
+	}
 	stats := ServeStats{Total: len(out)}
 	hardRows := make([]int, 0, len(out)) // one allocation instead of log2(n) regrows
 	for i, p := range out {
@@ -241,6 +251,9 @@ func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]v
 	}
 	stats.Cascaded = len(hardRows)
 	if len(hardRows) > 0 {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		sub := run.SubsetRun(hardRows)
 		defer sub.Close()
 		fullX, err := sub.MatrixShared(c.Prog.AllIFVs())
@@ -250,6 +263,9 @@ func (c *Cascade) PredictBatchThreshold(ctx context.Context, inputs map[string]v
 		fullP := c.Full.Predict(fullX)
 		for k, row := range hardRows {
 			out[row] = fullP[k]
+		}
+		if tr != nil {
+			tr.Record(trace.StageCascadeResume, t0)
 		}
 	}
 	return out, stats, nil
@@ -277,19 +293,34 @@ func (c *Cascade) PredictPointThreshold(ctx context.Context, inputs map[string]v
 	}
 	s := model.GetScratch()
 	defer model.PutScratch(s)
+	tr := trace.FromContext(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	effX, err := run.PointMatrix(c.Efficient)
 	if err != nil {
 		return 0, err
 	}
 	p := model.ScoreRow(c.Small, effX, 0, s)
+	if tr != nil {
+		tr.Record(trace.StageCascadeSmall, t0)
+	}
 	if model.Confidence(p) > threshold {
 		return p, nil
+	}
+	if tr != nil {
+		t0 = time.Now()
 	}
 	fullX, err := run.PointMatrix(c.Prog.AllIFVs())
 	if err != nil {
 		return 0, err
 	}
-	return model.ScoreRow(c.Full, fullX, 0, s), nil
+	p = model.ScoreRow(c.Full, fullX, 0, s)
+	if tr != nil {
+		tr.Record(trace.StageCascadeResume, t0)
+	}
+	return p, nil
 }
 
 // SmallOnlyPredict runs only the small model over a batch (the orange-X

@@ -34,6 +34,7 @@ import (
 	"willump/internal/graph"
 	"willump/internal/model"
 	"willump/internal/topk"
+	"willump/internal/trace"
 	"willump/internal/value"
 	"willump/internal/weld"
 )
@@ -135,6 +136,15 @@ type Options struct {
 	// Workers sets the thread count for query-aware parallelization of
 	// example-at-a-time queries (<= 1 disables).
 	Workers int
+	// Tracing enables per-request span tracing and shadow profiling on the
+	// optimized pipeline (see EnableTracing).
+	Tracing bool
+	// TraceSampleEvery head-samples one request in N when tracing (<= 0 for
+	// the trace package default).
+	TraceSampleEvery int
+	// TraceBuffer is the retained-trace ring capacity (<= 0 for the trace
+	// package default).
+	TraceBuffer int
 }
 
 // Report summarizes what Optimize did, including the optimization time the
@@ -170,6 +180,11 @@ type Optimized struct {
 	Cascade *cascade.Cascade // nil unless cascades were built
 	Approx  *cascade.Approx  // non-nil when cascades or top-K filters exist
 	Filter  *topk.Filter     // nil unless top-K was enabled
+
+	// tracer, when non-nil, samples and retains per-request traces for this
+	// pipeline's entry points. nil keeps every fast path branch-predictable
+	// and allocation-free.
+	tracer *trace.Tracer
 
 	opts Options
 }
@@ -261,12 +276,40 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 		prog.EnableFeatureCachingSpecs(specs)
 		rep.CachePlan = cstats
 	}
+	if opts.Tracing {
+		o.EnableTracing(opts.TraceSampleEvery, opts.TraceBuffer)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	rep.OptimizeTime = time.Since(start)
 	return o, rep, nil
 }
+
+// EnableTracing installs a request tracer on the pipeline (head-sampling
+// one request in sampleEvery, retaining buffer traces; <= 0 picks the trace
+// package defaults) and turns on shadow profiling, so traced requests feed
+// live per-node costs the cost model can adopt. Tracing is a runtime
+// property, not part of the optimization artifact: deployments enable it
+// after Load. Returns the installed tracer.
+func (o *Optimized) EnableTracing(sampleEvery, buffer int) *trace.Tracer {
+	o.tracer = trace.NewTracer(trace.Config{SampleEvery: sampleEvery, Buffer: buffer})
+	o.Prog.EnableLiveProfile()
+	return o.tracer
+}
+
+// Tracer returns the pipeline's request tracer, or nil when tracing is
+// disabled.
+func (o *Optimized) Tracer() *trace.Tracer { return o.tracer }
+
+// LiveProfile returns a snapshot of the shadow profile accumulated from
+// traced production traffic, or nil when tracing was never enabled.
+func (o *Optimized) LiveProfile() *weld.Profile { return o.Prog.LiveProfile() }
+
+// AdoptLiveProfile folds the accumulated shadow profile into the pipeline's
+// cost model and resets the live accumulator (repeated adoption never
+// double-counts). Reports whether any live measurements were adopted.
+func (o *Optimized) AdoptLiveProfile() bool { return o.Prog.AdoptLiveProfile() }
 
 // Inputs returns the pipeline's raw input column names in declaration
 // order: the request schema a serving frontend should expect.
@@ -348,6 +391,12 @@ func (o *Optimized) predictPointCompiled(ctx context.Context, inputs map[string]
 	}
 	s := model.GetScratch()
 	defer model.PutScratch(s)
+	if tr := trace.FromContext(ctx); tr != nil {
+		t0 := time.Now()
+		p := model.ScoreRow(o.Model, x, 0, s)
+		tr.Record(trace.StageModelScore, t0)
+		return p, nil
+	}
 	return model.ScoreRow(o.Model, x, 0, s), nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"willump/internal/cascade"
+	"willump/internal/trace"
 	"willump/internal/value"
 )
 
@@ -134,6 +135,24 @@ func WithPredictDeadline(d time.Duration) PredictOption {
 // serving layer calls it directly; in-process callers normally use
 // PredictBatch.
 func (o *Optimized) PredictBatchOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]float64, cascade.ServeStats, error) {
+	// When the context already carries a trace, an outer owner (the serving
+	// handler) began it and will finish it; beginning a second one here
+	// would double-count the request. No deferred closure: closures capture
+	// and allocate, and this path must stay allocation-free when unsampled.
+	if o.tracer == nil || trace.FromContext(ctx) != nil {
+		return o.predictBatchOptions(ctx, inputs, po)
+	}
+	start := time.Now()
+	tr := o.tracer.Begin("batch")
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
+	}
+	preds, stats, err := o.predictBatchOptions(ctx, inputs, po)
+	o.tracer.Finish(tr, "batch", start, err)
+	return preds, stats, err
+}
+
+func (o *Optimized) predictBatchOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]float64, cascade.ServeStats, error) {
 	if err := po.Validate(); err != nil {
 		return nil, cascade.ServeStats{}, err
 	}
@@ -161,12 +180,32 @@ func (o *Optimized) PredictBatchOptions(ctx context.Context, inputs map[string]v
 		return nil, cascade.ServeStats{}, err
 	}
 	defer run.Close()
+	if tr := trace.FromContext(ctx); tr != nil {
+		t0 := time.Now()
+		preds := o.Model.Predict(x)
+		tr.Record(trace.StageModelScore, t0)
+		return preds, cascade.ServeStats{}, nil
+	}
 	return o.Model.Predict(x), cascade.ServeStats{}, nil
 }
 
 // PredictPointOptions is the options-resolved example-at-a-time entry
 // point.
 func (o *Optimized) PredictPointOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) (float64, error) {
+	if o.tracer == nil || trace.FromContext(ctx) != nil {
+		return o.predictPointOptions(ctx, inputs, po)
+	}
+	start := time.Now()
+	tr := o.tracer.Begin("point")
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
+	}
+	p, err := o.predictPointOptions(ctx, inputs, po)
+	o.tracer.Finish(tr, "point", start, err)
+	return p, err
+}
+
+func (o *Optimized) predictPointOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) (float64, error) {
 	if err := po.Validate(); err != nil {
 		return 0, err
 	}
@@ -195,6 +234,20 @@ func (o *Optimized) BatchPredictor() func(context.Context, map[string]value.Valu
 // returned, and po.Budget (when positive) overrides the filter's candidate
 // subset size.
 func (o *Optimized) TopKOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]int, error) {
+	if o.tracer == nil || trace.FromContext(ctx) != nil {
+		return o.topKOptions(ctx, inputs, po)
+	}
+	start := time.Now()
+	tr := o.tracer.Begin("topk")
+	if tr != nil {
+		ctx = trace.NewContext(ctx, tr)
+	}
+	idx, err := o.topKOptions(ctx, inputs, po)
+	o.tracer.Finish(tr, "topk", start, err)
+	return idx, err
+}
+
+func (o *Optimized) topKOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]int, error) {
 	if o.Filter == nil {
 		return nil, fmt.Errorf("core: pipeline was not optimized for top-K queries")
 	}

@@ -31,6 +31,7 @@ type PerfRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	P50Ns       int64   `json:"p50_ns"`
 	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns,omitempty"`
 }
 
 // perfQuantileIters bounds the manual latency-quantile loop.
@@ -159,7 +160,7 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 		}},
 	}
 
-	fmt.Fprintf(w, "%-16s %12s %10s %10s %12s %12s\n", "workload", "ns/op", "allocs/op", "B/op", "p50", "p99")
+	fmt.Fprintf(w, "%-16s %12s %10s %10s %12s %12s %12s\n", "workload", "ns/op", "allocs/op", "B/op", "p50", "p99", "p999")
 	out := make([]PerfRow, 0, len(workloads))
 	for _, wl := range workloads {
 		// Warm the program pools and scratch buffers before measuring.
@@ -181,7 +182,7 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 		if benchErr != nil {
 			return nil, fmt.Errorf("perf %s: %w", wl.name, benchErr)
 		}
-		p50, p99, err := latencyQuantiles(wl.fn, perfQuantileIters)
+		p50, p99, p999, err := latencyQuantiles(wl.fn, perfQuantileIters)
 		if err != nil {
 			return nil, fmt.Errorf("perf %s: %w", wl.name, err)
 		}
@@ -192,10 +193,11 @@ func Perf(w io.Writer, s Setup) ([]PerfRow, error) {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			P50Ns:       p50.Nanoseconds(),
 			P99Ns:       p99.Nanoseconds(),
+			P999Ns:      p999.Nanoseconds(),
 		}
 		out = append(out, row)
-		fmt.Fprintf(w, "%-16s %12.0f %10d %10d %12s %12s\n",
-			row.Workload, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, p50, p99)
+		fmt.Fprintf(w, "%-16s %12.0f %10d %10d %12s %12s %12s\n",
+			row.Workload, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, p50, p99, p999)
 	}
 	for _, row := range cachePerfRows(s) {
 		out = append(out, row)
@@ -317,17 +319,19 @@ func cachePerfRows(s Setup) []PerfRow {
 	return []PerfRow{shardedRow, lruRow}
 }
 
-// latencyQuantiles times iters calls of fn individually and returns the p50
-// and p99 latencies.
-func latencyQuantiles(fn func() error, iters int) (p50, p99 time.Duration, err error) {
+// latencyQuantiles times iters calls of fn individually and returns the
+// p50, p99, and p999 latencies. With the standard 2000 iterations the p999
+// is the 2nd-worst observation — noisy, but the tail is exactly what the
+// observability work cares about.
+func latencyQuantiles(fn func() error, iters int) (p50, p99, p999 time.Duration, err error) {
 	lat := make([]time.Duration, iters)
 	for i := range lat {
 		start := time.Now()
 		if err := fn(); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		lat[i] = time.Since(start)
 	}
 	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	return lat[iters/2], lat[iters*99/100], nil
+	return lat[iters/2], lat[iters*99/100], lat[iters*999/1000], nil
 }

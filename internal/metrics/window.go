@@ -64,6 +64,18 @@ func (w *Window) Quantile(p float64) float64 {
 	return Percentile(w.Snapshot(), p)
 }
 
+// Quantiles returns several percentiles from one snapshot of the window,
+// so the observations each quantile is computed over are consistent (and
+// the ring is copied once, not once per quantile).
+func (w *Window) Quantiles(ps ...float64) []float64 {
+	snap := w.Snapshot()
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = Percentile(snap, p)
+	}
+	return out
+}
+
 // Meter counts events against a sliding wall-clock window, for request
 // rates (QPS). Events are accumulated into one-second buckets, so memory is
 // fixed by the window length and the reported rate never saturates no

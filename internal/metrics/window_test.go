@@ -64,6 +64,55 @@ func TestWindowConcurrent(t *testing.T) {
 	}
 }
 
+// TestWindowConcurrentQuantiles hammers Observe against the multi-quantile
+// and snapshot readers (the /metrics and stats scrape paths) from many
+// goroutines; correctness here is primarily the race detector's to judge,
+// plus basic invariants on every read.
+func TestWindowConcurrentQuantiles(t *testing.T) {
+	w := NewWindow(128)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(g*500 + i + 1))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qs := w.Quantiles(50, 90, 99, 99.9)
+				for i := 1; i < len(qs); i++ {
+					if qs[i] < qs[i-1] {
+						t.Errorf("quantiles not monotone: %v", qs)
+						return
+					}
+				}
+				if snap := w.Snapshot(); len(snap) > 128 {
+					t.Errorf("snapshot has %d observations, cap 128", len(snap))
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait() // readers keep scraping while every write lands
+	close(stop)
+	readers.Wait()
+	if got := w.Total(); got != 2000 {
+		t.Errorf("Total = %d, want 2000", got)
+	}
+}
+
 func TestMeterRate(t *testing.T) {
 	base := time.Unix(1000, 0)
 	m := NewMeter(10 * time.Second)
@@ -92,6 +141,48 @@ func TestMeterHighRateNoSaturation(t *testing.T) {
 	}
 	if got := m.Rate(base.Add(9 * time.Second)); got != 10000 {
 		t.Errorf("Rate = %v, want 10000 (no saturation)", got)
+	}
+}
+
+// TestMeterConcurrent marks from many goroutines while readers poll the
+// rate: the count must be exact and the poll data-race-free.
+func TestMeterConcurrent(t *testing.T) {
+	base := time.Unix(4000, 0)
+	m := NewMeter(10 * time.Second)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 1000; i++ {
+				m.Mark(base.Add(time.Duration(i) * time.Millisecond))
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if r := m.Rate(base.Add(time.Second)); r < 0 {
+						t.Errorf("negative rate %v", r)
+						return
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	// All 8000 marks land within one second of the 10s window.
+	if got := m.Rate(base.Add(5 * time.Second)); got != 800 {
+		t.Errorf("Rate = %v, want 800 (8000 events / 10s)", got)
 	}
 }
 

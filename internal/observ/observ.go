@@ -1,0 +1,257 @@
+// Package observ renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without depending on a client library, validates scraped
+// exposition text, and mounts net/http/pprof on a serving mux. It is a leaf
+// package: the serving tier feeds it snapshots, it owns no state.
+package observ
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the exposition content type for /metrics responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Labels is an ordered list of label name/value pairs. Writer sorts them by
+// name at emission so series identity is stable regardless of caller order.
+type Labels [][2]string
+
+// L is shorthand for a single-label set.
+func L(name, value string) Labels { return Labels{{name, value}} }
+
+// With returns a copy of ls with one more label appended.
+func (ls Labels) With(name, value string) Labels {
+	out := make(Labels, 0, len(ls)+1)
+	out = append(out, ls...)
+	return append(out, [2]string{name, value})
+}
+
+// Writer emits metric families in exposition format. HELP/TYPE headers are
+// written once per metric name, on its first sample; callers must therefore
+// group samples of one family together (the serving exporter does). Errors
+// are sticky: check Err once after the last emission.
+type Writer struct {
+	w      io.Writer
+	err    error
+	headed map[string]bool
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, headed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+func (w *Writer) header(name, help, typ string) {
+	if w.headed[name] {
+		return
+	}
+	w.headed[name] = true
+	w.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter emits one counter sample.
+func (w *Writer) Counter(name, help string, labels Labels, v float64) {
+	w.header(name, help, "counter")
+	w.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (w *Writer) Gauge(name, help string, labels Labels, v float64) {
+	w.header(name, help, "gauge")
+	w.sample(name, labels, v)
+}
+
+// Histogram emits one histogram series: cumulative le-labeled buckets
+// (counts holds per-bucket counts with the final element the +Inf bucket),
+// then _sum and _count.
+func (w *Writer) Histogram(name, help string, labels Labels, bounds []float64, counts []int64, sum float64, count int64) {
+	w.header(name, help, "histogram")
+	cum := int64(0)
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		w.sample(name+"_bucket", labels.With("le", formatFloat(b)), float64(cum))
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(counts)-1]
+	}
+	w.sample(name+"_bucket", labels.With("le", "+Inf"), float64(cum))
+	w.sample(name+"_sum", labels, sum)
+	w.sample(name+"_count", labels, float64(count))
+}
+
+func (w *Writer) sample(name string, labels Labels, v float64) {
+	if len(labels) == 0 {
+		w.printf("%s %s\n", name, formatFloat(v))
+		return
+	}
+	ls := make(Labels, len(labels))
+	copy(ls, labels)
+	sort.SliceStable(ls, func(a, b int) bool { return ls[a][0] < ls[b][0] })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[1]))
+		sb.WriteByte('"')
+	}
+	w.printf("%s{%s} %s\n", name, sb.String(), formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ParseExposition validates text exposition input and returns the number of
+// samples per metric name (the name before any label braces; histogram
+// _bucket/_sum/_count series count under their full sample name). It errors
+// on structurally malformed lines — enough to catch a broken exporter in
+// the smoke test without reimplementing the full grammar.
+func ParseExposition(r io.Reader) (map[string]int, error) {
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !strings.HasPrefix(text, "# HELP ") && !strings.HasPrefix(text, "# TYPE ") {
+				return nil, fmt.Errorf("observ: line %d: unknown comment %q", line, text)
+			}
+			continue
+		}
+		name, rest, err := splitSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("observ: line %d: %v", line, err)
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil && rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+			return nil, fmt.Errorf("observ: line %d: bad value %q", line, rest)
+		}
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// splitSample splits a sample line into its metric name and value text,
+// skipping over a brace-delimited label set (label values may contain
+// escaped quotes).
+func splitSample(text string) (name, value string, err error) {
+	i := strings.IndexAny(text, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", text)
+	}
+	name = text[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	rest := text[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated labels in %q", text)
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", fmt.Errorf("missing value in %q", text)
+	}
+	return name, value, nil
+}
+
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// MountPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/. Gate the call behind an operator flag: the profiling
+// endpoints expose internals and can be expensive under load.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// WriteRuntime emits process-level runtime metrics (goroutines, heap,
+// GC cycles) under the given prefix.
+func WriteRuntime(w *Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Gauge(prefix+"_goroutines", "Current number of goroutines.", nil, float64(runtime.NumGoroutine()))
+	w.Gauge(prefix+"_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", nil, float64(ms.HeapAlloc))
+	w.Gauge(prefix+"_mem_heap_objects", "Number of allocated heap objects.", nil, float64(ms.HeapObjects))
+	w.Counter(prefix+"_gc_cycles_total", "Completed GC cycles.", nil, float64(ms.NumGC))
+	w.Counter(prefix+"_mem_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", nil, float64(ms.TotalAlloc))
+}

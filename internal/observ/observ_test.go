@@ -1,0 +1,112 @@
+package observ
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriterCounterGauge(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("willump_requests_total", "Requests served.", L("model", "m"), 42)
+	w.Counter("willump_requests_total", "Requests served.", L("model", "n"), 7)
+	w.Gauge("willump_queue_depth", "Queued requests.", Labels{{"model", "m"}, {"tag", "v1"}}, 3)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP willump_requests_total Requests served.
+# TYPE willump_requests_total counter
+willump_requests_total{model="m"} 42
+willump_requests_total{model="n"} 7
+# HELP willump_queue_depth Queued requests.
+# TYPE willump_queue_depth gauge
+willump_queue_depth{model="m",tag="v1"} 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriterHistogramCumulative(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Histogram("d_seconds", "Durations.", L("stage", "ifv:0"),
+		[]float64{0.001, 0.01}, []int64{2, 3, 1}, 0.05, 6)
+	got := sb.String()
+	for _, line := range []string{
+		`d_seconds_bucket{le="0.001",stage="ifv:0"} 2`,
+		`d_seconds_bucket{le="0.01",stage="ifv:0"} 5`,
+		`d_seconds_bucket{le="+Inf",stage="ifv:0"} 6`,
+		`d_seconds_sum{stage="ifv:0"} 0.05`,
+		`d_seconds_count{stage="ifv:0"} 6`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestWriterEscapesLabelValues(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Gauge("g", "h", L("err", "a\"b\\c\nd"), 1)
+	if !strings.Contains(sb.String(), `g{err="a\"b\\c\nd"} 1`) {
+		t.Fatalf("unescaped output: %s", sb.String())
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("a_total", "a", nil, 1)
+	w.Gauge("b", "b", L("x", "y\"z"), 2.5)
+	w.Histogram("h_seconds", "h", nil, []float64{0.1}, []int64{1, 0}, 0.01, 1)
+	WriteRuntime(w, "willump")
+	counts, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int{
+		"a_total":            1,
+		"b":                  1,
+		"h_seconds_bucket":   2,
+		"h_seconds_sum":      1,
+		"h_seconds_count":    1,
+		"willump_goroutines": 1,
+	} {
+		if counts[name] != want {
+			t.Fatalf("counts[%s] = %d, want %d (all: %v)", name, counts[name], want, counts)
+		}
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value\n",
+		"1leading_digit 3\n",
+		`unterminated{x="y 3` + "\n",
+		"name notafloat\n",
+		"# COMMENT weird\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseExposition accepted %q", bad)
+		}
+	}
+}
+
+func TestMountPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	MountPprof(mux)
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatal("pprof index missing goroutine profile link")
+	}
+}

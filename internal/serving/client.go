@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -204,4 +205,30 @@ func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
 		return ModelStats{}, err
 	}
 	return fromWireStats(ws), nil
+}
+
+// Traces fetches the server's retained request traces, newest first. model
+// filters to one deployed model ("" for all); n bounds the count (0 for
+// all retained).
+func (c *Client) Traces(ctx context.Context, model string, n int) ([]RequestTrace, error) {
+	q := url.Values{}
+	if model != "" {
+		q.Set("model", model)
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	path := "/v1/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list wireTraceList
+	if err := c.get(ctx, path, &list); err != nil {
+		return nil, err
+	}
+	out := make([]RequestTrace, len(list.Traces))
+	for i, wt := range list.Traces {
+		out[i] = fromWireTrace(wt)
+	}
+	return out, nil
 }

@@ -1,0 +1,263 @@
+package serving
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/fixture"
+	"willump/internal/observ"
+	"willump/internal/value"
+)
+
+// tracedFixtureServer deploys the standard fixture pipeline with tracing
+// enabled (every request head-sampled) behind a started server.
+func tracedFixtureServer(t *testing.T) (*core.Optimized, *Registry, *Server, *Client) {
+	t.Helper()
+	fx, err := fixture.NewClassification(11, 600, 200, 200, 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	o, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EnableTracing(1, 64)
+	reg := NewRegistry(Options{})
+	if err := reg.Deploy("fixture", "v1", o); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRegistryServer(reg)
+	url, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return o, reg, srv, NewClient(url)
+}
+
+func fixtureRow() map[string]value.Value {
+	return map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{7}),
+		"heavy_id": value.NewInts([]int64{9}),
+	}
+}
+
+// TestNewPredictorServerError pins the error-returning constructor path: a
+// configuration that could never serve a request is reported, not panicked,
+// while the deprecated NewServer keeps its panicking contract.
+func TestNewPredictorServerError(t *testing.T) {
+	if _, err := NewPredictorServer(nil, Options{}); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := NewPredictorServer(doubler, Options{CacheCapacity: 128}); err == nil {
+		t.Error("prediction cache without key columns accepted")
+	}
+	s, err := NewPredictorServer(doubler, Options{})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	defer s.Close()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("deprecated NewServer did not panic on a nil predictor")
+		}
+	}()
+	NewServer(nil, Options{})
+}
+
+// TestMetricsEndpoint scrapes /metrics from a traced deployment and checks
+// the exposition parses, the core families are present, and span-derived
+// stage histograms appear once traffic has flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, _, cl := tracedFixtureServer(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.PredictModel(ctx, "fixture", fixtureRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(strings.TrimRight(cl.base, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != observ.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, observ.ContentType)
+	}
+	counts, err := observ.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"willump_server_requests_total",
+		"willump_requests_total",
+		"willump_request_errors_total",
+		"willump_requests_rejected_total",
+		"willump_qps",
+		"willump_latency_seconds",
+		"willump_queue_depth",
+		"willump_trace_sampled_total",
+		"willump_request_duration_seconds_bucket",
+		"willump_request_duration_seconds_count",
+		"willump_stage_duration_seconds_bucket",
+		"willump_goroutines",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
+	if got := counts["willump_latency_seconds"]; got != 4 {
+		t.Errorf("latency quantile samples = %d, want 4 (p50/p90/p99/p999)", got)
+	}
+}
+
+// TestTracesEndpoint drives traced traffic and reads it back through the
+// client: head-sampled traces must carry queue-wait and execution spans, and
+// the model filter and count bound must hold.
+func TestTracesEndpoint(t *testing.T) {
+	_, _, _, cl := tracedFixtureServer(t)
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := cl.PredictModel(ctx, "fixture", fixtureRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trs, err := cl.Traces(ctx, "fixture", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 6 {
+		t.Fatalf("got %d traces, want 6", len(trs))
+	}
+	stages := make(map[string]bool)
+	for _, tr := range trs {
+		if tr.Model != "fixture" {
+			t.Errorf("trace model = %q, want fixture", tr.Model)
+		}
+		if !tr.Sampled || len(tr.Spans) == 0 {
+			t.Errorf("trace %d not head-sampled with spans: %+v", tr.ID, tr)
+		}
+		for _, sp := range tr.Spans {
+			stages[sp.Stage] = true
+		}
+	}
+	for _, want := range []string{"queue:wait", "model:score"} {
+		if !stages[want] {
+			t.Errorf("no trace carries a %q span (saw %v)", want, stages)
+		}
+	}
+	// Newest first, bounded by n.
+	bounded, err := cl.Traces(ctx, "fixture", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded) != 2 {
+		t.Fatalf("n=2 returned %d traces", len(bounded))
+	}
+	if bounded[0].Start.Before(bounded[1].Start) {
+		t.Error("traces not newest-first")
+	}
+	// Unknown model filters to empty; bad n is a client error.
+	none, err := cl.Traces(ctx, "nosuch", 0)
+	if err != nil || len(none) != 0 {
+		t.Errorf("unknown model: traces=%v err=%v, want empty", none, err)
+	}
+	resp, err := http.Get(strings.TrimRight(cl.base, "/") + "/v1/traces?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsCarryP999AndRecentSlow checks the additive stats fields end to
+// end: the p999 quantile is populated and a failed request lands on the
+// recent-slow list with its error text (error tail sampling retains every
+// failure regardless of latency).
+func TestStatsCarryP999AndRecentSlow(t *testing.T) {
+	_, reg, _, cl := tracedFixtureServer(t)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := cl.PredictModel(ctx, "fixture", fixtureRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A request with an expired deadline fails inside the pipeline and must
+	// be retained as a slow/error entry.
+	_, err := cl.PredictModel(ctx, "fixture", fixtureRow(),
+		core.WithPredictDeadline(time.Nanosecond))
+	if err == nil {
+		t.Fatal("nanosecond deadline did not fail")
+	}
+	st, err := cl.Stats(ctx, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencyP999 <= 0 {
+		t.Errorf("LatencyP999 = %v, want > 0", st.LatencyP999)
+	}
+	if st.LatencyP999 < st.LatencyP99 {
+		t.Errorf("p999 %v < p99 %v", st.LatencyP999, st.LatencyP99)
+	}
+	if len(st.RecentSlow) == 0 {
+		t.Fatal("failed request missing from RecentSlow")
+	}
+	found := false
+	for _, sq := range st.RecentSlow {
+		if sq.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no RecentSlow entry carries the error: %+v", st.RecentSlow)
+	}
+	// The in-process registry view matches the wire view's shape.
+	direct, err := reg.Stats("fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.RecentSlow) == 0 {
+		t.Error("registry stats missing RecentSlow")
+	}
+}
+
+// TestShutdownClosesTraces: after a graceful shutdown drains concurrent
+// traced traffic, no trace may remain open (spans all finished, pooled
+// traces recycled).
+func TestShutdownClosesTraces(t *testing.T) {
+	o, _, srv, cl := tracedFixtureServer(t)
+	ctx := context.Background()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 25; i++ {
+				cl.PredictModel(ctx, "fixture", fixtureRow()) //nolint:errcheck
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := o.Tracer().Open(); n != 0 {
+		t.Fatalf("%d traces still open after graceful shutdown", n)
+	}
+	sampled, _ := o.Tracer().Counts()
+	if sampled == 0 {
+		t.Fatal("no requests were head-sampled")
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"willump/internal/core"
+	"willump/internal/trace"
 	"willump/internal/value"
+	"willump/internal/weld"
 )
 
 // ErrOverloaded reports that a model's bounded request queue was full and
@@ -74,6 +76,16 @@ type Hosted struct {
 	// top-K) the same way the queue bounds batched ones: admission control
 	// applies to every route, not just the batcher.
 	direct chan struct{}
+}
+
+// tracer returns the active version's request tracer, or nil when the
+// model is a black box, undeployed, or tracing is disabled. Safe to call on
+// every request: trace.Tracer methods are nil-receiver no-ops.
+func (h *Hosted) tracer() *trace.Tracer {
+	if v := h.active.Load(); v != nil && v.opt != nil {
+		return v.opt.Tracer()
+	}
+	return nil
 }
 
 // admitDirect reserves a direct-execution slot; the caller must release().
@@ -360,7 +372,49 @@ func (r *Registry) Stats(name string) (ModelStats, error) {
 	}
 	ms := h.stats.snapshot(h.name, tag)
 	ms.FeatureCache = fc
+	for _, s := range h.tracer().Slow() {
+		ms.RecentSlow = append(ms.RecentSlow, SlowQuery{
+			Start:   s.Start,
+			Latency: s.Total,
+			Err:     s.Err,
+			Sampled: s.Sampled,
+		})
+	}
 	return ms, nil
+}
+
+// LiveProfile snapshots the shadow profile the named model's active
+// pipeline accumulated from traced production traffic: per-node costs
+// measured on live requests, in the same form the Optimize-time cost model
+// uses — the continuous-profiling feedback loop. It errors for black-box
+// deployments and for pipelines without tracing enabled.
+func (r *Registry) LiveProfile(name string) (*weld.Profile, error) {
+	h, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	v := h.active.Load()
+	if v == nil || v.opt == nil {
+		return nil, fmt.Errorf("serving: model %q has no optimized pipeline deployed: %w", h.name, ErrModelNotFound)
+	}
+	lp := v.opt.LiveProfile()
+	if lp == nil {
+		return nil, fmt.Errorf("serving: model %q: tracing (shadow profiling) is not enabled", h.name)
+	}
+	return lp, nil
+}
+
+// hostedModels returns the deployed models sorted by name, for the
+// observability handlers (/metrics, /v1/traces) that sweep every model.
+func (r *Registry) hostedModels() []*Hosted {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Hosted, 0, len(r.models))
+	for _, h := range r.models {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // Close drains every deployed version's batcher and closes the registry
@@ -448,6 +502,7 @@ type pending struct {
 	ctx    context.Context // the originating request's context
 	inputs map[string]value.Value
 	n      int
+	enq    time.Time // when the request entered the queue (queue-wait spans)
 	done   chan batchResult
 }
 
@@ -548,11 +603,29 @@ func (v *version) runBatch(batch []*pending) {
 		// A lone request executes under its own context, so client
 		// cancellation aborts the prediction itself. A force-close (expired
 		// Shutdown deadline) also cancels it via the base context.
-		ctx, cancel := v.requestCtx(batch[0])
-		preds, err := v.pred.PredictBatch(ctx, batch[0].inputs)
+		p0 := batch[0]
+		trace.FromContext(p0.ctx).Record(trace.StageQueueWait, p0.enq)
+		ctx, cancel := v.requestCtx(p0)
+		preds, err := v.pred.PredictBatch(ctx, p0.inputs)
 		cancel()
-		batch[0].done <- batchResult{preds: preds, err: err}
+		p0.done <- batchResult{preds: preds, err: err}
 		return
+	}
+	// Record each member's queue wait; the first sampled member's trace
+	// carries through the merged execution below, so weld/cascade stage
+	// spans attach to it (the other members see only queue wait and total).
+	var btr *trace.Trace
+	for _, p := range batch {
+		if tr := trace.FromContext(p.ctx); tr != nil {
+			tr.Record(trace.StageQueueWait, p.enq)
+			if btr == nil {
+				btr = tr
+			}
+		}
+	}
+	var assembleStart time.Time
+	if btr != nil {
+		assembleStart = time.Now()
 	}
 	// Merge columns across the batch's requests, reusing the version's
 	// batcher-owned scratch maps (column names are stable across batches).
@@ -585,10 +658,18 @@ func (v *version) runBatch(batch []*pending) {
 		}
 		inputs[k] = cat
 	}
+	if btr != nil {
+		btr.Record(trace.StageBatchAssemble, assembleStart)
+	}
 	// A merged batch serves several independent requests, so one client's
 	// cancellation must not abort the others: execute under the registry's
-	// context, which only a force-close cancels.
-	preds, err := v.pred.PredictBatch(v.baseCtx, inputs)
+	// context, which only a force-close cancels. The sampled member's trace
+	// is re-attached so execution spans still land on it.
+	ectx := v.baseCtx
+	if btr != nil {
+		ectx = trace.NewContext(ectx, btr)
+	}
+	preds, err := v.pred.PredictBatch(ectx, inputs)
 	if err != nil {
 		for _, p := range batch {
 			p.done <- batchResult{err: err}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"willump/internal/core"
+	"willump/internal/trace"
 	"willump/internal/value"
 )
 
@@ -69,12 +70,16 @@ func badRequestf(format string, args ...any) error {
 //	GET  /v1/models                  list deployed models
 //	POST /predict                    legacy route: the default model
 //	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text exposition
+//	GET  /v1/traces                  retained request traces (?model=, ?n=)
+//	GET  /debug/pprof/*              runtime profiling (EnablePprof only)
 type Server struct {
 	reg *Registry
 
-	http *http.Server
-	ln   net.Listener
-	wg   sync.WaitGroup
+	http  *http.Server
+	ln    net.Listener
+	wg    sync.WaitGroup
+	pprof bool
 
 	requests atomic.Int64
 	closed   atomic.Bool
@@ -84,18 +89,32 @@ type Server struct {
 	shutdownErr  error
 }
 
-// NewServer wraps a single predictor with the serving frontend, deploying
-// it as the registry's default model. Use NewRegistryServer to host many
-// named, versioned models behind one server. NewServer panics on a
-// configuration that could never serve a request: a nil predictor, or a
-// prediction cache enabled without CacheKeyOrder (previously such a server
-// constructed fine and then failed every request).
-func NewServer(p Predictor, opts Options) *Server {
+// NewPredictorServer wraps a single predictor with the serving frontend,
+// deploying it as the registry's default model, and reports deployment
+// failures — a nil predictor, or a prediction cache enabled without
+// CacheKeyOrder — as errors instead of panicking. Use NewRegistryServer to
+// host many named, versioned models behind one server.
+func NewPredictorServer(p Predictor, opts Options) (*Server, error) {
 	reg := NewRegistry(opts)
 	if err := reg.DeployPredictor(DefaultModelName, "v1", p, opts.CacheKeyOrder); err != nil {
-		panic(fmt.Sprintf("serving: deploying default model: %v", err))
+		reg.cancel()
+		return nil, fmt.Errorf("serving: deploying default model: %w", err)
 	}
-	return NewRegistryServer(reg)
+	return NewRegistryServer(reg), nil
+}
+
+// NewServer wraps a single predictor with the serving frontend, deploying
+// it as the registry's default model.
+//
+// Deprecated: NewServer panics on a configuration that could never serve a
+// request (a nil predictor, or a prediction cache enabled without
+// CacheKeyOrder). Use NewPredictorServer, which returns the error instead.
+func NewServer(p Predictor, opts Options) *Server {
+	s, err := NewPredictorServer(p, opts)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
 }
 
 // NewRegistryServer wraps a registry with the HTTP serving frontend. The
@@ -108,6 +127,11 @@ func NewRegistryServer(reg *Registry) *Server {
 // Registry returns the registry this server hosts, for deploying and
 // undeploying models while the server runs.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ when the server
+// starts. Call it before Start/StartOn; the profiling endpoints expose
+// process internals, so deployment binaries gate it behind an operator flag.
+func (s *Server) EnablePprof() { s.pprof = true }
 
 // Start listens on 127.0.0.1 (ephemeral port). It returns the base URL.
 func (s *Server) Start() (string, error) {
@@ -136,6 +160,7 @@ func (s *Server) StartOn(addr string) (string, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
+	s.mountObservability(mux)
 	s.http = &http.Server{Handler: mux}
 	s.wg.Add(1)
 	go func() {
@@ -253,13 +278,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// The handler owns the request's trace lifecycle: the sampling decision
+	// is made here and the trace rides the request context through queue,
+	// batcher, and pipeline (whose own entry points see it and don't begin a
+	// second one). Every tracer method is a nil-receiver no-op, so untraced
+	// models pay nothing.
 	start := time.Now()
+	tw := h.tracer()
+	tr := tw.Begin(h.name)
+	rctx := r.Context()
+	if tr != nil {
+		rctx = trace.NewContext(rctx, tr)
+	}
 	var preds []float64
 	if po.IsZero() {
-		preds, err = s.executeBatched(r.Context(), h, inputs, n)
+		preds, err = s.executeBatched(rctx, h, inputs, n)
 	} else {
-		preds, err = s.executeDirect(r.Context(), h, inputs, n, po)
+		preds, err = s.executeDirect(rctx, h, inputs, n, po)
 	}
+	tw.Finish(tr, h.name, start, err)
 	if errors.Is(err, ErrOverloaded) {
 		h.stats.reject()
 	} else {
@@ -276,7 +313,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 // batcher, where it may merge with concurrent requests — the pre-registry
 // single-model serving path, bit for bit.
 func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int) ([]float64, error) {
-	p := &pending{ctx: rctx, inputs: inputs, n: n, done: make(chan batchResult, 1)}
+	p := &pending{ctx: rctx, inputs: inputs, n: n, enq: time.Now(), done: make(chan batchResult, 1)}
 	if err := h.enqueue(p); err != nil {
 		return nil, err
 	}
@@ -373,7 +410,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	idx, err := s.executeTopK(r.Context(), h, inputs, po)
+	tw := h.tracer()
+	tr := tw.Begin(h.name)
+	rctx := r.Context()
+	if tr != nil {
+		rctx = trace.NewContext(rctx, tr)
+	}
+	idx, err := s.executeTopK(rctx, h, inputs, po)
+	tw.Finish(tr, h.name, start, err)
 	if errors.Is(err, ErrOverloaded) {
 		h.stats.reject()
 	} else {
@@ -472,10 +516,19 @@ func toWireStats(st ModelStats) wireStats {
 		Rejected: st.Rejected,
 		QPS:      st.QPS,
 		LatencyMS: wireLatency{
-			P50: float64(st.LatencyP50) / float64(time.Millisecond),
-			P90: float64(st.LatencyP90) / float64(time.Millisecond),
-			P99: float64(st.LatencyP99) / float64(time.Millisecond),
+			P50:  float64(st.LatencyP50) / float64(time.Millisecond),
+			P90:  float64(st.LatencyP90) / float64(time.Millisecond),
+			P99:  float64(st.LatencyP99) / float64(time.Millisecond),
+			P999: float64(st.LatencyP999) / float64(time.Millisecond),
 		},
+	}
+	for _, sq := range st.RecentSlow {
+		out.RecentSlow = append(out.RecentSlow, wireSlow{
+			StartUnixNano: sq.Start.UnixNano(),
+			LatencyMS:     float64(sq.Latency) / float64(time.Millisecond),
+			Error:         sq.Err,
+			Sampled:       sq.Sampled,
+		})
 	}
 	if st.CascadeTotal > 0 {
 		out.Cascade = &wireCascade{
@@ -498,15 +551,24 @@ func toWireStats(st ModelStats) wireStats {
 
 func fromWireStats(ws wireStats) ModelStats {
 	out := ModelStats{
-		Model:      ws.Model,
-		Version:    ws.Version,
-		Requests:   ws.Requests,
-		Errors:     ws.Errors,
-		Rejected:   ws.Rejected,
-		QPS:        ws.QPS,
-		LatencyP50: time.Duration(ws.LatencyMS.P50 * float64(time.Millisecond)),
-		LatencyP90: time.Duration(ws.LatencyMS.P90 * float64(time.Millisecond)),
-		LatencyP99: time.Duration(ws.LatencyMS.P99 * float64(time.Millisecond)),
+		Model:       ws.Model,
+		Version:     ws.Version,
+		Requests:    ws.Requests,
+		Errors:      ws.Errors,
+		Rejected:    ws.Rejected,
+		QPS:         ws.QPS,
+		LatencyP50:  time.Duration(ws.LatencyMS.P50 * float64(time.Millisecond)),
+		LatencyP90:  time.Duration(ws.LatencyMS.P90 * float64(time.Millisecond)),
+		LatencyP99:  time.Duration(ws.LatencyMS.P99 * float64(time.Millisecond)),
+		LatencyP999: time.Duration(ws.LatencyMS.P999 * float64(time.Millisecond)),
+	}
+	for _, sq := range ws.RecentSlow {
+		out.RecentSlow = append(out.RecentSlow, SlowQuery{
+			Start:   time.Unix(0, sq.StartUnixNano),
+			Latency: time.Duration(sq.LatencyMS * float64(time.Millisecond)),
+			Err:     sq.Error,
+			Sampled: sq.Sampled,
+		})
 	}
 	if ws.Cascade != nil {
 		out.CascadeTotal = ws.Cascade.Total

@@ -83,10 +83,11 @@ type ModelStats struct {
 	Rejected int64
 	// QPS is the request rate over the trailing minute.
 	QPS float64
-	// LatencyP50/P90/P99 are streaming quantiles over recent requests.
-	LatencyP50 time.Duration
-	LatencyP90 time.Duration
-	LatencyP99 time.Duration
+	// LatencyP50/P90/P99/P999 are streaming quantiles over recent requests.
+	LatencyP50  time.Duration
+	LatencyP90  time.Duration
+	LatencyP99  time.Duration
+	LatencyP999 time.Duration
 	// CascadeTotal and CascadeSmallOnly count rows served through the
 	// cascade and the subset answered by the small model alone;
 	// CascadeHitRate is their ratio (0 when no cascade is deployed).
@@ -96,6 +97,25 @@ type ModelStats struct {
 	// FeatureCache carries the active version's feature-level cache
 	// counters; nil when the deployed pipeline has no feature caches.
 	FeatureCache *FeatureCacheStats
+	// RecentSlow lists the model's recently retained slow or failed
+	// requests (newest first); empty unless tracing is enabled on the
+	// deployed pipeline.
+	RecentSlow []SlowQuery
+}
+
+// SlowQuery is one retained slow or failed request from the tracer's
+// recent-slow ring.
+type SlowQuery struct {
+	// Start is when the request began.
+	Start time.Time
+	// Latency is the request's end-to-end latency.
+	Latency time.Duration
+	// Err is the request's error text, empty on success (retained because
+	// it was slow).
+	Err string
+	// Sampled reports whether a full span trace was also retained for the
+	// request (GET /v1/traces); tail-sampled requests have totals only.
+	Sampled bool
 }
 
 // snapshot captures the current counters.
@@ -107,12 +127,14 @@ func (s *modelStats) snapshot(model, version string) ModelStats {
 		Errors:           s.errors.Load(),
 		Rejected:         s.rejected.Load(),
 		QPS:              s.meter.Rate(time.Now()),
-		LatencyP50:       time.Duration(s.latencies.Quantile(50) * float64(time.Millisecond)),
-		LatencyP90:       time.Duration(s.latencies.Quantile(90) * float64(time.Millisecond)),
-		LatencyP99:       time.Duration(s.latencies.Quantile(99) * float64(time.Millisecond)),
 		CascadeTotal:     s.cascadeTotal.Load(),
 		CascadeSmallOnly: s.cascadeSmall.Load(),
 	}
+	qs := s.latencies.Quantiles(50, 90, 99, 99.9)
+	ms.LatencyP50 = time.Duration(qs[0] * float64(time.Millisecond))
+	ms.LatencyP90 = time.Duration(qs[1] * float64(time.Millisecond))
+	ms.LatencyP99 = time.Duration(qs[2] * float64(time.Millisecond))
+	ms.LatencyP999 = time.Duration(qs[3] * float64(time.Millisecond))
 	if ms.CascadeTotal > 0 {
 		ms.CascadeHitRate = float64(ms.CascadeSmallOnly) / float64(ms.CascadeTotal)
 	}

@@ -71,11 +71,13 @@ type wireModelList struct {
 	Models []wireModelInfo `json:"models"`
 }
 
-// wireLatency carries latency quantiles in milliseconds.
+// wireLatency carries latency quantiles in milliseconds. P999 is omitted
+// at zero so pre-p999 stats serialize exactly as before the field existed.
 type wireLatency struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999,omitempty"`
 }
 
 // wireCascade carries cascade serving counters.
@@ -96,7 +98,17 @@ type wireFeatureCache struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// wireStats is the GET /v1/models/{name}/stats response.
+// wireSlow is one retained slow or failed request on the stats response.
+type wireSlow struct {
+	StartUnixNano int64   `json:"start_unix_nano"`
+	LatencyMS     float64 `json:"latency_ms"`
+	Error         string  `json:"error,omitempty"`
+	Sampled       bool    `json:"sampled,omitempty"`
+}
+
+// wireStats is the GET /v1/models/{name}/stats response. RecentSlow is
+// absent unless tracing is enabled on the deployed pipeline, so pre-tracing
+// clients see the stats shape unchanged.
 type wireStats struct {
 	Model        string            `json:"model"`
 	Version      string            `json:"version"`
@@ -107,6 +119,32 @@ type wireStats struct {
 	LatencyMS    wireLatency       `json:"latency_ms"`
 	Cascade      *wireCascade      `json:"cascade,omitempty"`
 	FeatureCache *wireFeatureCache `json:"feature_cache,omitempty"`
+	RecentSlow   []wireSlow        `json:"recent_slow,omitempty"`
+}
+
+// wireSpan is one timed stage within a retained trace.
+type wireSpan struct {
+	Stage    string  `json:"stage"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// wireTrace is one retained request trace on the GET /v1/traces response.
+// Tail-sampled entries (slow or failed requests missed by head sampling)
+// have no id and no spans: only their totals survived.
+type wireTrace struct {
+	ID            uint64     `json:"id,omitempty"`
+	Model         string     `json:"model"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	TotalMS       float64    `json:"total_ms"`
+	Error         string     `json:"error,omitempty"`
+	Sampled       bool       `json:"sampled,omitempty"`
+	Spans         []wireSpan `json:"spans,omitempty"`
+}
+
+// wireTraceList is the GET /v1/traces response.
+type wireTraceList struct {
+	Traces []wireTrace `json:"traces"`
 }
 
 // toPredictOptions converts wire options to the internal per-request

@@ -128,6 +128,42 @@ func TestWireStatsFeatureCacheGolden(t *testing.T) {
 	})
 }
 
+// TestWireStatsTracingGolden pins the stats shape for a model with tracing
+// enabled: the p999 quantile and the recent-slow list ride along. Both are
+// omitempty, so the legacy golden above also pins that tracing-less models
+// serialize byte-identically to pre-tracing servers.
+func TestWireStatsTracingGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats_tracing.golden.json", wireStats{
+		Model: "toxic", Version: "v3",
+		Requests: 5000, Errors: 2, QPS: 80,
+		LatencyMS: wireLatency{P50: 1, P90: 2.5, P99: 9, P999: 27.5},
+		RecentSlow: []wireSlow{
+			{StartUnixNano: 1700000000000000000, LatencyMS: 31.5, Sampled: true},
+			{StartUnixNano: 1700000000100000000, LatencyMS: 2.25, Error: "context deadline exceeded"},
+		},
+	})
+}
+
+// TestWireTracesGolden pins the GET /v1/traces shape: a head-sampled trace
+// with stage spans and a tail-sampled entry with totals only.
+func TestWireTracesGolden(t *testing.T) {
+	goldenCheck(t, "wire_traces.golden.json", wireTraceList{Traces: []wireTrace{
+		{
+			ID: 42, Model: "toxic", StartUnixNano: 1700000000000000000,
+			TotalMS: 3.5, Sampled: true,
+			Spans: []wireSpan{
+				{Stage: "queue:wait", OffsetMS: 0, DurMS: 0.125},
+				{Stage: "ifv:0", OffsetMS: 0.125, DurMS: 1.5},
+				{Stage: "model:score", OffsetMS: 1.75, DurMS: 0.5},
+			},
+		},
+		{
+			Model: "toxic", StartUnixNano: 1700000000200000000,
+			TotalMS: 42.5, Error: "context canceled",
+		},
+	}})
+}
+
 // TestWireOptionsConversion checks the wire <-> core options mapping both
 // ways, including the nil (no overrides) fast path.
 func TestWireOptionsConversion(t *testing.T) {

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the fixed latency bucket upper bounds in seconds,
+// Prometheus-style (each bucket counts observations <= bound; an implicit
+// +Inf bucket catches the rest). The range spans 10µs..2.5s: compiled point
+// queries land in the first buckets, remote-feature batch queries in the
+// last.
+var histBounds = []float64{
+	10e-6, 25e-6, 50e-6,
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3,
+	10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// histBoundsNs mirrors histBounds in integer nanoseconds so Observe
+// compares durations without float conversion.
+var histBoundsNs = func() []int64 {
+	ns := make([]int64, len(histBounds))
+	for i, b := range histBounds {
+		ns[i] = int64(b * 1e9)
+	}
+	return ns
+}()
+
+// Hist is a fixed-bucket latency histogram with atomic counters: Observe is
+// lock-free and allocation-free, so it sits on the unsampled request path.
+type Hist struct {
+	counts []atomic.Int64 // len(histBounds)+1; last is +Inf
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+func newHist() *Hist {
+	return &Hist{counts: make([]atomic.Int64, len(histBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	i := 0
+	for i < len(histBoundsNs) && ns > histBoundsNs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(ns)
+	h.n.Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram in Prometheus terms:
+// Bounds in seconds, Counts per bucket (non-cumulative, with the final
+// element the +Inf bucket), plus the observation sum and count.
+type HistSnapshot struct {
+	Bounds     []float64
+	Counts     []int64
+	SumSeconds float64
+	Count      int64
+}
+
+// Snapshot copies the histogram. Concurrent Observes may tear between
+// buckets and sum; the skew is bounded by in-flight observations.
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds:     histBounds,
+		Counts:     make([]int64, len(h.counts)),
+		SumSeconds: float64(h.sumNs.Load()) / 1e9,
+		Count:      h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

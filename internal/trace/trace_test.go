@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeadSamplingEveryN(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 4, Buffer: 64})
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		start := time.Now()
+		tc := tr.Begin("m")
+		if tc != nil {
+			sampled++
+		}
+		tr.Finish(tc, "m", start, nil)
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 40 with SampleEvery=4, want 10", sampled)
+	}
+	if got, _ := tr.Counts(); got != 10 {
+		t.Fatalf("Counts sampled = %d, want 10", got)
+	}
+	if n := len(tr.Traces()); n != 10 {
+		t.Fatalf("retained %d traces, want 10", n)
+	}
+	if tr.Open() != 0 {
+		t.Fatalf("Open = %d after all Finish, want 0", tr.Open())
+	}
+}
+
+func TestSampleEveryOneRetainsSpans(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1, Buffer: 8})
+	start := time.Now()
+	tc := tr.Begin("m")
+	if tc == nil {
+		t.Fatal("Begin returned nil with SampleEvery=1")
+	}
+	s0 := time.Now()
+	time.Sleep(time.Millisecond)
+	tc.Record("step:a", s0)
+	tc.Record("ifv:0", s0)
+	tr.Finish(tc, "m", start, nil)
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	snap := traces[0]
+	if !snap.Sampled || snap.Label != "m" || len(snap.Spans) != 2 {
+		t.Fatalf("snapshot = %+v, want sampled label=m with 2 spans", snap)
+	}
+	if snap.Spans[0].Stage != "step:a" || snap.Spans[0].Dur <= 0 {
+		t.Fatalf("span[0] = %+v, want step:a with positive duration", snap.Spans[0])
+	}
+	if snap.Total < snap.Spans[0].Dur {
+		t.Fatalf("total %v < span dur %v", snap.Total, snap.Spans[0].Dur)
+	}
+	hists := tr.StageHists()
+	if hists["step:a"].Count != 1 || hists["ifv:0"].Count != 1 {
+		t.Fatalf("stage hists = %+v, want one observation each", hists)
+	}
+}
+
+func TestTailSamplingSlowAndError(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1 << 30, Buffer: 8, SlowThreshold: time.Microsecond})
+	// Slow unsampled request: retained spanless.
+	start := time.Now().Add(-time.Millisecond)
+	tr.Finish(nil, "m", start, nil)
+	// Fast unsampled error: retained too.
+	tr.Finish(nil, "m", time.Now(), errors.New("boom"))
+	// Fast unsampled success with a generous threshold tracer: dropped.
+	tr2 := NewTracer(Config{SampleEvery: 1 << 30})
+	tr2.Finish(nil, "m", time.Now(), nil)
+
+	slow := tr.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow list has %d entries, want 2", len(slow))
+	}
+	if slow[0].Err != "boom" || slow[0].Sampled {
+		t.Fatalf("newest slow entry = %+v, want unsampled error", slow[0])
+	}
+	if slow[1].Total < time.Millisecond {
+		t.Fatalf("slow entry total = %v, want >= 1ms", slow[1].Total)
+	}
+	if _, tailed := tr.Counts(); tailed != 2 {
+		t.Fatalf("tailed = %d, want 2", tailed)
+	}
+	if len(tr.Traces()) != 2 {
+		t.Fatalf("tail-sampled entries missing from trace ring: %d", len(tr.Traces()))
+	}
+	if len(tr2.Slow()) != 0 {
+		t.Fatal("fast successful request was tail-sampled")
+	}
+}
+
+func TestRingEvictionNewestFirst(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1, Buffer: 4})
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		tc := tr.Begin(fmt.Sprintf("m%d", i))
+		tr.Finish(tc, "", start, nil)
+	}
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(traces))
+	}
+	for i, want := range []string{"m9", "m8", "m7", "m6"} {
+		if traces[i].Label != want {
+			t.Fatalf("traces[%d].Label = %q, want %q (newest first)", i, traces[i].Label, want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on empty ctx should be nil")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatal("FromContext(nil) should be nil")
+	}
+	ctx := context.Background()
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext with nil trace must return ctx unchanged")
+	}
+	tc := &Trace{start: time.Now()}
+	if got := FromContext(NewContext(ctx, tc)); got != tc {
+		t.Fatalf("FromContext = %p, want %p", got, tc)
+	}
+	// Record on the nil trace is a no-op, not a panic.
+	var nilT *Trace
+	nilT.Record("x", time.Now())
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tc := tr.Begin("m"); tc != nil {
+		t.Fatal("nil tracer sampled a request")
+	}
+	tr.Finish(nil, "m", time.Now(), nil)
+	if tr.Traces() != nil || tr.Slow() != nil || tr.Open() != 0 {
+		t.Fatal("nil tracer retained state")
+	}
+	if s, tl := tr.Counts(); s != 0 || tl != 0 {
+		t.Fatal("nil tracer counted")
+	}
+}
+
+func TestConcurrentRecordAndFinish(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1, Buffer: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				start := time.Now()
+				tc := tr.Begin("m")
+				// Parallel workers sharing one trace.
+				var inner sync.WaitGroup
+				for w := 0; w < 2; w++ {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						tc.Record("ifv:0", time.Now())
+					}()
+				}
+				inner.Wait()
+				tr.Finish(tc, "m", start, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Open() != 0 {
+		t.Fatalf("Open = %d after all goroutines finished, want 0", tr.Open())
+	}
+	if got := tr.TotalHist().Count; got != 8*200 {
+		t.Fatalf("total hist count = %d, want %d", got, 8*200)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	h := newHist()
+	h.Observe(5 * time.Microsecond)  // bucket 0 (<=10µs)
+	h.Observe(30 * time.Microsecond) // bucket 2 (<=50µs)
+	h.Observe(10 * time.Second)      // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Counts[0] != 1 || s.Counts[2] != 1 || s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	if s.SumSeconds < 10 || s.SumSeconds > 10.1 {
+		t.Fatalf("sum = %v s, want ~10", s.SumSeconds)
+	}
+	if len(s.Bounds)+1 != len(s.Counts) {
+		t.Fatalf("bounds/counts mismatch: %d vs %d", len(s.Bounds), len(s.Counts))
+	}
+}
+
+func TestBeginAllocFreeWhenUnsampled(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1 << 30, SlowThreshold: time.Hour})
+	start := time.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		tc := tr.Begin("m")
+		tr.Finish(tc, "m", start, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled Begin/Finish allocates %.1f/op, want 0", allocs)
+	}
+}

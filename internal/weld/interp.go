@@ -3,8 +3,10 @@ package weld
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"willump/internal/feature"
+	"willump/internal/trace"
 	"willump/internal/value"
 )
 
@@ -19,6 +21,12 @@ func (p *Program) RunInterpreted(ctx context.Context, inputs map[string]value.Va
 	vals, n, err := p.resolveInputs(inputs)
 	if err != nil {
 		return nil, err
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		// One coarse span for the whole interpreted sweep: the baseline has
+		// no fused steps to attribute to, and per-row spans would swamp the
+		// trace.
+		defer tr.Record(trace.StageInterp, time.Now())
 	}
 	g := p.G
 	rows := make([][]float64, n)

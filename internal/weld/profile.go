@@ -53,6 +53,58 @@ func (p *Profile) addTotal(sec float64) {
 	p.mu.Unlock()
 }
 
+// Clone returns an independent copy of the profile's measurements.
+func (p *Profile) Clone() *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := NewProfile()
+	for id, sec := range p.nodeSeconds {
+		out.nodeSeconds[id] = sec
+	}
+	for id, rows := range p.nodeRows {
+		out.nodeRows[id] = rows
+	}
+	out.driverSeconds = p.driverSeconds
+	out.totalSeconds = p.totalSeconds
+	return out
+}
+
+// Merge folds from's measurements into p. Costs are additive: merged node
+// seconds and rows accumulate, so per-row costs become the sample-weighted
+// blend of both profiles.
+func (p *Profile) Merge(from *Profile) {
+	from.mu.Lock()
+	defer from.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, sec := range from.nodeSeconds {
+		p.nodeSeconds[id] += sec
+	}
+	for id, rows := range from.nodeRows {
+		p.nodeRows[id] += rows
+	}
+	p.driverSeconds += from.driverSeconds
+	p.totalSeconds += from.totalSeconds
+}
+
+// drain moves the profile's measurements into a fresh profile, leaving p
+// empty. Adoption uses it so the same measurement is never merged twice.
+func (p *Profile) drain() *Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := &Profile{
+		nodeSeconds:   p.nodeSeconds,
+		nodeRows:      p.nodeRows,
+		driverSeconds: p.driverSeconds,
+		totalSeconds:  p.totalSeconds,
+	}
+	p.nodeSeconds = make(map[graph.NodeID]float64)
+	p.nodeRows = make(map[graph.NodeID]int64)
+	p.driverSeconds = 0
+	p.totalSeconds = 0
+	return out
+}
+
 // NodeCost returns the measured per-row cost of a node in seconds.
 func (p *Profile) NodeCost(id graph.NodeID) float64 {
 	p.mu.Lock()

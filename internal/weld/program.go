@@ -19,6 +19,7 @@ package weld
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"willump/internal/cache"
@@ -36,6 +37,7 @@ type step struct {
 	nodes []graph.NodeID // original nodes this step covers (len > 1 if fused)
 	ifv   int            // index of the IFV whose generator contains this step; -1 for preprocessing
 	spine bool           // true for spine (concat / elementwise) steps
+	label string         // precomputed trace span label ("step:<op>"), so recording allocates nothing
 }
 
 // Program is a compiled ML inference pipeline: the optimized executable the
@@ -58,6 +60,15 @@ type Program struct {
 	// Prof accumulates node timings during Fit (the cascades cost model)
 	// and driver marshaling time during interpreted-boundary crossings.
 	Prof *Profile
+
+	// live, when non-nil, is the shadow profile: traced (head-sampled)
+	// production requests accumulate per-node timings here, so the cost
+	// model can be re-fit from live traffic instead of training-time
+	// microbenchmarks. Enabled by EnableLiveProfile; nil costs nothing.
+	live *Profile
+
+	// ifvLabels[i] is IFV i's precomputed trace span label ("ifv:<i>").
+	ifvLabels []string
 
 	// caches[i], when non-nil, is the sharded feature-level cache for IFV i.
 	// cacheSpecs records the plan the caches were built from, so artifacts
@@ -97,8 +108,10 @@ func Compile(g *graph.Graph) (*Program, error) {
 		Prof:  NewProfile(),
 	}
 	p.allIFVs = make([]int, len(a.IFVs))
+	p.ifvLabels = make([]string, len(a.IFVs))
 	for i := range p.allIFVs {
 		p.allIFVs[i] = i
+		p.ifvLabels[i] = "ifv:" + strconv.Itoa(i)
 	}
 	p.buildSpineIndex()
 	p.buildSteps(false)
@@ -171,6 +184,7 @@ func (p *Program) buildSteps(fuse bool) {
 				}
 			}
 		}
+		st.label = "step:" + st.op.Name()
 		steps = append(steps, st)
 	}
 	// Fused steps may produce their output before other plan entries expect
@@ -331,6 +345,41 @@ func (p *Program) IFVCacheStats(i int) (cache.Stats, bool) {
 func (p *Program) CacheStats() (hits, misses int64) {
 	s := p.FeatureCacheStats()
 	return s.Hits, s.Misses
+}
+
+// EnableLiveProfile turns on shadow profiling: traced requests accumulate
+// per-node timings into a live profile, queryable with LiveProfile and
+// folded into the cost model with AdoptLiveProfile. Idempotent.
+func (p *Program) EnableLiveProfile() {
+	if p.live == nil {
+		p.live = NewProfile()
+	}
+}
+
+// LiveProfile returns a snapshot of the shadow profile accumulated from
+// traced production traffic, or nil when shadow profiling is disabled.
+func (p *Program) LiveProfile() *Profile {
+	if p.live == nil {
+		return nil
+	}
+	return p.live.Clone()
+}
+
+// AdoptLiveProfile drains the shadow profile into the cost model (Prof),
+// re-fitting profiled per-node costs from production traffic — the
+// continuous-profiling feedback loop. Draining (rather than copying) means
+// repeated adoption never double-counts a measurement. Reports whether any
+// live measurements were adopted.
+func (p *Program) AdoptLiveProfile() bool {
+	if p.live == nil {
+		return false
+	}
+	drained := p.live.drain()
+	if len(drained.nodeSeconds) == 0 {
+		return false
+	}
+	p.Prof.Merge(drained)
+	return true
 }
 
 // Fitted reports whether Fit has completed.

@@ -10,6 +10,7 @@ import (
 	"willump/internal/feature"
 	"willump/internal/graph"
 	"willump/internal/parallel"
+	"willump/internal/trace"
 	"willump/internal/value"
 )
 
@@ -30,6 +31,11 @@ type BatchRun struct {
 	p   *Program
 	ctx context.Context
 	n   int
+
+	// tr is the request's trace, extracted once from ctx at acquisition.
+	// nil for unsampled requests: every hook below is guarded on it, so
+	// the unsampled fast path stays allocation-free.
+	tr *trace.Trace
 
 	vals  []value.Value // per-node computed values; sources prefilled
 	owned []bool        // slot buffers allocated (and exclusively held) by this state
@@ -102,6 +108,27 @@ func (r *BatchRun) runStep(si int) error {
 	if err := r.ctx.Err(); err != nil {
 		return err
 	}
+	if r.tr == nil {
+		return r.execStep(si)
+	}
+	// Traced execution: record a span per fused step, and feed the shadow
+	// profile (when enabled) with the step's per-node share — the live cost
+	// measurements AdoptLiveProfile later folds into the cost model.
+	st := &r.p.Steps[si]
+	t0 := time.Now()
+	err := r.execStep(si)
+	r.tr.Record(st.label, t0)
+	if lp := r.p.live; lp != nil && err == nil {
+		sec := time.Since(t0).Seconds()
+		for _, id := range st.nodes {
+			lp.addNode(id, r.n, sec/float64(len(st.nodes)))
+		}
+	}
+	return err
+}
+
+// execStep is runStep's body: it executes plan step si without tracing.
+func (r *BatchRun) execStep(si int) error {
 	st := &r.p.Steps[si]
 	ins := r.stepIns[si]
 	for i, in := range st.ins {
@@ -232,6 +259,10 @@ func (r *BatchRun) ComputeIFVs(idx []int) error {
 		if r.ifvDone[i] {
 			continue
 		}
+		var t0 time.Time
+		if r.tr != nil {
+			t0 = time.Now()
+		}
 		var c *cache.Sharded
 		if r.p.caches != nil {
 			c = r.p.caches[i]
@@ -244,6 +275,9 @@ func (r *BatchRun) ComputeIFVs(idx []int) error {
 			if err := r.computeIFVDirect(i); err != nil {
 				return err
 			}
+		}
+		if r.tr != nil {
+			r.tr.Record(r.p.ifvLabels[i], t0)
 		}
 		r.ifvDone[i] = true
 	}
@@ -289,6 +323,10 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.Sharded) error {
 	cs.missRows = cs.missRows[:0]
 	cs.keyBuf = cs.keyBuf[:0]
 	cs.offs[0] = 0
+	var t0 time.Time
+	if r.tr != nil {
+		t0 = time.Now()
+	}
 	for row := 0; row < r.n; row++ {
 		cs.keyBuf = cache.AppendRowKey(cs.keyBuf, cs.srcVals, row)
 		cs.offs[row+1] = len(cs.keyBuf)
@@ -298,7 +336,14 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.Sharded) error {
 			cs.missRows = append(cs.missRows, row)
 		}
 	}
+	if r.tr != nil {
+		r.tr.Record(trace.StageCacheLookup, t0)
+	}
 	if len(cs.missRows) > 0 {
+		var t1 time.Time
+		if r.tr != nil {
+			t1 = time.Now()
+		}
 		// Deduplicate misses within the batch: one computation per distinct
 		// key, scattered to every row sharing it. This is where feature-level
 		// caching beats end-to-end caching — repeated sub-keys recur across
@@ -332,6 +377,9 @@ func (r *BatchRun) computeIFVCached(i int, c *cache.Sharded) error {
 			c.Put(cs.hashes[repr], key, vec)
 		}
 		sub.Close()
+		if r.tr != nil {
+			r.tr.Record(trace.StageCacheFill, t1)
+		}
 	}
 	r.vals[ifv.Root] = value.NewMat(out)
 	r.owned[ifv.Root] = true
@@ -353,12 +401,35 @@ func (r *BatchRun) computePointCached(i int, c *cache.Sharded, width int, cs *if
 	h := cache.Hash64(key)
 	out := feature.GrowDense(cs.dense, 1, width)
 	cs.dense = out
-	if c.CopyInto(h, key, out.Row(0)) {
+	var t0 time.Time
+	if r.tr != nil {
+		t0 = time.Now()
+	}
+	hit := c.CopyInto(h, key, out.Row(0))
+	if r.tr != nil {
+		r.tr.Record(trace.StageCacheLookup, t0)
+	}
+	if hit {
 		r.vals[root] = value.NewMat(out)
 		r.owned[root] = true
 		r.have[root] = true
 		return nil
 	}
+	var t1 time.Time
+	if r.tr != nil {
+		t1 = time.Now()
+	}
+	err := r.pointCacheFill(i, c, cs, out, key, h, root)
+	if r.tr != nil {
+		r.tr.Record(trace.StageCacheFill, t1)
+	}
+	return err
+}
+
+// pointCacheFill is the point-query miss path: coalesce with concurrent
+// misses on the same key, compute as the leader or re-read the published
+// entry as a waiter, falling back to direct computation when either fails.
+func (r *BatchRun) pointCacheFill(i int, c *cache.Sharded, cs *ifvCacheScratch, out *feature.Dense, key []byte, h uint64, root graph.NodeID) error {
 	leader, err := c.Coalesce(r.ctx, key, func() error {
 		// The leader computes the generator directly on this run (the output
 		// lands in the root slot, exactly like the uncached path) and

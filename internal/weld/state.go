@@ -7,6 +7,7 @@ import (
 
 	"willump/internal/feature"
 	"willump/internal/graph"
+	"willump/internal/trace"
 	"willump/internal/value"
 )
 
@@ -70,6 +71,7 @@ func (p *Program) getRun(ctx context.Context) *BatchRun {
 		r = p.newState()
 	}
 	r.ctx = ctx
+	r.tr = trace.FromContext(ctx)
 	r.preDone = false
 	for i := range r.have {
 		r.have[i] = false
@@ -112,6 +114,7 @@ func (r *BatchRun) Close() {
 		}
 	}
 	r.ctx = nil
+	r.tr = nil
 	r.p.pool.Put(r)
 }
 

@@ -1,0 +1,110 @@
+package willump_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"willump"
+	"willump/internal/core"
+	"willump/internal/observ"
+)
+
+// TestObservabilityE2E exercises the full observability loop through the
+// public API: a traced deployment serves live traffic, the shadow profile
+// accumulates per-node costs from that traffic (Registry.LiveProfile), the
+// trace ring is readable through the client, /metrics parses as Prometheus
+// text exposition, and AdoptLiveProfile drains the measurements into the
+// cost model exactly once.
+func TestObservabilityE2E(t *testing.T) {
+	o, fx := allocFixture(t, core.Options{})
+	o.EnableTracing(1, 64) // head-sample every request
+	reg := willump.NewRegistry()
+	if err := reg.Deploy("fixture", "v1", o); err != nil {
+		t.Fatal(err)
+	}
+	srv := willump.ServeRegistry(reg)
+	base, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := willump.NewClient(base)
+	ctx := context.Background()
+
+	// Live traffic on both modalities: merged-eligible batches and a point
+	// query on the zero-alloc path.
+	for i := 0; i < 4; i++ {
+		if _, err := cl.PredictModel(ctx, "fixture", fx.Test.Inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.PredictModel(ctx, "fixture", onePoint(), willump.WithPointQuery()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shadow profiling: the registry exposes per-node costs measured from
+	// the traffic above.
+	lp, err := reg.LiveProfile("fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := lp.Snapshot()
+	if len(snap.NodeSeconds) == 0 {
+		t.Fatal("live profile has no per-node costs after traced traffic")
+	}
+	var total float64
+	for _, sec := range snap.NodeSeconds {
+		total += float64(sec)
+	}
+	if total <= 0 {
+		t.Fatalf("live profile node seconds sum to %v, want > 0", total)
+	}
+	var rows int64
+	for _, n := range snap.NodeRows {
+		rows += n
+	}
+	if rows == 0 {
+		t.Fatal("live profile recorded no rows")
+	}
+
+	// Retained traces are readable through the client, with stage spans.
+	trs, err := cl.Traces(ctx, "fixture", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) == 0 {
+		t.Fatal("no traces retained with sampling on every request")
+	}
+	if len(trs[0].Spans) == 0 {
+		t.Errorf("newest trace has no spans: %+v", trs[0])
+	}
+
+	// The Prometheus endpoint serves a parseable exposition covering the
+	// traffic above.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	counts, err := observ.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if counts["willump_requests_total"] == 0 || counts["willump_request_duration_seconds_bucket"] == 0 {
+		t.Errorf("core series missing from /metrics: %v", counts)
+	}
+
+	// Continuous-profiling feedback: adoption drains the accumulator into
+	// the cost model, so a second adoption with no new traffic is a no-op.
+	if !o.AdoptLiveProfile() {
+		t.Fatal("AdoptLiveProfile adopted nothing despite live measurements")
+	}
+	if o.AdoptLiveProfile() {
+		t.Fatal("second AdoptLiveProfile re-adopted drained measurements")
+	}
+	after := o.LiveProfile().Snapshot()
+	if len(after.NodeSeconds) != 0 {
+		t.Errorf("live profile still holds %d node costs after adoption", len(after.NodeSeconds))
+	}
+}

@@ -99,6 +99,27 @@ func WithFeatureCacheBudget(entries int) Option {
 	}
 }
 
+// WithTracing enables per-request tracing and shadow profiling on the
+// optimized pipeline. sampleRate is the head-sampling rate: 1 traces every
+// request, 0.01 one in a hundred; pass 0 for the default (one in 128).
+// bufferSize is the retained-trace ring capacity (0 for the default 256).
+// The sampling decision costs one atomic add, and an unsampled request runs
+// the exact untraced code path — the compiled point query stays
+// allocation-free. Tracing is a runtime property: it is not persisted in
+// saved artifacts, so loaded pipelines re-enable it via EnableTracing.
+func WithTracing(sampleRate float64, bufferSize int) Option {
+	return func(o *core.Options) {
+		o.Tracing = true
+		switch {
+		case sampleRate >= 1:
+			o.TraceSampleEvery = 1
+		case sampleRate > 0:
+			o.TraceSampleEvery = int(1/sampleRate + 0.5)
+		}
+		o.TraceBuffer = bufferSize
+	}
+}
+
 // WithWorkers sets the thread count for query-aware parallelization of
 // example-at-a-time queries (<= 1 disables). Negative values are clamped to
 // zero (disabled) rather than propagated into the scheduler.

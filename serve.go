@@ -31,6 +31,20 @@ type ModelInfo = serving.ModelInfo
 // quantiles, cascade hit rate.
 type ModelStats = serving.ModelStats
 
+// RequestTrace is one retained per-request trace (GET /v1/traces):
+// head-sampled requests carry their stage spans, tail-sampled slow or
+// failed requests carry totals only.
+type RequestTrace = serving.RequestTrace
+
+// TraceSpan is one timed stage within a RequestTrace (queue wait, batch
+// assembly, fused weld steps, cache lookup/fill, cascade small/resume,
+// model scoring).
+type TraceSpan = serving.TraceSpan
+
+// SlowQuery is one retained slow or failed request on the per-model stats
+// recent-slow list.
+type SlowQuery = serving.SlowQuery
+
 // Server is the HTTP serving frontend over a model registry: versioned
 // model routes (/v1/models/{name}/predict, /topk, /stats), the legacy
 // /predict route against the default model, request queueing with
@@ -80,9 +94,20 @@ func ServeRegistry(reg *Registry) *Server {
 	return serving.NewRegistryServer(reg)
 }
 
+// NewPredictorServer wraps a single predictor with the serving frontend,
+// deploying it as the default model of a fresh registry, and reports
+// deployment failures as errors. Call Start to listen and Shutdown (or
+// Close) to drain and stop.
+func NewPredictorServer(p Predictor, opts ServeOptions) (*Server, error) {
+	return serving.NewPredictorServer(p, opts)
+}
+
 // NewServer wraps a single predictor with the serving frontend, deploying
-// it as the default model of a fresh registry. Call Start to listen and
-// Shutdown (or Close) to drain and stop.
+// it as the default model of a fresh registry.
+//
+// Deprecated: NewServer panics when the default model cannot deploy (nil
+// predictor, or a prediction cache without key columns). Use
+// NewPredictorServer, which returns the error instead.
 func NewServer(p Predictor, opts ServeOptions) *Server {
 	return serving.NewServer(p, opts)
 }
