@@ -48,6 +48,7 @@ import (
 
 	"willump"
 	"willump/internal/artifact"
+	"willump/internal/trace"
 )
 
 func main() {
@@ -82,9 +83,14 @@ func main() {
 	}
 	obs := obsConfig{pprof: *pprofOn}
 	if *traceOn {
-		// Rate -> 1-in-N, same rounding as willump.WithTracing.
-		obs.traceEvery = 1
-		if *traceSample < 1 && *traceSample > 0 {
+		// Rate -> 1-in-N, same rounding and defaulting as willump.WithTracing:
+		// a non-positive rate keeps the package default (1 in 128) rather than
+		// silently tracing every request.
+		obs.traceEvery = trace.DefaultSampleEvery
+		switch {
+		case *traceSample >= 1:
+			obs.traceEvery = 1
+		case *traceSample > 0:
 			obs.traceEvery = int(1/(*traceSample) + 0.5)
 		}
 		obs.traceBuffer = *traceBuffer

@@ -135,11 +135,13 @@ func WithPredictDeadline(d time.Duration) PredictOption {
 // serving layer calls it directly; in-process callers normally use
 // PredictBatch.
 func (o *Optimized) PredictBatchOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]float64, cascade.ServeStats, error) {
-	// When the context already carries a trace, an outer owner (the serving
-	// handler) began it and will finish it; beginning a second one here
-	// would double-count the request. No deferred closure: closures capture
-	// and allocate, and this path must stay allocation-free when unsampled.
-	if o.tracer == nil || trace.FromContext(ctx) != nil {
+	// When the context is trace-owned — it carries a trace, or the serving
+	// handler marked it while leaving the request unsampled — an outer
+	// owner already counted the request against this tracer; beginning a
+	// second time here would double-count it. No deferred closure: closures
+	// capture and allocate, and this path must stay allocation-free when
+	// unsampled.
+	if o.tracer == nil || trace.Owned(ctx) {
 		return o.predictBatchOptions(ctx, inputs, po)
 	}
 	start := time.Now()
@@ -192,7 +194,7 @@ func (o *Optimized) predictBatchOptions(ctx context.Context, inputs map[string]v
 // PredictPointOptions is the options-resolved example-at-a-time entry
 // point.
 func (o *Optimized) PredictPointOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) (float64, error) {
-	if o.tracer == nil || trace.FromContext(ctx) != nil {
+	if o.tracer == nil || trace.Owned(ctx) {
 		return o.predictPointOptions(ctx, inputs, po)
 	}
 	start := time.Now()
@@ -234,7 +236,7 @@ func (o *Optimized) BatchPredictor() func(context.Context, map[string]value.Valu
 // returned, and po.Budget (when positive) overrides the filter's candidate
 // subset size.
 func (o *Optimized) TopKOptions(ctx context.Context, inputs map[string]value.Value, po PredictOptions) ([]int, error) {
-	if o.tracer == nil || trace.FromContext(ctx) != nil {
+	if o.tracer == nil || trace.Owned(ctx) {
 		return o.topKOptions(ctx, inputs, po)
 	}
 	start := time.Now()

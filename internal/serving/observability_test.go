@@ -17,6 +17,13 @@ import (
 // enabled (every request head-sampled) behind a started server.
 func tracedFixtureServer(t *testing.T) (*core.Optimized, *Registry, *Server, *Client) {
 	t.Helper()
+	return tracedFixtureServerEvery(t, 1)
+}
+
+// tracedFixtureServerEvery is tracedFixtureServer with the head-sampling
+// 1-in-N knob exposed.
+func tracedFixtureServerEvery(t *testing.T, sampleEvery int) (*core.Optimized, *Registry, *Server, *Client) {
+	t.Helper()
 	fx, err := fixture.NewClassification(11, 600, 200, 200, 0.7, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +35,7 @@ func tracedFixtureServer(t *testing.T) (*core.Optimized, *Registry, *Server, *Cl
 	if err != nil {
 		t.Fatal(err)
 	}
-	o.EnableTracing(1, 64)
+	o.EnableTracing(sampleEvery, 64)
 	reg := NewRegistry(Options{})
 	if err := reg.Deploy("fixture", "v1", o); err != nil {
 		t.Fatal(err)
@@ -229,6 +236,84 @@ func TestStatsCarryP999AndRecentSlow(t *testing.T) {
 	}
 	if len(direct.RecentSlow) == 0 {
 		t.Error("registry stats missing RecentSlow")
+	}
+}
+
+// TestUnsampledServerRequestsCountedOnce pins single-counting: a
+// server-routed request the handler left unsampled must not be counted a
+// second time by the pipeline's own entry points — the handler owns the
+// whole lifecycle, sampled or not. A double count would inflate the
+// request-duration histogram (and the seq/sampled counters) to ~2x traffic
+// and mislabel ring entries "batch"/"point" instead of the model name.
+func TestUnsampledServerRequestsCountedOnce(t *testing.T) {
+	o, _, _, cl := tracedFixtureServerEvery(t, 1<<20) // nothing head-samples
+	ctx := context.Background()
+	const n = 7
+	for i := 0; i < n; i++ {
+		if _, err := cl.PredictModel(ctx, "fixture", fixtureRow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One direct (non-batched) request too: per-request options route through
+	// executeDirect into PredictBatchOptions, the other double-count path.
+	if _, err := cl.PredictModel(ctx, "fixture", fixtureRow(),
+		core.WithPredictDeadline(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Tracer().TotalHist().Count; got != n+1 {
+		t.Errorf("request_duration count = %d after %d requests, want exactly %d (core re-counted handler-owned requests)", got, n+1, n+1)
+	}
+	if sampled, _ := o.Tracer().Counts(); sampled != 0 {
+		t.Errorf("head-sampled = %d, want 0 (core began its own trace on an unsampled server request)", sampled)
+	}
+	for _, tr := range o.Tracer().Traces() {
+		if tr.Label != "fixture" {
+			t.Errorf("retained entry labeled %q, want the model name \"fixture\"", tr.Label)
+		}
+	}
+}
+
+// TestExecuteBatchedReportsAbandonment pins the delivered flag: a waiter
+// that gives up on a queued pending must say so, because the batcher may
+// still reach the pending's context (and the trace it carries) — the
+// handler must then hand the trace to the GC, never back to the pool.
+func TestExecuteBatchedReportsAbandonment(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	slow := PredictorFunc(func(_ context.Context, inputs map[string]value.Value) ([]float64, error) {
+		entered <- struct{}{}
+		<-release
+		return make([]float64, inputs["x"].Len()), nil
+	})
+	s, err := NewPredictorServer(slow, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.reg.lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]value.Value{"x": value.NewFloats([]float64{3})}
+
+	// Occupy the batcher inside the predictor, so the abandoned pending below
+	// deterministically stays queued until after its waiter gives up.
+	go s.executeBatched(context.Background(), h, inputs, 1) //nolint:errcheck
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, delivered, err := s.executeBatched(ctx, h, inputs, 1)
+	if delivered {
+		t.Error("cancelled waiter reported delivered = true; its trace would be recycled under the batcher")
+	}
+	if err == nil {
+		t.Error("cancelled waiter returned nil error")
+	}
+	close(release)
+
+	preds, delivered, err := s.executeBatched(context.Background(), h, inputs, 1)
+	if err != nil || !delivered || len(preds) != 1 {
+		t.Fatalf("live request: preds=%v delivered=%v err=%v, want a delivered result", preds, delivered, err)
 	}
 }
 

@@ -281,7 +281,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 	// The handler owns the request's trace lifecycle: the sampling decision
 	// is made here and the trace rides the request context through queue,
 	// batcher, and pipeline (whose own entry points see it and don't begin a
-	// second one). Every tracer method is a nil-receiver no-op, so untraced
+	// second one). The context is marked owned even when the request is
+	// unsampled, so the pipeline's entry points never Begin/Finish a second
+	// time on the same tracer (which would double-count every server-routed
+	// request). Every tracer method is a nil-receiver no-op, so untraced
 	// models pay nothing.
 	start := time.Now()
 	tw := h.tracer()
@@ -289,14 +292,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 	rctx := r.Context()
 	if tr != nil {
 		rctx = trace.NewContext(rctx, tr)
+	} else if tw != nil {
+		rctx = trace.MarkOwned(rctx)
 	}
 	var preds []float64
+	delivered := true
 	if po.IsZero() {
-		preds, err = s.executeBatched(rctx, h, inputs, n)
+		preds, delivered, err = s.executeBatched(rctx, h, inputs, n)
 	} else {
 		preds, err = s.executeDirect(rctx, h, inputs, n, po)
 	}
-	tw.Finish(tr, h.name, start, err)
+	if delivered {
+		tw.Finish(tr, h.name, start, err)
+	} else {
+		// The batcher still holds the pending whose context carries the
+		// trace; it must not be recycled under the batcher's feet.
+		tw.FinishAbandoned(tr, h.name, start, err)
+	}
 	if errors.Is(err, ErrOverloaded) {
 		h.stats.reject()
 	} else {
@@ -311,25 +323,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 
 // executeBatched admits a default-options request to the model's adaptive
 // batcher, where it may merge with concurrent requests — the pre-registry
-// single-model serving path, bit for bit.
-func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int) ([]float64, error) {
+// single-model serving path, bit for bit. The returned delivered flag
+// reports whether the batcher completed the request: when false, the
+// caller abandoned a pending the batcher may still reach, so anything the
+// request's context carries (its trace) remains referenced by the batcher.
+func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int) (preds []float64, delivered bool, err error) {
 	p := &pending{ctx: rctx, inputs: inputs, n: n, enq: time.Now(), done: make(chan batchResult, 1)}
 	if err := h.enqueue(p); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
 	select {
 	case res := <-p.done:
-		return res.preds, res.err
+		return res.preds, true, res.err
 	case <-rctx.Done():
 		// The client went away or its deadline expired; the batcher will
 		// notice the dead context when it reaches this request.
-		return nil, rctx.Err()
+		return nil, false, rctx.Err()
 	case <-s.reg.baseCtx.Done():
 		// Force-close: a Shutdown deadline expired and the batcher may have
 		// exited without reaching this request. Don't wait for a result that
 		// may never come.
-		return nil, errShuttingDown
+		return nil, false, errShuttingDown
 	}
 }
 
@@ -415,7 +430,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	rctx := r.Context()
 	if tr != nil {
 		rctx = trace.NewContext(rctx, tr)
+	} else if tw != nil {
+		// Owned even when unsampled, so TopKOptions doesn't count the
+		// request a second time (see handlePredict).
+		rctx = trace.MarkOwned(rctx)
 	}
+	// executeTopK never enqueues to the batcher, so the handler keeps the
+	// only trace reference and plain Finish is safe.
 	idx, err := s.executeTopK(rctx, h, inputs, po)
 	tw.Finish(tr, h.name, start, err)
 	if errors.Is(err, ErrOverloaded) {

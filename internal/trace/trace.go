@@ -196,7 +196,27 @@ func (tr *Tracer) Begin(label string) *Trace {
 // the ring (and their spans into per-stage histograms), and slow or failed
 // requests are retained on the recent-slow ring either way. The unsampled
 // happy path allocates nothing.
+//
+// Finish recycles t into the tracer's pool, so the caller must hold the
+// only live reference: no other goroutine may Record on t after Finish
+// returns. When another component may still reach the trace (a batcher
+// holding the abandoned request's context), use FinishAbandoned instead.
 func (tr *Tracer) Finish(t *Trace, label string, start time.Time, err error) {
+	tr.finish(t, label, start, err, true)
+}
+
+// FinishAbandoned completes a request whose trace may still be referenced
+// by another goroutine — the caller gave up waiting (client cancellation,
+// forced shutdown) while the request is still queued or executing in the
+// batcher, whose context carries the trace. It records exactly like Finish
+// but leaves the trace to the garbage collector instead of resetting and
+// pooling it, so a late Record from the batcher can never race with the
+// trace's reuse by a new request.
+func (tr *Tracer) FinishAbandoned(t *Trace, label string, start time.Time, err error) {
+	tr.finish(t, label, start, err, false)
+}
+
+func (tr *Tracer) finish(t *Trace, label string, start time.Time, err error, recycle bool) {
 	if tr == nil {
 		return
 	}
@@ -236,8 +256,12 @@ func (tr *Tracer) Finish(t *Trace, label string, start time.Time, err error) {
 	if err != nil || d >= tr.slow {
 		tr.pushSlow(snap)
 	}
-	t.spans = t.spans[:0]
-	tr.pool.Put(t)
+	if recycle {
+		t.mu.Lock()
+		t.spans = t.spans[:0]
+		t.mu.Unlock()
+		tr.pool.Put(t)
+	}
 }
 
 func (tr *Tracer) push(s Snapshot) {
@@ -374,4 +398,27 @@ func FromContext(ctx context.Context) *Trace {
 	}
 	t, _ := ctx.Value(ctxKey{}).(*Trace)
 	return t
+}
+
+// ownedKey marks a context whose request already has a trace owner: the
+// component that called Begin and will call Finish. Zero-size, so Value
+// lookups with it do not allocate.
+type ownedKey struct{}
+
+// MarkOwned returns ctx marked as trace-owned. The serving handler owns
+// every server-routed request's trace lifecycle — including the unsampled
+// ones, whose Begin returned nil and left nothing in the context — so it
+// marks the context unconditionally; pipeline entry points seeing the mark
+// skip their own Begin/Finish and the request is counted exactly once.
+func MarkOwned(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ownedKey{}, ownedKey{})
+}
+
+// Owned reports whether an outer component owns the request's trace
+// lifecycle: ctx carries a live trace or the MarkOwned mark.
+func Owned(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	return ctx.Value(ctxKey{}) != nil || ctx.Value(ownedKey{}) != nil
 }

@@ -9,6 +9,63 @@ import (
 	"time"
 )
 
+// TestFinishAbandonedLeavesTraceToLateRecorder pins the abandoned-request
+// contract: after FinishAbandoned, a goroutine still holding the trace (a
+// batcher that outlived its cancelled waiter) may keep Recording while new
+// requests Begin and Finish against the same tracer. If FinishAbandoned
+// recycled the trace into the pool, a new Begin would reuse it concurrently
+// with the late recorder — the race detector catches exactly that.
+func TestFinishAbandonedLeavesTraceToLateRecorder(t *testing.T) {
+	tr := NewTracer(Config{SampleEvery: 1, Buffer: 8})
+	start := time.Now()
+	tc := tr.Begin("m")
+	if tc == nil {
+		t.Fatal("Begin returned nil with SampleEvery=1")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the batcher, still recording after the waiter gave up
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tc.Record(StageQueueWait, time.Now())
+			}
+		}
+	}()
+	tr.FinishAbandoned(tc, "m", start, errors.New("context canceled"))
+	// The abandoned request is still retained and attributed (checked before
+	// the churn below evicts it from the small ring).
+	found := false
+	for _, snap := range tr.Traces() {
+		if snap.Err == "context canceled" && snap.Sampled {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("abandoned request missing from the retained ring")
+	}
+	// Churn the pool: a recycled abandoned trace would be handed back out by
+	// one of these Begins while the recorder above still writes to it.
+	for i := 0; i < 200; i++ {
+		s := time.Now()
+		nt := tr.Begin("m")
+		if nt == tc {
+			t.Fatal("abandoned trace was recycled into a new request while a late recorder still holds it")
+		}
+		nt.Record(StageModelScore, s)
+		tr.Finish(nt, "m", s, nil)
+	}
+	close(stop)
+	wg.Wait()
+	if n := tr.Open(); n != 0 {
+		t.Errorf("Open = %d after FinishAbandoned, want 0", n)
+	}
+}
+
 func TestHeadSamplingEveryN(t *testing.T) {
 	tr := NewTracer(Config{SampleEvery: 4, Buffer: 64})
 	sampled := 0
@@ -135,6 +192,28 @@ func TestContextRoundTrip(t *testing.T) {
 	// Record on the nil trace is a no-op, not a panic.
 	var nilT *Trace
 	nilT.Record("x", time.Now())
+}
+
+// TestOwnedContext pins the ownership mark the serving handler places on
+// every request context — sampled (via the carried trace) or not (via
+// MarkOwned) — so inner entry points skip their own Begin/Finish.
+func TestOwnedContext(t *testing.T) {
+	if Owned(nil) {
+		t.Error("Owned(nil) = true")
+	}
+	if Owned(context.Background()) {
+		t.Error("background context reported owned")
+	}
+	if !Owned(MarkOwned(context.Background())) {
+		t.Error("MarkOwned context not reported owned")
+	}
+	tr := NewTracer(Config{SampleEvery: 1, Buffer: 8})
+	start := time.Now()
+	tc := tr.Begin("m")
+	if !Owned(NewContext(context.Background(), tc)) {
+		t.Error("trace-carrying context not reported owned")
+	}
+	tr.Finish(tc, "m", start, nil)
 }
 
 func TestNilTracerIsNoOp(t *testing.T) {
