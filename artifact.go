@@ -59,7 +59,8 @@ func SaveFile(o *Optimized, path string) error {
 type LoadOption func(*loadConfig)
 
 type loadConfig struct {
-	tables map[string]ops.Table
+	tables  map[string]ops.Table
+	resolve core.TableResolver
 }
 
 // WithTableBinding supplies a backing table for a lookup operator whose
@@ -75,6 +76,17 @@ func WithTableBinding(name string, t Table) LoadOption {
 	}
 }
 
+// WithTableResolver supplies a fallback that produces a backing table for
+// any unbound table reference WithTableBinding did not cover — typically by
+// dialing a remote feature-store client per table name. The resolver is
+// consulted once per distinct name; returning (nil, nil) leaves the name
+// unbound (and Load fails listing it).
+func WithTableResolver(resolve func(name string) (Table, error)) LoadOption {
+	return func(c *loadConfig) {
+		c.resolve = func(name string) (ops.Table, error) { return resolve(name) }
+	}
+}
+
 // Load reconstructs an optimized pipeline from an artifact stream written
 // by Save: operators are decoded with their fitted state, the weld program
 // is recompiled and fused in this process, and the trained models, cascade,
@@ -85,7 +97,7 @@ func Load(r io.Reader, opts ...LoadOption) (*Optimized, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return core.Load(r, cfg.tables)
+	return core.LoadWithResolver(r, cfg.tables, cfg.resolve)
 }
 
 // LoadFile loads an artifact from a file written by SaveFile.

@@ -85,6 +85,11 @@ func writeBenchJSON(w io.Writer, s experiments.Setup, rev, dir string) ([]experi
 	if err != nil {
 		return nil, err
 	}
+	remote, err := experiments.RemoteLookup(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, remote...)
 	out := benchFile{
 		Revision:  rev,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -183,6 +188,7 @@ var runners = []runner{
 	{"fig8", "per-query parallelization speedup", wrap(experiments.Fig8)},
 	{"artifact", "artifact round trip: train once, deploy many", wrap(experiments.Artifact)},
 	{"perf", "pooled-executor predict paths: ns/op, allocs/op, latency quantiles", wrap(experiments.Perf)},
+	{"remote-lookup", "remote feature-store latency sweep: sync vs prefetch vs prefetch+hedge", wrap(experiments.RemoteLookup)},
 	{"micro-drivers", "Weld driver overhead", wrap(experiments.MicroDrivers)},
 	{"micro-threshold", "cascade threshold robustness", wrap(experiments.MicroThreshold)},
 	{"micro-gamma", "Algorithm 1 gamma-rule ablation", wrap(experiments.MicroGamma)},

@@ -27,9 +27,14 @@
 // with -trace — GET /v1/traces (retained request traces). -pprof
 // additionally mounts net/http/pprof under /debug/pprof/.
 //
-// Artifacts whose pipelines join against remote (non-inlined) tables cannot
-// be hosted by this binary — bind their tables programmatically with
-// willump.LoadFile and willump.WithTableBinding instead.
+// Artifacts whose pipelines join against remote (non-inlined) tables are
+// hostable too: -store-addr points every unbound table at a remote feature
+// store, served through a pooled client with retries, request hedging
+// (-store-hedge), and a circuit breaker that degrades to last-known feature
+// values instead of failing predictions. Store health rides along on each
+// model's /stats response and on /metrics. For bindings the flag cannot
+// express (per-table addresses, in-process tables), use willump.LoadFile
+// with willump.WithTableBinding or willump.WithTableResolver instead.
 package main
 
 import (
@@ -48,6 +53,7 @@ import (
 
 	"willump"
 	"willump/internal/artifact"
+	"willump/internal/store"
 	"willump/internal/trace"
 )
 
@@ -67,6 +73,12 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0.01, "head-sampling rate with -trace (1 traces every request)")
 		traceBuffer  = flag.Int("trace-buffer", 0, "retained-trace ring capacity with -trace (0 = default)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		storeAddr       = flag.String("store-addr", "", "remote feature store address; unbound lookup tables in loaded artifacts resolve here")
+		storeTimeout    = flag.Duration("store-timeout", 0, "per-request feature store deadline (0 = default)")
+		storeRetries    = flag.Int("store-retries", 0, "transient feature store failures retried per request (0 = default, < 0 disables)")
+		storeHedge      = flag.Bool("store-hedge", true, "hedge slow feature store requests with a speculative second attempt")
+		storeHedgeDelay = flag.Duration("store-hedge-delay", 0, "fixed hedge trigger delay (0 = adaptive, tracks the store's p90 latency)")
 	)
 	flag.Parse()
 
@@ -95,7 +107,17 @@ func main() {
 		}
 		obs.traceBuffer = *traceBuffer
 	}
-	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, obs, *drain, *describe); err != nil {
+	var storeCfg *store.Config
+	if *storeAddr != "" {
+		storeCfg = &store.Config{
+			Addr:           *storeAddr,
+			RequestTimeout: *storeTimeout,
+			Retries:        *storeRetries,
+			Hedge:          *storeHedge,
+			HedgeDelay:     *storeHedgeDelay,
+		}
+	}
+	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, obs, storeCfg, *drain, *describe); err != nil {
 		fmt.Fprintln(os.Stderr, "willump-serve:", err)
 		os.Exit(1)
 	}
@@ -110,7 +132,7 @@ type obsConfig struct {
 	pprof       bool
 }
 
-func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, obs obsConfig, drain time.Duration, describe bool) error {
+func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, obs obsConfig, storeCfg *store.Config, drain time.Duration, describe bool) error {
 	scan := func() ([]string, error) { return []string{path}, nil }
 	if modelsDir != "" {
 		scan = func() ([]string, error) { return scanModels(modelsDir) }
@@ -136,7 +158,10 @@ func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, 
 		deployed:     make(map[string]string),
 		defaultModel: defaultModel,
 		obs:          obs,
+		storeCfg:     storeCfg,
+		stores:       make(map[string]*store.Client),
 	}
+	defer d.closeStores()
 	if err := d.sync(paths); err != nil {
 		return err
 	}
@@ -216,6 +241,40 @@ type deployer struct {
 	// route.
 	defaultModel string
 	obs          obsConfig
+	// storeCfg is the -store-addr remote feature store template (nil when the
+	// flag is unset). stores caches one dialed client per table name so
+	// hot-swaps and models sharing a table share its connection pool, breaker
+	// state, and fallback cache.
+	storeCfg *store.Config
+	stores   map[string]*store.Client
+}
+
+// resolveTable satisfies unbound lookup tables in loaded artifacts against
+// the -store-addr feature store, dialing (and caching) one client per table
+// name. Without -store-addr it declines, preserving the legacy "remote table
+// requires a binding" load error.
+func (d *deployer) resolveTable(name string) (willump.Table, error) {
+	if d.storeCfg == nil {
+		return nil, nil
+	}
+	if c, ok := d.stores[name]; ok {
+		return c, nil
+	}
+	cfg := *d.storeCfg
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := store.Dial(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: dialing feature store %s: %w", name, cfg.Addr, err)
+	}
+	d.stores[name] = c
+	return c, nil
+}
+
+func (d *deployer) closeStores() {
+	for _, c := range d.stores {
+		c.Close()
+	}
 }
 
 func (d *deployer) sync(paths []string) error {
@@ -238,7 +297,7 @@ func (d *deployer) sync(paths []string) error {
 		if d.deployed[name] == tag {
 			continue // unchanged
 		}
-		o, err := willump.LoadFile(p)
+		o, err := willump.LoadFile(p, willump.WithTableResolver(d.resolveTable))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "willump-serve: %s: %v (skipped)\n", p, err)
 			if firstErr == nil {

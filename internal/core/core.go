@@ -33,6 +33,7 @@ import (
 	"willump/internal/feature"
 	"willump/internal/graph"
 	"willump/internal/model"
+	"willump/internal/ops"
 	"willump/internal/topk"
 	"willump/internal/trace"
 	"willump/internal/value"
@@ -329,6 +330,35 @@ func (o *Optimized) FeatureCacheStats() (cache.Stats, bool) {
 		return cache.Stats{}, false
 	}
 	return o.Prog.FeatureCacheStats(), true
+}
+
+// FeatureStoreStats aggregates remote feature-store client health over the
+// pipeline's lookup tables: every distinct table implementing
+// ops.StoreStatsReporter contributes one snapshot (counters sum, quantiles
+// and breaker state take the worst). Reports false when no bound table is a
+// reporting store client.
+func (o *Optimized) FeatureStoreStats() (ops.StoreStats, bool) {
+	var snaps []ops.StoreStats
+	seen := make(map[ops.StoreStatsReporter]bool)
+	for _, n := range o.Prog.G.Nodes() {
+		if n.IsSource() {
+			continue
+		}
+		th, ok := n.Op.(interface{ Table() ops.Table })
+		if !ok {
+			continue
+		}
+		rep, ok := th.Table().(ops.StoreStatsReporter)
+		if !ok || seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		snaps = append(snaps, rep.StoreStats())
+	}
+	if len(snaps) == 0 {
+		return ops.StoreStats{}, false
+	}
+	return ops.MergeStoreStats(snaps...), true
 }
 
 // Features computes the full feature matrix for a batch on the compiled

@@ -114,6 +114,19 @@ func Save(o *Optimized, w io.Writer) error {
 // were not inlined in the artifact (remote tables); it may be nil when
 // every table was inlined.
 func Load(r io.Reader, tables map[string]ops.Table) (*Optimized, error) {
+	return LoadWithResolver(r, tables, nil)
+}
+
+// TableResolver produces a backing table for an unbound table reference by
+// name — typically by dialing a remote feature-store client. It is
+// consulted only for names absent from the explicit tables map, and only
+// once per distinct name per load.
+type TableResolver func(name string) (ops.Table, error)
+
+// LoadWithResolver is Load with a fallback resolver for table references
+// the explicit map does not cover, letting a serving process bind every
+// remote table in an artifact to a store client without naming each one.
+func LoadWithResolver(r io.Reader, tables map[string]ops.Table, resolve TableResolver) (*Optimized, error) {
 	art, err := artifact.Read(r)
 	if err != nil {
 		return nil, err
@@ -122,7 +135,7 @@ func Load(r io.Reader, tables map[string]ops.Table) (*Optimized, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := bindTables(g, tables); err != nil {
+	if err := bindTables(g, tables, resolve); err != nil {
 		return nil, err
 	}
 	prog, err := weld.Compile(g)
@@ -235,8 +248,9 @@ func encodeCachePlan(specs []weld.CacheSpec) []artifact.CacheSpec {
 // bindTables attaches caller-supplied tables to every decoded operator
 // still needing one, failing with the full list of unbound table names so
 // the operator of a deployment process sees everything missing at once.
-func bindTables(g *graph.Graph, tables map[string]ops.Table) error {
+func bindTables(g *graph.Graph, tables map[string]ops.Table, resolve TableResolver) error {
 	var missing []string
+	resolved := make(map[string]ops.Table)
 	for _, n := range g.Nodes() {
 		if n.IsSource() {
 			continue
@@ -245,13 +259,27 @@ func bindTables(g *graph.Graph, tables map[string]ops.Table) error {
 		if !ok || !tb.NeedsTable() {
 			continue
 		}
-		t, have := tables[tb.TableRef()]
+		name := tb.TableRef()
+		t, have := tables[name]
 		if !have {
-			missing = append(missing, tb.TableRef())
+			t, have = resolved[name]
+		}
+		if !have && resolve != nil {
+			rt, err := resolve(name)
+			if err != nil {
+				return fmt.Errorf("core: resolving table %q: %w", name, err)
+			}
+			if rt != nil {
+				t, have = rt, true
+				resolved[name] = rt
+			}
+		}
+		if !have {
+			missing = append(missing, name)
 			continue
 		}
 		if err := tb.BindTable(t); err != nil {
-			return fmt.Errorf("core: binding table %q: %w", tb.TableRef(), err)
+			return fmt.Errorf("core: binding table %q: %w", name, err)
 		}
 	}
 	if len(missing) > 0 {

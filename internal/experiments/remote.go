@@ -1,0 +1,220 @@
+package experiments
+
+// This file implements `willump-bench -exp remote-lookup`: a store-latency
+// sweep over the remote feature-store predict path, comparing the toy
+// synchronous kvstore client against the production store client with async
+// prefetch, and prefetch plus hedging under injected tail latency. The rows
+// ride along in BENCH_<rev>.json next to the perf workloads; they track
+// latency only (allocs are reported as zero — the path is network-bound and
+// spawns goroutines by design, so allocation counts would be noise).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"willump/internal/graph"
+	"willump/internal/kvstore"
+	"willump/internal/ops"
+	"willump/internal/store"
+	"willump/internal/value"
+	"willump/internal/weld"
+)
+
+// remoteSweep is the injected base store latency sweep of the satellite
+// task: zero (LAN-free baseline), one, and five milliseconds.
+var remoteSweep = []time.Duration{0, time.Millisecond, 5 * time.Millisecond}
+
+// remoteTailEvery injects one slow request per this many MGETs, modeling
+// the p99 tail the hedging layer exists for.
+const remoteTailEvery = 8
+
+// remoteBatch is the rows per predict batch.
+const remoteBatch = 16
+
+// sleepOp is a local lookup with a fixed per-batch compute delay, standing
+// in for the local feature generators the prefetch overlaps with.
+type sleepOp struct {
+	inner *ops.Lookup
+	d     time.Duration
+}
+
+func (s *sleepOp) Name() string      { return "sleep_" + s.inner.Name() }
+func (s *sleepOp) Compilable() bool  { return true }
+func (s *sleepOp) Commutative() bool { return false }
+
+func (s *sleepOp) Apply(ins []value.Value) (value.Value, error) {
+	time.Sleep(s.d)
+	return s.inner.Apply(ins)
+}
+
+func (s *sleepOp) ApplyBoxed(ins []any) (any, error) {
+	time.Sleep(s.d)
+	return s.inner.ApplyBoxed(ins)
+}
+
+// RemoteLookup runs the remote feature-store sweep and returns one PerfRow
+// per (latency, mode) cell.
+func RemoteLookup(w io.Writer, s Setup) ([]PerfRow, error) {
+	header(w, "Remote lookup: store latency sweep, sync vs prefetch vs prefetch+hedge")
+	iters := 40 * s.Reps
+	if iters < 80 {
+		iters = 80
+	}
+	fmt.Fprintf(w, "%d batches of %d rows per cell; one request in %d carries injected tail latency\n\n",
+		iters, remoteBatch, remoteTailEvery)
+	fmt.Fprintf(w, "%-10s %-16s %10s %10s %10s\n", "store lat", "mode", "p50 ms", "p99 ms", "mean ms")
+
+	var rows []PerfRow
+	for _, lat := range remoteSweep {
+		for _, mode := range []string{"sync", "prefetch", "prefetch+hedge"} {
+			row, err := remoteCell(s, lat, mode, iters)
+			if err != nil {
+				return nil, fmt.Errorf("remote-lookup %s @ %v: %w", mode, lat, err)
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-10s %-16s %10.3f %10.3f %10.3f\n",
+				lat.String(), mode,
+				float64(row.P50Ns)/1e6, float64(row.P99Ns)/1e6, row.NsPerOp/1e6)
+		}
+	}
+	return rows, nil
+}
+
+// remoteCell measures one (latency, mode) configuration: a fused pipeline
+// joining a remote lookup with local compute of comparable cost, driven for
+// iters batches against an in-process store with injected tail latency.
+func remoteCell(s Setup, lat time.Duration, mode string, iters int) (PerfRow, error) {
+	const nKeys = 4096
+	srv := kvstore.NewServer(2, 0)
+	storeRows := make(map[int64][]float64, nKeys)
+	for k := int64(0); k < nKeys; k++ {
+		storeRows[k] = []float64{float64(k), float64(2 * k)}
+	}
+	if err := srv.Load(storeRows); err != nil {
+		return PerfRow{}, err
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		return PerfRow{}, err
+	}
+	defer srv.Close()
+
+	var table ops.Table
+	switch mode {
+	case "sync":
+		cli, err := kvstore.Dial(addr, 2)
+		if err != nil {
+			return PerfRow{}, err
+		}
+		defer cli.Close()
+		table = cli
+	case "prefetch", "prefetch+hedge":
+		cli, err := store.Dial(context.Background(), store.Config{
+			Addr:  addr,
+			Hedge: mode == "prefetch+hedge",
+		})
+		if err != nil {
+			return PerfRow{}, err
+		}
+		defer cli.Close()
+		table = cli
+	default:
+		return PerfRow{}, fmt.Errorf("unknown mode %q", mode)
+	}
+
+	// Local compute sized to the store round trip, so overlap is visible;
+	// at zero injected latency a small floor keeps the plan non-degenerate.
+	localDelay := lat
+	if localDelay < 200*time.Microsecond {
+		localDelay = 200 * time.Microsecond
+	}
+	localRows := make(map[int64][]float64, nKeys)
+	for k := int64(0); k < nKeys; k++ {
+		localRows[k] = []float64{float64(k) / 2}
+	}
+	b := graph.NewBuilder()
+	rid := b.Input("rid")
+	lid := b.Input("lid")
+	rf := b.Add("remote_features", ops.NewLookup("remote", table), rid)
+	lf := b.Add("local_features", &sleepOp{inner: ops.NewLookup("local", ops.NewLocalTable(1, localRows)), d: localDelay}, lid)
+	cat := b.Add("concat", ops.NewConcat(), rf, lf)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		return PerfRow{}, err
+	}
+	prog, err := weld.Compile(g)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	batch := func() map[string]value.Value {
+		rids := make([]int64, remoteBatch)
+		lids := make([]int64, remoteBatch)
+		for i := range rids {
+			rids[i] = rng.Int63n(nKeys)
+			lids[i] = rng.Int63n(nKeys)
+		}
+		return map[string]value.Value{"rid": value.NewInts(rids), "lid": value.NewInts(lids)}
+	}
+	if _, err := prog.Fit(context.Background(), batch()); err != nil {
+		return PerfRow{}, err
+	}
+
+	// Tail injection starts after Fit so the fitted profile reflects the
+	// base latency. Every remoteTailEvery-th MGET is slowed by the larger
+	// of 4x the base latency and 2ms.
+	tail := 4 * lat
+	if tail < 2*time.Millisecond {
+		tail = 2 * time.Millisecond
+	}
+	var ordinal atomic.Int64
+	srv.SetLatencyFunc(func() time.Duration {
+		if ordinal.Add(1)%remoteTailEvery == 0 {
+			return lat + tail
+		}
+		return lat
+	})
+
+	run := func() error {
+		r, err := prog.NewRun(context.Background(), batch())
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		_, err = r.Matrix(prog.AllIFVs())
+		return err
+	}
+	for i := 0; i < 3; i++ { // warm pools and connections
+		if err := run(); err != nil {
+			return PerfRow{}, err
+		}
+	}
+	lats := make([]int64, iters)
+	start := time.Now()
+	for i := range lats {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return PerfRow{}, err
+		}
+		lats[i] = time.Since(t0).Nanoseconds()
+	}
+	total := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	name := fmt.Sprintf("remote-%s-%dms", mode, lat/time.Millisecond)
+	return PerfRow{
+		Workload: name,
+		NsPerOp:  float64(total.Nanoseconds()) / float64(iters),
+		P50Ns:    q(0.50),
+		P99Ns:    q(0.99),
+	}, nil
+}

@@ -1,14 +1,18 @@
 package kvstore
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
-	"io"
-	"math"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// defaultIOTimeout bounds a single MGET round trip when the caller's
+// context carries no deadline of its own, so a stalled server can never
+// hang a lookup forever.
+const defaultIOTimeout = 10 * time.Second
 
 // Client is a connection-pooled client for a kvstore Server. It implements
 // the ops.Table interface, so Lookup operators can run against a remote
@@ -29,9 +33,6 @@ type Client struct {
 type clientConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	rw   struct {
-		hdr []byte
-	}
 }
 
 // Dial connects to a server and validates the table width against dim.
@@ -47,16 +48,14 @@ func Dial(addr string, dim int) (*Client, error) {
 }
 
 func (c *Client) newConn() (*clientConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, defaultIOTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", c.addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	cc := &clientConn{conn: conn}
-	cc.rw.hdr = make([]byte, 5)
-	return cc, nil
+	return &clientConn{conn: conn}, nil
 }
 
 // acquire pops a pooled connection or dials a new one.
@@ -90,21 +89,78 @@ func (c *Client) Dim() int { return c.dim }
 // round trips issued by this client.
 func (c *Client) Requests() int64 { return c.requests.Load() }
 
-// LookupBatch implements ops.Table: fetches all keys in one pipelined MGET.
+// CheckSchema implements ops.SchemaChecker: it probes the server for its
+// table width and reports a descriptive mismatch error, so a bad binding
+// surfaces at Load/bind time instead of on the first predict.
+func (c *Client) CheckSchema(dim int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultIOTimeout)
+	defer cancel()
+	serverDim, err := c.probeDim(ctx)
+	if err != nil {
+		return fmt.Errorf("kvstore: schema probe of %s failed: %w", c.addr, err)
+	}
+	if serverDim != dim {
+		return fmt.Errorf("kvstore: server %s holds %d-wide rows, lookup expects %d", c.addr, serverDim, dim)
+	}
+	return nil
+}
+
+// probeDim asks the server for its table width via the 'D' frame.
+func (c *Client) probeDim(ctx context.Context) (int, error) {
+	cc, err := c.acquire()
+	if err != nil {
+		return 0, err
+	}
+	dim, err := withDeadlineConn(ctx, cc.conn, func() (int, error) {
+		if _, err := cc.conn.Write(AppendDimProbe(nil)); err != nil {
+			return 0, fmt.Errorf("kvstore: write probe: %w", err)
+		}
+		return ReadDimResponse(cc.conn)
+	})
+	if err != nil {
+		cc.conn.Close()
+		return 0, err
+	}
+	c.release(cc)
+	return dim, nil
+}
+
+// LookupBatch fetches all keys in one pipelined MGET.
+//
+// Deprecated: LookupBatch cannot be canceled and falls back to a fixed
+// 10-second I/O timeout; use LookupBatchCtx so request deadlines propagate
+// to the wire.
 func (c *Client) LookupBatch(keys []int64) ([][]float64, error) {
+	return c.LookupBatchCtx(context.Background(), keys)
+}
+
+// LookupBatchCtx implements the context-aware MGET: the request is bounded
+// by ctx's deadline (or a 10s default when ctx has none), and cancellation
+// aborts the in-flight read by expiring the connection deadline. A
+// connection that saw a deadline abort or any I/O error is discarded, never
+// pooled.
+func (c *Client) LookupBatchCtx(ctx context.Context, keys []int64) ([][]float64, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("kvstore: client closed")
 	}
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cc, err := c.acquire()
 	if err != nil {
 		return nil, err
 	}
-	out, err := cc.mget(keys, c.dim)
+	out, err := withDeadlineConn(ctx, cc.conn, func() ([][]float64, error) {
+		return cc.mget(keys, c.dim)
+	})
 	if err != nil {
 		cc.conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	c.requests.Add(1)
@@ -112,50 +168,50 @@ func (c *Client) LookupBatch(keys []int64) ([][]float64, error) {
 	return out, nil
 }
 
+// withDeadlineConn runs one wire exchange under ctx: the conn deadline is the
+// earlier of ctx's deadline and the default I/O timeout, and a ctx
+// cancellation mid-exchange expires the deadline immediately so blocked
+// reads return. Reports whether the conn is still clean for pooling via
+// the error (non-nil means the caller must discard it).
+func withDeadlineConn[T any](ctx context.Context, conn net.Conn, f func() (T, error)) (T, error) {
+	dl := time.Now().Add(defaultIOTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	conn.SetDeadline(dl)
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) // expire: unblock in-flight I/O
+	})
+	out, err := f()
+	if !stop() {
+		// The cancel callback ran (or is running): the conn's deadline is
+		// poisoned, so it must not be pooled. Surface the cancellation.
+		var zero T
+		if err == nil {
+			err = ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			return zero, err
+		}
+		return zero, err
+	}
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	conn.SetDeadline(time.Time{})
+	return out, nil
+}
+
 func (cc *clientConn) mget(keys []int64, dim int) ([][]float64, error) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	req := make([]byte, 0, 5+8*len(keys))
-	req = append(req, 'M')
-	req = binary.LittleEndian.AppendUint32(req, uint32(len(keys)))
-	for _, k := range keys {
-		req = binary.LittleEndian.AppendUint64(req, uint64(k))
-	}
+	req := AppendMGet(make([]byte, 0, 5+8*len(keys)), keys)
 	if _, err := cc.conn.Write(req); err != nil {
 		return nil, fmt.Errorf("kvstore: write: %w", err)
 	}
-	var cnt [4]byte
-	if _, err := io.ReadFull(cc.conn, cnt[:]); err != nil {
-		return nil, fmt.Errorf("kvstore: read count: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(cnt[:])
-	if int(n) != len(keys) {
-		return nil, fmt.Errorf("kvstore: response count %d, want %d", n, len(keys))
-	}
-	out := make([][]float64, n)
-	var dimBuf [4]byte
-	valBuf := make([]byte, dim*8)
-	for i := 0; i < int(n); i++ {
-		if _, err := io.ReadFull(cc.conn, dimBuf[:]); err != nil {
-			return nil, fmt.Errorf("kvstore: read dim: %w", err)
-		}
-		d := binary.LittleEndian.Uint32(dimBuf[:])
-		if d == missingDim {
-			continue
-		}
-		if int(d) != dim {
-			return nil, fmt.Errorf("kvstore: row dim %d, want %d", d, dim)
-		}
-		if _, err := io.ReadFull(cc.conn, valBuf); err != nil {
-			return nil, fmt.Errorf("kvstore: read values: %w", err)
-		}
-		row := make([]float64, dim)
-		for j := range row {
-			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(valBuf[j*8:]))
-		}
-		out[i] = row
-	}
-	return out, nil
+	return ReadMGetResponse(cc.conn, len(keys), dim)
 }
 
 // ResetRequests zeroes the request counter (between experiment phases).

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -154,5 +155,57 @@ func TestEmptyBatch(t *testing.T) {
 	}
 	if cli.Requests() != 0 {
 		t.Error("empty batch should not count as a request")
+	}
+}
+
+// TestLookupBatchCtxHonorsDeadline pins the fix for the historical hang:
+// a lookup against a stalled server must return when its context expires
+// instead of blocking on the read forever.
+func TestLookupBatchCtxHonorsDeadline(t *testing.T) {
+	srv, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}})
+	srv.SetLatencyFunc(func() time.Duration { return 500 * time.Millisecond })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.LookupBatchCtx(ctx, []int64{1})
+	if err == nil {
+		t.Fatal("lookup against a stalled server returned no error")
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Errorf("lookup blocked %v past a 20ms deadline", el)
+	}
+	// The poisoned connection is discarded; the next call dials fresh and
+	// succeeds once the server answers promptly again.
+	srv.SetLatencyFunc(nil)
+	got, err := cli.LookupBatchCtx(context.Background(), []int64{1})
+	if err != nil || got[0][0] != 1 {
+		t.Errorf("post-timeout lookup = %v, %v; want [[1]]", got, err)
+	}
+}
+
+// TestLookupBatchCtxCancellation: an already-canceled context fails fast
+// without a network round trip.
+func TestLookupBatchCtxCancellation(t *testing.T) {
+	srv, cli := startServer(t, 1, 0, map[int64][]float64{1: {1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cli.LookupBatchCtx(ctx, []int64{1}); err == nil {
+		t.Error("canceled context accepted")
+	}
+	if srv.Requests() != 0 {
+		t.Errorf("canceled lookup reached the server (%d requests)", srv.Requests())
+	}
+}
+
+// TestCheckSchema: the dim probe validates the server's table width up
+// front, so a mis-bound table fails with a descriptive error at bind time
+// rather than corrupt rows at predict time.
+func TestCheckSchema(t *testing.T) {
+	_, cli := startServer(t, 3, 0, map[int64][]float64{1: {1, 2, 3}})
+	if err := cli.CheckSchema(3); err != nil {
+		t.Errorf("CheckSchema(3): %v", err)
+	}
+	if err := cli.CheckSchema(4); err == nil {
+		t.Error("CheckSchema(4) accepted a width mismatch")
 	}
 }

@@ -29,10 +29,14 @@ type Server struct {
 	mu   sync.RWMutex
 	rows map[int64][]float64
 
-	ln       net.Listener
-	requests atomic.Int64
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+	latMu sync.RWMutex
+	latFn func() time.Duration
+
+	ln        net.Listener
+	requests  atomic.Int64
+	dropConns atomic.Int64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
 }
 
 // NewServer creates a server holding feature vectors of width dim that
@@ -57,6 +61,30 @@ func (s *Server) Load(rows map[int64][]float64) error {
 
 // Dim returns the feature width.
 func (s *Server) Dim() int { return s.dim }
+
+// SetLatencyFunc replaces the fixed per-request latency with a model called
+// once per MGET, letting tests inject tail latency (for example, every Nth
+// request slow). A nil fn restores the fixed latency from NewServer.
+func (s *Server) SetLatencyFunc(fn func() time.Duration) {
+	s.latMu.Lock()
+	s.latFn = fn
+	s.latMu.Unlock()
+}
+
+// DropNextConns makes the server close the next n accepted connections
+// before reading a single byte, simulating transient network failures for
+// retry tests. The listener itself stays up.
+func (s *Server) DropNextConns(n int) { s.dropConns.Store(int64(n)) }
+
+func (s *Server) requestLatency() time.Duration {
+	s.latMu.RLock()
+	fn := s.latFn
+	s.latMu.RUnlock()
+	if fn != nil {
+		return fn()
+	}
+	return s.latency
+}
 
 // Requests returns the number of MGET requests served (each batched MGET
 // counts as one remote request, like one Redis pipeline round trip).
@@ -99,6 +127,10 @@ func (s *Server) acceptLoop() {
 			mu.Unlock()
 			return // listener closed
 		}
+		if s.dropConns.Load() > 0 && s.dropConns.Add(-1) >= 0 {
+			conn.Close()
+			continue
+		}
 		mu.Lock()
 		conns[conn] = true
 		mu.Unlock()
@@ -113,8 +145,6 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-const missingDim = 0xFFFFFFFF
-
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	hdr := make([]byte, 5)
@@ -124,11 +154,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			return
 		}
+		if hdr[0] == 'D' {
+			// Dim probe: answer the table width so clients can validate
+			// schema at bind time instead of failing on the first lookup.
+			out = out[:0]
+			out = binary.LittleEndian.AppendUint32(out, uint32(s.dim))
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+			continue
+		}
 		if hdr[0] != 'M' {
 			return // protocol error: drop connection
 		}
 		n := binary.LittleEndian.Uint32(hdr[1:])
-		if n > 1<<20 {
+		if n > maxBatch {
 			return
 		}
 		need := int(n) * 8
@@ -139,8 +179,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, keyBuf); err != nil {
 			return
 		}
-		if s.latency > 0 {
-			time.Sleep(s.latency)
+		if d := s.requestLatency(); d > 0 {
+			time.Sleep(d)
 		}
 		s.requests.Add(1)
 

@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -27,6 +28,121 @@ type Table interface {
 	// (cache misses reaching the backing store count; for remote tables this
 	// counts actual remote requests, the metric of paper Table 2).
 	Requests() int64
+}
+
+// AsyncTable is an optional Table extension for remote stores that can
+// begin a batched lookup without blocking, so the network round trip
+// overlaps local feature compute. The weld runtime detects it at plan-fuse
+// time and kicks off the fetch when a run starts, joining only where the
+// lookup's output is first consumed.
+type AsyncTable interface {
+	Table
+	// StartLookup begins fetching keys and returns immediately. The fetch
+	// is bounded by ctx; callers must Wait or Cancel the handle.
+	StartLookup(ctx context.Context, keys []int64) PendingLookup
+}
+
+// PendingLookup is one in-flight asynchronous multi-get.
+type PendingLookup interface {
+	// Wait blocks until the fetch completes or ctx ends, returning the rows
+	// in key order (nil entries for missing keys). Wait runs on the request
+	// goroutine, so implementations may record trace spans here.
+	Wait(ctx context.Context) ([][]float64, error)
+	// Cancel abandons the fetch without waiting for its result.
+	Cancel()
+}
+
+// CtxTable is an optional Table extension for stores whose lookups honor a
+// request context (deadline propagation, cancellation). The compiled batch
+// path prefers it over the context-free LookupBatch when present.
+type CtxTable interface {
+	Table
+	LookupBatchCtx(ctx context.Context, keys []int64) ([][]float64, error)
+}
+
+// SchemaChecker is an optional Table extension for remote tables that can
+// validate their server-side schema against the operator's expectations up
+// front, so a bad binding surfaces at artifact Load/rebind time with a
+// descriptive error instead of failing on the first predict.
+type SchemaChecker interface {
+	CheckSchema(dim int) error
+}
+
+// StoreStats is a point-in-time snapshot of a production remote-store
+// client's health counters, surfaced per model on /stats and /metrics. It
+// lives in ops (rather than the store package) so core and serving can
+// aggregate it without importing the client implementation.
+type StoreStats struct {
+	// Requests counts remote multi-get calls that reached the network path.
+	Requests int64
+	// Retries counts re-attempts after transient failures.
+	Retries int64
+	// HedgesIssued / HedgesWon count speculative second attempts launched
+	// against tail latency, and how many returned before the primary.
+	HedgesIssued int64
+	HedgesWon    int64
+	// Degraded counts requests answered from cached/default feature values
+	// while the circuit breaker was open (the request still succeeded).
+	Degraded int64
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens int64
+	// Inflight is the number of lookups currently on the wire.
+	Inflight int64
+	// BreakerState is "closed", "half-open", or "open".
+	BreakerState string
+	// P50Millis / P99Millis are windowed lookup latency quantiles.
+	P50Millis float64
+	P99Millis float64
+}
+
+// merged folds another snapshot into this one (multiple store clients bound
+// to one pipeline): counters sum, quantiles take the worst, and the breaker
+// state reports the most degraded client.
+func (s StoreStats) merged(o StoreStats) StoreStats {
+	s.Requests += o.Requests
+	s.Retries += o.Retries
+	s.HedgesIssued += o.HedgesIssued
+	s.HedgesWon += o.HedgesWon
+	s.Degraded += o.Degraded
+	s.BreakerOpens += o.BreakerOpens
+	s.Inflight += o.Inflight
+	if breakerRank(o.BreakerState) > breakerRank(s.BreakerState) {
+		s.BreakerState = o.BreakerState
+	}
+	s.P50Millis = max(s.P50Millis, o.P50Millis)
+	s.P99Millis = max(s.P99Millis, o.P99Millis)
+	return s
+}
+
+func breakerRank(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Merge folds snapshots from several reporters into one pipeline-level view.
+func MergeStoreStats(snaps ...StoreStats) StoreStats {
+	var out StoreStats
+	for i, s := range snaps {
+		if i == 0 {
+			out = s
+			continue
+		}
+		out = out.merged(s)
+	}
+	return out
+}
+
+// StoreStatsReporter is implemented by remote-store clients that expose
+// health counters. Optimized pipelines walk their lookup tables for it when
+// building per-model stats.
+type StoreStatsReporter interface {
+	StoreStats() StoreStats
 }
 
 // LocalTable is an in-memory feature table (a local Pandas-dataframe join in
@@ -123,8 +239,32 @@ func (l *Lookup) BindTable(t Table) error {
 	if t.Dim() != l.dim {
 		return fmt.Errorf("ops: %s: bound table has width %d, artifact expects %d", l.Name(), t.Dim(), l.dim)
 	}
+	if sc, ok := t.(SchemaChecker); ok {
+		// Remote tables can report a locally-configured width that disagrees
+		// with what the server actually holds; validate against the server
+		// now so the mismatch is a bind-time error, not a first-predict one.
+		if err := sc.CheckSchema(l.dim); err != nil {
+			return fmt.Errorf("ops: %s: schema validation: %w", l.Name(), err)
+		}
+	}
 	l.table = t
 	return nil
+}
+
+// Materialize builds the lookup's dense output from rows fetched out of
+// band (an async prefetch joining at consume time). Rows arrive in key
+// order; nil rows produce the default zero vector.
+func (l *Lookup) Materialize(rows [][]float64, n int) (value.Value, error) {
+	if len(rows) != n {
+		return value.Value{}, fmt.Errorf("ops: %s: prefetch returned %d rows, want %d", l.Name(), len(rows), n)
+	}
+	out := feature.NewDense(n, l.dim)
+	for i, v := range rows {
+		if v != nil {
+			copy(out.Row(i), v)
+		}
+	}
+	return value.NewMat(out), nil
 }
 
 // Apply implements graph.Op.
@@ -150,6 +290,29 @@ func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
 		}
 	}
 	return value.NewMat(out), nil
+}
+
+// ApplyCtx is Apply with request-context propagation: when the bound table
+// honors contexts (a remote store client), the request's deadline and
+// cancellation reach the wire and store trace spans land on the request's
+// trace. Tables without context support fall back to Apply exactly.
+func (l *Lookup) ApplyCtx(ctx context.Context, ins []value.Value) (value.Value, error) {
+	ct, ok := l.table.(CtxTable)
+	if !ok || ctx == nil {
+		return l.Apply(ins)
+	}
+	if len(ins) != 1 {
+		return value.Value{}, errArity(l.Name(), len(ins), 1)
+	}
+	if ins[0].Kind != value.Ints {
+		return value.Value{}, errKind(l.Name(), 0, ins[0].Kind, value.Ints)
+	}
+	keys := ins[0].Ints
+	vecs, err := ct.LookupBatchCtx(ctx, keys)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("ops: %s: %w", l.Name(), err)
+	}
+	return l.Materialize(vecs, len(keys))
 }
 
 // ApplyBoxed implements graph.Op: one remote/local request per row, exactly

@@ -24,6 +24,18 @@ func (s *Server) mountObservability(mux *http.ServeMux) {
 	}
 }
 
+// breakerStateValue encodes the store breaker state as a gauge level.
+func breakerStateValue(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
 // modelMetrics is one model's snapshot for the exporter: telemetry counters
 // plus instantaneous queue state, captured together so the families emitted
 // below are mutually consistent.
@@ -123,6 +135,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, m := range snaps {
 		if fc := m.stats.FeatureCache; fc != nil {
 			mw.Counter("willump_feature_cache_coalesced_total", "Feature-cache lookups served by in-flight miss coalescing per model.", observ.L("model", m.name), float64(fc.Coalesced))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Counter("willump_store_requests_total", "Remote feature-store multi-get requests per model.", observ.L("model", m.name), float64(fs.Requests))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Counter("willump_store_retries_total", "Remote feature-store retried attempts per model.", observ.L("model", m.name), float64(fs.Retries))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Counter("willump_store_hedges_won_total", "Hedged store requests that beat the primary attempt per model.", observ.L("model", m.name), float64(fs.HedgesWon))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Counter("willump_store_degraded_total", "Requests served from cached/default feature values while the store breaker was open per model.", observ.L("model", m.name), float64(fs.Degraded))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Gauge("willump_store_breaker_state", "Store circuit-breaker state per model (0 closed, 1 half-open, 2 open).", observ.L("model", m.name), float64(breakerStateValue(fs.BreakerState)))
+		}
+	}
+	for _, m := range snaps {
+		if fs := m.stats.FeatureStore; fs != nil {
+			mw.Gauge("willump_store_inflight", "Store lookups currently on the wire per model.", observ.L("model", m.name), float64(fs.Inflight))
+		}
+	}
+	for _, m := range snaps {
+		fs := m.stats.FeatureStore
+		if fs == nil {
+			continue
+		}
+		for _, q := range []struct {
+			q string
+			d time.Duration
+		}{{"0.5", fs.LatencyP50}, {"0.99", fs.LatencyP99}} {
+			mw.Gauge("willump_store_latency_seconds", "Windowed store round-trip latency quantiles per model.",
+				observ.L("model", m.name).With("quantile", q.q), q.d.Seconds())
 		}
 	}
 	for _, m := range snaps {

@@ -356,6 +356,7 @@ func (r *Registry) Stats(name string) (ModelStats, error) {
 	}
 	tag := ""
 	var fc *FeatureCacheStats
+	var fs *FeatureStoreStats
 	if v := h.active.Load(); v != nil {
 		tag = v.tag
 		if v.opt != nil {
@@ -368,10 +369,25 @@ func (r *Registry) Stats(name string) (ModelStats, error) {
 					HitRate:   cs.HitRate(),
 				}
 			}
+			if ss, ok := v.opt.FeatureStoreStats(); ok {
+				fs = &FeatureStoreStats{
+					Requests:     ss.Requests,
+					Retries:      ss.Retries,
+					HedgesIssued: ss.HedgesIssued,
+					HedgesWon:    ss.HedgesWon,
+					Degraded:     ss.Degraded,
+					BreakerOpens: ss.BreakerOpens,
+					BreakerState: ss.BreakerState,
+					Inflight:     ss.Inflight,
+					LatencyP50:   time.Duration(ss.P50Millis * float64(time.Millisecond)),
+					LatencyP99:   time.Duration(ss.P99Millis * float64(time.Millisecond)),
+				}
+			}
 		}
 	}
 	ms := h.stats.snapshot(h.name, tag)
 	ms.FeatureCache = fc
+	ms.FeatureStore = fs
 	for _, s := range h.tracer().Slow() {
 		ms.RecentSlow = append(ms.RecentSlow, SlowQuery{
 			Start:   s.Start,

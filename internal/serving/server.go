@@ -567,6 +567,20 @@ func toWireStats(st ModelStats) wireStats {
 			HitRate:   st.FeatureCache.HitRate,
 		}
 	}
+	if st.FeatureStore != nil {
+		out.FeatureStore = &wireFeatureStore{
+			Requests:     st.FeatureStore.Requests,
+			Retries:      st.FeatureStore.Retries,
+			HedgesIssued: st.FeatureStore.HedgesIssued,
+			HedgesWon:    st.FeatureStore.HedgesWon,
+			Degraded:     st.FeatureStore.Degraded,
+			BreakerOpens: st.FeatureStore.BreakerOpens,
+			BreakerState: st.FeatureStore.BreakerState,
+			Inflight:     st.FeatureStore.Inflight,
+			P50MS:        float64(st.FeatureStore.LatencyP50) / float64(time.Millisecond),
+			P99MS:        float64(st.FeatureStore.LatencyP99) / float64(time.Millisecond),
+		}
+	}
 	return out
 }
 
@@ -603,6 +617,20 @@ func fromWireStats(ws wireStats) ModelStats {
 			Evictions: ws.FeatureCache.Evictions,
 			Coalesced: ws.FeatureCache.Coalesced,
 			HitRate:   ws.FeatureCache.HitRate,
+		}
+	}
+	if ws.FeatureStore != nil {
+		out.FeatureStore = &FeatureStoreStats{
+			Requests:     ws.FeatureStore.Requests,
+			Retries:      ws.FeatureStore.Retries,
+			HedgesIssued: ws.FeatureStore.HedgesIssued,
+			HedgesWon:    ws.FeatureStore.HedgesWon,
+			Degraded:     ws.FeatureStore.Degraded,
+			BreakerOpens: ws.FeatureStore.BreakerOpens,
+			BreakerState: ws.FeatureStore.BreakerState,
+			Inflight:     ws.FeatureStore.Inflight,
+			LatencyP50:   time.Duration(ws.FeatureStore.P50MS * float64(time.Millisecond)),
+			LatencyP99:   time.Duration(ws.FeatureStore.P99MS * float64(time.Millisecond)),
 		}
 	}
 	return out

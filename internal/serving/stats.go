@@ -70,6 +70,33 @@ type FeatureCacheStats struct {
 	HitRate float64
 }
 
+// FeatureStoreStats is a snapshot of a deployed pipeline's remote
+// feature-store client health, aggregated over its lookup tables' store
+// clients. Like the feature-cache counters it lives on the active version's
+// pipeline, so a hot swap starts it fresh.
+type FeatureStoreStats struct {
+	// Requests counts remote multi-get calls; Retries counts re-attempts
+	// after transient failures.
+	Requests int64
+	Retries  int64
+	// HedgesIssued / HedgesWon count speculative tail-latency attempts and
+	// how many beat the primary.
+	HedgesIssued int64
+	HedgesWon    int64
+	// Degraded counts requests served from cached/default feature values
+	// while the circuit breaker was open.
+	Degraded int64
+	// BreakerOpens counts breaker open transitions; BreakerState is the
+	// current state ("closed", "half-open", "open").
+	BreakerOpens int64
+	BreakerState string
+	// Inflight is the number of store lookups currently on the wire.
+	Inflight int64
+	// LatencyP50 / LatencyP99 are windowed store round-trip quantiles.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
 // ModelStats is a point-in-time snapshot of one model's serving telemetry,
 // as reported on /v1/models/{name}/stats.
 type ModelStats struct {
@@ -97,6 +124,10 @@ type ModelStats struct {
 	// FeatureCache carries the active version's feature-level cache
 	// counters; nil when the deployed pipeline has no feature caches.
 	FeatureCache *FeatureCacheStats
+	// FeatureStore carries the active version's remote feature-store client
+	// health; nil when no lookup table is backed by a reporting store
+	// client.
+	FeatureStore *FeatureStoreStats
 	// RecentSlow lists the model's recently retained slow or failed
 	// requests (newest first); empty unless tracing is enabled on the
 	// deployed pipeline.

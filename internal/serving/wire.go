@@ -98,6 +98,22 @@ type wireFeatureCache struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// wireFeatureStore carries remote feature-store client health (absent when
+// no lookup table is backed by a reporting store client, so legacy stats
+// responses keep their shape byte-identical).
+type wireFeatureStore struct {
+	Requests     int64   `json:"requests"`
+	Retries      int64   `json:"retries"`
+	HedgesIssued int64   `json:"hedges_issued,omitempty"`
+	HedgesWon    int64   `json:"hedges_won"`
+	Degraded     int64   `json:"degraded,omitempty"`
+	BreakerOpens int64   `json:"breaker_opens,omitempty"`
+	BreakerState string  `json:"breaker_state"`
+	Inflight     int64   `json:"inflight,omitempty"`
+	P50MS        float64 `json:"p50_ms,omitempty"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
 // wireSlow is one retained slow or failed request on the stats response.
 type wireSlow struct {
 	StartUnixNano int64   `json:"start_unix_nano"`
@@ -119,6 +135,7 @@ type wireStats struct {
 	LatencyMS    wireLatency       `json:"latency_ms"`
 	Cascade      *wireCascade      `json:"cascade,omitempty"`
 	FeatureCache *wireFeatureCache `json:"feature_cache,omitempty"`
+	FeatureStore *wireFeatureStore `json:"feature_store,omitempty"`
 	RecentSlow   []wireSlow        `json:"recent_slow,omitempty"`
 }
 

@@ -128,6 +128,23 @@ func TestWireStatsFeatureCacheGolden(t *testing.T) {
 	})
 }
 
+// TestWireStatsFeatureStoreGolden pins the stats shape for a model whose
+// lookup tables are backed by a remote feature-store client. The block is
+// omitempty, so the legacy goldens above also pin that store-less models
+// serialize byte-identically to pre-store servers.
+func TestWireStatsFeatureStoreGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats_feature_store.golden.json", wireStats{
+		Model: "credit", Version: "v3",
+		Requests: 640, QPS: 9.5,
+		LatencyMS: wireLatency{P50: 1.75, P90: 3.25, P99: 8.5},
+		FeatureStore: &wireFeatureStore{
+			Requests: 640, Retries: 4, HedgesIssued: 31, HedgesWon: 12,
+			Degraded: 2, BreakerOpens: 1, BreakerState: "closed",
+			Inflight: 3, P50MS: 0.85, P99MS: 4.25,
+		},
+	})
+}
+
 // TestWireStatsTracingGolden pins the stats shape for a model with tracing
 // enabled: the p999 quantile and the recent-slow list ride along. Both are
 // omitempty, so the legacy golden above also pins that tracing-less models

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. Transitions: closed --threshold consecutive failures-->
+// open --cooldown--> half-open (one probe) --> closed on success, open on
+// failure.
+const (
+	brkClosed int32 = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// breaker is a lock-free circuit breaker. While open, lookups skip the
+// network entirely and degrade to fallback values; after the cooldown a
+// single half-open probe decides whether to close again.
+type breaker struct {
+	threshold int32
+	cooldown  time.Duration
+
+	state    atomic.Int32
+	fails    atomic.Int32 // consecutive failures while closed
+	openedAt atomic.Int64 // unix nanos of the open transition
+	opens    atomic.Int64 // cumulative closed/half-open -> open transitions
+}
+
+func (b *breaker) init(threshold int, cooldown time.Duration) {
+	if threshold < 0 {
+		// Breaker disabled: an unreachable threshold keeps it closed.
+		threshold = 1<<31 - 1
+	}
+	b.threshold = int32(threshold)
+	b.cooldown = cooldown
+}
+
+// allow reports whether a lookup may hit the network. While open it returns
+// false until the cooldown elapses, then admits exactly one caller as the
+// half-open probe.
+func (b *breaker) allow() bool {
+	switch b.state.Load() {
+	case brkClosed:
+		return true
+	case brkOpen:
+		if time.Now().UnixNano()-b.openedAt.Load() >= int64(b.cooldown) &&
+			b.state.CompareAndSwap(brkOpen, brkHalfOpen) {
+			return true // this caller is the probe
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success records a healthy round trip: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.fails.Store(0)
+	b.state.Store(brkClosed)
+}
+
+// failure records a failed lookup (after retries were exhausted), opening
+// the breaker when the consecutive-failure threshold is reached or when a
+// half-open probe fails.
+func (b *breaker) failure() {
+	now := time.Now().UnixNano()
+	if b.state.CompareAndSwap(brkHalfOpen, brkOpen) {
+		b.openedAt.Store(now)
+		b.opens.Add(1)
+		return
+	}
+	if b.fails.Add(1) >= b.threshold && b.state.CompareAndSwap(brkClosed, brkOpen) {
+		b.openedAt.Store(now)
+		b.opens.Add(1)
+	}
+}
+
+func (b *breaker) isOpen() bool { return b.state.Load() == brkOpen }
+
+func (b *breaker) stateString() string {
+	switch b.state.Load() {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,65 @@
+package store
+
+import "sync"
+
+// fallback is the bounded last-known-value cache answering degraded
+// requests while the circuit breaker is open. Every healthy lookup
+// refreshes it; a degraded lookup serves the last value seen for each key
+// and a zero (default) vector for keys never seen. Capacity is bounded: a
+// full cache updates known keys in place but admits no new ones, so memory
+// stays fixed however large the key space is.
+type fallback struct {
+	capacity int
+	mu       sync.RWMutex
+	vals     map[int64][]float64
+}
+
+func (f *fallback) init(capacity int) {
+	f.capacity = capacity
+	if capacity > 0 {
+		f.vals = make(map[int64][]float64, min(capacity, 1024))
+	}
+}
+
+// store refreshes the cache from a healthy lookup's results.
+func (f *fallback) store(keys []int64, rows [][]float64) {
+	if f.capacity <= 0 {
+		return
+	}
+	f.mu.Lock()
+	for i, k := range keys {
+		if rows[i] == nil {
+			continue
+		}
+		if dst, ok := f.vals[k]; ok {
+			copy(dst, rows[i])
+			continue
+		}
+		if len(f.vals) >= f.capacity {
+			continue
+		}
+		cp := make([]float64, len(rows[i]))
+		copy(cp, rows[i])
+		f.vals[k] = cp
+	}
+	f.mu.Unlock()
+}
+
+// rows answers a degraded lookup: cached values where known, zero vectors
+// otherwise. Returned rows are copies; callers own them.
+func (f *fallback) rows(keys []int64, dim int) [][]float64 {
+	out := make([][]float64, len(keys))
+	if f.capacity <= 0 {
+		return out // all nil: lookup substitutes default vectors
+	}
+	f.mu.RLock()
+	for i, k := range keys {
+		if v, ok := f.vals[k]; ok {
+			cp := make([]float64, dim)
+			copy(cp, v)
+			out[i] = cp
+		}
+	}
+	f.mu.RUnlock()
+	return out
+}

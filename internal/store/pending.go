@@ -1,0 +1,55 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"willump/internal/ops"
+	"willump/internal/trace"
+)
+
+// pending is one in-flight async prefetch (ops.PendingLookup). The fetch
+// runs on a background goroutine; results are published before done is
+// closed, so Wait's read happens-after the write. Trace spans are recorded
+// only in Wait, on the waiting request's goroutine — the background
+// goroutine never touches the trace, which may be recycled the moment the
+// request finishes.
+type pending struct {
+	c      *Client
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	start      time.Time
+	rows       [][]float64
+	hedgeStart time.Time
+	err        error
+}
+
+// Wait implements ops.PendingLookup. A ctx expiry cancels the fetch and
+// still waits for the background goroutine to finish (its connection
+// deadline is expired by the cancel, so this is prompt), keeping the
+// result fields race-free.
+func (p *pending) Wait(ctx context.Context) ([][]float64, error) {
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		p.cancel()
+		<-p.done
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		tr.Record(trace.StageStoreMGet, p.start)
+		if !p.hedgeStart.IsZero() {
+			tr.Record(trace.StageStoreHedge, p.hedgeStart)
+		}
+	}
+	return p.rows, p.err
+}
+
+// Cancel implements ops.PendingLookup: abandon without waiting.
+func (p *pending) Cancel() { p.cancel() }
+
+var _ ops.PendingLookup = (*pending)(nil)
+var _ ops.AsyncTable = (*Client)(nil)
+var _ ops.CtxTable = (*Client)(nil)
+var _ ops.SchemaChecker = (*Client)(nil)
+var _ ops.StoreStatsReporter = (*Client)(nil)

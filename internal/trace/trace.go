@@ -38,6 +38,8 @@ const (
 	StageCascadeResume = "cascade:resume"
 	StageModelScore    = "model:score"
 	StageInterp        = "interp:batch"
+	StageStoreMGet     = "store:mget"
+	StageStoreHedge    = "store:hedge"
 )
 
 // Default configuration values, applied by NewTracer for zero fields.

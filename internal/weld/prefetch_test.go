@@ -1,0 +1,250 @@
+package weld
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"willump/internal/graph"
+	"willump/internal/kvstore"
+	"willump/internal/ops"
+	"willump/internal/store"
+	"willump/internal/value"
+)
+
+// sleepLookup is a local lookup with a fixed per-batch compute delay,
+// standing in for an expensive local feature generator in overlap tests.
+type sleepLookup struct {
+	inner *ops.Lookup
+	d     time.Duration
+}
+
+func newSleepLookup(name string, table ops.Table, d time.Duration) *sleepLookup {
+	return &sleepLookup{inner: ops.NewLookup(name, table), d: d}
+}
+
+func (s *sleepLookup) Name() string      { return "sleep_" + s.inner.Name() }
+func (s *sleepLookup) Compilable() bool  { return true }
+func (s *sleepLookup) Commutative() bool { return false }
+
+func (s *sleepLookup) Apply(ins []value.Value) (value.Value, error) {
+	time.Sleep(s.d)
+	return s.inner.Apply(ins)
+}
+
+func (s *sleepLookup) ApplyBoxed(ins []any) (any, error) {
+	time.Sleep(s.d)
+	return s.inner.ApplyBoxed(ins)
+}
+
+// startRemoteStore spins up a kvstore server with nKeys rows of width 2
+// (row k = [k, 2k]) and dials a production store client against it.
+func startRemoteStore(t *testing.T, nKeys int, latency time.Duration, cfg store.Config) (*kvstore.Server, *store.Client) {
+	t.Helper()
+	srv := kvstore.NewServer(2, latency)
+	rows := make(map[int64][]float64, nKeys)
+	for k := int64(0); k < int64(nKeys); k++ {
+		rows[k] = []float64{float64(k), float64(2 * k)}
+	}
+	if err := srv.Load(rows); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cfg.Addr = addr
+	c, err := store.Dial(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("store.Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+// remotePipeline builds and fits
+//
+//	rid -> lookup(remote store)  \
+//	                              concat
+//	lid -> slow local lookup     /
+//
+// so the remote round trip and the local compute can overlap.
+func remotePipeline(t *testing.T, remote ops.Table, localDelay time.Duration) (*Program, map[string]value.Value) {
+	t.Helper()
+	localRows := make(map[int64][]float64, 64)
+	for k := int64(0); k < 64; k++ {
+		localRows[k] = []float64{float64(k) / 2}
+	}
+	local := ops.NewLocalTable(1, localRows)
+
+	b := graph.NewBuilder()
+	rid := b.Input("rid")
+	lid := b.Input("lid")
+	rf := b.Add("remote_features", ops.NewLookup("remote", remote), rid)
+	lf := b.Add("local_features", newSleepLookup("local", local, localDelay), lid)
+	cat := b.Add("concat", ops.NewConcat(), rf, lf)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	inputs := map[string]value.Value{
+		"rid": value.NewInts([]int64{3, 7, 11, 20}),
+		"lid": value.NewInts([]int64{1, 2, 3, 4}),
+	}
+	if _, err := p.Fit(context.Background(), inputs); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return p, inputs
+}
+
+// TestPrefetchIndexSelectsRemoteLookups: only source-keyed lookups against
+// async-capable tables become prefetch specs; local tables never do.
+func TestPrefetchIndexSelectsRemoteLookups(t *testing.T) {
+	_, client := startRemoteStore(t, 64, 0, store.Config{})
+	p, _ := remotePipeline(t, client, 0)
+	if len(p.prefetch) != 1 {
+		t.Fatalf("prefetch specs = %d, want 1 (the remote lookup only)", len(p.prefetch))
+	}
+	if got := p.prefetch[0].at; got != ops.AsyncTable(client) {
+		t.Errorf("prefetch table = %v, want the store client", got)
+	}
+	// A plan with only local tables carries an empty index and an all-skip
+	// map, keeping the non-remote path zero-overhead.
+	localOnly, localInputs := remotePipeline(t, ops.NewLocalTable(2, map[int64][]float64{3: {3, 6}, 7: {7, 14}, 11: {11, 22}, 20: {20, 40}}), 0)
+	if len(localOnly.prefetch) != 0 {
+		t.Errorf("local-table plan has %d prefetch specs, want 0", len(localOnly.prefetch))
+	}
+	r, err := localOnly.NewRun(context.Background(), localInputs)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	defer r.Close()
+	if r.hasPending() {
+		t.Error("local-table run reports pending prefetches")
+	}
+}
+
+// TestPrefetchOverlapsRemoteFetchWithLocalCompute pins the latency win the
+// async prefetch exists for: with a 30ms store round trip and 30ms of local
+// compute, the fused run must finish well under their 60ms sum because the
+// fetch is in flight while the local feature computes.
+func TestPrefetchOverlapsRemoteFetchWithLocalCompute(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	_, client := startRemoteStore(t, 64, lat, store.Config{})
+	p, inputs := remotePipeline(t, client, lat)
+
+	// One warm run to populate pools and the connection pool.
+	warm, err := p.NewRun(context.Background(), inputs)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	if _, err := warm.Matrix(p.AllIFVs()); err != nil {
+		t.Fatalf("warm Matrix: %v", err)
+	}
+	warm.Close()
+
+	start := time.Now()
+	r, err := p.NewRun(context.Background(), inputs)
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	defer r.Close()
+	m, err := r.Matrix(p.AllIFVs())
+	if err != nil {
+		t.Fatalf("Matrix: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	if elapsed < lat {
+		t.Errorf("run finished in %v, faster than one %v round trip — latency injection broken", elapsed, lat)
+	}
+	if limit := lat * 8 / 5; elapsed >= limit {
+		t.Errorf("fused run took %v; want < %v (remote fetch must overlap local compute, sequential sum is %v)", elapsed, limit, 2*lat)
+	}
+	// Correctness under overlap: remote columns then the local column.
+	if m.Rows() != 4 || m.Cols() != 3 {
+		t.Fatalf("matrix shape %dx%d, want 4x3", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 7 || m.At(1, 1) != 14 || m.At(1, 2) != 1 {
+		t.Errorf("row 1 = [%v %v %v], want [7 14 1]", m.At(1, 0), m.At(1, 1), m.At(1, 2))
+	}
+}
+
+// TestPrefetchSkipsCachedIFVs: an IFV with a feature cache must not
+// prefetch — the cached path fetches only its misses, and a warm cache
+// makes zero remote requests.
+func TestPrefetchSkipsCachedIFVs(t *testing.T) {
+	_, client := startRemoteStore(t, 64, 0, store.Config{})
+	p, inputs := remotePipeline(t, client, 0)
+
+	remoteIFV := p.prefetch[0].ifv
+	p.EnableFeatureCaching(128, []int{remoteIFV})
+	client.ResetRequests()
+
+	run := func() {
+		t.Helper()
+		r, err := p.NewRun(context.Background(), inputs)
+		if err != nil {
+			t.Fatalf("NewRun: %v", err)
+		}
+		defer r.Close()
+		if _, err := r.Matrix(p.AllIFVs()); err != nil {
+			t.Fatalf("Matrix: %v", err)
+		}
+	}
+	run()
+	if n := client.Requests(); n != 1 {
+		t.Errorf("cold cached run made %d remote requests, want 1 (miss fill only, no prefetch)", n)
+	}
+	run()
+	if n := client.Requests(); n != 1 {
+		t.Errorf("warm cached run made %d total remote requests, want still 1 (all hits, prefetch gated off)", n)
+	}
+}
+
+// TestBreakerOpenDegradesPredictionsEndToEnd: with the store stalled past
+// its request timeout, every fused run still succeeds — the circuit breaker
+// opens and predictions degrade to last-known feature values instead of
+// failing.
+func TestBreakerOpenDegradesPredictionsEndToEnd(t *testing.T) {
+	srv, client := startRemoteStore(t, 64, 0, store.Config{
+		RequestTimeout:   20 * time.Millisecond,
+		Retries:          -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+	})
+	p, inputs := remotePipeline(t, client, 0)
+
+	// Stall the store: every attempt now times out.
+	srv.SetLatencyFunc(func() time.Duration { return time.Second })
+
+	for i := 0; i < 20; i++ {
+		r, err := p.NewRun(context.Background(), inputs)
+		if err != nil {
+			t.Fatalf("run %d: NewRun: %v", i, err)
+		}
+		m, err := r.Matrix(p.AllIFVs())
+		if err != nil {
+			t.Fatalf("run %d failed; breaker must degrade, not error: %v", i, err)
+		}
+		// Keys were fetched healthy during Fit, so degraded rows carry their
+		// last-known values.
+		if m.At(0, 0) != 3 || m.At(0, 1) != 6 {
+			t.Errorf("run %d degraded row 0 = [%v %v], want last-known [3 6]", i, m.At(0, 0), m.At(0, 1))
+		}
+		r.Close()
+	}
+	st := client.StoreStats()
+	if st.BreakerState != "open" {
+		t.Errorf("breaker state = %q, want open", st.BreakerState)
+	}
+	if st.Degraded < 19 {
+		t.Errorf("degraded lookups = %d, want >= 19 (every run after the breaker opened)", st.Degraded)
+	}
+}

@@ -90,7 +90,24 @@ type Program struct {
 	// allIFVs is the cached [0, len(IFVs)) index list (shared, read-only).
 	allIFVs []int
 
+	// prefetch lists the plan's async remote-lookup steps: single-node
+	// Lookup steps keyed directly by a source column whose table supports
+	// ops.AsyncTable. A run kicks these fetches off before local feature
+	// compute begins, so the store round trip overlaps CPU work.
+	// prefetchOf maps step index -> prefetch spec index (-1 otherwise).
+	// Both are built by Fuse; nil before.
+	prefetch   []prefetchSpec
+	prefetchOf []int
+
 	fitted bool
+}
+
+// prefetchSpec is one async-prefetchable lookup step.
+type prefetchSpec struct {
+	step int            // index into Steps
+	ifv  int            // IFV whose generator contains the step
+	src  graph.NodeID   // the source node carrying the key column
+	at   ops.AsyncTable // the step's table, asserted once at fuse time
 }
 
 // Compile builds a Program from a transformation graph: analysis, block
@@ -264,7 +281,35 @@ func topoSortSteps(steps []step, g *graph.Graph) []step {
 // Fusing also installs the run-state pool sized for the final plan shape.
 func (p *Program) Fuse() {
 	p.buildSteps(true)
+	p.buildPrefetchIndex()
 	p.initPool()
+}
+
+// buildPrefetchIndex finds the fused plan's async-prefetchable lookup
+// steps: a Lookup whose only input is a raw source (its key column is
+// available the moment a run starts) and whose table can begin a fetch
+// without blocking. Plans without such steps get an empty index and pay
+// nothing at run time.
+func (p *Program) buildPrefetchIndex() {
+	p.prefetch = nil
+	p.prefetchOf = make([]int, len(p.Steps))
+	for si := range p.Steps {
+		p.prefetchOf[si] = -1
+		st := &p.Steps[si]
+		lk, ok := st.op.(*ops.Lookup)
+		if !ok || st.ifv < 0 || len(st.ins) != 1 {
+			continue
+		}
+		if !p.G.Node(st.ins[0]).IsSource() {
+			continue
+		}
+		at, ok := lk.Table().(ops.AsyncTable)
+		if !ok {
+			continue
+		}
+		p.prefetchOf[si] = len(p.prefetch)
+		p.prefetch = append(p.prefetch, prefetchSpec{step: si, ifv: st.ifv, src: st.ins[0], at: at})
+	}
 }
 
 // CacheSpec assigns one IFV a feature-level cache of the given entry

@@ -9,6 +9,7 @@ import (
 	"willump/internal/cache"
 	"willump/internal/feature"
 	"willump/internal/graph"
+	"willump/internal/ops"
 	"willump/internal/parallel"
 	"willump/internal/trace"
 	"willump/internal/value"
@@ -63,6 +64,13 @@ type BatchRun struct {
 	// ComputeIFVsParallel workers (which own disjoint IFV sets) never share
 	// a buffer.
 	cacheScr []ifvCacheScratch
+
+	// pending[j] is the outstanding async store prefetch for the program's
+	// prefetch spec j, started by NewRun and joined (or canceled) exactly
+	// once. Empty for plans without async remote lookups. Indexed per spec
+	// — each spec's step lives in one IFV, so parallel IFV workers touch
+	// disjoint entries.
+	pending []ops.PendingLookup
 }
 
 // ifvCacheScratch holds one IFV's reusable cached-path state: source-column
@@ -94,7 +102,46 @@ func (p *Program) NewRun(ctx context.Context, inputs map[string]value.Value) (*B
 		r.Close()
 		return nil, err
 	}
+	if len(p.prefetch) > 0 {
+		r.startPrefetch()
+	}
 	return r, nil
+}
+
+// startPrefetch kicks off the plan's async remote lookups before any local
+// compute runs, so the store round trips overlap CPU work. IFVs with a
+// feature cache are skipped: the cached path fetches only its misses, and
+// prefetching every key would defeat the cache.
+func (r *BatchRun) startPrefetch() {
+	for j := range r.p.prefetch {
+		sp := &r.p.prefetch[j]
+		if r.p.caches != nil && r.p.caches[sp.ifv] != nil {
+			continue
+		}
+		if v := r.vals[sp.src]; v.Kind == value.Ints {
+			r.pending[j] = sp.at.StartLookup(r.ctx, v.Ints)
+		}
+	}
+}
+
+// hasPending reports whether any prefetch is still outstanding.
+func (r *BatchRun) hasPending() bool {
+	for _, pd := range r.pending {
+		if pd != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ifvPending reports whether IFV i is waiting on an outstanding prefetch.
+func (r *BatchRun) ifvPending(i int) bool {
+	for j := range r.p.prefetch {
+		if r.p.prefetch[j].ifv == i && r.pending[j] != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the batch size.
@@ -139,6 +186,41 @@ func (r *BatchRun) execStep(si int) error {
 	}
 	if !st.op.Compilable() {
 		return r.runPythonStep(si, ins)
+	}
+	if lk, ok := st.op.(*ops.Lookup); ok {
+		// Join an outstanding async prefetch here — where the lookup's
+		// output is first consumed — bounded by the run's (request) context.
+		if r.p.prefetchOf != nil {
+			if pi := r.p.prefetchOf[si]; pi >= 0 && r.pending[pi] != nil {
+				pd := r.pending[pi]
+				r.pending[pi] = nil
+				rows, err := pd.Wait(r.ctx)
+				if err != nil {
+					return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+				}
+				out, err := lk.Materialize(rows, r.n)
+				if err != nil {
+					return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+				}
+				r.vals[st.out] = out
+				r.owned[st.out] = true
+				r.have[st.out] = true
+				return nil
+			}
+		}
+		// Synchronous remote lookups still get deadline/cancellation
+		// propagation when the table honors contexts; local tables keep the
+		// allocation-free ApplyInto path below.
+		if _, isCtx := lk.Table().(ops.CtxTable); isCtx {
+			out, err := lk.ApplyCtx(r.ctx, ins)
+			if err != nil {
+				return fmt.Errorf("weld: step %s: %w", st.op.Name(), err)
+			}
+			r.vals[st.out] = out
+			r.owned[st.out] = true
+			r.have[st.out] = true
+			return nil
+		}
 	}
 	if ia, ok := st.op.(graph.IntoApplier); ok {
 		if !r.owned[st.out] {
@@ -250,37 +332,65 @@ func (r *BatchRun) computePreprocessing() error {
 }
 
 // ComputeIFVs materializes the selected IFVs (by index), going through the
-// per-IFV feature cache when one is attached.
+// per-IFV feature cache when one is attached. While async prefetches are
+// outstanding, IFVs that do not wait on one compute first: their local CPU
+// work overlaps the store round trips, and the prefetched IFVs join last,
+// right where their output is consumed.
 func (r *BatchRun) ComputeIFVs(idx []int) error {
 	if err := r.computePreprocessing(); err != nil {
 		return err
 	}
-	for _, i := range idx {
-		if r.ifvDone[i] {
-			continue
-		}
-		var t0 time.Time
-		if r.tr != nil {
-			t0 = time.Now()
-		}
-		var c *cache.Sharded
-		if r.p.caches != nil {
-			c = r.p.caches[i]
-		}
-		if c != nil {
-			if err := r.computeIFVCached(i, c); err != nil {
-				return err
-			}
-		} else {
-			if err := r.computeIFVDirect(i); err != nil {
-				return err
+	if r.hasPending() {
+		for _, i := range idx {
+			if !r.ifvPending(i) {
+				if err := r.computeIFV(i); err != nil {
+					return err
+				}
 			}
 		}
-		if r.tr != nil {
-			r.tr.Record(r.p.ifvLabels[i], t0)
+		for _, i := range idx {
+			if r.ifvPending(i) {
+				if err := r.computeIFV(i); err != nil {
+					return err
+				}
+			}
 		}
-		r.ifvDone[i] = true
+		return nil
 	}
+	for _, i := range idx {
+		if err := r.computeIFV(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeIFV materializes one IFV (cached or direct), once.
+func (r *BatchRun) computeIFV(i int) error {
+	if r.ifvDone[i] {
+		return nil
+	}
+	var t0 time.Time
+	if r.tr != nil {
+		t0 = time.Now()
+	}
+	var c *cache.Sharded
+	if r.p.caches != nil {
+		c = r.p.caches[i]
+	}
+	if c != nil {
+		if err := r.computeIFVCached(i, c); err != nil {
+			return err
+		}
+	} else {
+		if err := r.computeIFVDirect(i); err != nil {
+			return err
+		}
+	}
+	if r.tr != nil {
+		r.tr.Record(r.p.ifvLabels[i], t0)
+	}
+	r.ifvDone[i] = true
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"willump/internal/feature"
 	"willump/internal/graph"
+	"willump/internal/ops"
 	"willump/internal/trace"
 	"willump/internal/value"
 )
@@ -48,6 +49,7 @@ func (p *Program) newState() *BatchRun {
 		stepIns:  make([][]value.Value, len(p.Steps)),
 		scratch:  make([]any, len(p.Steps)),
 		cacheScr: make([]ifvCacheScratch, len(p.A.IFVs)),
+		pending:  make([]ops.PendingLookup, len(p.prefetch)),
 	}
 	for i := range p.Steps {
 		r.stepIns[i] = make([]value.Value, len(p.Steps[i].ins))
@@ -78,6 +80,11 @@ func (p *Program) getRun(ctx context.Context) *BatchRun {
 	}
 	for i := range r.ifvDone {
 		r.ifvDone[i] = false
+	}
+	// Sub-runs and fresh acquisitions must never see another run's
+	// outstanding prefetch handles.
+	for i := range r.pending {
+		r.pending[i] = nil
 	}
 	return r
 }
@@ -111,6 +118,14 @@ func (r *BatchRun) Close() {
 	for i := range r.cacheScr {
 		for j := range r.cacheScr[i].srcVals {
 			r.cacheScr[i].srcVals[j] = value.Value{}
+		}
+	}
+	// Abandoned prefetches (a cascade that never consumed the lookup, an
+	// early error) must not keep fetching after the run is recycled.
+	for i, pd := range r.pending {
+		if pd != nil {
+			pd.Cancel()
+			r.pending[i] = nil
 		}
 	}
 	r.ctx = nil
