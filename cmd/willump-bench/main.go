@@ -15,13 +15,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"willump/internal/benchfmt"
 	"willump/internal/experiments"
 )
 
@@ -59,7 +59,7 @@ func main() {
 		if *baseline != "" {
 			// Warn-only on purpose: CI runners are noisy, so regressions are
 			// surfaced in the job log rather than failing the build.
-			compareBaseline(os.Stdout, rows, *baseline)
+			benchfmt.Compare(os.Stdout, rows, *baseline)
 		}
 		return
 	}
@@ -69,17 +69,9 @@ func main() {
 	}
 }
 
-// benchFile is the BENCH_<rev>.json schema: one perf row per predict-path
-// workload, plus enough metadata to compare files across revisions.
-type benchFile struct {
-	Revision  string                `json:"revision"`
-	Timestamp string                `json:"timestamp"`
-	Rows      []experiments.PerfRow `json:"workloads"`
-}
-
 // writeBenchJSON runs the perf workloads and records them as
-// BENCH_<rev>.json in dir, tracking ns/op, allocs/op and latency quantiles
-// across PRs.
+// BENCH_<rev>.json in dir (via the shared benchfmt schema), tracking ns/op,
+// allocs/op and latency quantiles across PRs.
 func writeBenchJSON(w io.Writer, s experiments.Setup, rev, dir string) ([]experiments.PerfRow, error) {
 	rows, err := experiments.Perf(w, s)
 	if err != nil {
@@ -90,75 +82,12 @@ func writeBenchJSON(w io.Writer, s experiments.Setup, rev, dir string) ([]experi
 		return nil, err
 	}
 	rows = append(rows, remote...)
-	out := benchFile{
-		Revision:  rev,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Rows:      rows,
-	}
-	path := fmt.Sprintf("%s/BENCH_%s.json", dir, rev)
-	f, err := os.Create(path)
+	path, err := benchfmt.Write(dir, rev, rows)
 	if err != nil {
-		return nil, err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(w, "\nwrote %s\n", path)
 	return rows, nil
-}
-
-// baselineSlackFactor is how much slower a workload may run than the
-// committed baseline before the comparison warns: CI machines differ from
-// the machine the baseline was recorded on, so only substantial drift is
-// worth surfacing.
-const baselineSlackFactor = 1.5
-
-// compareBaseline prints a warn-only comparison of rows against a committed
-// BENCH_<rev>.json: allocation increases (deterministic) and ns/op
-// regressions beyond the slack factor (noisy) both land in the job log.
-func compareBaseline(w io.Writer, rows []experiments.PerfRow, path string) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(w, "WARN baseline %s unreadable: %v\n", path, err)
-		return
-	}
-	var base benchFile
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(w, "WARN baseline %s undecodable: %v\n", path, err)
-		return
-	}
-	byName := make(map[string]experiments.PerfRow, len(base.Rows))
-	for _, r := range base.Rows {
-		byName[r.Workload] = r
-	}
-	fmt.Fprintf(w, "\ncomparing against baseline %s (revision %s)\n", path, base.Revision)
-	warned := false
-	for _, r := range rows {
-		b, ok := byName[r.Workload]
-		if !ok {
-			fmt.Fprintf(w, "  %-20s new workload (no baseline)\n", r.Workload)
-			continue
-		}
-		if r.AllocsPerOp > b.AllocsPerOp {
-			fmt.Fprintf(w, "WARN %-20s allocs/op %d -> %d (baseline %s)\n",
-				r.Workload, b.AllocsPerOp, r.AllocsPerOp, base.Revision)
-			warned = true
-		}
-		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*baselineSlackFactor {
-			fmt.Fprintf(w, "WARN %-20s ns/op %.0f -> %.0f (%.2fx baseline %s)\n",
-				r.Workload, b.NsPerOp, r.NsPerOp, r.NsPerOp/b.NsPerOp, base.Revision)
-			warned = true
-		}
-	}
-	if !warned {
-		fmt.Fprintln(w, "  no regressions against baseline")
-	}
 }
 
 type runner struct {

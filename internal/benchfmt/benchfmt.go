@@ -1,0 +1,165 @@
+// Package benchfmt is the shared BENCH_<rev>.json trajectory format: one
+// row per workload or load scenario, tracked across PRs so performance and
+// SLO drift is visible in review. Both willump-bench (micro/perf workloads)
+// and willump-loadgen (open-loop serving scenarios) write it, and both
+// support a warn-only comparison against a committed baseline file.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Row is one workload's measurement. The perf fields (ns/op, allocs) come
+// from testing.Benchmark-style loops; the loadgen fields (request/error
+// counts, offered vs achieved QPS) are zero and omitted for perf rows, so
+// files written before the loadgen subsystem decode and re-encode
+// unchanged.
+type Row struct {
+	Workload    string  `json:"workload"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns,omitempty"`
+
+	// Load-scenario extensions (willump-loadgen): for these rows NsPerOp is
+	// the mean end-to-end latency and the quantiles are measured from each
+	// request's scheduled start (coordinated-omission corrected).
+	Requests    int64   `json:"requests,omitempty"`
+	Errors      int64   `json:"errors,omitempty"`
+	Overloaded  int64   `json:"overloaded,omitempty"`
+	Degraded    int64   `json:"degraded,omitempty"`
+	OfferedQPS  float64 `json:"offered_qps,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps,omitempty"`
+}
+
+// File is the BENCH_<rev>.json schema.
+type File struct {
+	Revision  string `json:"revision"`
+	Timestamp string `json:"timestamp"`
+	Rows      []Row  `json:"workloads"`
+}
+
+// Path returns dir/BENCH_<rev>.json.
+func Path(dir, rev string) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rev))
+}
+
+// Write records rows as BENCH_<rev>.json in dir and returns the path.
+func Write(dir, rev string, rows []Row) (string, error) {
+	path := Path(dir, rev)
+	f := File{
+		Revision:  rev,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Rows:      rows,
+	}
+	if err := writeFile(path, f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Append merges rows into an existing BENCH file, replacing rows whose
+// workload name matches (so re-running a scenario updates its row instead
+// of duplicating it) and appending the rest. A missing file is created with
+// revision rev.
+func Append(path, rev string, rows []Row) error {
+	f, err := Read(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		f = File{Revision: rev}
+	}
+	f.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	byName := make(map[string]int, len(f.Rows))
+	for i, r := range f.Rows {
+		byName[r.Workload] = i
+	}
+	for _, r := range rows {
+		if i, ok := byName[r.Workload]; ok {
+			f.Rows[i] = r
+		} else {
+			byName[r.Workload] = len(f.Rows)
+			f.Rows = append(f.Rows, r)
+		}
+	}
+	return writeFile(path, f)
+}
+
+func writeFile(path string, f File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Read loads a BENCH file. A missing file returns the underlying
+// os.IsNotExist error.
+func Read(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("benchfmt: decoding %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// SlackFactor is how much slower a workload may run than the committed
+// baseline before Compare warns: CI machines differ from the machine the
+// baseline was recorded on, so only substantial drift is worth surfacing.
+const SlackFactor = 1.5
+
+// Compare prints a warn-only comparison of rows against a committed BENCH
+// file: allocation increases (deterministic) and ns/op regressions beyond
+// the slack factor (noisy) both land in the job log, but never fail the
+// build.
+func Compare(w io.Writer, rows []Row, baselinePath string) {
+	base, err := Read(baselinePath)
+	if err != nil {
+		fmt.Fprintf(w, "WARN baseline %s unreadable: %v\n", baselinePath, err)
+		return
+	}
+	byName := make(map[string]Row, len(base.Rows))
+	for _, r := range base.Rows {
+		byName[r.Workload] = r
+	}
+	fmt.Fprintf(w, "\ncomparing against baseline %s (revision %s)\n", baselinePath, base.Revision)
+	warned := false
+	for _, r := range rows {
+		b, ok := byName[r.Workload]
+		if !ok {
+			fmt.Fprintf(w, "  %-20s new workload (no baseline)\n", r.Workload)
+			continue
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			fmt.Fprintf(w, "WARN %-20s allocs/op %d -> %d (baseline %s)\n",
+				r.Workload, b.AllocsPerOp, r.AllocsPerOp, base.Revision)
+			warned = true
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*SlackFactor {
+			fmt.Fprintf(w, "WARN %-20s ns/op %.0f -> %.0f (%.2fx baseline %s)\n",
+				r.Workload, b.NsPerOp, r.NsPerOp, r.NsPerOp/b.NsPerOp, base.Revision)
+			warned = true
+		}
+	}
+	if !warned {
+		fmt.Fprintln(w, "  no regressions against baseline")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"willump/internal/benchfmt"
 	"willump/internal/cache"
 	"willump/internal/core"
 	"willump/internal/fixture"
@@ -24,15 +25,9 @@ import (
 )
 
 // PerfRow is one workload's measurement, serialized into BENCH_<rev>.json.
-type PerfRow struct {
-	Workload    string  `json:"workload"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	P50Ns       int64   `json:"p50_ns"`
-	P99Ns       int64   `json:"p99_ns"`
-	P999Ns      int64   `json:"p999_ns,omitempty"`
-}
+// It is the shared benchfmt row, so perf workloads and loadgen scenarios
+// land in one trajectory file format.
+type PerfRow = benchfmt.Row
 
 // perfQuantileIters bounds the manual latency-quantile loop.
 const perfQuantileIters = 2000

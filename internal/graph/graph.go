@@ -8,6 +8,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 
 	"willump/internal/value"
@@ -43,6 +44,16 @@ type Op interface {
 // bit-identical to Apply's into *out and must not retain ins.
 type IntoApplier interface {
 	ApplyInto(ins []value.Value, out *value.Value, scratch *any) error
+}
+
+// CtxBoxedApplier is an optional Op extension for interpreted-path
+// operators that can honor a request context — remote lookups, chiefly.
+// ApplyBoxedCtx evaluates exactly like ApplyBoxed, but the request's
+// deadline and cancellation reach the operator's I/O (the deprecated
+// context-free table path falls back to a fixed timeout instead). The
+// interpreted drivers prefer it whenever they hold a context.
+type CtxBoxedApplier interface {
+	ApplyBoxedCtx(ctx context.Context, ins []any) (any, error)
 }
 
 // Elementwise is an optional extension for commutative spine operators that

@@ -1,0 +1,214 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrivals produces a schedule of request start times as offsets from the
+// run's start. The schedule depends only on the process definition and its
+// seed — never on how fast the server answers — which is what makes the
+// generator open-loop.
+type Arrivals interface {
+	// Schedule returns strictly non-decreasing offsets covering [0, horizon).
+	Schedule(horizon time.Duration) []time.Duration
+}
+
+// SteadyArrivals emits requests at a fixed rate with deterministic,
+// evenly-spaced offsets. Zero jitter makes it the reference process for
+// open-loop pin tests: the k-th request starts at exactly k/QPS.
+type SteadyArrivals struct {
+	QPS float64
+}
+
+// Schedule implements Arrivals.
+func (s SteadyArrivals) Schedule(horizon time.Duration) []time.Duration {
+	if s.QPS <= 0 || horizon <= 0 {
+		return nil
+	}
+	interval := time.Duration(float64(time.Second) / s.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	n := int(horizon / interval)
+	out := make([]time.Duration, 0, n+1)
+	for t := time.Duration(0); t < horizon; t += interval {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PoissonArrivals emits a homogeneous Poisson process at rate QPS:
+// exponentially distributed inter-arrival gaps, the standard model for
+// independent user traffic.
+type PoissonArrivals struct {
+	QPS  float64
+	Seed int64
+}
+
+// Schedule implements Arrivals.
+func (p PoissonArrivals) Schedule(horizon time.Duration) []time.Duration {
+	if p.QPS <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / p.QPS * float64(time.Second))
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// RatePoint anchors a piecewise-linear QPS curve: the offered rate at
+// offset At is QPS, interpolated linearly between adjacent points.
+type RatePoint struct {
+	At  time.Duration `json:"at_ns"`
+	QPS float64       `json:"qps"`
+}
+
+// CurveArrivals emits a non-homogeneous Poisson process whose rate follows
+// the piecewise-linear curve through Points, via thinning against the peak
+// rate. This models flash crowds (baseline → spike → recovery) and replayed
+// diurnal QPS curves from production traffic.
+type CurveArrivals struct {
+	Points []RatePoint
+	Seed   int64
+}
+
+// FlashCrowd builds a curve that holds base QPS, ramps to peak over the
+// middle fifth of the horizon, holds the peak for a fifth, then recovers.
+func FlashCrowd(base, peak float64, horizon time.Duration) CurveArrivals {
+	fifth := horizon / 5
+	return CurveArrivals{Points: []RatePoint{
+		{At: 0, QPS: base},
+		{At: 2 * fifth, QPS: base},
+		{At: 2*fifth + fifth/4, QPS: peak},
+		{At: 3 * fifth, QPS: peak},
+		{At: 3*fifth + fifth/2, QPS: base},
+		{At: horizon, QPS: base},
+	}}
+}
+
+// Diurnal builds a one-"day" sinusoidal QPS curve compressed into horizon,
+// oscillating between low (trough) and high (peak), sampled at 24 points
+// like an hourly production traffic replay.
+func Diurnal(low, high float64, horizon time.Duration) CurveArrivals {
+	const samples = 24
+	pts := make([]RatePoint, samples+1)
+	mid := (low + high) / 2
+	amp := (high - low) / 2
+	for i := 0; i <= samples; i++ {
+		frac := float64(i) / samples
+		// Trough at start/end, peak mid-"day".
+		q := mid - amp*math.Cos(2*math.Pi*frac)
+		pts[i] = RatePoint{At: time.Duration(frac * float64(horizon)), QPS: q}
+	}
+	return CurveArrivals{Points: pts}
+}
+
+func (c CurveArrivals) rateAt(t time.Duration) float64 {
+	pts := c.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if t <= pts[0].At {
+		return pts[0].QPS
+	}
+	for i := 1; i < len(pts); i++ {
+		if t <= pts[i].At {
+			span := pts[i].At - pts[i-1].At
+			if span <= 0 {
+				return pts[i].QPS
+			}
+			frac := float64(t-pts[i-1].At) / float64(span)
+			return pts[i-1].QPS + frac*(pts[i].QPS-pts[i-1].QPS)
+		}
+	}
+	return pts[len(pts)-1].QPS
+}
+
+// Schedule implements Arrivals by thinning a homogeneous Poisson process at
+// the curve's peak rate: candidate arrivals are kept with probability
+// rate(t)/peak, yielding exact non-homogeneous Poisson arrivals.
+func (c CurveArrivals) Schedule(horizon time.Duration) []time.Duration {
+	if len(c.Points) == 0 || horizon <= 0 {
+		return nil
+	}
+	peak := 0.0
+	for _, p := range c.Points {
+		if p.QPS > peak {
+			peak = p.QPS
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var out []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+		t += gap
+		if t >= horizon {
+			return out
+		}
+		if rng.Float64()*peak <= c.rateAt(t) {
+			out = append(out, t)
+		}
+	}
+}
+
+// ReplayArrivals replays a fixed schedule verbatim — the arrival side of a
+// recorded trace.
+type ReplayArrivals struct {
+	Offsets []time.Duration
+}
+
+// Schedule implements Arrivals, returning the offsets inside the horizon in
+// sorted order.
+func (r ReplayArrivals) Schedule(horizon time.Duration) []time.Duration {
+	out := make([]time.Duration, 0, len(r.Offsets))
+	for _, t := range r.Offsets {
+		if t >= 0 && t < horizon {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// arrivalsFromSpec builds an Arrivals from a scenario spec.
+func arrivalsFromSpec(s ScenarioSpec) (Arrivals, error) {
+	switch s.Arrivals {
+	case "steady":
+		return SteadyArrivals{QPS: s.QPS}, nil
+	case "poisson", "":
+		return PoissonArrivals{QPS: s.QPS, Seed: s.Seed}, nil
+	case "flash-crowd":
+		peak := s.PeakQPS
+		if peak <= 0 {
+			peak = 4 * s.QPS
+		}
+		c := FlashCrowd(s.QPS, peak, s.Duration)
+		c.Seed = s.Seed
+		return c, nil
+	case "diurnal":
+		peak := s.PeakQPS
+		if peak <= 0 {
+			peak = 3 * s.QPS
+		}
+		c := Diurnal(s.QPS, peak, s.Duration)
+		c.Seed = s.Seed
+		return c, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q", s.Arrivals)
+	}
+}

@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSteadyArrivalsExactSpacing(t *testing.T) {
+	sched := SteadyArrivals{QPS: 1000}.Schedule(100 * time.Millisecond)
+	if len(sched) != 100 {
+		t.Fatalf("got %d arrivals, want 100", len(sched))
+	}
+	for i, at := range sched {
+		if want := time.Duration(i) * time.Millisecond; at != want {
+			t.Fatalf("arrival %d at %s, want %s", i, at, want)
+		}
+	}
+}
+
+func TestPoissonArrivalsRateAndDeterminism(t *testing.T) {
+	const qps = 500.0
+	horizon := 20 * time.Second
+	a := PoissonArrivals{QPS: qps, Seed: 7}
+	s1 := a.Schedule(horizon)
+	s2 := a.Schedule(horizon)
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed diverged at arrival %d: %s vs %s", i, s1[i], s2[i])
+		}
+	}
+	// Count within 5 sigma of the Poisson mean.
+	mean := qps * horizon.Seconds()
+	if diff := math.Abs(float64(len(s1)) - mean); diff > 5*math.Sqrt(mean) {
+		t.Errorf("got %d arrivals, want ~%.0f", len(s1), mean)
+	}
+	// Different seed, different schedule.
+	s3 := PoissonArrivals{QPS: qps, Seed: 8}.Schedule(horizon)
+	same := len(s3) == len(s1)
+	for i := 0; same && i < len(s1); i++ {
+		same = s1[i] == s3[i]
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestFlashCrowdConcentratesLoad checks that the thinned non-homogeneous
+// process actually ramps: the peak-window arrival rate is several times the
+// baseline-window rate.
+func TestFlashCrowdConcentratesLoad(t *testing.T) {
+	horizon := 50 * time.Second
+	c := FlashCrowd(100, 800, horizon)
+	c.Seed = 3
+	sched := c.Schedule(horizon)
+	fifth := horizon / 5
+	inWindow := func(lo, hi time.Duration) int {
+		n := 0
+		for _, at := range sched {
+			if at >= lo && at < hi {
+				n++
+			}
+		}
+		return n
+	}
+	base := inWindow(0, fifth)                 // pre-ramp fifth at 100 qps
+	peak := inWindow(2*fifth+fifth/4, 3*fifth) // held peak at 800 qps
+	baseRate := float64(base) / fifth.Seconds()
+	peakRate := float64(peak) / (3*fifth - (2*fifth + fifth/4)).Seconds()
+	if peakRate < 4*baseRate {
+		t.Errorf("peak rate %.0f qps not >= 4x base rate %.0f qps", peakRate, baseRate)
+	}
+	if baseRate < 50 || baseRate > 200 {
+		t.Errorf("base rate %.0f qps, want ~100", baseRate)
+	}
+}
+
+func TestCurveRateInterpolation(t *testing.T) {
+	c := CurveArrivals{Points: []RatePoint{
+		{At: 0, QPS: 100},
+		{At: 10 * time.Second, QPS: 300},
+	}}
+	if got := c.rateAt(5 * time.Second); math.Abs(got-200) > 1e-9 {
+		t.Errorf("rate at midpoint = %.1f, want 200", got)
+	}
+	if got := c.rateAt(20 * time.Second); got != 300 {
+		t.Errorf("rate past last point = %.1f, want 300", got)
+	}
+}
+
+func TestReplayArrivalsSortsAndClips(t *testing.T) {
+	r := ReplayArrivals{Offsets: []time.Duration{
+		3 * time.Second, time.Second, 9 * time.Second, -time.Second,
+	}}
+	got := r.Schedule(5 * time.Second)
+	want := []time.Duration{time.Second, 3 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZipfKeysSkewAndDeterminism(t *testing.T) {
+	k1 := NewZipfKeys(1<<20, 1.1, 5)
+	k2 := NewZipfKeys(1<<20, 1.1, 5)
+	counts := make(map[int64]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		a, b := k1.Next(), k2.Next()
+		if a != b {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a, b)
+		}
+		counts[a]++
+	}
+	// Zipfian skew: the hottest key dominates.
+	if counts[0] < n/20 {
+		t.Errorf("hottest key drew %d of %d, want heavy skew", counts[0], n)
+	}
+}
+
+func TestHotsetKeysFraction(t *testing.T) {
+	k := NewHotsetKeys(1_000_000, 100, 0.9, 11)
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if k.Next() < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction %.3f, want ~0.9", frac)
+	}
+}

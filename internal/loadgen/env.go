@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"willump/internal/core"
+	"willump/internal/graph"
+	"willump/internal/kvstore"
+	"willump/internal/model"
+	"willump/internal/ops"
+	"willump/internal/serving"
+	"willump/internal/store"
+	"willump/internal/value"
+)
+
+// Env is a self-contained serving stack the load generator can drive
+// without external infrastructure: an in-process kvstore (the remote
+// feature store), a production store.Client with retries/hedging/breaker,
+// a two-lookup pipeline optimized twice (so hot swaps flip between two
+// genuinely different deployments), and the real HTTP serving tier in
+// front. Chaos scenarios reach through it to the fault-injection knobs.
+type Env struct {
+	ModelName    string
+	AltModelName string
+	NKeys        int64
+
+	kv       *kvstore.Server
+	kvBase   time.Duration
+	storeCli *store.Client
+	reg      *serving.Registry
+	srv      *serving.Server
+	client   *serving.Client
+	addr     string
+
+	opts    [2]*core.Optimized
+	nextTag int
+}
+
+// EnvConfig sizes the local environment.
+type EnvConfig struct {
+	// QueueDepth is the serving tier's admission-control queue depth
+	// (default 1024; set small to force overload shedding).
+	QueueDepth int
+	// StoreLatency is the kvstore's base per-request latency (default 0).
+	StoreLatency time.Duration
+	// NKeys is the loaded key-space size (default 2048).
+	NKeys int64
+	// Seed drives table contents and training data.
+	Seed int64
+}
+
+// NewLocalEnv builds and starts the full local stack. Callers own Close.
+func NewLocalEnv(cfg EnvConfig) (env *Env, err error) {
+	nKeys := cfg.NKeys
+	if nKeys <= 0 {
+		nKeys = 2048
+	}
+	e := &Env{ModelName: "demo", AltModelName: "demo-alt", NKeys: nKeys, kvBase: cfg.StoreLatency}
+	defer func() {
+		if err != nil {
+			e.Close()
+		}
+	}()
+
+	// Remote feature store plus the production client in front of it.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e.kv = kvstore.NewServer(2, cfg.StoreLatency)
+	remoteRows := make(map[int64][]float64, nKeys)
+	localRows := make(map[int64][]float64, nKeys)
+	for k := int64(0); k < nKeys; k++ {
+		remoteRows[k] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		localRows[k] = []float64{rng.NormFloat64()}
+	}
+	if err := e.kv.Load(remoteRows); err != nil {
+		return nil, err
+	}
+	addr, err := e.kv.Start()
+	if err != nil {
+		return nil, err
+	}
+	e.storeCli, err = store.Dial(context.Background(), store.Config{
+		Addr:      addr,
+		ExpectDim: 2,
+		Hedge:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pipeline: local lookup ⋈ remote lookup → logistic model, the minimal
+	// shape that exercises async prefetch and the store client under load.
+	b := graph.NewBuilder()
+	uid := b.Input("user_id")
+	iid := b.Input("item_id")
+	uf := b.Add("user_features", ops.NewLookup("local", ops.NewLocalTable(1, localRows)), uid)
+	itf := b.Add("item_features", ops.NewLookup("remote", e.storeCli), iid)
+	cat := b.Add("concat", ops.NewConcat(), uf, itf)
+	b.SetOutput(cat)
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	gen := func(n int) core.Dataset {
+		uids := make([]int64, n)
+		iids := make([]int64, n)
+		y := make([]float64, n)
+		for i := range uids {
+			uk, ik := rng.Int63n(nKeys), rng.Int63n(nKeys)
+			uids[i], iids[i] = uk, ik
+			if localRows[uk][0]+remoteRows[ik][0]-remoteRows[ik][1] > 0 {
+				y[i] = 1
+			}
+		}
+		return core.Dataset{
+			Inputs: map[string]value.Value{
+				"user_id": value.NewInts(uids),
+				"item_id": value.NewInts(iids),
+			},
+			Y: y,
+		}
+	}
+	train, valid := gen(512), gen(128)
+
+	// Optimize the pipeline twice: two independent deployables, so a hot
+	// swap under load flips between real, separately-compiled versions.
+	for i := range e.opts {
+		p := &core.Pipeline{Graph: g, Model: model.NewLogistic(model.LinearConfig{})}
+		opt, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: optimizing env pipeline: %w", err)
+		}
+		e.opts[i] = opt
+	}
+
+	// Serving tier: registry + HTTP frontend + tuned client. A second model
+	// rides behind the same frontend so mix scenarios exercise the
+	// registry's multi-model routing, not just one hot path.
+	e.reg = serving.NewRegistry(serving.Options{QueueDepth: cfg.QueueDepth})
+	if err := e.reg.Deploy(e.ModelName, "v1", e.opts[0]); err != nil {
+		return nil, err
+	}
+	if err := e.reg.Deploy(e.AltModelName, "v1", e.opts[1]); err != nil {
+		return nil, err
+	}
+	e.nextTag = 2
+	e.srv = serving.NewRegistryServer(e.reg)
+	e.addr, err = e.srv.Start()
+	if err != nil {
+		return nil, err
+	}
+	e.client = serving.NewClient(e.addr)
+	return e, nil
+}
+
+// Addr returns the serving frontend's address.
+func (e *Env) Addr() string { return e.addr }
+
+// Client returns the serving client bound to the env's frontend.
+func (e *Env) Client() *serving.Client { return e.client }
+
+// Target returns the load-generation target: one single-row prediction RPC
+// per event, the key folded into the loaded key space for both lookups.
+func (e *Env) Target() Target {
+	return TargetFunc(func(ctx context.Context, ev Event) error {
+		_, err := e.client.PredictModel(ctx, e.ModelName, e.inputs(ev.Key))
+		return err
+	})
+}
+
+// MixTarget returns a multi-model target: requests split across both
+// deployed models by key, exercising the registry's routing and per-model
+// queues rather than one hot path.
+func (e *Env) MixTarget() Target {
+	return TargetFunc(func(ctx context.Context, ev Event) error {
+		name := e.ModelName
+		if ev.Key%3 == 0 {
+			name = e.AltModelName
+		}
+		_, err := e.client.PredictModel(ctx, name, e.inputs(ev.Key))
+		return err
+	})
+}
+
+func (e *Env) inputs(key int64) map[string]value.Value {
+	k := key % e.NKeys
+	if k < 0 {
+		k += e.NKeys
+	}
+	return map[string]value.Value{
+		"user_id": value.NewInts([]int64{k}),
+		"item_id": value.NewInts([]int64{(k * 7) % e.NKeys}),
+	}
+}
+
+// Swap hot-deploys the alternate optimized pipeline under a fresh version
+// tag — the zero-downtime redeploy the chaos scenario asserts on.
+func (e *Env) Swap() error {
+	opt := e.opts[e.nextTag%2]
+	tag := fmt.Sprintf("v%d", e.nextTag)
+	e.nextTag++
+	return e.reg.Deploy(e.ModelName, tag, opt)
+}
+
+// InjectStoreTail makes every Nth kvstore request take slow, modeling a
+// feature-store tail-latency incident.
+func (e *Env) InjectStoreTail(every int, slow time.Duration) {
+	e.kv.SetLatencyFunc(kvstore.TailLatency(every, e.kvBase, slow))
+}
+
+// RestoreStore removes injected store faults.
+func (e *Env) RestoreStore() { e.kv.SetLatencyFunc(nil) }
+
+// DropStoreConns makes the kvstore drop the next n connections.
+func (e *Env) DropStoreConns(n int) { e.kv.DropNextConns(n) }
+
+// Drain gracefully shuts the serving frontend down (the SIGTERM path):
+// in-flight and queued requests complete, new connections are refused.
+func (e *Env) Drain(ctx context.Context) error { return e.srv.Shutdown(ctx) }
+
+// Degraded returns the cumulative count of lookups answered from the store
+// client's degraded fallback path (0 when the pipeline reports no store).
+func (e *Env) Degraded() int64 {
+	ms, err := e.reg.Stats(e.ModelName)
+	if err != nil || ms.FeatureStore == nil {
+		return 0
+	}
+	return ms.FeatureStore.Degraded
+}
+
+// Close tears the stack down in dependency order. Safe on a partially
+// constructed env and after Drain.
+func (e *Env) Close() {
+	if e.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		e.srv.Shutdown(ctx) //nolint:errcheck // already-drained servers error harmlessly
+		cancel()
+	}
+	if e.storeCli != nil {
+		e.storeCli.Close()
+	}
+	if e.kv != nil {
+		e.kv.Close()
+	}
+}

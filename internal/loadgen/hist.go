@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is an HDR-style log-linear latency histogram with lock-free
+// concurrent recording. Values below 2^exactBits land in exact unit-wide
+// buckets; above that each power-of-two octave is split into 2^subBits
+// linear sub-buckets, bounding relative quantile error at 1/2^subBits
+// (~3%) across the full int64 range. All counters are atomic, so workers
+// record without coordination and a reader may snapshot mid-run.
+type Histogram struct {
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	max       atomic.Int64
+	underflow atomic.Int64 // negative values (clock skew); counted, not bucketed
+}
+
+const (
+	histSubBits   = 5 // 32 linear sub-buckets per octave
+	histExactBits = 6 // values < 64 recorded exactly
+	histSubCount  = 1 << histSubBits
+	histExact     = 1 << histExactBits
+	// Octaves from exponent histExactBits up to 62 inclusive.
+	histBuckets = histExact + (63-histExactBits)*histSubCount
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, histBuckets)}
+}
+
+func histIndex(v int64) int {
+	if v < histExact {
+		return int(v)
+	}
+	k := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v), >= histExactBits
+	sub := int((v >> (uint(k) - histSubBits)) & (histSubCount - 1))
+	return histExact + (k-histExactBits)*histSubCount + sub
+}
+
+// histValue reconstructs a representative value (bucket midpoint) for index i.
+func histValue(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	i -= histExact
+	k := histExactBits + i/histSubCount
+	sub := i % histSubCount
+	lo := (int64(1) << uint(k)) + int64(sub)<<(uint(k)-histSubBits)
+	return lo + (int64(1) << (uint(k) - histSubBits - 1)) // midpoint of sub-bucket
+}
+
+// Record adds one observation. Negative values are counted as underflow so
+// totals stay balanced even under clock adjustments.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		h.underflow.Add(1)
+		h.count.Add(1)
+		return
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean of recorded non-negative values (0 if empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load() - h.underflow.Load()
+	if n <= 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0,1]. Underflowed (negative)
+// observations rank below zero. The answer is the bucket midpoint, except
+// the exact maximum is returned for the topmost populated bucket so p100
+// (and high quantiles landing there) never overshoot the observed max.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	max := h.max.Load()
+	if rank >= total {
+		return max // the top rank is the observed maximum, not a bucket midpoint
+	}
+	cum := h.underflow.Load()
+	if rank <= cum {
+		return 0
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v > max {
+				return max
+			}
+			return v
+		}
+	}
+	return max
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileAccuracy checks reconstructed quantiles against the
+// exact sorted-sample quantiles within the histogram's ~3% relative error
+// bound.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	n := 50000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~6 decades, like latencies ns..ms.
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v + 1)
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Errorf("q%.3f: got %d, exact %d (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if h.Count() != int64(n) {
+		t.Errorf("count %d, want %d", h.Count(), n)
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("p100 %d != max %d", h.Quantile(1), h.Max())
+	}
+}
+
+// TestHistogramSmallExact pins that values below 64 are recorded exactly.
+func TestHistogramSmallExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got < 31 || got > 32 {
+		t.Errorf("median of 0..63 = %d, want 31 or 32", got)
+	}
+	if got := h.Max(); got != 63 {
+		t.Errorf("max %d, want 63", got)
+	}
+}
+
+// TestHistogramConcurrent exercises the lock-free recording path; run under
+// -race this pins that workers never need coordination.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistogramUnderflow pins that negative observations keep totals
+// balanced instead of panicking or skewing quantiles upward.
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	h.Record(100)
+	if h.Count() != 2 {
+		t.Errorf("count %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("quantile below underflow rank = %d, want 0", got)
+	}
+}

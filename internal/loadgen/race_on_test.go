@@ -1,0 +1,9 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled reports whether the race detector instruments this build.
+// Latency-bound assertions scale up under race: instrumented request
+// handling is several times slower, which shows up as driver-side queueing
+// in coordinated-omission-corrected latencies.
+const raceEnabled = true

@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"willump/internal/benchfmt"
+)
+
+// Budget is the SLO a scenario must meet. Rate fields are fractions of
+// started requests; a negative rate means "unchecked", zero means "none
+// allowed" (strict). Latency fields are unchecked when zero.
+type Budget struct {
+	MaxErrorRate    float64       `json:"max_error_rate"`
+	MaxOverloadRate float64       `json:"max_overload_rate"`
+	MaxP99          time.Duration `json:"max_p99,omitempty"`
+	MaxP999         time.Duration `json:"max_p999,omitempty"`
+}
+
+// Unchecked is the rate value meaning "no limit" (overload scenarios
+// deliberately shed, so their shed rate is unbounded).
+const Unchecked = -1
+
+// Report is the per-scenario SLO report: the runner's raw Result plus
+// env-level enrichment (degraded lookups) and derived rates/quantiles.
+type Report struct {
+	Scenario   string        `json:"scenario"`
+	Requests   int64         `json:"requests"` // started on schedule
+	Completed  int64         `json:"completed"`
+	Success    int64         `json:"success"`
+	Overloaded int64         `json:"overloaded"`
+	Errors     int64         `json:"errors"`
+	Degraded   int64         `json:"degraded"` // answered via store fallback
+	Elapsed    time.Duration `json:"elapsed_ns"`
+
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	MeanNs int64 `json:"mean_ns"` // successful requests, scheduled-start latency
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	MaxNs  int64 `json:"max_ns"`
+
+	HookErrs   []string `json:"hook_errs,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// BuildReport derives a Report from a runner Result and checks it against
+// the budget. horizon is the scheduled run length (offered QPS denominator);
+// the achieved rate uses the actual elapsed wall time.
+func BuildReport(scenario string, res *Result, horizon time.Duration, budget Budget) Report {
+	r := Report{
+		Scenario:   scenario,
+		Requests:   res.Started,
+		Completed:  res.Completed,
+		Success:    res.Success,
+		Overloaded: res.Overloaded,
+		Errors:     res.Errors,
+		Elapsed:    res.Elapsed,
+		MeanNs:     int64(res.Latency.Mean()),
+		P50Ns:      res.Latency.Quantile(0.50),
+		P99Ns:      res.Latency.Quantile(0.99),
+		P999Ns:     res.Latency.Quantile(0.999),
+		MaxNs:      res.Latency.Max(),
+		HookErrs:   res.HookErrs,
+	}
+	if horizon > 0 {
+		r.OfferedQPS = float64(res.Started) / horizon.Seconds()
+	}
+	if res.Elapsed > 0 {
+		r.AchievedQPS = float64(res.Success) / res.Elapsed.Seconds()
+	}
+	r.Violations = r.check(budget)
+	return r
+}
+
+func (r Report) check(b Budget) []string {
+	var v []string
+	if r.Requests > 0 {
+		errRate := float64(r.Errors) / float64(r.Requests)
+		if b.MaxErrorRate >= 0 && errRate > b.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.4f exceeds budget %.4f (%d/%d)",
+				errRate, b.MaxErrorRate, r.Errors, r.Requests))
+		}
+		ovRate := float64(r.Overloaded) / float64(r.Requests)
+		if b.MaxOverloadRate >= 0 && ovRate > b.MaxOverloadRate {
+			v = append(v, fmt.Sprintf("overload rate %.4f exceeds budget %.4f (%d/%d)",
+				ovRate, b.MaxOverloadRate, r.Overloaded, r.Requests))
+		}
+	}
+	if b.MaxP99 > 0 && r.P99Ns > b.MaxP99.Nanoseconds() {
+		v = append(v, fmt.Sprintf("p99 %s exceeds budget %s",
+			time.Duration(r.P99Ns), b.MaxP99))
+	}
+	if b.MaxP999 > 0 && r.P999Ns > b.MaxP999.Nanoseconds() {
+		v = append(v, fmt.Sprintf("p999 %s exceeds budget %s",
+			time.Duration(r.P999Ns), b.MaxP999))
+	}
+	for _, he := range r.HookErrs {
+		v = append(v, "hook failed: "+he)
+	}
+	return v
+}
+
+// Passed reports whether the run met its budget.
+func (r Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Row converts the report into a BENCH trajectory row. The workload name is
+// prefixed "loadgen/" so scenario rows sort apart from the perf workloads
+// sharing the file.
+func (r Report) Row() benchfmt.Row {
+	return benchfmt.Row{
+		Workload:    "loadgen/" + r.Scenario,
+		NsPerOp:     float64(r.MeanNs),
+		P50Ns:       r.P50Ns,
+		P99Ns:       r.P99Ns,
+		P999Ns:      r.P999Ns,
+		Requests:    r.Requests,
+		Errors:      r.Errors,
+		Overloaded:  r.Overloaded,
+		Degraded:    r.Degraded,
+		OfferedQPS:  r.OfferedQPS,
+		AchievedQPS: r.AchievedQPS,
+	}
+}
+
+// Print writes a human-readable scenario summary.
+func (r Report) Print(w io.Writer) {
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "%-24s %s  %6.0f qps offered, %6.0f achieved  %d req (%d ok, %d shed, %d err, %d degraded)\n",
+		r.Scenario, status, r.OfferedQPS, r.AchievedQPS, r.Requests, r.Success, r.Overloaded, r.Errors, r.Degraded)
+	fmt.Fprintf(w, "%-24s       p50 %-10s p99 %-10s p999 %-10s max %s\n", "",
+		time.Duration(r.P50Ns), time.Duration(r.P99Ns), time.Duration(r.P999Ns), time.Duration(r.MaxNs))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "%-24s       VIOLATION: %s\n", "", v)
+	}
+}

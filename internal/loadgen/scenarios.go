@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ScenarioSpec declares one load scenario: an arrival process, a key
+// distribution, chaos hooks, and the SLO budget the resulting report is
+// checked against.
+type ScenarioSpec struct {
+	Name     string
+	Arrivals string // steady | poisson | flash-crowd | diurnal
+	QPS      float64
+	PeakQPS  float64 // flash-crowd/diurnal peak (0: derived from QPS)
+	Duration time.Duration
+
+	Keys     string // zipf | hotset | uniform
+	KeySpace int64
+	ZipfS    float64
+	HotKeys  int64
+	HotFrac  float64
+
+	Seed    int64
+	Workers int
+	Timeout time.Duration
+
+	// TracePath, when set, replays a recorded trace file instead of
+	// generating the schedule (Arrivals/Keys/QPS are ignored).
+	TracePath string
+
+	Budget Budget
+
+	// Hooks builds the scenario's chaos actions against the live env;
+	// offsets are relative to the scheduled horizon.
+	Hooks func(e *Env, horizon time.Duration) []Hook
+
+	// MultiModel routes requests across both of the env's deployed models
+	// instead of the primary one.
+	MultiModel bool
+
+	// EnvOverride runs the scenario in its own dedicated environment (the
+	// overload scenario needs a deliberately undersized queue); nil shares
+	// the suite's env.
+	EnvOverride *EnvConfig
+}
+
+// Events materializes the scenario's schedule.
+func (s ScenarioSpec) Events() ([]Event, error) {
+	if s.TracePath != "" {
+		return LoadTrace(s.TracePath)
+	}
+	a, err := arrivalsFromSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	k, err := keysFromSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	return BuildEvents(a, k, s.Duration), nil
+}
+
+// RunScenario executes one scenario against env and returns its report,
+// enriched with the env's degraded-lookup delta across the run.
+func RunScenario(ctx context.Context, e *Env, s ScenarioSpec) (Report, error) {
+	events, err := s.Events()
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: scenario %s: %w", s.Name, err)
+	}
+	horizon := s.Duration
+	if s.TracePath != "" && len(events) > 0 {
+		horizon = events[len(events)-1].At + time.Millisecond
+	}
+	var hooks []Hook
+	if s.Hooks != nil {
+		hooks = s.Hooks(e, horizon)
+	}
+	target := e.Target()
+	if s.MultiModel {
+		target = e.MixTarget()
+	}
+	deg0 := e.Degraded()
+	res := Run(ctx, target, RunConfig{
+		Events:  events,
+		Workers: s.Workers,
+		Timeout: s.Timeout,
+		Hooks:   hooks,
+	})
+	rep := BuildReport(s.Name, res, horizon, s.Budget)
+	rep.Degraded = e.Degraded() - deg0
+	return rep, nil
+}
+
+// Catalog returns the built-in scenario suite. scale compresses or
+// stretches both QPS and duration around the defaults (1.0), so CI smoke
+// runs (scale ~0.25) and long soaks share one catalog.
+func Catalog(scale float64) []ScenarioSpec {
+	if scale <= 0 {
+		scale = 1
+	}
+	dur := func(d time.Duration) time.Duration { return time.Duration(float64(d) * scale) }
+	qps := func(q float64) float64 {
+		s := q * scale
+		if s < 50 {
+			s = 50
+		}
+		return s
+	}
+	lenient := Budget{MaxErrorRate: 0.01, MaxOverloadRate: 0.05}
+	return []ScenarioSpec{
+		{
+			Name: "poisson", Arrivals: "poisson", QPS: qps(400), Duration: dur(8 * time.Second),
+			Keys: "zipf", Seed: 1,
+			Budget: lenient,
+		},
+		{
+			Name: "flash-crowd", Arrivals: "flash-crowd", QPS: qps(150), PeakQPS: qps(900),
+			Duration: dur(10 * time.Second), Keys: "zipf", Seed: 2,
+			Budget: Budget{MaxErrorRate: 0.01, MaxOverloadRate: 0.10},
+		},
+		{
+			Name: "diurnal", Arrivals: "diurnal", QPS: qps(100), PeakQPS: qps(500),
+			Duration: dur(12 * time.Second), Keys: "hotset", Seed: 3,
+			Budget: lenient,
+		},
+		{
+			// Multi-model mix: the same open-loop schedule split across both
+			// deployed models, exercising per-model queues and routing.
+			Name: "multi-model", Arrivals: "poisson", QPS: qps(300), Duration: dur(8 * time.Second),
+			Keys: "zipf", Seed: 10, MultiModel: true,
+			Budget: lenient,
+		},
+		{
+			// Offered load far past capacity: the point is that admission
+			// control sheds (429) instead of collapsing, so the shed rate is
+			// unbounded but hard failures stay rare.
+			Name: "overload", Arrivals: "steady", QPS: qps(3000), Duration: dur(5 * time.Second),
+			Keys: "uniform", Seed: 4, Workers: 128,
+			Budget:      Budget{MaxErrorRate: 0.02, MaxOverloadRate: Unchecked},
+			EnvOverride: &EnvConfig{QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4},
+		},
+		{
+			Name: "chaos-store-tail", Arrivals: "poisson", QPS: qps(300), Duration: dur(8 * time.Second),
+			Keys: "zipf", Seed: 5,
+			Budget: lenient,
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				return []Hook{
+					{At: h / 4, Name: "inject-store-tail", Fn: func(context.Context) error {
+						e.InjectStoreTail(4, 20*time.Millisecond)
+						return nil
+					}},
+					{At: 3 * h / 4, Name: "restore-store", Fn: func(context.Context) error {
+						e.RestoreStore()
+						return nil
+					}},
+				}
+			},
+		},
+		{
+			Name: "chaos-store-drop", Arrivals: "poisson", QPS: qps(300), Duration: dur(8 * time.Second),
+			Keys: "zipf", Seed: 6,
+			Budget: lenient,
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				return []Hook{{At: h / 2, Name: "drop-store-conns", Fn: func(context.Context) error {
+					e.DropStoreConns(8)
+					return nil
+				}}}
+			},
+		},
+		{
+			// Zero-downtime redeploy: two hot swaps under sustained load, with
+			// a zero hard-error budget — a request lost across the swap fails
+			// the scenario.
+			Name: "chaos-hot-swap", Arrivals: "poisson", QPS: qps(300), Duration: dur(8 * time.Second),
+			Keys: "zipf", Seed: 7,
+			Budget: Budget{MaxErrorRate: 0, MaxOverloadRate: 0.05},
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				swap := func(context.Context) error { return e.Swap() }
+				return []Hook{
+					{At: 2 * h / 5, Name: "hot-swap-1", Fn: swap},
+					{At: 7 * h / 10, Name: "hot-swap-2", Fn: swap},
+				}
+			},
+		},
+		{
+			// Graceful drain mid-run (the SIGTERM path): requests arriving
+			// after the drain fail at the refused socket, so the error budget
+			// is uncheckable — the invariants are that pre-drain work succeeds
+			// and drained requests never report success (pinned by test).
+			Name: "drain", Arrivals: "poisson", QPS: qps(200), Duration: dur(5 * time.Second),
+			Keys: "zipf", Seed: 8,
+			Budget:      Budget{MaxErrorRate: Unchecked, MaxOverloadRate: Unchecked},
+			EnvOverride: &EnvConfig{Seed: 8},
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				return []Hook{{At: 3 * h / 5, Name: "drain", Fn: func(ctx context.Context) error {
+					return e.Drain(ctx)
+				}}}
+			},
+		},
+		{
+			// Soak: sustained load with the whole chaos menu — tail injection,
+			// connection drops, and two hot swaps — recovering to a clean
+			// final stretch.
+			Name: "soak", Arrivals: "poisson", QPS: qps(250), Duration: dur(30 * time.Second),
+			Keys: "zipf", Seed: 9,
+			Budget: Budget{MaxErrorRate: 0.02, MaxOverloadRate: 0.10},
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				return []Hook{
+					{At: h / 6, Name: "inject-store-tail", Fn: func(context.Context) error {
+						e.InjectStoreTail(8, 15*time.Millisecond)
+						return nil
+					}},
+					{At: h / 3, Name: "hot-swap-1", Fn: func(context.Context) error { return e.Swap() }},
+					{At: h / 2, Name: "drop-store-conns", Fn: func(context.Context) error {
+						e.DropStoreConns(4)
+						return nil
+					}},
+					{At: 2 * h / 3, Name: "hot-swap-2", Fn: func(context.Context) error { return e.Swap() }},
+					{At: 5 * h / 6, Name: "restore-store", Fn: func(context.Context) error {
+						e.RestoreStore()
+						return nil
+					}},
+				}
+			},
+		},
+	}
+}
+
+// SmokeScenarios is the subset CI runs: one plain open-loop scenario, one
+// ramp, and the two chaos modes the acceptance criteria name.
+var SmokeScenarios = []string{"poisson", "flash-crowd", "chaos-store-tail", "chaos-hot-swap"}
+
+// SelectScenarios filters the catalog by name; empty names selects all.
+func SelectScenarios(specs []ScenarioSpec, names []string) ([]ScenarioSpec, error) {
+	if len(names) == 0 {
+		return specs, nil
+	}
+	byName := make(map[string]ScenarioSpec, len(specs))
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	out := make([]ScenarioSpec, 0, len(names))
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown scenario %q", n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -252,11 +252,11 @@ func (l *Lookup) BindTable(t Table) error {
 }
 
 // Materialize builds the lookup's dense output from rows fetched out of
-// band (an async prefetch joining at consume time). Rows arrive in key
-// order; nil rows produce the default zero vector.
+// band (a batch fetch, or an async prefetch joining at consume time). Rows
+// arrive in key order; nil rows produce the default zero vector.
 func (l *Lookup) Materialize(rows [][]float64, n int) (value.Value, error) {
 	if len(rows) != n {
-		return value.Value{}, fmt.Errorf("ops: %s: prefetch returned %d rows, want %d", l.Name(), len(rows), n)
+		return value.Value{}, fmt.Errorf("ops: %s: table returned %d rows, want %d", l.Name(), len(rows), n)
 	}
 	out := feature.NewDense(n, l.dim)
 	for i, v := range rows {
@@ -267,8 +267,29 @@ func (l *Lookup) Materialize(rows [][]float64, n int) (value.Value, error) {
 	return value.NewMat(out), nil
 }
 
+// lookupRows is the one table-fetch path every execution mode funnels
+// through: tables that honor contexts (remote store clients) are driven via
+// LookupBatchCtx so deadlines and cancellation reach the wire, and only
+// context-free tables fall back to the deprecated LookupBatch. Callers
+// without a real request context pass context.Background(), which for
+// ctx-aware tables is exactly what their own LookupBatch wrapper does.
+func (l *Lookup) lookupRows(ctx context.Context, keys []int64) ([][]float64, error) {
+	if ct, ok := l.table.(CtxTable); ok && ctx != nil {
+		return ct.LookupBatchCtx(ctx, keys)
+	}
+	return l.table.LookupBatch(keys)
+}
+
 // Apply implements graph.Op.
 func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
+	return l.ApplyCtx(context.Background(), ins)
+}
+
+// ApplyCtx is Apply with request-context propagation: when the bound table
+// honors contexts (a remote store client), the request's deadline and
+// cancellation reach the wire and store trace spans land on the request's
+// trace. Tables without context support use the context-free batch path.
+func (l *Lookup) ApplyCtx(ctx context.Context, ins []value.Value) (value.Value, error) {
 	if l.table == nil {
 		return value.Value{}, fmt.Errorf("ops: %s: no table bound; supply one when loading the artifact", l.Name())
 	}
@@ -279,36 +300,7 @@ func (l *Lookup) Apply(ins []value.Value) (value.Value, error) {
 		return value.Value{}, errKind(l.Name(), 0, ins[0].Kind, value.Ints)
 	}
 	keys := ins[0].Ints
-	vecs, err := l.table.LookupBatch(keys)
-	if err != nil {
-		return value.Value{}, fmt.Errorf("ops: %s: %w", l.Name(), err)
-	}
-	out := feature.NewDense(len(keys), l.dim)
-	for i, v := range vecs {
-		if v != nil {
-			copy(out.Row(i), v)
-		}
-	}
-	return value.NewMat(out), nil
-}
-
-// ApplyCtx is Apply with request-context propagation: when the bound table
-// honors contexts (a remote store client), the request's deadline and
-// cancellation reach the wire and store trace spans land on the request's
-// trace. Tables without context support fall back to Apply exactly.
-func (l *Lookup) ApplyCtx(ctx context.Context, ins []value.Value) (value.Value, error) {
-	ct, ok := l.table.(CtxTable)
-	if !ok || ctx == nil {
-		return l.Apply(ins)
-	}
-	if len(ins) != 1 {
-		return value.Value{}, errArity(l.Name(), len(ins), 1)
-	}
-	if ins[0].Kind != value.Ints {
-		return value.Value{}, errKind(l.Name(), 0, ins[0].Kind, value.Ints)
-	}
-	keys := ins[0].Ints
-	vecs, err := ct.LookupBatchCtx(ctx, keys)
+	vecs, err := l.lookupRows(ctx, keys)
 	if err != nil {
 		return value.Value{}, fmt.Errorf("ops: %s: %w", l.Name(), err)
 	}
@@ -318,6 +310,14 @@ func (l *Lookup) ApplyCtx(ctx context.Context, ins []value.Value) (value.Value, 
 // ApplyBoxed implements graph.Op: one remote/local request per row, exactly
 // how an unoptimized Python pipeline issues point lookups.
 func (l *Lookup) ApplyBoxed(ins []any) (any, error) {
+	return l.ApplyBoxedCtx(context.Background(), ins)
+}
+
+// ApplyBoxedCtx implements graph.CtxBoxedApplier: the interpreted drivers
+// pass the run's request context here, so even the one-request-per-row
+// baseline path propagates deadlines end-to-end instead of falling back to
+// the table's fixed I/O timeout.
+func (l *Lookup) ApplyBoxedCtx(ctx context.Context, ins []any) (any, error) {
 	if l.table == nil {
 		return nil, fmt.Errorf("ops: %s: no table bound; supply one when loading the artifact", l.Name())
 	}
@@ -328,7 +328,7 @@ func (l *Lookup) ApplyBoxed(ins []any) (any, error) {
 	if !ok {
 		return nil, errBoxed(l.Name(), 0, ins[0], "int64")
 	}
-	vecs, err := l.table.LookupBatch([]int64{k})
+	vecs, err := l.lookupRows(ctx, []int64{k})
 	if err != nil {
 		return nil, fmt.Errorf("ops: %s: %w", l.Name(), err)
 	}

@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"willump/internal/value"
+)
+
+func insInts(keys []int64) []value.Value {
+	return []value.Value{value.NewInts(keys)}
+}
+
+// ctxRecordingTable implements CtxTable and records whether the ctx-aware
+// path was taken and what deadline it saw.
+type ctxRecordingTable struct {
+	dim      int
+	ctxCalls atomic.Int64
+	rawCalls atomic.Int64
+	deadline atomic.Bool
+}
+
+func (t *ctxRecordingTable) Dim() int { return t.dim }
+func (t *ctxRecordingTable) LookupBatch(keys []int64) ([][]float64, error) {
+	t.rawCalls.Add(1)
+	return make([][]float64, len(keys)), nil
+}
+func (t *ctxRecordingTable) LookupBatchCtx(ctx context.Context, keys []int64) ([][]float64, error) {
+	t.ctxCalls.Add(1)
+	if _, ok := ctx.Deadline(); ok {
+		t.deadline.Store(true)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return make([][]float64, len(keys)), nil
+}
+func (t *ctxRecordingTable) Requests() int64 { return t.ctxCalls.Load() + t.rawCalls.Load() }
+
+// TestLookupPrefersCtxPath pins the deprecated-path migration: every Lookup
+// execution mode (columnar Apply, ctx Apply, boxed row-at-a-time) reaches a
+// ctx-aware table through LookupBatchCtx, never the context-free
+// LookupBatch, and a caller deadline is visible at the table.
+func TestLookupPrefersCtxPath(t *testing.T) {
+	tab := &ctxRecordingTable{dim: 2}
+	l := NewLookup("t", tab)
+	ins := []any{int64(7)}
+
+	if _, err := l.ApplyBoxed(ins); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := l.ApplyBoxedCtx(ctx, ins); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.deadline.Load() {
+		t.Fatal("ApplyBoxedCtx did not propagate the caller deadline to the table")
+	}
+	cols := []int64{1, 2, 3}
+	vv, err := l.Apply(insInts(cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vv.Mat.Rows() != 3 {
+		t.Fatalf("Apply produced %d rows, want 3", vv.Mat.Rows())
+	}
+	if _, err := l.ApplyCtx(ctx, insInts(cols)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.rawCalls.Load(); got != 0 {
+		t.Fatalf("context-free LookupBatch called %d times; want 0 (deprecated path)", got)
+	}
+	if got := tab.ctxCalls.Load(); got != 4 {
+		t.Fatalf("LookupBatchCtx called %d times, want 4", got)
+	}
+
+	// Cancellation surfaces from every mode.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := l.ApplyCtx(dead, insInts(cols)); err == nil {
+		t.Fatal("ApplyCtx with canceled context succeeded")
+	}
+	if _, err := l.ApplyBoxedCtx(dead, ins); err == nil {
+		t.Fatal("ApplyBoxedCtx with canceled context succeeded")
+	}
+}

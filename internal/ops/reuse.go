@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,21 +25,22 @@ import (
 
 // Interface conformance for the reuse contract.
 var (
-	_ graph.IntoApplier = (*TFIDF)(nil)
-	_ graph.IntoApplier = (*CountVectorizer)(nil)
-	_ graph.IntoApplier = (*HashingVectorizer)(nil)
-	_ graph.IntoApplier = (*FusedText)(nil)
-	_ graph.IntoApplier = (*OneHot)(nil)
-	_ graph.IntoApplier = (*Ordinal)(nil)
-	_ graph.IntoApplier = (*StandardScale)(nil)
-	_ graph.IntoApplier = (*NumericStats)(nil)
-	_ graph.IntoApplier = (*TextStats)(nil)
-	_ graph.IntoApplier = (*Lookup)(nil)
-	_ graph.IntoApplier = (*Clean)(nil)
-	_ graph.IntoApplier = (*Tokenize)(nil)
-	_ graph.IntoApplier = (*WordNGrams)(nil)
-	_ graph.IntoApplier = (*CharNGrams)(nil)
-	_ graph.Elementwise = (*Clip)(nil)
+	_ graph.IntoApplier     = (*TFIDF)(nil)
+	_ graph.IntoApplier     = (*CountVectorizer)(nil)
+	_ graph.IntoApplier     = (*HashingVectorizer)(nil)
+	_ graph.IntoApplier     = (*FusedText)(nil)
+	_ graph.IntoApplier     = (*OneHot)(nil)
+	_ graph.IntoApplier     = (*Ordinal)(nil)
+	_ graph.IntoApplier     = (*StandardScale)(nil)
+	_ graph.IntoApplier     = (*NumericStats)(nil)
+	_ graph.IntoApplier     = (*TextStats)(nil)
+	_ graph.IntoApplier     = (*Lookup)(nil)
+	_ graph.CtxBoxedApplier = (*Lookup)(nil)
+	_ graph.IntoApplier     = (*Clean)(nil)
+	_ graph.IntoApplier     = (*Tokenize)(nil)
+	_ graph.IntoApplier     = (*WordNGrams)(nil)
+	_ graph.IntoApplier     = (*CharNGrams)(nil)
+	_ graph.Elementwise     = (*Clip)(nil)
 )
 
 // csrScratch backs the sparse-output vectorizers: a reused CSR builder, the
@@ -382,7 +384,11 @@ func (l *Lookup) ApplyInto(ins []value.Value, out *value.Value, scratch *any) er
 			}
 		}
 	} else {
-		vecs, err := l.table.LookupBatch(keys)
+		// No ctx parameter exists on the ApplyInto contract; ctx-aware tables
+		// are routed through ApplyCtx by the executor before reaching here,
+		// so this funnel only ever sees context-free tables (and lookupRows
+		// degrades to their plain LookupBatch).
+		vecs, err := l.lookupRows(context.Background(), keys)
 		if err != nil {
 			return fmt.Errorf("ops: %s: %w", l.Name(), err)
 		}

@@ -46,6 +46,22 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *clientConfig) { c.httpClient = h }
 }
 
+// DefaultTransport returns the transport NewClient installs when the caller
+// does not supply an *http.Client: net/http's default transport cloned with
+// a per-host idle pool sized for high-concurrency drivers. Go's stock
+// MaxIdleConnsPerHost of 2 makes any driver with more than two in-flight
+// requests against one server churn through fresh TCP connections (connect
+// + slow-start on the hot path, TIME_WAIT exhaustion under load tests);
+// serving clients overwhelmingly talk to a single host, so the per-host cap
+// is raised to match the overall pool.
+func DefaultTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}
+
 // NewClient returns a client for the server at base URL.
 func NewClient(base string, opts ...ClientOption) *Client {
 	cfg := clientConfig{timeout: 30 * time.Second}
@@ -56,7 +72,7 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	}
 	hc := cfg.httpClient
 	if hc == nil {
-		hc = &http.Client{Timeout: cfg.timeout}
+		hc = &http.Client{Timeout: cfg.timeout, Transport: DefaultTransport()}
 	}
 	return &Client{base: strings.TrimRight(base, "/"), http: hc}
 }

@@ -1,0 +1,53 @@
+package serving
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestClientDefaultTransportTuned pins the high-concurrency transport
+// defaults: a driver with hundreds of in-flight requests against one host
+// must not serialize on net/http's default 2 idle conns per host.
+func TestClientDefaultTransportTuned(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", c.http.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 64 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want >= 64", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConns = %d < MaxIdleConnsPerHost = %d", tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
+	}
+	if tr.IdleConnTimeout <= 0 {
+		t.Fatalf("IdleConnTimeout = %v, want > 0", tr.IdleConnTimeout)
+	}
+	if c.http.Timeout != 30*time.Second {
+		t.Fatalf("default timeout = %v, want 30s", c.http.Timeout)
+	}
+	// Each client owns its clone: tuning one must not mutate the process-wide
+	// http.DefaultTransport.
+	if dt := http.DefaultTransport.(*http.Transport); dt.MaxIdleConnsPerHost == tr.MaxIdleConnsPerHost {
+		t.Fatalf("DefaultTransport mutated: MaxIdleConnsPerHost = %d", dt.MaxIdleConnsPerHost)
+	}
+}
+
+// TestClientWithHTTPClientVerbatim pins WithHTTPClient's reuse contract:
+// the supplied *http.Client is used as-is — same pointer, untouched
+// transport and timeout — so callers keep control of pooling and can share
+// one client across many serving Clients.
+func TestClientWithHTTPClientVerbatim(t *testing.T) {
+	custom := &http.Client{Timeout: 123 * time.Millisecond}
+	c := NewClient("http://127.0.0.1:1", WithHTTPClient(custom), WithHTTPTimeout(time.Second))
+	if c.http != custom {
+		t.Fatal("WithHTTPClient did not reuse the supplied client verbatim")
+	}
+	if custom.Timeout != 123*time.Millisecond {
+		t.Fatalf("supplied client's timeout changed to %v", custom.Timeout)
+	}
+	if custom.Transport != nil {
+		t.Fatalf("supplied client's transport replaced with %T", custom.Transport)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"willump/internal/feature"
+	"willump/internal/graph"
 	"willump/internal/trace"
 	"willump/internal/value"
 )
@@ -55,7 +56,15 @@ func (p *Program) RunInterpreted(ctx context.Context, inputs map[string]value.Va
 			for i, in := range node.Inputs {
 				ins[i] = boxed[in]
 			}
-			out, err := node.Op.ApplyBoxed(ins)
+			// Prefer the ctx-aware boxed path where the operator offers one
+			// (remote lookups), so per-row I/O sees the request's deadline.
+			var out any
+			var err error
+			if ca, ok := node.Op.(graph.CtxBoxedApplier); ok {
+				out, err = ca.ApplyBoxedCtx(ctx, ins)
+			} else {
+				out, err = node.Op.ApplyBoxed(ins)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("weld: interpreted node %d (%s): %w", id, node.Label, err)
 			}

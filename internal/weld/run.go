@@ -274,12 +274,21 @@ func (r *BatchRun) runPythonStep(si int, ins []value.Value) error {
 	}
 	r.p.Prof.addDriver(time.Since(start).Seconds())
 
-	// Interpreted execution.
+	// Interpreted execution. Operators with a ctx-aware boxed path (remote
+	// lookups) see the run's request context, so deadlines reach the wire
+	// even across the interpreted boundary.
 	opStart := time.Now()
 	ps.outs = growScratch(ps.outs, n)
 	outs := ps.outs
+	ca, hasCtx := st.op.(graph.CtxBoxedApplier)
 	for row := 0; row < n; row++ {
-		out, err := st.op.ApplyBoxed(boxed[row*len(ins) : (row+1)*len(ins)])
+		var out any
+		var err error
+		if hasCtx {
+			out, err = ca.ApplyBoxedCtx(r.ctx, boxed[row*len(ins):(row+1)*len(ins)])
+		} else {
+			out, err = st.op.ApplyBoxed(boxed[row*len(ins) : (row+1)*len(ins)])
+		}
 		if err != nil {
 			return fmt.Errorf("weld: python step %s: %w", st.op.Name(), err)
 		}
