@@ -27,6 +27,15 @@
 // with -trace — GET /v1/traces (retained request traces). -pprof
 // additionally mounts net/http/pprof under /debug/pprof/.
 //
+// Overload defense: -slo-p99 gives every model an SLO-aware admission
+// controller (predictive shedding of requests forecast to miss their
+// deadline, adaptive AIMD concurrency limiting; 429s carry a Retry-After
+// drain forecast). -brownout additionally degrades answers before shedding
+// them — cascade small-model-only scoring, shrunken top-K budgets, then
+// prediction-cache answers — marked with a `degraded` field on the
+// response. -criticality-header names a request header (low|normal|high)
+// so high-priority traffic degrades and sheds last.
+//
 // Artifacts whose pipelines join against remote (non-inlined) tables are
 // hostable too: -store-addr points every unbound table at a remote feature
 // store, served through a pooled client with retries, request hedging
@@ -67,6 +76,9 @@ func main() {
 		batchTimeout = flag.Duration("batch-timeout", 0, "adaptive batching: max wait to fill a batch (0 = default)")
 		queueDepth   = flag.Int("queue-depth", 0, "per-model request queue bound; full queues reject with HTTP 429 (0 = default)")
 		cache        = flag.Int("cache", 0, "per-model end-to-end prediction cache capacity (0 disables, < 0 unbounded)")
+		sloP99       = flag.Duration("slo-p99", 0, "per-model p99 completion target; enables SLO-aware admission (predictive shedding + adaptive concurrency; 0 disables)")
+		brownout     = flag.Bool("brownout", false, "with -slo-p99: degrade answers under pressure (cascade small-only, shrunken top-K budgets, prediction-cache answers) before shedding them")
+		critHeader   = flag.String("criticality-header", "", "HTTP request header carrying per-request criticality (low|normal|high); high-criticality traffic degrades and sheds last")
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		describe     = flag.Bool("describe", false, "print the artifacts' contents and exit without serving")
 		traceOn      = flag.Bool("trace", false, "enable per-request tracing and shadow profiling on deployed pipelines")
@@ -88,10 +100,17 @@ func main() {
 		os.Exit(2)
 	}
 	opts := willump.ServeOptions{
-		MaxBatch:      *maxBatch,
-		BatchTimeout:  *batchTimeout,
-		QueueDepth:    *queueDepth,
-		CacheCapacity: *cache,
+		MaxBatch:          *maxBatch,
+		BatchTimeout:      *batchTimeout,
+		QueueDepth:        *queueDepth,
+		CacheCapacity:     *cache,
+		SLOTargetP99:      *sloP99,
+		Brownout:          *brownout,
+		CriticalityHeader: *critHeader,
+	}
+	if *brownout && *sloP99 <= 0 {
+		fmt.Fprintln(os.Stderr, "willump-serve: -brownout requires -slo-p99")
+		os.Exit(2)
 	}
 	obs := obsConfig{pprof: *pprofOn}
 	if *traceOn {

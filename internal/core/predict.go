@@ -43,6 +43,16 @@ type PredictOptions struct {
 	// Deadline bounds the call's wall-clock time. Zero means no per-request
 	// deadline; the caller's context still applies.
 	Deadline time.Duration
+	// SmallOnly forces cascade small-model-only scoring: every row is
+	// answered by the approximate model, the full model never runs. The
+	// serving tier's brownout ladder sets it to return a cheaper answer
+	// instead of an error under overload; pipelines without a cascade
+	// ignore it (a degrade directive must never turn into a failure).
+	SmallOnly bool
+	// Criticality classifies the request for the serving tier's brownout
+	// ladder: "high" traffic degrades last, "low" first, ""/"normal" in
+	// between. It does not change what executes — see BatchableZero.
+	Criticality string
 }
 
 // IsZero reports whether the options request no overrides. Zero-option
@@ -50,6 +60,16 @@ type PredictOptions struct {
 // layer; requests with overrides execute alone so one request's knobs never
 // leak into another's results.
 func (po PredictOptions) IsZero() bool { return po == PredictOptions{} }
+
+// BatchableZero reports whether the options are zero apart from
+// Criticality. Criticality orders requests for admission and brownout but
+// never changes what executes, so criticality-only requests stay eligible
+// for cross-request batch merging — unlike real overrides, which force a
+// request to execute alone.
+func (po PredictOptions) BatchableZero() bool {
+	po.Criticality = ""
+	return po == PredictOptions{}
+}
 
 // Validate rejects option combinations that could silently corrupt results.
 func (po PredictOptions) Validate() error {
@@ -64,6 +84,11 @@ func (po PredictOptions) Validate() error {
 	}
 	if po.Deadline < 0 {
 		return fmt.Errorf("core: deadline %v is negative", po.Deadline)
+	}
+	switch po.Criticality {
+	case "", "low", "normal", "high":
+	default:
+		return fmt.Errorf("core: unknown criticality %q", po.Criticality)
 	}
 	return nil
 }
@@ -129,6 +154,20 @@ func WithPredictDeadline(d time.Duration) PredictOption {
 	}
 }
 
+// WithSmallOnly forces cascade small-model-only scoring for one call: the
+// approximate model answers every row and the full model never runs.
+// Pipelines without a cascade ignore it.
+func WithSmallOnly() PredictOption {
+	return func(po *PredictOptions) { po.SmallOnly = true }
+}
+
+// WithCriticality classifies one call for the serving tier's brownout
+// ladder ("low", "normal", "high"): high-criticality traffic degrades and
+// sheds last. Unknown values are rejected by Validate.
+func WithCriticality(c string) PredictOption {
+	return func(po *PredictOptions) { po.Criticality = c }
+}
+
 // PredictBatchOptions is the options-resolved batch entry point: it applies
 // the per-request deadline and cascade-threshold override and reports how
 // the cascade served the batch (zero ServeStats when no cascade ran). The
@@ -164,6 +203,11 @@ func (o *Optimized) predictBatchOptions(ctx context.Context, inputs map[string]v
 		t := o.Cascade.Threshold
 		if po.CascadeThreshold != nil {
 			t = *po.CascadeThreshold
+		}
+		if po.SmallOnly {
+			// Threshold 0 trusts the small model on every row (confidences
+			// are >= 0.5 by construction), so the full model never runs.
+			t = 0
 		}
 		return o.Cascade.PredictBatchThreshold(ctx, inputs, t)
 	}
@@ -217,6 +261,9 @@ func (o *Optimized) predictPointOptions(ctx context.Context, inputs map[string]v
 		t := o.Cascade.Threshold
 		if po.CascadeThreshold != nil {
 			t = *po.CascadeThreshold
+		}
+		if po.SmallOnly {
+			t = 0
 		}
 		return o.Cascade.PredictPointThreshold(ctx, inputs, t)
 	}

@@ -2,8 +2,10 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"willump/internal/core"
@@ -37,6 +39,13 @@ type Env struct {
 
 	opts    [2]*core.Optimized
 	nextTag int
+
+	// Criticality-classified traffic accounting (CritTarget): responses
+	// served brownout-degraded, and criticality-high requests started /
+	// hard-failed (errors other than 429 sheds).
+	degradedResp atomic.Int64
+	highStarted  atomic.Int64
+	highHardErr  atomic.Int64
 }
 
 // EnvConfig sizes the local environment.
@@ -50,6 +59,14 @@ type EnvConfig struct {
 	NKeys int64
 	// Seed drives table contents and training data.
 	Seed int64
+	// SLO, when non-zero, enables SLO-aware admission control on the
+	// serving tier (predictive shedding + adaptive concurrency).
+	SLO time.Duration
+	// Brownout enables the graceful-degradation ladder (requires SLO).
+	Brownout bool
+	// CacheCapacity enables the per-version end-to-end prediction cache —
+	// the brownout ladder's cache-only rung answers from it (< 0 unbounded).
+	CacheCapacity int
 }
 
 // NewLocalEnv builds and starts the full local stack. Callers own Close.
@@ -139,7 +156,12 @@ func NewLocalEnv(cfg EnvConfig) (env *Env, err error) {
 	// Serving tier: registry + HTTP frontend + tuned client. A second model
 	// rides behind the same frontend so mix scenarios exercise the
 	// registry's multi-model routing, not just one hot path.
-	e.reg = serving.NewRegistry(serving.Options{QueueDepth: cfg.QueueDepth})
+	e.reg = serving.NewRegistry(serving.Options{
+		QueueDepth:    cfg.QueueDepth,
+		SLOTargetP99:  cfg.SLO,
+		Brownout:      cfg.Brownout,
+		CacheCapacity: cfg.CacheCapacity,
+	})
 	if err := e.reg.Deploy(e.ModelName, "v1", e.opts[0]); err != nil {
 		return nil, err
 	}
@@ -183,6 +205,40 @@ func (e *Env) MixTarget() Target {
 		_, err := e.client.PredictModel(ctx, name, e.inputs(ev.Key))
 		return err
 	})
+}
+
+// CritTarget returns a criticality-classified target: each event's key
+// deterministically assigns a class (~10% high, ~30% low, ~60% normal), the
+// class rides the wire as a per-request option, and the env counts degraded
+// responses and high-criticality hard failures (errors other than 429
+// sheds) for the report's brownout assertions.
+func (e *Env) CritTarget() Target {
+	return TargetFunc(func(ctx context.Context, ev Event) error {
+		crit := "normal"
+		switch m := ev.Key % 10; {
+		case m == 0:
+			crit = "high"
+		case m >= 1 && m <= 3:
+			crit = "low"
+		}
+		if crit == "high" {
+			e.highStarted.Add(1)
+		}
+		res, err := e.client.PredictModelResult(ctx, e.ModelName, e.inputs(ev.Key), core.WithCriticality(crit))
+		if err == nil && res.Degraded != "" {
+			e.degradedResp.Add(1)
+		}
+		if err != nil && crit == "high" && !errors.Is(err, serving.ErrOverloaded) {
+			e.highHardErr.Add(1)
+		}
+		return err
+	})
+}
+
+// CritCounts snapshots the criticality-traffic counters: brownout-degraded
+// responses, criticality-high requests started, and their hard failures.
+func (e *Env) CritCounts() (degraded, highStarted, highHardErrs int64) {
+	return e.degradedResp.Load(), e.highStarted.Load(), e.highHardErr.Load()
 }
 
 func (e *Env) inputs(key int64) map[string]value.Value {

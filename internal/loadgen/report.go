@@ -16,6 +16,15 @@ type Budget struct {
 	MaxOverloadRate float64       `json:"max_overload_rate"`
 	MaxP99          time.Duration `json:"max_p99,omitempty"`
 	MaxP999         time.Duration `json:"max_p999,omitempty"`
+	// MinGoodput, when > 0, is the minimum count of successful responses
+	// the run must deliver — degraded answers count, they are successes
+	// (the brownout scenario's goodput floor).
+	MinGoodput int64 `json:"min_goodput,omitempty"`
+	// MaxHighCritHardErrors caps hard failures (errors other than 429
+	// sheds) of criticality-high requests; negative = unchecked. Only
+	// checked when the scenario drove criticality-classified traffic, so
+	// legacy budgets (zero value) are unaffected.
+	MaxHighCritHardErrors int64 `json:"max_high_crit_hard_errors,omitempty"`
 }
 
 // Unchecked is the rate value meaning "no limit" (overload scenarios
@@ -33,6 +42,15 @@ type Report struct {
 	Errors     int64         `json:"errors"`
 	Degraded   int64         `json:"degraded"` // answered via store fallback
 	Elapsed    time.Duration `json:"elapsed_ns"`
+
+	// DegradedResponses counts successful answers the serving tier marked
+	// brownout-degraded (small-only / budget / cache) — distinct from
+	// Degraded, which counts store-fallback feature lookups.
+	DegradedResponses int64 `json:"degraded_responses,omitempty"`
+	// HighCritStarted / HighCritHardErrors count criticality-high requests
+	// issued and their hard failures (errors other than 429 sheds).
+	HighCritStarted    int64 `json:"high_crit_started,omitempty"`
+	HighCritHardErrors int64 `json:"high_crit_hard_errors,omitempty"`
 
 	OfferedQPS  float64 `json:"offered_qps"`
 	AchievedQPS float64 `json:"achieved_qps"`
@@ -98,6 +116,14 @@ func (r Report) check(b Budget) []string {
 		v = append(v, fmt.Sprintf("p999 %s exceeds budget %s",
 			time.Duration(r.P999Ns), b.MaxP999))
 	}
+	if b.MinGoodput > 0 && r.Success < b.MinGoodput {
+		v = append(v, fmt.Sprintf("goodput %d below floor %d (degraded answers count as successes)",
+			r.Success, b.MinGoodput))
+	}
+	if r.HighCritStarted > 0 && b.MaxHighCritHardErrors >= 0 && r.HighCritHardErrors > b.MaxHighCritHardErrors {
+		v = append(v, fmt.Sprintf("criticality-high hard errors %d exceed budget %d (%d high-crit requests)",
+			r.HighCritHardErrors, b.MaxHighCritHardErrors, r.HighCritStarted))
+	}
 	for _, he := range r.HookErrs {
 		v = append(v, "hook failed: "+he)
 	}
@@ -136,6 +162,10 @@ func (r Report) Print(w io.Writer) {
 		r.Scenario, status, r.OfferedQPS, r.AchievedQPS, r.Requests, r.Success, r.Overloaded, r.Errors, r.Degraded)
 	fmt.Fprintf(w, "%-24s       p50 %-10s p99 %-10s p999 %-10s max %s\n", "",
 		time.Duration(r.P50Ns), time.Duration(r.P99Ns), time.Duration(r.P999Ns), time.Duration(r.MaxNs))
+	if r.DegradedResponses > 0 || r.HighCritStarted > 0 {
+		fmt.Fprintf(w, "%-24s       brownout: %d degraded responses, %d high-crit (%d hard errors)\n", "",
+			r.DegradedResponses, r.HighCritStarted, r.HighCritHardErrors)
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "%-24s       VIOLATION: %s\n", "", v)
 	}

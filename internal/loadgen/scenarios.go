@@ -40,6 +40,11 @@ type ScenarioSpec struct {
 	// instead of the primary one.
 	MultiModel bool
 
+	// Criticality classifies every request by key (~10% high, ~30% low)
+	// and carries the class on the wire, so brownout scenarios can assert
+	// that high-priority traffic degrades and sheds last.
+	Criticality bool
+
 	// EnvOverride runs the scenario in its own dedicated environment (the
 	// overload scenario needs a deliberately undersized queue); nil shares
 	// the suite's env.
@@ -81,7 +86,11 @@ func RunScenario(ctx context.Context, e *Env, s ScenarioSpec) (Report, error) {
 	if s.MultiModel {
 		target = e.MixTarget()
 	}
+	if s.Criticality {
+		target = e.CritTarget()
+	}
 	deg0 := e.Degraded()
+	dr0, hs0, he0 := e.CritCounts()
 	res := Run(ctx, target, RunConfig{
 		Events:  events,
 		Workers: s.Workers,
@@ -90,6 +99,14 @@ func RunScenario(ctx context.Context, e *Env, s ScenarioSpec) (Report, error) {
 	})
 	rep := BuildReport(s.Name, res, horizon, s.Budget)
 	rep.Degraded = e.Degraded() - deg0
+	dr1, hs1, he1 := e.CritCounts()
+	rep.DegradedResponses = dr1 - dr0
+	rep.HighCritStarted = hs1 - hs0
+	rep.HighCritHardErrors = he1 - he0
+	// The goodput floor and criticality checks read enrichment the raw
+	// Result doesn't carry, so the budget is re-evaluated now that the
+	// report is complete (check rebuilds the violation list from scratch).
+	rep.Violations = rep.check(s.Budget)
 	return rep, nil
 }
 
@@ -140,6 +157,23 @@ func Catalog(scale float64) []ScenarioSpec {
 			Keys: "uniform", Seed: 4, Workers: 128,
 			Budget:      Budget{MaxErrorRate: 0.02, MaxOverloadRate: Unchecked},
 			EnvOverride: &EnvConfig{QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4},
+		},
+		{
+			// Brownout: the same 5x-capacity offered load as "overload", but
+			// the serving tier defends with SLO-aware admission and the
+			// degradation ladder instead of 429-only shedding — answers
+			// degrade (small-only, prediction-cache) before they shed. The
+			// hot key set keeps the prediction cache useful, modeling a
+			// flash crowd on popular content. Criticality-high traffic may
+			// be shed (counted overloaded) but must never hard-fail.
+			Name: "brownout", Arrivals: "steady", QPS: qps(3000), Duration: dur(5 * time.Second),
+			Keys: "hotset", HotKeys: 64, HotFrac: 0.9, Seed: 11, Workers: 128,
+			Criticality: true,
+			Budget:      Budget{MaxErrorRate: 0.02, MaxOverloadRate: Unchecked, MaxHighCritHardErrors: 0},
+			EnvOverride: &EnvConfig{
+				QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4,
+				SLO: 10 * time.Millisecond, Brownout: true, CacheCapacity: 8192,
+			},
 		},
 		{
 			Name: "chaos-store-tail", Arrivals: "poisson", QPS: qps(300), Duration: dur(8 * time.Second),
@@ -229,8 +263,9 @@ func Catalog(scale float64) []ScenarioSpec {
 }
 
 // SmokeScenarios is the subset CI runs: one plain open-loop scenario, one
-// ramp, and the two chaos modes the acceptance criteria name.
-var SmokeScenarios = []string{"poisson", "flash-crowd", "chaos-store-tail", "chaos-hot-swap"}
+// ramp, the brownout overload defense, and the two chaos modes the
+// acceptance criteria name.
+var SmokeScenarios = []string{"poisson", "flash-crowd", "brownout", "chaos-store-tail", "chaos-hot-swap"}
 
 // SelectScenarios filters the catalog by name; empty names selects all.
 func SelectScenarios(specs []ScenarioSpec, names []string) ([]ScenarioSpec, error) {

@@ -58,6 +58,72 @@ func TestOverloadShedsWithoutCollapse(t *testing.T) {
 	}
 }
 
+// TestBrownoutBeatsShedOnlyGoodput is the brownout acceptance test: under
+// the same 5x-capacity offered load, an SLO-aware env with the degradation
+// ladder must deliver strictly more goodput (successful answers, degraded
+// included) than a 429-only baseline, while criticality-high traffic sees
+// zero hard errors (sheds are allowed; 500s are not) and at least some
+// answers really were served degraded.
+func TestBrownoutBeatsShedOnlyGoodput(t *testing.T) {
+	spec := ScenarioSpec{
+		Name: "brownout-test", Arrivals: "steady", QPS: 1500, Duration: 2 * time.Second,
+		Keys: "hotset", HotKeys: 64, HotFrac: 0.9, Seed: 11, Workers: 128,
+		Criticality: true,
+		Budget:      Budget{MaxErrorRate: 0.02, MaxOverloadRate: Unchecked, MaxHighCritHardErrors: 0},
+	}
+
+	brownout, err := NewLocalEnv(EnvConfig{
+		QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4,
+		SLO: 10 * time.Millisecond, Brownout: true, CacheCapacity: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brownout.Close()
+	rep, err := RunScenario(context.Background(), brownout, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseSpec := spec
+	baseSpec.Name = "brownout-baseline"
+	baseSpec.Budget = Budget{MaxErrorRate: 0.02, MaxOverloadRate: Unchecked, MaxHighCritHardErrors: Unchecked}
+	baseline, err := NewLocalEnv(EnvConfig{
+		QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseline.Close()
+	base, err := RunScenario(context.Background(), baseline, baseSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if base.Overloaded == 0 {
+		t.Fatal("429-only baseline shed nothing; the comparison load is not an overload")
+	}
+	if rep.Success <= base.Success {
+		t.Errorf("brownout goodput %d does not beat 429-only baseline %d", rep.Success, base.Success)
+	}
+	if rep.DegradedResponses == 0 {
+		t.Error("brownout run served no degraded answers; the ladder never engaged")
+	}
+	if rep.HighCritStarted == 0 {
+		t.Fatal("no criticality-high requests started; classification is broken")
+	}
+	if rep.HighCritHardErrors != 0 {
+		t.Errorf("%d criticality-high hard errors; high-priority traffic must shed, not fail", rep.HighCritHardErrors)
+	}
+	if !rep.Passed() {
+		t.Errorf("brownout budget violated: %v", rep.Violations)
+	}
+	if rep.Completed != rep.Success+rep.Overloaded+rep.Errors {
+		t.Fatalf("accounting imbalance: %d completed vs %d+%d+%d",
+			rep.Completed, rep.Success, rep.Overloaded, rep.Errors)
+	}
+}
+
 // TestDrainNeverReportsSuccess pins the drain invariant: a graceful
 // mid-run shutdown refuses late arrivals (they surface as errors, never as
 // successes), accounting stays balanced, and the server really is down

@@ -3,6 +3,7 @@ package serving
 import (
 	"context"
 	"testing"
+	"time"
 
 	"willump/internal/core"
 	"willump/internal/fixture"
@@ -64,5 +65,61 @@ func TestRegistryPointPredictAllocBound(t *testing.T) {
 	const budget = 8
 	if allocs > budget {
 		t.Fatalf("warm registry point predict allocates %.1f objects/op, want <= %d (context plumbing + response slice only)", allocs, budget)
+	}
+}
+
+// TestRegistryPointPredictAllocBoundAdmissionEnabled holds the same bound
+// with SLO admission control and brownout active: the controller's admit /
+// release / forecast math is pure atomics and must not add a single
+// allocation to the warm point path.
+func TestRegistryPointPredictAllocBoundAdmissionEnabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	fx, err := fixture.NewClassification(5, 600, 200, 200, 0.7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Pipeline{Graph: fx.Prog.G, Model: fx.Model}
+	train := core.Dataset{Inputs: fx.Train.Inputs, Y: fx.Train.Y}
+	valid := core.Dataset{Inputs: fx.Valid.Inputs, Y: fx.Valid.Y}
+	o, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(Options{SLOTargetP99: 50 * time.Millisecond, Brownout: true})
+	if err := reg.Deploy("m", "v1", o); err != nil {
+		t.Fatal(err)
+	}
+	s := NewRegistryServer(reg)
+	defer s.Close()
+
+	h, err := reg.lookup("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the forecast so the predictive-shed arithmetic actually runs on
+	// every admit (a cold controller skips it).
+	h.admit.Observe(10*time.Microsecond, 10*time.Microsecond, 1)
+	inputs := map[string]value.Value{
+		"cheap_id": value.NewInts([]int64{19}),
+		"heavy_id": value.NewInts([]int64{7}),
+	}
+	po := core.PredictOptions{Point: true}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.executeDirect(ctx, h, inputs, 1, po); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.executeDirect(ctx, h, inputs, 1, po); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("warm admission-enabled point predict allocates %.1f objects/op, want <= %d (admission must be alloc-free)", allocs, budget)
 	}
 }

@@ -77,8 +77,48 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: hc}
 }
 
+// OverloadedError is the typed form of an HTTP 429 rejection. It wraps
+// ErrOverloaded — errors.Is(err, ErrOverloaded) keeps working — and carries
+// the server's Retry-After suggestion so callers can back off intelligently
+// instead of guessing. Retrieve it with errors.As:
+//
+//	var oe *serving.OverloadedError
+//	if errors.As(err, &oe) && oe.RetryAfter > 0 { time.Sleep(oe.RetryAfter) }
+type OverloadedError struct {
+	// RetryAfter is the server's suggested backoff, parsed from its
+	// Retry-After header — the admission controller's queue drain forecast.
+	// Zero when the server sent no header (e.g. a cold controller with no
+	// service-time observations yet).
+	RetryAfter time.Duration
+	// Server is the server-reported rejection text.
+	Server string
+}
+
+// Error implements error, keeping the exact message shape the untyped
+// wrapping produced so logs and tests see no change.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v (server: %s)", ErrOverloaded, e.Server)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// parseRetryAfter reads an HTTP Retry-After header's delay-seconds form
+// (the only form this server emits); anything else yields zero.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // post sends one RPC and maps the transport- and protocol-level failure
-// modes: HTTP 429 becomes the retryable ErrOverloaded, 404 becomes
+// modes: HTTP 429 becomes the retryable *OverloadedError (wrapping
+// ErrOverloaded, carrying the server's Retry-After), 404 becomes
 // ErrModelNotFound, and any server-reported error is surfaced verbatim.
 func (c *Client) post(ctx context.Context, path string, body any) (*wireResponse, error) {
 	raw, err := json.Marshal(body)
@@ -102,7 +142,10 @@ func (c *Client) post(ctx context.Context, path string, body any) (*wireResponse
 	decodeErr := json.NewDecoder(resp.Body).Decode(&wire)
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		return nil, fmt.Errorf("%w (server: %s)", ErrOverloaded, wire.Error)
+		return nil, &OverloadedError{
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			Server:     wire.Error,
+		}
 	case http.StatusNotFound:
 		return nil, fmt.Errorf("%w (server: %s)", ErrModelNotFound, wire.Error)
 	}
@@ -182,6 +225,30 @@ func (c *Client) PredictModel(ctx context.Context, model string, inputs map[stri
 		return nil, err
 	}
 	return wire.Predictions, nil
+}
+
+// PredictResult is the full outcome of one prediction RPC: the predictions
+// plus the server's degradation marker, empty on full-fidelity responses
+// and one of "small-only", "budget", or "cache" when the answer was
+// produced at reduced fidelity under brownout.
+type PredictResult struct {
+	Predictions []float64
+	Degraded    string
+}
+
+// PredictModelResult is PredictModel surfacing the whole wire response:
+// callers that care whether their answer was brownout-degraded (and how)
+// use this; callers that only want numbers keep using PredictModel.
+func (c *Client) PredictModelResult(ctx context.Context, model string, inputs map[string]value.Value, opts ...core.PredictOption) (PredictResult, error) {
+	req, err := buildRequest(inputs, core.ResolvePredict(opts...))
+	if err != nil {
+		return PredictResult{}, err
+	}
+	wire, err := c.post(ctx, "/v1/models/"+url.PathEscape(model)+"/predict", req)
+	if err != nil {
+		return PredictResult{}, err
+	}
+	return PredictResult{Predictions: wire.Predictions, Degraded: wire.Degraded}, nil
 }
 
 // TopK asks a named model for the indices of the k top-scoring rows of the

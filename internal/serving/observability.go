@@ -181,6 +181,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	for _, m := range snaps {
+		ad := m.stats.Admission
+		if ad == nil {
+			continue
+		}
+		for _, rc := range []struct {
+			reason string
+			n      int64
+		}{{"predicted", ad.ShedPredicted}, {"limit", ad.ShedLimit}, {"brownout", ad.ShedBrownout}} {
+			mw.Counter("willump_admission_shed_total", "Requests shed by the SLO admission controller per model, by reason.",
+				observ.L("model", m.name).With("reason", rc.reason), float64(rc.n))
+		}
+	}
+	for _, m := range snaps {
+		ad := m.stats.Admission
+		if ad == nil {
+			continue
+		}
+		for _, mc := range []struct {
+			mode string
+			n    int64
+		}{{"small-only", ad.DegradedSmallOnly}, {"budget", ad.DegradedBudget}, {"cache", ad.DegradedCache}} {
+			mw.Counter("willump_degraded_total", "Successful brownout-degraded responses per model, by degradation mode.",
+				observ.L("model", m.name).With("mode", mc.mode), float64(mc.n))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Counter("willump_expired_total", "Admitted requests culled before execution because their deadline had already passed, per model.", observ.L("model", m.name), float64(ad.Expired))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Gauge("willump_admission_limit", "Current adaptive (AIMD) concurrency limit per model.", observ.L("model", m.name), float64(ad.Limit))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Gauge("willump_admission_inflight", "Work currently admitted under the concurrency limit per model.", observ.L("model", m.name), float64(ad.Inflight))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Gauge("willump_brownout_level", "Brownout ladder rung per model (0 normal, 1 degrade, 2 cache-only).", observ.L("model", m.name), float64(ad.Level))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Gauge("willump_forecast_service_seconds", "Online per-item service-time forecast per model.", observ.L("model", m.name), ad.ForecastService.Seconds())
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Admission; ad != nil {
+			mw.Gauge("willump_admission_pressure", "EWMA of end-to-end latency over the SLO per model (above 1 the SLO is missed).", observ.L("model", m.name), ad.Pressure)
+		}
+	}
+	for _, m := range snaps {
 		if m.tracer == nil {
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"willump/internal/admission"
 	"willump/internal/core"
 	"willump/internal/fixture"
 	"willump/internal/observ"
@@ -298,11 +299,11 @@ func TestExecuteBatchedReportsAbandonment(t *testing.T) {
 
 	// Occupy the batcher inside the predictor, so the abandoned pending below
 	// deterministically stays queued until after its waiter gives up.
-	go s.executeBatched(context.Background(), h, inputs, 1) //nolint:errcheck
+	go s.executeBatched(context.Background(), h, inputs, 1, admission.CritNormal) //nolint:errcheck
 	<-entered
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, delivered, err := s.executeBatched(ctx, h, inputs, 1)
+	_, _, delivered, err := s.executeBatched(ctx, h, inputs, 1, admission.CritNormal)
 	if delivered {
 		t.Error("cancelled waiter reported delivered = true; its trace would be recycled under the batcher")
 	}
@@ -311,7 +312,7 @@ func TestExecuteBatchedReportsAbandonment(t *testing.T) {
 	}
 	close(release)
 
-	preds, delivered, err := s.executeBatched(context.Background(), h, inputs, 1)
+	preds, _, delivered, err := s.executeBatched(context.Background(), h, inputs, 1, admission.CritNormal)
 	if err != nil || !delivered || len(preds) != 1 {
 		t.Fatalf("live request: preds=%v delivered=%v err=%v, want a delivered result", preds, delivered, err)
 	}

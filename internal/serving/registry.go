@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"willump/internal/admission"
 	"willump/internal/core"
 	"willump/internal/trace"
 	"willump/internal/value"
@@ -76,6 +77,22 @@ type Hosted struct {
 	// top-K) the same way the queue bounds batched ones: admission control
 	// applies to every route, not just the batcher.
 	direct chan struct{}
+	// admit is the model's SLO controller: service-time forecast,
+	// predictive shedding, adaptive concurrency limit, and the brownout
+	// ladder. Like stats, it lives on the Hosted model so forecasts and
+	// counters survive hot swaps. Always non-nil; disabled (SLO zero) it
+	// admits everything and only counts expired pendings.
+	admit *admission.Controller
+}
+
+// queueLen reports the active version's current queue depth (0 when the
+// model is undeployed) — the backlog the admission controller's queueing
+// model prices.
+func (h *Hosted) queueLen() int {
+	if v := h.active.Load(); v != nil {
+		return len(v.queue)
+	}
+	return 0
 }
 
 // tracer returns the active version's request tracer, or nil when the
@@ -108,6 +125,15 @@ type version struct {
 	inputs []string
 	opts   Options
 	stats  *modelStats
+	admit  *admission.Controller // the Hosted model's controller
+	// predSmall is the brownout degrade path: cascade small-model-only
+	// scoring. Nil unless the pipeline deploys a cascade. Deliberately not
+	// cache-wrapped — a degraded answer cached as a normal one would leak
+	// into full-fidelity traffic after the brownout clears.
+	predSmall Predictor
+	// cache is the end-to-end prediction cache when enabled (pred wraps
+	// it); the brownout cache-only rung peeks it directly.
+	cache *CachedPredictor
 
 	queue chan *pending
 	stop  chan struct{} // closed to begin the drain
@@ -182,7 +208,15 @@ func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inpu
 	}
 	h, ok := r.models[name]
 	if !ok {
-		h = &Hosted{name: name, stats: newModelStats(), direct: make(chan struct{}, r.opts.QueueDepth)}
+		h = &Hosted{
+			name:   name,
+			stats:  newModelStats(),
+			direct: make(chan struct{}, r.opts.QueueDepth),
+			admit: admission.New(admission.Config{
+				SLO:      r.opts.SLOTargetP99,
+				Brownout: r.opts.Brownout,
+			}),
+		}
 		r.models[name] = h
 		if r.defaultName == "" {
 			r.defaultName = name
@@ -195,12 +229,14 @@ func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inpu
 		inputs:  append([]string(nil), inputs...),
 		opts:    r.opts,
 		stats:   h.stats,
+		admit:   h.admit,
 		queue:   make(chan *pending, r.opts.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		baseCtx: r.baseCtx,
 	}
 	v.pred = v.buildPredictor(o, p)
+	v.predSmall = v.buildSmallPredictor(o)
 	r.batchers.Add(1)
 	go func() {
 		defer r.batchers.Done()
@@ -243,9 +279,28 @@ func (v *version) buildPredictor(o *core.Optimized, p Predictor) Predictor {
 		if len(keys) == 0 {
 			keys = v.inputs
 		}
-		pred = NewCachedPredictor(pred, capacity, keys)
+		cached := NewCachedPredictor(pred, capacity, keys)
+		v.cache = cached
+		pred = cached
 	}
 	return pred
+}
+
+// buildSmallPredictor assembles the brownout degrade path: the cascade's
+// small model answering every row (threshold 0, the full model never
+// runs). Nil when the deployment has no cascade to degrade to.
+func (v *version) buildSmallPredictor(o *core.Optimized) Predictor {
+	if o == nil || o.Cascade == nil {
+		return nil
+	}
+	stats := v.stats
+	return PredictorFunc(func(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
+		preds, cs, err := o.PredictBatchOptions(ctx, inputs, core.PredictOptions{SmallOnly: true})
+		if err == nil {
+			stats.recordCascade(cs)
+		}
+		return preds, err
+	})
 }
 
 // Undeploy removes a model from the registry. Its active version drains in
@@ -388,6 +443,7 @@ func (r *Registry) Stats(name string) (ModelStats, error) {
 	ms := h.stats.snapshot(h.name, tag)
 	ms.FeatureCache = fc
 	ms.FeatureStore = fs
+	ms.Admission = admissionStats(h.admit)
 	for _, s := range h.tracer().Slow() {
 		ms.RecentSlow = append(ms.RecentSlow, SlowQuery{
 			Start:   s.Start,
@@ -520,11 +576,20 @@ type pending struct {
 	n      int
 	enq    time.Time // when the request entered the queue (queue-wait spans)
 	done   chan batchResult
+	// small asks the batcher for the degraded small-model-only path (set
+	// by the brownout ladder at admission). A batch executes degraded only
+	// when every member asks for it: one full-fidelity request — e.g.
+	// criticality-high traffic riding below the ladder — upgrades the
+	// whole batch.
+	small bool
 }
 
 type batchResult struct {
 	preds []float64
 	err   error
+	// degraded names the brownout rung that produced the answer
+	// (admission.Degraded*); empty for full-fidelity results.
+	degraded string
 }
 
 // batcher implements adaptive batching per deployed version: drain every
@@ -551,8 +616,9 @@ func (v *version) batcher() {
 				}
 			}
 		}
-		if first.ctx.Err() != nil {
-			first.done <- batchResult{err: first.ctx.Err()}
+		if err := first.ctx.Err(); err != nil {
+			v.admit.CountExpired(1)
+			first.done <- batchResult{err: err}
 			continue
 		}
 		batch := []*pending{first}
@@ -562,7 +628,7 @@ func (v *version) batcher() {
 		for rows < v.opts.MaxBatch {
 			select {
 			case p := <-v.queue:
-				batch, rows = appendLive(batch, rows, p)
+				batch, rows = v.appendLive(batch, rows, p)
 			default:
 				break drain
 			}
@@ -574,7 +640,7 @@ func (v *version) batcher() {
 			for rows < v.opts.MaxBatch {
 				select {
 				case p := <-v.queue:
-					batch, rows = appendLive(batch, rows, p)
+					batch, rows = v.appendLive(batch, rows, p)
 				case <-deadline.C:
 					break fill
 				case <-v.stop:
@@ -600,20 +666,52 @@ func (v *version) requestCtx(p *pending) (context.Context, context.CancelFunc) {
 }
 
 // appendLive adds p to the batch unless its request context is already dead,
-// in which case the waiter is answered immediately.
-func appendLive(batch []*pending, rows int, p *pending) ([]*pending, int) {
+// in which case the waiter is answered immediately (counted expired).
+func (v *version) appendLive(batch []*pending, rows int, p *pending) ([]*pending, int) {
 	if err := p.ctx.Err(); err != nil {
+		v.admit.CountExpired(1)
 		p.done <- batchResult{err: err}
 		return batch, rows
 	}
 	return append(batch, p), rows + p.n
 }
 
+// allSmall reports whether every member of the batch accepted brownout
+// degradation: one full-fidelity request upgrades the whole batch.
+func allSmall(batch []*pending) bool {
+	for _, p := range batch {
+		if !p.small {
+			return false
+		}
+	}
+	return true
+}
+
 // runBatch merges the batch's inputs, predicts once under the registry's
-// execution context, and distributes results to the waiters.
+// execution context, and distributes results to the waiters. Members whose
+// request context died between enqueue and assembly are culled first —
+// counted expired, never executed — so a dead request can't waste the
+// batch's compute. Completions feed the admission controller's service
+// forecast.
 func (v *version) runBatch(batch []*pending) {
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			v.admit.CountExpired(1)
+			p.done <- batchResult{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	batch = live
 	if len(batch) == 0 {
 		return
+	}
+	// Degrade to small-model-only scoring when the whole batch asked for
+	// it and the deployment has a small model to degrade to.
+	pred, degraded := v.pred, ""
+	if v.predSmall != nil && allSmall(batch) {
+		pred, degraded = v.predSmall, admission.DegradedSmallOnly
 	}
 	if len(batch) == 1 {
 		// A lone request executes under its own context, so client
@@ -622,9 +720,14 @@ func (v *version) runBatch(batch []*pending) {
 		p0 := batch[0]
 		trace.FromContext(p0.ctx).Record(trace.StageQueueWait, p0.enq)
 		ctx, cancel := v.requestCtx(p0)
-		preds, err := v.pred.PredictBatch(ctx, p0.inputs)
+		execStart := time.Now()
+		preds, err := pred.PredictBatch(ctx, p0.inputs)
 		cancel()
-		p0.done <- batchResult{preds: preds, err: err}
+		v.admit.Observe(time.Since(execStart), time.Since(p0.enq), p0.n)
+		if err == nil && degraded != "" {
+			v.admit.CountDegraded(degraded)
+		}
+		p0.done <- batchResult{preds: preds, err: err, degraded: degraded}
 		return
 	}
 	// Record each member's queue wait; the first sampled member's trace
@@ -685,7 +788,13 @@ func (v *version) runBatch(batch []*pending) {
 	if btr != nil {
 		ectx = trace.NewContext(ectx, btr)
 	}
-	preds, err := v.pred.PredictBatch(ectx, inputs)
+	rows := 0
+	for _, p := range batch {
+		rows += p.n
+	}
+	execStart := time.Now()
+	preds, err := pred.PredictBatch(ectx, inputs)
+	v.admit.Observe(time.Since(execStart), time.Since(batch[0].enq), rows)
 	if err != nil {
 		for _, p := range batch {
 			p.done <- batchResult{err: err}
@@ -694,7 +803,10 @@ func (v *version) runBatch(batch []*pending) {
 	}
 	off := 0
 	for _, p := range batch {
-		p.done <- batchResult{preds: preds[off : off+p.n]}
+		if degraded != "" {
+			v.admit.CountDegraded(degraded)
+		}
+		p.done <- batchResult{preds: preds[off : off+p.n], degraded: degraded}
 		off += p.n
 	}
 }

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"willump/internal/admission"
 	"willump/internal/core"
 	"willump/internal/trace"
 	"willump/internal/value"
@@ -34,6 +37,24 @@ type Options struct {
 	// CacheKeyOrder fixes the input-column order for cache keys; when empty,
 	// a deployed pipeline's own input schema is used.
 	CacheKeyOrder []string
+	// SLOTargetP99, when non-zero, enables SLO-aware admission control per
+	// deployed model: an online service-time forecast sheds requests at
+	// enqueue whose predicted completion would miss this target (or their
+	// own tighter deadline), and an AIMD concurrency limit adapts to
+	// observed latency vs. the target — the bounded queue becomes a hard
+	// backstop rather than the only defense.
+	SLOTargetP99 time.Duration
+	// Brownout enables the graceful-degradation ladder (requires
+	// SLOTargetP99): under measured pressure, requests are downgraded
+	// stepwise — cascade small-model-only scoring, shrunken top-K budgets,
+	// then prediction-cache answers — before anything is shed. Degraded
+	// responses are successes carrying a `degraded` wire marker.
+	Brownout bool
+	// CriticalityHeader, when set, names an HTTP request header carrying
+	// the request's criticality class ("low", "normal", "high") for
+	// requests that don't set it in wire options. High-criticality traffic
+	// degrades and sheds last.
+	CriticalityHeader string
 }
 
 func (o Options) withDefaults() Options {
@@ -295,12 +316,44 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 	} else if tw != nil {
 		rctx = trace.MarkOwned(rctx)
 	}
+	// Criticality may ride an operator-configured header when the wire
+	// options don't carry it; unknown spellings are ignored rather than
+	// rejected, so a garbage header never fails (or escalates) a request.
+	if po.Criticality == "" && s.reg.opts.CriticalityHeader != "" {
+		switch c := r.Header.Get(s.reg.opts.CriticalityHeader); c {
+		case "low", "normal", "high":
+			po.Criticality = c
+		}
+	}
+	crit := admission.ParseCriticality(po.Criticality)
 	var preds []float64
+	var degraded string
 	delivered := true
-	if po.IsZero() {
-		preds, delivered, err = s.executeBatched(rctx, h, inputs, n)
+	if po.BatchableZero() {
+		preds, degraded, delivered, err = s.executeBatched(rctx, h, inputs, n, crit)
 	} else {
+		// Direct path brownout: force cascade small-only scoring when the
+		// ladder says degrade and the deployment has a cascade to degrade
+		// to. Requests already asking for SmallOnly keep their own marker
+		// off — they got exactly what they asked for.
+		if !po.SmallOnly && h.admit.LevelFor(crit) >= admission.LevelDegrade {
+			if v := h.active.Load(); v != nil && v.opt != nil && v.opt.Cascade != nil {
+				po.SmallOnly = true
+				degraded = admission.DegradedSmallOnly
+			}
+		}
 		preds, err = s.executeDirect(rctx, h, inputs, n, po)
+		if err != nil {
+			degraded = ""
+		} else {
+			if degraded != "" {
+				h.admit.CountDegraded(degraded)
+			}
+			// Direct requests never queue, so execution time is both the
+			// service and the end-to-end observation.
+			d := time.Since(start)
+			h.admit.Observe(d, d, n)
+		}
 	}
 	if delivered {
 		tw.Finish(tr, h.name, start, err)
@@ -315,36 +368,95 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		h.stats.record(start, err)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			setRetryAfter(w, h)
+		}
+		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, wireResponse{Predictions: preds})
+	writeJSON(w, wireResponse{Predictions: preds, Degraded: degraded})
 }
 
-// executeBatched admits a default-options request to the model's adaptive
-// batcher, where it may merge with concurrent requests — the pre-registry
-// single-model serving path, bit for bit. The returned delivered flag
+// setRetryAfter attaches the admission controller's drain forecast to a
+// 429: how long until the backlog ahead of a retry would have cleared,
+// in whole seconds (HTTP Retry-After), floored at 1. Cold controllers
+// (no forecast yet) send no header.
+func setRetryAfter(w http.ResponseWriter, h *Hosted) {
+	ra := h.admit.RetryAfter(h.queueLen())
+	if ra <= 0 {
+		return
+	}
+	secs := int(math.Ceil(ra.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// errPredictedMiss annotates predictive sheds so operators can tell them
+// from queue-full rejections; it still matches ErrOverloaded.
+var errPredictedMiss = fmt.Errorf("%w: predicted completion exceeds deadline", ErrOverloaded)
+
+// executeBatched admits a batchable request (zero options apart from
+// criticality) to the model's adaptive batcher, where it may merge with
+// concurrent requests. Admission is SLO-aware: the brownout ladder may
+// answer from the prediction cache or downgrade the request to
+// small-model-only scoring (returned as the degraded marker), and the
+// controller sheds requests whose forecast completion would miss their
+// budget — before they waste queue space. The returned delivered flag
 // reports whether the batcher completed the request: when false, the
 // caller abandoned a pending the batcher may still reach, so anything the
 // request's context carries (its trace) remains referenced by the batcher.
-func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int) (preds []float64, delivered bool, err error) {
-	p := &pending{ctx: rctx, inputs: inputs, n: n, enq: time.Now(), done: make(chan batchResult, 1)}
+func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int, crit admission.Criticality) (preds []float64, degraded string, delivered bool, err error) {
+	v := h.active.Load()
+	level := h.admit.LevelFor(crit)
+	if level >= admission.LevelCacheOnly && v != nil && v.cache != nil {
+		// Deepest brownout rung: answer from the prediction cache without
+		// touching the saturated pipeline. A miss sheds low/normal traffic;
+		// high-criticality requests fall through and still compute (one
+		// rung down, they arrive here only under extreme pressure).
+		if cached, ok := v.cache.Peek(inputs); ok {
+			h.admit.CountDegraded(admission.DegradedCache)
+			return cached, admission.DegradedCache, true, nil
+		}
+		if crit != admission.CritHigh {
+			h.admit.CountShedBrownout()
+			return nil, "", true, fmt.Errorf("%w: brownout cache-only, no cached answer", ErrOverloaded)
+		}
+	}
+	var budget time.Duration
+	if dl, ok := rctx.Deadline(); ok {
+		budget = time.Until(dl)
+	}
+	queued := 0
+	if v != nil {
+		queued = len(v.queue)
+	}
+	if d := h.admit.Admit(queued, budget, crit); d.Shed {
+		return nil, "", true, errPredictedMiss
+	}
+	defer h.admit.Release()
+	p := &pending{
+		ctx: rctx, inputs: inputs, n: n, enq: time.Now(), done: make(chan batchResult, 1),
+		small: level >= admission.LevelDegrade,
+	}
 	if err := h.enqueue(p); err != nil {
-		return nil, true, err
+		return nil, "", true, err
 	}
 	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
 	select {
 	case res := <-p.done:
-		return res.preds, true, res.err
+		return res.preds, res.degraded, true, res.err
 	case <-rctx.Done():
 		// The client went away or its deadline expired; the batcher will
 		// notice the dead context when it reaches this request.
-		return nil, false, rctx.Err()
+		return nil, "", false, rctx.Err()
 	case <-s.reg.baseCtx.Done():
 		// Force-close: a Shutdown deadline expired and the batcher may have
 		// exited without reaching this request. Don't wait for a result that
 		// may never come.
-		return nil, false, errShuttingDown
+		return nil, "", false, errShuttingDown
 	}
 }
 
@@ -363,6 +475,18 @@ func (s *Server) joinContext(rctx context.Context) (context.Context, context.Can
 // requests are bounded like the batch queue, rejecting with ErrOverloaded
 // beyond the configured depth.
 func (s *Server) executeDirect(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int, po core.PredictOptions) ([]float64, error) {
+	// SLO-aware gate first (shed work predicted to miss its budget, bound
+	// concurrency adaptively), then the fixed direct-slot backstop.
+	budget := po.Deadline
+	if budget <= 0 {
+		if dl, ok := rctx.Deadline(); ok {
+			budget = time.Until(dl)
+		}
+	}
+	if d := h.admit.Admit(0, budget, admission.ParseCriticality(po.Criticality)); d.Shed {
+		return nil, errPredictedMiss
+	}
+	defer h.admit.Release()
 	release, err := h.admitDirect()
 	if err != nil {
 		return nil, err
@@ -435,6 +559,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		// request a second time (see handlePredict).
 		rctx = trace.MarkOwned(rctx)
 	}
+	// Brownout budget shrink: under pressure, rank from the smallest legal
+	// candidate subset (exactly K) instead of the trained c_k*K policy —
+	// a cheaper, slightly-lower-recall answer rather than a shed.
+	crit := admission.ParseCriticality(po.Criticality)
+	var degraded string
+	if po.K > 0 && h.admit.LevelFor(crit) >= admission.LevelDegrade && (po.Budget == 0 || po.Budget > po.K) {
+		po.Budget = po.K
+		degraded = admission.DegradedBudget
+	}
 	// executeTopK never enqueues to the batcher, so the handler keeps the
 	// only trace reference and plain Finish is safe.
 	idx, err := s.executeTopK(rctx, h, inputs, po)
@@ -445,16 +578,33 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		h.stats.record(start, err)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		code := statusFor(err)
+		if code == http.StatusTooManyRequests {
+			setRetryAfter(w, h)
+		}
+		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, wireResponse{Indices: idx})
+	if degraded != "" {
+		h.admit.CountDegraded(degraded)
+	}
+	writeJSON(w, wireResponse{Indices: idx, Degraded: degraded})
 }
 
 // executeTopK serves a top-K ranking over the request's batch. Top-K is a
 // whole-batch query — the ranking is relative to the rows the client sent —
 // so it never merges with other requests.
 func (s *Server) executeTopK(rctx context.Context, h *Hosted, inputs map[string]value.Value, po core.PredictOptions) ([]int, error) {
+	budget := po.Deadline
+	if budget <= 0 {
+		if dl, ok := rctx.Deadline(); ok {
+			budget = time.Until(dl)
+		}
+	}
+	if d := h.admit.Admit(0, budget, admission.ParseCriticality(po.Criticality)); d.Shed {
+		return nil, errPredictedMiss
+	}
+	defer h.admit.Release()
 	release, err := h.admitDirect()
 	if err != nil {
 		return nil, err
@@ -581,6 +731,24 @@ func toWireStats(st ModelStats) wireStats {
 			P99MS:        float64(st.FeatureStore.LatencyP99) / float64(time.Millisecond),
 		}
 	}
+	if st.Admission != nil {
+		out.Admission = &wireAdmission{
+			SLOMS:             float64(st.Admission.SLO) / float64(time.Millisecond),
+			Limit:             st.Admission.Limit,
+			Inflight:          st.Admission.Inflight,
+			Level:             st.Admission.Level,
+			ShedPredicted:     st.Admission.ShedPredicted,
+			ShedLimit:         st.Admission.ShedLimit,
+			ShedBrownout:      st.Admission.ShedBrownout,
+			Expired:           st.Admission.Expired,
+			DegradedSmallOnly: st.Admission.DegradedSmallOnly,
+			DegradedBudget:    st.Admission.DegradedBudget,
+			DegradedCache:     st.Admission.DegradedCache,
+			ForecastServiceMS: float64(st.Admission.ForecastService) / float64(time.Millisecond),
+			ForecastErrorMS:   float64(st.Admission.ForecastError) / float64(time.Millisecond),
+			Pressure:          st.Admission.Pressure,
+		}
+	}
 	return out
 }
 
@@ -631,6 +799,24 @@ func fromWireStats(ws wireStats) ModelStats {
 			Inflight:     ws.FeatureStore.Inflight,
 			LatencyP50:   time.Duration(ws.FeatureStore.P50MS * float64(time.Millisecond)),
 			LatencyP99:   time.Duration(ws.FeatureStore.P99MS * float64(time.Millisecond)),
+		}
+	}
+	if ws.Admission != nil {
+		out.Admission = &AdmissionStats{
+			SLO:               time.Duration(ws.Admission.SLOMS * float64(time.Millisecond)),
+			Limit:             ws.Admission.Limit,
+			Inflight:          ws.Admission.Inflight,
+			Level:             ws.Admission.Level,
+			ShedPredicted:     ws.Admission.ShedPredicted,
+			ShedLimit:         ws.Admission.ShedLimit,
+			ShedBrownout:      ws.Admission.ShedBrownout,
+			Expired:           ws.Admission.Expired,
+			DegradedSmallOnly: ws.Admission.DegradedSmallOnly,
+			DegradedBudget:    ws.Admission.DegradedBudget,
+			DegradedCache:     ws.Admission.DegradedCache,
+			ForecastService:   time.Duration(ws.Admission.ForecastServiceMS * float64(time.Millisecond)),
+			ForecastError:     time.Duration(ws.Admission.ForecastErrorMS * float64(time.Millisecond)),
+			Pressure:          ws.Admission.Pressure,
 		}
 	}
 	return out

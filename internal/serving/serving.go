@@ -108,6 +108,41 @@ func (p *CachedPredictor) PredictBatch(ctx context.Context, inputs map[string]va
 	return out, nil
 }
 
+// Peek answers the batch purely from the cache: every row must hit, no
+// prediction is computed. The brownout cache-only rung uses it to serve a
+// degraded-but-real answer without touching the saturated pipeline. The
+// lookups count toward the cache's hit/miss stats like any other.
+func (p *CachedPredictor) Peek(inputs map[string]value.Value) ([]float64, bool) {
+	if len(p.keys) == 0 {
+		return nil, false
+	}
+	cols := make([]value.Value, len(p.keys))
+	n := -1
+	for i, k := range p.keys {
+		v, ok := inputs[k]
+		if !ok {
+			return nil, false
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return nil, false
+		}
+		cols[i] = v
+	}
+	out := make([]float64, n)
+	var keyBuf []byte
+	for r := 0; r < n; r++ {
+		off := len(keyBuf)
+		keyBuf = cache.AppendRowKey(keyBuf, cols, r)
+		key := keyBuf[off:]
+		if !p.cache.CopyInto(cache.Hash64(key), key, out[r:r+1]) {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
 // Stats returns the end-to-end cache's hit and miss counts.
 func (p *CachedPredictor) Stats() (hits, misses int64) {
 	s := p.cache.Stats()

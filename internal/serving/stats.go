@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"willump/internal/admission"
 	"willump/internal/cascade"
 	"willump/internal/metrics"
 )
@@ -97,6 +98,74 @@ type FeatureStoreStats struct {
 	LatencyP99 time.Duration
 }
 
+// AdmissionStats is a snapshot of a model's SLO admission controller: the
+// service-time forecast, adaptive concurrency limit, brownout ladder
+// position, and shed/degraded/expired counters. It lives on the Hosted
+// model (like the request counters), so it survives hot swaps.
+type AdmissionStats struct {
+	// SLO is the configured p99 completion target (0 when admission is
+	// disabled — the snapshot then only carries the expired count).
+	SLO time.Duration
+	// Limit is the current adaptive (AIMD) concurrency limit; Inflight the
+	// admitted work currently queued or executing under it.
+	Limit    int64
+	Inflight int64
+	// Level is the measured brownout rung before per-request criticality
+	// shifts: 0 normal, 1 degrade (small-only / shrunken budgets), 2
+	// cache-only.
+	Level int
+	// ShedPredicted counts requests shed because their forecast completion
+	// missed their budget; ShedLimit those shed at the concurrency limit;
+	// ShedBrownout those turned away at the cache-only rung with no cached
+	// answer.
+	ShedPredicted int64
+	ShedLimit     int64
+	ShedBrownout  int64
+	// Expired counts admitted requests culled from batches before
+	// execution because their context was already done.
+	Expired int64
+	// DegradedSmallOnly / DegradedBudget / DegradedCache count successful
+	// degraded responses by brownout rung.
+	DegradedSmallOnly int64
+	DegradedBudget    int64
+	DegradedCache     int64
+	// ForecastService is the per-item service-time forecast; ForecastError
+	// its mean absolute deviation (the shedder's padding unit).
+	ForecastService time.Duration
+	ForecastError   time.Duration
+	// Pressure is EWMA(end-to-end latency / SLO): above 1, the SLO is
+	// being missed.
+	Pressure float64
+}
+
+// admissionStats converts a controller snapshot to the public stats form,
+// nil when there is nothing to report (admission disabled and every
+// counter zero) so legacy stats responses keep their shape.
+func admissionStats(c *admission.Controller) *AdmissionStats {
+	snap := c.Snapshot()
+	if !snap.Enabled && snap.Expired == 0 &&
+		snap.ShedPredicted == 0 && snap.ShedLimit == 0 && snap.ShedBrownout == 0 &&
+		snap.DegradedSmallOnly == 0 && snap.DegradedBudget == 0 && snap.DegradedCache == 0 {
+		return nil
+	}
+	return &AdmissionStats{
+		SLO:               snap.SLO,
+		Limit:             snap.Limit,
+		Inflight:          snap.Inflight,
+		Level:             int(snap.Level),
+		ShedPredicted:     snap.ShedPredicted,
+		ShedLimit:         snap.ShedLimit,
+		ShedBrownout:      snap.ShedBrownout,
+		Expired:           snap.Expired,
+		DegradedSmallOnly: snap.DegradedSmallOnly,
+		DegradedBudget:    snap.DegradedBudget,
+		DegradedCache:     snap.DegradedCache,
+		ForecastService:   snap.ForecastService,
+		ForecastError:     snap.ForecastError,
+		Pressure:          snap.PressureRatio,
+	}
+}
+
 // ModelStats is a point-in-time snapshot of one model's serving telemetry,
 // as reported on /v1/models/{name}/stats.
 type ModelStats struct {
@@ -128,6 +197,10 @@ type ModelStats struct {
 	// health; nil when no lookup table is backed by a reporting store
 	// client.
 	FeatureStore *FeatureStoreStats
+	// Admission carries the SLO admission controller's snapshot; nil when
+	// admission is disabled and nothing was ever shed, degraded, or
+	// expired (legacy deployments see the stats shape unchanged).
+	Admission *AdmissionStats
 	// RecentSlow lists the model's recently retained slow or failed
 	// requests (newest first); empty unless tracing is enabled on the
 	// deployed pipeline.

@@ -38,6 +38,12 @@ type wireOptions struct {
 	// fractional) milliseconds — sub-millisecond deadlines are realistic at
 	// this serving layer's latencies and must survive the wire.
 	DeadlineMillis float64 `json:"deadline_ms,omitempty"`
+	// SmallOnly forces cascade small-model-only scoring (the brownout
+	// degrade primitive, also available to clients directly).
+	SmallOnly bool `json:"small_only,omitempty"`
+	// Criticality classifies the request for brownout ordering ("low",
+	// "normal", "high"); high-criticality traffic degrades and sheds last.
+	Criticality string `json:"criticality,omitempty"`
 }
 
 // wireRequest is a prediction RPC request: a batch of raw inputs plus
@@ -48,11 +54,15 @@ type wireRequest struct {
 }
 
 // wireResponse carries predictions (predict routes), indices (top-K route),
-// or an error.
+// or an error. Degraded marks brownout answers ("small-only", "budget",
+// "cache"): successful responses produced at reduced fidelity under
+// overload; absent on full-fidelity responses so legacy exchanges stay
+// byte-identical.
 type wireResponse struct {
 	Predictions []float64 `json:"predictions,omitempty"`
 	Indices     []int     `json:"indices,omitempty"`
 	Error       string    `json:"error,omitempty"`
+	Degraded    string    `json:"degraded,omitempty"`
 }
 
 // wireModelInfo describes one deployed model on the list/describe routes.
@@ -114,6 +124,26 @@ type wireFeatureStore struct {
 	P99MS        float64 `json:"p99_ms"`
 }
 
+// wireAdmission carries the SLO admission controller's state on the stats
+// response (absent when admission is disabled and nothing was ever shed,
+// degraded, or expired, so legacy stats responses keep their shape).
+type wireAdmission struct {
+	SLOMS             float64 `json:"slo_ms,omitempty"`
+	Limit             int64   `json:"limit,omitempty"`
+	Inflight          int64   `json:"inflight,omitempty"`
+	Level             int     `json:"level,omitempty"`
+	ShedPredicted     int64   `json:"shed_predicted,omitempty"`
+	ShedLimit         int64   `json:"shed_limit,omitempty"`
+	ShedBrownout      int64   `json:"shed_brownout,omitempty"`
+	Expired           int64   `json:"expired,omitempty"`
+	DegradedSmallOnly int64   `json:"degraded_small_only,omitempty"`
+	DegradedBudget    int64   `json:"degraded_budget,omitempty"`
+	DegradedCache     int64   `json:"degraded_cache,omitempty"`
+	ForecastServiceMS float64 `json:"forecast_service_ms,omitempty"`
+	ForecastErrorMS   float64 `json:"forecast_error_ms,omitempty"`
+	Pressure          float64 `json:"pressure,omitempty"`
+}
+
 // wireSlow is one retained slow or failed request on the stats response.
 type wireSlow struct {
 	StartUnixNano int64   `json:"start_unix_nano"`
@@ -136,6 +166,7 @@ type wireStats struct {
 	Cascade      *wireCascade      `json:"cascade,omitempty"`
 	FeatureCache *wireFeatureCache `json:"feature_cache,omitempty"`
 	FeatureStore *wireFeatureStore `json:"feature_store,omitempty"`
+	Admission    *wireAdmission    `json:"admission,omitempty"`
 	RecentSlow   []wireSlow        `json:"recent_slow,omitempty"`
 }
 
@@ -176,6 +207,8 @@ func (o *wireOptions) toPredictOptions() (core.PredictOptions, error) {
 		Budget:           o.Budget,
 		Point:            o.Point,
 		Deadline:         time.Duration(o.DeadlineMillis * float64(time.Millisecond)),
+		SmallOnly:        o.SmallOnly,
+		Criticality:      o.Criticality,
 	}
 	if err := po.Validate(); err != nil {
 		return core.PredictOptions{}, err
@@ -196,6 +229,8 @@ func fromPredictOptions(po core.PredictOptions) *wireOptions {
 		Budget:           po.Budget,
 		Point:            po.Point,
 		DeadlineMillis:   float64(po.Deadline) / float64(time.Millisecond),
+		SmallOnly:        po.SmallOnly,
+		Criticality:      po.Criticality,
 	}
 }
 

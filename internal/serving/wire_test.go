@@ -161,6 +161,60 @@ func TestWireStatsTracingGolden(t *testing.T) {
 	})
 }
 
+// TestWireRequestBrownoutGolden pins the request shape carrying the PR's
+// overload knobs: small-model-only scoring and a criticality class.
+func TestWireRequestBrownoutGolden(t *testing.T) {
+	goldenCheck(t, "wire_request_brownout.golden.json", wireRequest{
+		Inputs: map[string]wireColumn{
+			"x": {Kind: "floats", Floats: []float64{1.5}},
+		},
+		Options: &wireOptions{SmallOnly: true, Criticality: "high"},
+	})
+}
+
+// TestWireResponseDegradedGolden pins the degraded-response shape — and that
+// the marker is omitempty, so full-fidelity responses stay byte-identical to
+// the legacy goldens above.
+func TestWireResponseDegradedGolden(t *testing.T) {
+	goldenCheck(t, "wire_response_degraded.golden.json",
+		wireResponse{Predictions: []float64{0.5}, Degraded: "small-only"})
+	raw, err := json.Marshal(wireResponse{Predictions: []float64{0.25, 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("degraded")) {
+		t.Errorf("full-fidelity response leaks a degraded field: %s", raw)
+	}
+}
+
+// TestWireStatsAdmissionGolden pins the stats shape for a model under SLO
+// admission control. The block is omitempty, so the legacy stats goldens
+// above also pin that admission-less models serialize byte-identically.
+func TestWireStatsAdmissionGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats_admission.golden.json", wireStats{
+		Model: "toxic", Version: "v4",
+		Requests: 20000, Errors: 12, Rejected: 340, QPS: 410.5,
+		LatencyMS: wireLatency{P50: 1.5, P90: 4.25, P99: 9.75},
+		Admission: &wireAdmission{
+			SLOMS: 10, Limit: 96, Inflight: 41, Level: 1,
+			ShedPredicted: 220, ShedLimit: 85, ShedBrownout: 35,
+			Expired: 14, DegradedSmallOnly: 1200, DegradedBudget: 90,
+			DegradedCache: 310, ForecastServiceMS: 2.25,
+			ForecastErrorMS: 0.75, Pressure: 0.95,
+		},
+	})
+	// Options without overload knobs must not leak the new fields either.
+	raw, err := json.Marshal(wireOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leak := range []string{"small_only", "criticality"} {
+		if bytes.Contains(raw, []byte(leak)) {
+			t.Errorf("legacy options leak %q: %s", leak, raw)
+		}
+	}
+}
+
 // TestWireTracesGolden pins the GET /v1/traces shape: a head-sampled trace
 // with stage spans and a tail-sampled entry with totals only.
 func TestWireTracesGolden(t *testing.T) {

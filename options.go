@@ -164,3 +164,16 @@ func WithPointQuery() PredictOption { return core.WithPointQuery() }
 // WithDeadline bounds one call's wall-clock time server-side; values <= 0
 // keep only the caller's context.
 func WithDeadline(d time.Duration) PredictOption { return core.WithPredictDeadline(d) }
+
+// WithSmallOnly forces cascade small-model-only scoring for one call: every
+// row is answered by the small model, none escalate to the full model. This
+// is the brownout ladder's degrade primitive, exposed to clients that would
+// rather get a cheap approximate answer than wait; no-op for pipelines
+// without a cascade.
+func WithSmallOnly() PredictOption { return core.WithSmallOnly() }
+
+// WithCriticality classifies one call for overload ordering: "high" traffic
+// is shed and degraded last, "low" first, "normal" (or empty) in between.
+// Criticality travels on the wire, so remote calls are prioritized exactly
+// like in-process ones.
+func WithCriticality(c string) PredictOption { return core.WithCriticality(c) }

@@ -66,9 +66,23 @@ type ClientOption = serving.ClientOption
 type ServeOptions = serving.Options
 
 // ErrOverloaded is returned (wrapped) by Client calls rejected with HTTP
-// 429: the model's bounded request queue was full. It is retryable — back
-// off and resend. Test with errors.Is(err, willump.ErrOverloaded).
+// 429: the model's bounded request queue was full, or its SLO admission
+// controller predicted the request could not finish in time. It is
+// retryable — back off and resend. Test with errors.Is(err,
+// willump.ErrOverloaded); errors.As with *OverloadedError additionally
+// yields the server's suggested backoff.
 var ErrOverloaded = serving.ErrOverloaded
+
+// OverloadedError is the typed form of an HTTP 429 rejection, wrapping
+// ErrOverloaded and carrying the server's Retry-After suggestion (the
+// admission controller's queue drain forecast) so callers can back off
+// intelligently. Retrieve with errors.As.
+type OverloadedError = serving.OverloadedError
+
+// PredictResult is the full outcome of one Client prediction RPC:
+// predictions plus the server's brownout degradation marker ("small-only",
+// "budget", "cache"; empty at full fidelity).
+type PredictResult = serving.PredictResult
 
 // ErrModelNotFound is returned (wrapped) by Client calls naming a model the
 // server does not host. Test with errors.Is(err, willump.ErrModelNotFound).
