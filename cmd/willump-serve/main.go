@@ -36,6 +36,15 @@
 // response. -criticality-header names a request header (low|normal|high)
 // so high-priority traffic degrades and sheds last.
 //
+// Drift defense: -adapt attaches an online adaptation controller to every
+// deployed model. Live traffic is shadow-sampled into drift detectors
+// (key-reuse against the trained cache plan, score distribution); confirmed
+// drift re-fits the cascade threshold and feature-cache budget split from
+// recent traffic and rolls the re-fit plan in as a guarded canary
+// (-adapt-canary-frac of traffic) that promotes automatically or rolls back
+// and cools down (-adapt-cooldown). Adaptation state rides on each model's
+// /stats response and on /metrics.
+//
 // Artifacts whose pipelines join against remote (non-inlined) tables are
 // hostable too: -store-addr points every unbound table at a remote feature
 // store, served through a pooled client with retries, request hedging
@@ -61,6 +70,7 @@ import (
 	"time"
 
 	"willump"
+	"willump/internal/adapt"
 	"willump/internal/artifact"
 	"willump/internal/store"
 	"willump/internal/trace"
@@ -85,6 +95,10 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0.01, "head-sampling rate with -trace (1 traces every request)")
 		traceBuffer  = flag.Int("trace-buffer", 0, "retained-trace ring capacity with -trace (0 = default)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		adaptOn   = flag.Bool("adapt", false, "enable online adaptation per model: drift detectors on live traffic, guarded threshold/cache-plan re-fit, canaried swap with automatic rollback")
+		adaptFrac = flag.Float64("adapt-canary-frac", 0, "with -adapt: traffic fraction routed to a candidate plan while canarying (0 = default)")
+		adaptCool = flag.Duration("adapt-cooldown", 0, "with -adapt: pause after a canary rollback before re-attempting adaptation (0 = default)")
 
 		storeAddr       = flag.String("store-addr", "", "remote feature store address; unbound lookup tables in loaded artifacts resolve here")
 		storeTimeout    = flag.Duration("store-timeout", 0, "per-request feature store deadline (0 = default)")
@@ -126,6 +140,16 @@ func main() {
 		}
 		obs.traceBuffer = *traceBuffer
 	}
+	var adaptCfg *adapt.Config
+	if *adaptOn {
+		adaptCfg = &adapt.Config{
+			CanaryFraction: *adaptFrac,
+			Cooldown:       *adaptCool,
+		}
+	} else if *adaptFrac != 0 || *adaptCool != 0 {
+		fmt.Fprintln(os.Stderr, "willump-serve: -adapt-canary-frac and -adapt-cooldown require -adapt")
+		os.Exit(2)
+	}
 	var storeCfg *store.Config
 	if *storeAddr != "" {
 		storeCfg = &store.Config{
@@ -136,7 +160,7 @@ func main() {
 			HedgeDelay:     *storeHedgeDelay,
 		}
 	}
-	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, obs, storeCfg, *drain, *describe); err != nil {
+	if err := run(*path, *modelsDir, *defaultModel, *addr, opts, obs, storeCfg, adaptCfg, *drain, *describe); err != nil {
 		fmt.Fprintln(os.Stderr, "willump-serve:", err)
 		os.Exit(1)
 	}
@@ -151,7 +175,7 @@ type obsConfig struct {
 	pprof       bool
 }
 
-func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, obs obsConfig, storeCfg *store.Config, drain time.Duration, describe bool) error {
+func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, obs obsConfig, storeCfg *store.Config, adaptCfg *adapt.Config, drain time.Duration, describe bool) error {
 	scan := func() ([]string, error) { return []string{path}, nil }
 	if modelsDir != "" {
 		scan = func() ([]string, error) { return scanModels(modelsDir) }
@@ -178,6 +202,7 @@ func run(path, modelsDir, defaultModel, addr string, opts willump.ServeOptions, 
 		defaultModel: defaultModel,
 		obs:          obs,
 		storeCfg:     storeCfg,
+		adaptCfg:     adaptCfg,
 		stores:       make(map[string]*store.Client),
 	}
 	defer d.closeStores()
@@ -266,6 +291,10 @@ type deployer struct {
 	// state, and fallback cache.
 	storeCfg *store.Config
 	stores   map[string]*store.Client
+	// adaptCfg is the -adapt online-adaptation template (nil when the flag
+	// is unset), enabled once per freshly deployed model; hot-swaps keep
+	// their controller through the registry's own readapt-on-deploy path.
+	adaptCfg *adapt.Config
 }
 
 // resolveTable satisfies unbound lookup tables in loaded artifacts against
@@ -338,6 +367,13 @@ func (d *deployer) sync(paths []string) error {
 		}
 		if d.deployed[name] == "" {
 			fmt.Printf("willump-serve: deployed %s (version %s)\n", name, tag)
+			if d.adaptCfg != nil {
+				if err := d.reg.EnableAdaptation(name, *d.adaptCfg); err != nil {
+					fmt.Fprintf(os.Stderr, "willump-serve: adaptation for %s: %v\n", name, err)
+				} else {
+					fmt.Printf("willump-serve: online adaptation enabled for %s\n", name)
+				}
+			}
 		} else {
 			fmt.Printf("willump-serve: hot-swapped %s (%s -> %s)\n", name, d.deployed[name], tag)
 		}

@@ -470,6 +470,72 @@ func (c *Controller) Snapshot() Snapshot {
 	}
 }
 
+// State is the primable subset of a controller: the service-time
+// forecast, the brownout pressure signal, the adaptive limit, and the
+// ladder rung. It deliberately excludes counters (telemetry, not control
+// state) and inflight (owned by the requests currently admitted).
+type State struct {
+	ForecastService time.Duration
+	ForecastError   time.Duration
+	PressureMilli   int64
+	Limit           int64
+	Level           Level
+}
+
+// State captures the controller's control state for re-priming a
+// successor across a swap.
+func (c *Controller) State() State {
+	if c == nil {
+		return State{}
+	}
+	return State{
+		ForecastService: time.Duration(c.srttNs.Load()),
+		ForecastError:   time.Duration(c.rttvarNs.Load()),
+		PressureMilli:   c.latRatioMilli.Load(),
+		Limit:           c.limit.Load(),
+		Level:           Level(c.level.Load()),
+	}
+}
+
+// Primed reports whether the controller has a service-time forecast. An
+// unprimed controller admits everything until observations accumulate
+// (the probe rule in Admit), so a swap that installs an unprimed
+// controller under load reopens the cold-start admit-everything window —
+// exactly what Reprime closes.
+func (c *Controller) Primed() bool { return c != nil && c.srttNs.Load() > 0 }
+
+// Reprime seeds the controller's forecast, pressure, limit, and ladder
+// rung from a predecessor's State, so a controller installed by a hot
+// swap (new deployment, canary, promote) starts from the incumbent's
+// learned equilibrium instead of relearning from cold mid-overload.
+// Counters and inflight are untouched. A zero State is a no-op, and the
+// limit is clamped to the controller's own bounds.
+func (c *Controller) Reprime(st State) {
+	if c == nil || st.ForecastService <= 0 {
+		return
+	}
+	c.srttNs.Store(int64(st.ForecastService))
+	if st.ForecastError > 0 {
+		c.rttvarNs.Store(int64(st.ForecastError))
+	}
+	if st.PressureMilli > 0 {
+		c.latRatioMilli.Store(st.PressureMilli)
+	}
+	if st.Limit > 0 {
+		lim := st.Limit
+		if lim < c.cfg.MinLimit {
+			lim = c.cfg.MinLimit
+		}
+		if lim > c.cfg.MaxLimit {
+			lim = c.cfg.MaxLimit
+		}
+		c.limit.Store(lim)
+	}
+	if c.cfg.Brownout && st.Level >= LevelNormal && st.Level <= LevelCacheOnly {
+		c.level.Store(int32(st.Level))
+	}
+}
+
 // ForecastErrorBound returns the current shed-decision padding for normal
 // criticality (3 deviations): the bound the acceptance criterion "no
 // admitted request exceeds its deadline by more than the forecast error"

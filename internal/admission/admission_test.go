@@ -273,3 +273,64 @@ func TestInflightReleaseBalance(t *testing.T) {
 		t.Fatalf("inflight = %d after balanced admit/release, want 0", got)
 	}
 }
+
+func TestReprimeClosesColdStartWindow(t *testing.T) {
+	old := New(Config{SLO: 5 * time.Millisecond, Brownout: true, MinLimit: 4, MaxLimit: 64})
+	// Drive the incumbent into a learned overload equilibrium: service
+	// times near the SLO, pressure above 1, limit cut, ladder raised.
+	feed(old, 8*time.Millisecond, 64)
+	st := old.State()
+	if st.ForecastService <= 0 || st.PressureMilli <= 1000 || st.Level == LevelNormal {
+		t.Fatalf("incumbent not in overload equilibrium: %+v", st)
+	}
+
+	fresh := New(Config{SLO: 5 * time.Millisecond, Brownout: true, MinLimit: 4, MaxLimit: 64})
+	if fresh.Primed() {
+		t.Fatal("fresh controller reports primed")
+	}
+	// The cold-start window: with srtt == 0 the probe rule admits
+	// everything, even with a deep backlog and a tiny budget.
+	if d := fresh.Admit(1000, time.Microsecond, CritNormal); d.Shed {
+		t.Fatal("cold controller shed (expected admit-everything window)")
+	}
+	fresh.Release()
+
+	fresh.Reprime(st)
+	if !fresh.Primed() {
+		t.Fatal("reprimed controller not primed")
+	}
+	got := fresh.State()
+	if got.ForecastService != st.ForecastService || got.Level != st.Level || got.Limit != st.Limit {
+		t.Fatalf("reprimed state %+v, want %+v", got, st)
+	}
+	// Occupy one slot so the probe rule's idle bypass doesn't apply, then
+	// check a doomed arrival is shed immediately — no relearning window.
+	if d := fresh.Admit(0, time.Second, CritNormal); d.Shed {
+		t.Fatal("first admitted request shed")
+	}
+	if d := fresh.Admit(1000, time.Microsecond, CritNormal); !d.Shed {
+		t.Fatal("reprimed controller admitted a doomed request (cold-start window reopened)")
+	}
+	fresh.Release()
+}
+
+func TestReprimeClampsAndIgnoresZero(t *testing.T) {
+	c := New(Config{SLO: time.Second, MinLimit: 8, MaxLimit: 32})
+	c.Reprime(State{}) // zero state: no-op
+	if c.Primed() {
+		t.Fatal("zero-state Reprime primed the controller")
+	}
+	c.Reprime(State{ForecastService: time.Millisecond, Limit: 1 << 20})
+	if got := c.State().Limit; got != 32 {
+		t.Fatalf("limit %d, want clamped to MaxLimit 32", got)
+	}
+	c.Reprime(State{ForecastService: time.Millisecond, Limit: 1})
+	if got := c.State().Limit; got != 8 {
+		t.Fatalf("limit %d, want clamped to MinLimit 8", got)
+	}
+	// Brownout disabled: the ladder rung must not be imported.
+	c.Reprime(State{ForecastService: time.Millisecond, Level: LevelCacheOnly})
+	if got := c.LevelFor(CritNormal); got != LevelNormal {
+		t.Fatalf("level %v imported with brownout disabled", got)
+	}
+}

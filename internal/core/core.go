@@ -187,6 +187,11 @@ type Optimized struct {
 	// and allocation-free.
 	tracer *trace.Tracer
 
+	// cachePlan records the statistical cache planner's measurements when
+	// feature caching was planned at Optimize time (or re-planned online);
+	// the drift detectors compare live key reuse against its estimates.
+	cachePlan []IFVCacheStat
+
 	opts Options
 }
 
@@ -276,6 +281,7 @@ func Optimize(ctx context.Context, p *Pipeline, train, valid Dataset, opts Optio
 		specs, cstats := planFeatureCaches(prog, train, opts)
 		prog.EnableFeatureCachingSpecs(specs)
 		rep.CachePlan = cstats
+		o.cachePlan = cstats
 	}
 	if opts.Tracing {
 		o.EnableTracing(opts.TraceSampleEvery, opts.TraceBuffer)

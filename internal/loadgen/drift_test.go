@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// driftSpec is the shared drift script: steady load whose key skew
+// inverts a quarter of the way in, invalidating the trained cache plan.
+func driftSpec(name string) ScenarioSpec {
+	return ScenarioSpec{
+		Name: name, Arrivals: "steady", QPS: 400, Duration: 6 * time.Second,
+		Keys: "uniform", Seed: 12, Drift: true,
+		Budget: Budget{MaxErrorRate: 0.01, MaxOverloadRate: 0.05},
+		Hooks: func(e *Env, h time.Duration) []Hook {
+			return []Hook{{At: h / 4, Name: "rotate-skew", Fn: func(context.Context) error {
+				e.RotateSkew()
+				return nil
+			}}}
+		},
+	}
+}
+
+// TestDriftAdaptationBeatsStalePlan is the drift acceptance test: under
+// the same skew-rotation script, an adaptation-enabled env must detect
+// the key-reuse collapse, re-plan the cache budget from live traffic,
+// canary and promote the re-fit plan — ending the run with a cache hit
+// rate strictly above the no-adaptation baseline (whose trained plan
+// stays stale) and goodput no worse.
+func TestDriftAdaptationBeatsStalePlan(t *testing.T) {
+	adapted, err := NewLocalEnv(EnvConfig{
+		Seed: 12, StoreLatency: time.Millisecond,
+		FeatureCacheBudget: 64, Adapt: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adapted.Close()
+	spec := driftSpec("drift-adapt")
+	spec.Budget.MinCacheHitRate = 0.4
+	rep, err := RunScenario(context.Background(), adapted, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale, err := NewLocalEnv(EnvConfig{
+		Seed: 12, StoreLatency: time.Millisecond,
+		FeatureCacheBudget: 64, // same trained plan, no adaptation
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	base, err := RunScenario(context.Background(), stale, driftSpec("drift-baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.AdaptPromotions < 1 {
+		t.Fatalf("adaptation never promoted a re-fit plan: promotions=%d rollbacks=%d hit rate %.3f",
+			rep.AdaptPromotions, rep.AdaptRollbacks, rep.CacheHitRate)
+	}
+	if base.CacheHitRate >= 0.4 {
+		t.Errorf("stale plan hit rate %.3f did not collapse after rotation; the drift script is not drifting", base.CacheHitRate)
+	}
+	if rep.CacheHitRate <= base.CacheHitRate {
+		t.Errorf("adapted hit rate %.3f not above stale baseline %.3f", rep.CacheHitRate, base.CacheHitRate)
+	}
+	if rep.Success < base.Success {
+		t.Errorf("adapted goodput %d below stale baseline %d", rep.Success, base.Success)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d hard errors during adaptation; canary swaps must be zero-downtime", rep.Errors)
+	}
+	if !rep.Passed() {
+		t.Errorf("drift budget violated: %v", rep.Violations)
+	}
+	if rep.Completed != rep.Success+rep.Overloaded+rep.Errors {
+		t.Fatalf("accounting imbalance: %d completed vs %d+%d+%d",
+			rep.Completed, rep.Success, rep.Overloaded, rep.Errors)
+	}
+}

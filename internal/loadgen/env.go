@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"willump/internal/adapt"
 	"willump/internal/core"
 	"willump/internal/graph"
 	"willump/internal/kvstore"
@@ -46,7 +47,16 @@ type Env struct {
 	degradedResp atomic.Int64
 	highStarted  atomic.Int64
 	highHardErr  atomic.Int64
+
+	// Drift-traffic state (DriftTarget): rotated flips the live key skew
+	// mid-run, driftSeq supplies the unique side of the key stream.
+	rotated  atomic.Bool
+	driftSeq atomic.Int64
 }
+
+// envDriftHotKeys is the hot-set size for skewed training and drift
+// traffic: small enough that a planned cache covers it entirely.
+const envDriftHotKeys = 16
 
 // EnvConfig sizes the local environment.
 type EnvConfig struct {
@@ -67,6 +77,16 @@ type EnvConfig struct {
 	// CacheCapacity enables the per-version end-to-end prediction cache —
 	// the brownout ladder's cache-only rung answers from it (< 0 unbounded).
 	CacheCapacity int
+	// FeatureCacheBudget, when positive, optimizes the pipelines with the
+	// statistical feature-cache planner under skewed training traffic —
+	// user keys drawn from a small hot set, item keys unique — so the plan
+	// spends the whole budget on the user-side IFV. Drift scenarios invert
+	// that skew live (RotateSkew) to make the plan go stale.
+	FeatureCacheBudget int
+	// Adapt enables online adaptation on the primary model (drift
+	// detection, guarded re-fit, canaried swap) with cadences compressed
+	// for scenario-length runs.
+	Adapt bool
 }
 
 // NewLocalEnv builds and starts the full local stack. Callers own Close.
@@ -127,6 +147,11 @@ func NewLocalEnv(cfg EnvConfig) (env *Env, err error) {
 		y := make([]float64, n)
 		for i := range uids {
 			uk, ik := rng.Int63n(nKeys), rng.Int63n(nKeys)
+			if cfg.FeatureCacheBudget > 0 {
+				// Skewed training traffic for the statistical cache
+				// planner: hot user keys, unique item keys.
+				uk, ik = int64(i)%envDriftHotKeys, int64(i)%nKeys
+			}
 			uids[i], iids[i] = uk, ik
 			if localRows[uk][0]+remoteRows[ik][0]-remoteRows[ik][1] > 0 {
 				y[i] = 1
@@ -146,7 +171,10 @@ func NewLocalEnv(cfg EnvConfig) (env *Env, err error) {
 	// swap under load flips between real, separately-compiled versions.
 	for i := range e.opts {
 		p := &core.Pipeline{Graph: g, Model: model.NewLogistic(model.LinearConfig{})}
-		opt, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{})
+		opt, _, err := core.Optimize(context.Background(), p, train, valid, core.Options{
+			FeatureCache:       cfg.FeatureCacheBudget > 0,
+			FeatureCacheBudget: cfg.FeatureCacheBudget,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: optimizing env pipeline: %w", err)
 		}
@@ -169,6 +197,24 @@ func NewLocalEnv(cfg EnvConfig) (env *Env, err error) {
 		return nil, err
 	}
 	e.nextTag = 2
+	if cfg.Adapt {
+		if err := e.reg.EnableAdaptation(e.ModelName, adapt.Config{
+			SampleEvery:       1,
+			KeyWindow:         64,
+			ReuseStrikes:      2,
+			Reservoir:         128,
+			CheckEvery:        25 * time.Millisecond,
+			CanaryFraction:    0.5,
+			CanaryMinRequests: 50,
+			CanaryTimeout:     10 * time.Second,
+			PassStreak:        2,
+			FailStreak:        3,
+			GuardLatencyTol:   10, // scripted cache drift; don't judge p99 jitter
+			Cooldown:          2 * time.Second,
+		}); err != nil {
+			return nil, fmt.Errorf("loadgen: enabling adaptation: %w", err)
+		}
+	}
 	e.srv = serving.NewRegistryServer(e.reg)
 	e.addr, err = e.srv.Start()
 	if err != nil {
@@ -239,6 +285,57 @@ func (e *Env) CritTarget() Target {
 // responses, criticality-high requests started, and their hard failures.
 func (e *Env) CritCounts() (degraded, highStarted, highHardErrs int64) {
 	return e.degradedResp.Load(), e.highStarted.Load(), e.highHardErr.Load()
+}
+
+// DriftTarget returns a drift-scripted target: until RotateSkew fires,
+// user keys come from the hot set the cache plan was trained for while
+// item keys are effectively unique; after rotation the skew inverts, so
+// the planned user-side cache goes cold and only re-planning the budget
+// onto the item side can recover the hit rate.
+func (e *Env) DriftTarget() Target {
+	return TargetFunc(func(ctx context.Context, ev Event) error {
+		_, err := e.client.PredictModel(ctx, e.ModelName, e.driftInputs(ev.Key))
+		return err
+	})
+}
+
+func (e *Env) driftInputs(key int64) map[string]value.Value {
+	hot := key % envDriftHotKeys
+	if hot < 0 {
+		hot += envDriftHotKeys
+	}
+	uniq := e.driftSeq.Add(1) % e.NKeys
+	u, it := hot, uniq
+	if e.rotated.Load() {
+		u, it = uniq, hot
+	}
+	return map[string]value.Value{
+		"user_id": value.NewInts([]int64{u}),
+		"item_id": value.NewInts([]int64{it}),
+	}
+}
+
+// RotateSkew inverts the drift target's key skew mid-run — the scripted
+// distribution shift the adaptation controller must detect and re-plan
+// for.
+func (e *Env) RotateSkew() { e.rotated.Store(true) }
+
+// CacheHitRate returns the primary model's active-version feature-cache
+// hit rate (0 when the deployed plan has no caches). After an adaptation
+// promote this reads the re-fit plan's counters, which start at its
+// canary launch — the post-adaptation hit rate drift budgets check.
+func (e *Env) CacheHitRate() float64 {
+	ms, err := e.reg.Stats(e.ModelName)
+	if err != nil || ms.FeatureCache == nil {
+		return 0
+	}
+	return ms.FeatureCache.HitRate
+}
+
+// Adaptation snapshots the primary model's adaptation controller; ok is
+// false when adaptation is not enabled.
+func (e *Env) Adaptation() (adapt.Snapshot, bool) {
+	return e.reg.AdaptationSnapshot(e.ModelName)
 }
 
 func (e *Env) inputs(key int64) map[string]value.Value {

@@ -25,6 +25,12 @@ type Budget struct {
 	// checked when the scenario drove criticality-classified traffic, so
 	// legacy budgets (zero value) are unaffected.
 	MaxHighCritHardErrors int64 `json:"max_high_crit_hard_errors,omitempty"`
+	// MinCacheHitRate, when > 0, is the minimum end-of-run feature-cache
+	// hit rate on the primary model's active version — the drift
+	// scenario's floor, sitting above what a stale plan can deliver after
+	// the skew rotation, so it passes only when adaptation re-planned and
+	// promoted.
+	MinCacheHitRate float64 `json:"min_cache_hit_rate,omitempty"`
 }
 
 // Unchecked is the rate value meaning "no limit" (overload scenarios
@@ -51,6 +57,14 @@ type Report struct {
 	// issued and their hard failures (errors other than 429 sheds).
 	HighCritStarted    int64 `json:"high_crit_started,omitempty"`
 	HighCritHardErrors int64 `json:"high_crit_hard_errors,omitempty"`
+
+	// CacheHitRate is the primary model's active-version feature-cache
+	// hit rate at run end (post-promotion counters when adaptation
+	// promoted a re-fit plan mid-run). AdaptPromotions / AdaptRollbacks
+	// count the adaptation controller's canary resolutions across the run.
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+	AdaptPromotions int64   `json:"adapt_promotions,omitempty"`
+	AdaptRollbacks  int64   `json:"adapt_rollbacks,omitempty"`
 
 	OfferedQPS  float64 `json:"offered_qps"`
 	AchievedQPS float64 `json:"achieved_qps"`
@@ -120,6 +134,10 @@ func (r Report) check(b Budget) []string {
 		v = append(v, fmt.Sprintf("goodput %d below floor %d (degraded answers count as successes)",
 			r.Success, b.MinGoodput))
 	}
+	if b.MinCacheHitRate > 0 && r.CacheHitRate < b.MinCacheHitRate {
+		v = append(v, fmt.Sprintf("cache hit rate %.3f below floor %.3f (adaptation did not recover the plan)",
+			r.CacheHitRate, b.MinCacheHitRate))
+	}
 	if r.HighCritStarted > 0 && b.MaxHighCritHardErrors >= 0 && r.HighCritHardErrors > b.MaxHighCritHardErrors {
 		v = append(v, fmt.Sprintf("criticality-high hard errors %d exceed budget %d (%d high-crit requests)",
 			r.HighCritHardErrors, b.MaxHighCritHardErrors, r.HighCritStarted))
@@ -165,6 +183,10 @@ func (r Report) Print(w io.Writer) {
 	if r.DegradedResponses > 0 || r.HighCritStarted > 0 {
 		fmt.Fprintf(w, "%-24s       brownout: %d degraded responses, %d high-crit (%d hard errors)\n", "",
 			r.DegradedResponses, r.HighCritStarted, r.HighCritHardErrors)
+	}
+	if r.CacheHitRate > 0 || r.AdaptPromotions > 0 || r.AdaptRollbacks > 0 {
+		fmt.Fprintf(w, "%-24s       adaptation: cache hit rate %.3f, %d promotions, %d rollbacks\n", "",
+			r.CacheHitRate, r.AdaptPromotions, r.AdaptRollbacks)
 	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "%-24s       VIOLATION: %s\n", "", v)

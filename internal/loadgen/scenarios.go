@@ -45,6 +45,12 @@ type ScenarioSpec struct {
 	// that high-priority traffic degrades and sheds last.
 	Criticality bool
 
+	// Drift routes requests through the env's drift target: the key skew
+	// the cache plan was trained for until the RotateSkew hook fires,
+	// inverted after — the scripted distribution shift adaptation
+	// scenarios assert recovery from.
+	Drift bool
+
 	// EnvOverride runs the scenario in its own dedicated environment (the
 	// overload scenario needs a deliberately undersized queue); nil shares
 	// the suite's env.
@@ -89,6 +95,9 @@ func RunScenario(ctx context.Context, e *Env, s ScenarioSpec) (Report, error) {
 	if s.Criticality {
 		target = e.CritTarget()
 	}
+	if s.Drift {
+		target = e.DriftTarget()
+	}
 	deg0 := e.Degraded()
 	dr0, hs0, he0 := e.CritCounts()
 	res := Run(ctx, target, RunConfig{
@@ -103,6 +112,11 @@ func RunScenario(ctx context.Context, e *Env, s ScenarioSpec) (Report, error) {
 	rep.DegradedResponses = dr1 - dr0
 	rep.HighCritStarted = hs1 - hs0
 	rep.HighCritHardErrors = he1 - he0
+	rep.CacheHitRate = e.CacheHitRate()
+	if snap, ok := e.Adaptation(); ok {
+		rep.AdaptPromotions = snap.Promotions
+		rep.AdaptRollbacks = snap.Rollbacks
+	}
 	// The goodput floor and criticality checks read enrichment the raw
 	// Result doesn't carry, so the budget is re-evaluated now that the
 	// report is complete (check rebuilds the violation list from scratch).
@@ -173,6 +187,29 @@ func Catalog(scale float64) []ScenarioSpec {
 			EnvOverride: &EnvConfig{
 				QueueDepth: 4, StoreLatency: 5 * time.Millisecond, Seed: 4,
 				SLO: 10 * time.Millisecond, Brownout: true, CacheCapacity: 8192,
+			},
+		},
+		{
+			// Drift: the statistical cache plan is trained for user-hot /
+			// item-unique traffic; a quarter of the way in, the live skew
+			// inverts so the planned cache goes cold. The adaptation
+			// controller must detect the key-reuse collapse, re-plan the
+			// budget from its live reservoir onto the item side, canary the
+			// re-fit plan, and promote it — the hit-rate floor sits well
+			// above what the stale plan delivers post-rotation, so the
+			// scenario passes only when adaptation recovers.
+			Name: "drift", Arrivals: "steady", QPS: qps(1200), Duration: dur(16 * time.Second),
+			Keys: "uniform", Seed: 12, Drift: true,
+			Budget: Budget{MaxErrorRate: 0.01, MaxOverloadRate: 0.05, MinCacheHitRate: 0.35},
+			EnvOverride: &EnvConfig{
+				Seed: 12, StoreLatency: time.Millisecond,
+				FeatureCacheBudget: 64, Adapt: true,
+			},
+			Hooks: func(e *Env, h time.Duration) []Hook {
+				return []Hook{{At: h / 4, Name: "rotate-skew", Fn: func(context.Context) error {
+					e.RotateSkew()
+					return nil
+				}}}
 			},
 		},
 		{
@@ -263,9 +300,9 @@ func Catalog(scale float64) []ScenarioSpec {
 }
 
 // SmokeScenarios is the subset CI runs: one plain open-loop scenario, one
-// ramp, the brownout overload defense, and the two chaos modes the
-// acceptance criteria name.
-var SmokeScenarios = []string{"poisson", "flash-crowd", "brownout", "chaos-store-tail", "chaos-hot-swap"}
+// ramp, the brownout overload defense, the drift-adaptation recovery, and
+// the two chaos modes the acceptance criteria name.
+var SmokeScenarios = []string{"poisson", "flash-crowd", "brownout", "drift", "chaos-store-tail", "chaos-hot-swap"}
 
 // SelectScenarios filters the catalog by name; empty names selects all.
 func SelectScenarios(specs []ScenarioSpec, names []string) ([]ScenarioSpec, error) {

@@ -24,6 +24,18 @@ func (s *Server) mountObservability(mux *http.ServeMux) {
 	}
 }
 
+// adaptStateValue encodes the adaptation controller phase as a gauge.
+func adaptStateValue(state string) int {
+	switch state {
+	case "canarying":
+		return 1
+	case "cooldown":
+		return 2
+	default:
+		return 0
+	}
+}
+
 // breakerStateValue encodes the store breaker state as a gauge level.
 func breakerStateValue(state string) int {
 	switch state {
@@ -234,6 +246,75 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, m := range snaps {
 		if ad := m.stats.Admission; ad != nil {
 			mw.Gauge("willump_admission_pressure", "EWMA of end-to-end latency over the SLO per model (above 1 the SLO is missed).", observ.L("model", m.name), ad.Pressure)
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Gauge("willump_adapt_state", "Adaptation controller phase per model (0 idle, 1 canarying, 2 cooldown).", observ.L("model", m.name), float64(adaptStateValue(ad.State)))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Counter("willump_adapt_sampled_total", "Requests shadow-sampled into the drift detectors per model.", observ.L("model", m.name), float64(ad.Sampled))
+		}
+	}
+	for _, m := range snaps {
+		ad := m.stats.Adaptation
+		if ad == nil {
+			continue
+		}
+		for _, sc := range []struct {
+			signal string
+			n      int64
+		}{{"key_reuse", ad.KeyDriftEvents}, {"score", ad.ScoreDriftEvents}} {
+			mw.Counter("willump_adapt_drift_events_total", "Confirmed drift detections per model, by signal.",
+				observ.L("model", m.name).With("signal", sc.signal), float64(sc.n))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Counter("willump_adapt_refits_total", "Statistical plan re-fits per model.", observ.L("model", m.name), float64(ad.Refits))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Counter("willump_adapt_canaries_total", "Canary rollouts launched per model.", observ.L("model", m.name), float64(ad.Canaries))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Counter("willump_adapt_promotions_total", "Canary plans promoted to active per model.", observ.L("model", m.name), float64(ad.Promotions))
+		}
+	}
+	for _, m := range snaps {
+		if ad := m.stats.Adaptation; ad != nil {
+			mw.Counter("willump_adapt_rollbacks_total", "Canary plans rolled back on guard regression per model.", observ.L("model", m.name), float64(ad.Rollbacks))
+		}
+	}
+	for _, m := range snaps {
+		ad := m.stats.Adaptation
+		if ad == nil {
+			continue
+		}
+		for _, kr := range []struct {
+			kind string
+			v    float64
+		}{{"observed", ad.KeyReuseObserved}, {"expected", ad.KeyReuseExpected}} {
+			mw.Gauge("willump_adapt_key_reuse", "Live key-reuse measurement vs the cache plan's estimate per model.",
+				observ.L("model", m.name).With("kind", kr.kind), kr.v)
+		}
+	}
+	for _, m := range snaps {
+		ad := m.stats.Adaptation
+		if ad == nil {
+			continue
+		}
+		for _, dt := range []struct {
+			det string
+			v   float64
+		}{{"page_hinkley", ad.ScorePH}, {"ks", ad.ScoreKS}} {
+			mw.Gauge("willump_adapt_score_drift", "Score-distribution drift detector statistics per model.",
+				observ.L("model", m.name).With("detector", dt.det), dt.v)
 		}
 	}
 	for _, m := range snaps {

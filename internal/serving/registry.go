@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"willump/internal/adapt"
 	"willump/internal/admission"
 	"willump/internal/core"
+	"willump/internal/metrics"
 	"willump/internal/trace"
 	"willump/internal/value"
 	"willump/internal/weld"
@@ -44,6 +46,11 @@ type Registry struct {
 	models      map[string]*Hosted
 	defaultName string
 	closed      bool
+	// retired stashes undeployed models' admission-controller state by
+	// name: a later redeploy under the same name re-primes its fresh
+	// controller from the retired forecast instead of reopening the
+	// cold-start admit-everything window.
+	retired map[string]admission.State
 
 	// baseCtx is the execution context for batch prediction; cancelled only
 	// on force-close, so graceful drains run work to completion.
@@ -62,6 +69,7 @@ func NewRegistry(opts Options) *Registry {
 	return &Registry{
 		opts:    opts.withDefaults(),
 		models:  make(map[string]*Hosted),
+		retired: make(map[string]admission.State),
 		baseCtx: baseCtx,
 		cancel:  cancel,
 	}
@@ -83,6 +91,49 @@ type Hosted struct {
 	// counters survive hot swaps. Always non-nil; disabled (SLO zero) it
 	// admits everything and only counts expired pendings.
 	admit *admission.Controller
+
+	// canary is the guarded candidate version a bounded fraction of
+	// batchable traffic routes to (nil outside canary rollouts).
+	// canaryPermille is that fraction in thousandths of requests;
+	// routeTick spreads routing decisions deterministically so the canary
+	// sees exactly its share under any arrival order.
+	canary         atomic.Pointer[version]
+	canaryPermille atomic.Int64
+	routeTick      atomic.Uint64
+
+	// adaptCtl is the model's online adaptation controller when enabled
+	// (EnableAdaptation); adaptCfg keeps its configuration for restarts
+	// across operator deploys, guarded by the registry mutex.
+	adaptCtl atomic.Pointer[adapt.Controller]
+	adaptCfg *adapt.Config
+}
+
+// route picks the serving arm for one batchable request: the canary when
+// one is live and the request's slot falls inside its traffic fraction,
+// the active version otherwise.
+func (h *Hosted) route() *version {
+	c := h.canary.Load()
+	if c == nil {
+		return h.active.Load()
+	}
+	pm := h.canaryPermille.Load()
+	if pm > 0 && int64(h.routeTick.Add(1)%1000) < pm {
+		return c
+	}
+	return h.active.Load()
+}
+
+// enqueueTo admits p to the routed version, falling back to the model's
+// active version when the routed arm is draining (a canary resolved
+// between routing and enqueue) — a request never fails because a canary
+// ended underneath it.
+func (h *Hosted) enqueueTo(v *version, p *pending) error {
+	if v != nil {
+		if err := v.enqueue(p); !errors.Is(err, errVersionStopped) {
+			return err
+		}
+	}
+	return h.enqueue(p)
 }
 
 // queueLen reports the active version's current queue depth (0 when the
@@ -125,7 +176,15 @@ type version struct {
 	inputs []string
 	opts   Options
 	stats  *modelStats
-	admit  *admission.Controller // the Hosted model's controller
+	// admit is the arm's admission controller: the Hosted model's for
+	// versions installed by Deploy, a private controller (primed from the
+	// incumbent's forecast) for canaries, so a misbehaving candidate sheds
+	// its own traffic slice without dragging the incumbent's forecast.
+	admit *admission.Controller
+	// guard is the arm's canary-guard telemetry: per-version request
+	// outcomes, latency, cascade routing, and sheds (unlike modelStats,
+	// which lives on the Hosted model and spans both arms).
+	guard *guardStats
 	// predSmall is the brownout degrade path: cascade small-model-only
 	// scoring. Nil unless the pipeline deploys a cascade. Deliberately not
 	// cache-wrapped — a degraded answer cached as a normal one would leak
@@ -154,6 +213,52 @@ type version struct {
 	baseCtx context.Context
 }
 
+// guardStats is one serving arm's guard telemetry, judged by the
+// adaptation controller as counter deltas from a canary's start.
+type guardStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	sheds    atomic.Int64
+
+	latencies *metrics.Window // milliseconds, end-to-end from enqueue
+
+	cascadeTotal atomic.Int64
+	cascadeSmall atomic.Int64
+}
+
+func newGuardStats() *guardStats {
+	return &guardStats{latencies: metrics.NewWindow(512)}
+}
+
+// record accounts one completed request on this arm.
+func (g *guardStats) record(d time.Duration, err error) {
+	g.requests.Add(1)
+	g.latencies.Observe(float64(d) / float64(time.Millisecond))
+	if err != nil {
+		g.errors.Add(1)
+	}
+}
+
+// guardSnapshot assembles the arm's adapt.Guard: outcome counters plus
+// the windowed p99 and the arm's own feature-cache counters (canary
+// pipelines clone their caches, so hit rates are genuinely per-arm).
+func (v *version) guardSnapshot() adapt.Guard {
+	g := adapt.Guard{
+		Requests:     v.guard.requests.Load(),
+		Errors:       v.guard.errors.Load(),
+		Sheds:        v.guard.sheds.Load(),
+		CascadeTotal: v.guard.cascadeTotal.Load(),
+		CascadeSmall: v.guard.cascadeSmall.Load(),
+	}
+	g.P99 = time.Duration(v.guard.latencies.Quantiles(99)[0] * float64(time.Millisecond))
+	if v.opt != nil {
+		if cs, ok := v.opt.FeatureCacheStats(); ok {
+			g.CacheHits, g.CacheMisses = cs.Hits, cs.Misses
+		}
+	}
+	return g
+}
+
 // Deploy installs version tag of the optimized pipeline under name,
 // atomically replacing any previously active version. The old version's
 // batcher keeps running until its queued work drains, so requests in flight
@@ -163,7 +268,14 @@ func (r *Registry) Deploy(name, tag string, o *core.Optimized) error {
 	if o == nil {
 		return fmt.Errorf("serving: deploying %q: nil optimized pipeline", name)
 	}
-	return r.deploy(name, tag, o, nil, o.Inputs())
+	if err := r.deploy(name, tag, o, nil, o.Inputs()); err != nil {
+		return err
+	}
+	// An operator deploy invalidates the adaptation controller's incumbent
+	// and displaces any canary it was judging: restart adaptation on the
+	// new pipeline when the model had it enabled.
+	r.readaptAfterDeploy(name, o)
+	return nil
 }
 
 // DeployPredictor installs a black-box batch predictor under name. inputs
@@ -175,7 +287,19 @@ func (r *Registry) DeployPredictor(name, tag string, p Predictor, inputs []strin
 	if p == nil {
 		return fmt.Errorf("serving: deploying %q: nil predictor", name)
 	}
-	return r.deploy(name, tag, nil, p, inputs)
+	if err := r.deploy(name, tag, nil, p, inputs); err != nil {
+		return err
+	}
+	// Adaptation needs an optimized pipeline to re-fit; a black-box deploy
+	// under an adapted name turns the controller off.
+	r.mu.RLock()
+	h, ok := r.models[name]
+	adapted := ok && h.adaptCfg != nil
+	r.mu.RUnlock()
+	if adapted {
+		r.DisableAdaptation(name) //nolint:errcheck // model just deployed
+	}
+	return nil
 }
 
 func validName(name string) error {
@@ -217,6 +341,13 @@ func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inpu
 				Brownout: r.opts.Brownout,
 			}),
 		}
+		if st, stashed := r.retired[name]; stashed {
+			// Redeploy after an undeploy: re-prime the fresh controller
+			// from the retired one's final forecast so the swap never
+			// reopens the cold-start admit-everything window.
+			h.admit.Reprime(st)
+			delete(r.retired, name)
+		}
 		r.models[name] = h
 		if r.defaultName == "" {
 			r.defaultName = name
@@ -230,6 +361,7 @@ func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inpu
 		opts:    r.opts,
 		stats:   h.stats,
 		admit:   h.admit,
+		guard:   newGuardStats(),
 		queue:   make(chan *pending, r.opts.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -259,11 +391,13 @@ func (r *Registry) deploy(name, tag string, o *core.Optimized, p Predictor, inpu
 func (v *version) buildPredictor(o *core.Optimized, p Predictor) Predictor {
 	var pred Predictor
 	if o != nil {
-		stats := v.stats
+		stats, guard := v.stats, v.guard
 		pred = PredictorFunc(func(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 			preds, cs, err := o.PredictBatchOptions(ctx, inputs, core.PredictOptions{})
 			if err == nil {
 				stats.recordCascade(cs)
+				guard.cascadeTotal.Add(int64(cs.Total))
+				guard.cascadeSmall.Add(int64(cs.SmallOnly))
 			}
 			return preds, err
 		})
@@ -293,11 +427,13 @@ func (v *version) buildSmallPredictor(o *core.Optimized) Predictor {
 	if o == nil || o.Cascade == nil {
 		return nil
 	}
-	stats := v.stats
+	stats, guard := v.stats, v.guard
 	return PredictorFunc(func(ctx context.Context, inputs map[string]value.Value) ([]float64, error) {
 		preds, cs, err := o.PredictBatchOptions(ctx, inputs, core.PredictOptions{SmallOnly: true})
 		if err == nil {
 			stats.recordCascade(cs)
+			guard.cascadeTotal.Add(int64(cs.Total))
+			guard.cascadeSmall.Add(int64(cs.SmallOnly))
 		}
 		return preds, err
 	})
@@ -305,6 +441,9 @@ func (v *version) buildSmallPredictor(o *core.Optimized) Predictor {
 
 // Undeploy removes a model from the registry. Its active version drains in
 // the background; requests already admitted complete, new requests 404.
+// The model's admission-controller state is stashed so a redeploy under
+// the same name re-primes instead of starting cold, its adaptation
+// controller stops, and any in-flight canary drains.
 func (r *Registry) Undeploy(name string) error {
 	r.mu.Lock()
 	h, ok := r.models[name]
@@ -316,8 +455,20 @@ func (r *Registry) Undeploy(name string) error {
 	if r.defaultName == name {
 		r.defaultName = ""
 	}
+	if h.admit.Primed() {
+		r.retired[name] = h.admit.State()
+	}
+	ctl := h.adaptCtl.Swap(nil)
+	h.adaptCfg = nil
 	r.mu.Unlock()
 
+	if ctl != nil {
+		ctl.Close()
+	}
+	h.canaryPermille.Store(0)
+	if c := h.canary.Swap(nil); c != nil {
+		c.beginDrain()
+	}
 	if v := h.active.Swap(nil); v != nil {
 		v.beginDrain()
 	}
@@ -444,6 +595,9 @@ func (r *Registry) Stats(name string) (ModelStats, error) {
 	ms.FeatureCache = fc
 	ms.FeatureStore = fs
 	ms.Admission = admissionStats(h.admit)
+	if ctl := h.adaptCtl.Load(); ctl != nil {
+		ms.Adaptation = adaptationStats(ctl)
+	}
 	for _, s := range h.tracer().Slow() {
 		ms.RecentSlow = append(ms.RecentSlow, SlowQuery{
 			Start:   s.Start,
@@ -497,13 +651,26 @@ func (r *Registry) Close(ctx context.Context) error {
 	r.mu.Lock()
 	r.closed = true
 	var active []*version
+	var ctls []*adapt.Controller
 	for _, h := range r.models {
+		if ctl := h.adaptCtl.Swap(nil); ctl != nil {
+			ctls = append(ctls, ctl)
+		}
+		h.canaryPermille.Store(0)
+		if c := h.canary.Swap(nil); c != nil {
+			active = append(active, c)
+		}
 		if v := h.active.Load(); v != nil {
 			active = append(active, v)
 		}
 	}
 	r.mu.Unlock()
 
+	// Stop adaptation first (outside the lock: a controller mid-judgement
+	// may be waiting on it), so no new canary starts during the drain.
+	for _, ctl := range ctls {
+		ctl.Close()
+	}
 	for _, v := range active {
 		v.beginDrain()
 	}
@@ -522,6 +689,237 @@ func (r *Registry) Close(ctx context.Context) error {
 	}
 	r.cancel()
 	return err
+}
+
+// StartCanary deploys a candidate pipeline beside the model's active
+// version, routing the given fraction of batchable traffic to it (clamped
+// to [0.001, 0.5]). The canary runs its own admission controller, primed
+// from the incumbent's current forecast so the candidate never opens a
+// cold-start admit-everything window; direct-path and top-K requests stay
+// on the incumbent. One canary per model: starting a second fails.
+func (r *Registry) StartCanary(name, tag string, o *core.Optimized, fraction float64) error {
+	if o == nil {
+		return fmt.Errorf("serving: canary %q: nil optimized pipeline", name)
+	}
+	if tag == "" {
+		return fmt.Errorf("serving: canary %q: empty version tag", name)
+	}
+	pm := int64(fraction * 1000)
+	if pm < 1 {
+		pm = 1
+	}
+	if pm > 500 {
+		pm = 500
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("serving: registry is closed")
+	}
+	h, ok := r.models[name]
+	if !ok || h.active.Load() == nil {
+		return fmt.Errorf("serving: canary %q: %w", name, ErrModelNotFound)
+	}
+	if h.canary.Load() != nil {
+		return fmt.Errorf("serving: canary %q: a canary is already in flight", name)
+	}
+	admit := admission.New(admission.Config{
+		SLO:      r.opts.SLOTargetP99,
+		Brownout: r.opts.Brownout,
+	})
+	admit.Reprime(h.admit.State())
+	v := &version{
+		model:   name,
+		tag:     tag,
+		opt:     o,
+		inputs:  append([]string(nil), o.Inputs()...),
+		opts:    r.opts,
+		stats:   h.stats,
+		admit:   admit,
+		guard:   newGuardStats(),
+		queue:   make(chan *pending, r.opts.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		baseCtx: r.baseCtx,
+	}
+	v.pred = v.buildPredictor(o, nil)
+	v.predSmall = v.buildSmallPredictor(o)
+	r.batchers.Add(1)
+	go func() {
+		defer r.batchers.Done()
+		defer close(v.done)
+		v.batcher()
+	}()
+	h.canary.Store(v)
+	h.canaryPermille.Store(pm)
+	return nil
+}
+
+// PromoteCanary makes the model's canary the active version. The hosted
+// admission controller adopts the canary arm's learned forecast (the
+// controller that actually measured the candidate's service times), the
+// candidate redeploys through the normal zero-downtime swap — keeping its
+// warmed feature caches, since the pipeline object carries them — and
+// both the displaced incumbent and the canary's serving scaffolding drain
+// in the background.
+func (r *Registry) PromoteCanary(name string) error {
+	r.mu.RLock()
+	h, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("serving: promote %q: %w", name, ErrModelNotFound)
+	}
+	h.canaryPermille.Store(0)
+	c := h.canary.Swap(nil)
+	if c == nil {
+		return fmt.Errorf("serving: promote %q: no canary in flight", name)
+	}
+	h.admit.Reprime(c.admit.State())
+	err := r.deploy(name, c.tag, c.opt, nil, c.opt.Inputs())
+	c.beginDrain()
+	return err
+}
+
+// RollbackCanary discards the model's canary: routing reverts entirely to
+// the incumbent — whose admission controller served the majority arm
+// throughout and so was never cold — and the candidate drains.
+func (r *Registry) RollbackCanary(name string) error {
+	r.mu.RLock()
+	h, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("serving: rollback %q: %w", name, ErrModelNotFound)
+	}
+	h.canaryPermille.Store(0)
+	c := h.canary.Swap(nil)
+	if c == nil {
+		return fmt.Errorf("serving: rollback %q: no canary in flight", name)
+	}
+	c.beginDrain()
+	return nil
+}
+
+// canaryGuards snapshots both serving arms' guard metrics; ok is false
+// when no canary is live (resolved, displaced, or never started).
+func (r *Registry) canaryGuards(name string) (inc, can adapt.Guard, ok bool) {
+	r.mu.RLock()
+	h, found := r.models[name]
+	r.mu.RUnlock()
+	if !found {
+		return adapt.Guard{}, adapt.Guard{}, false
+	}
+	c := h.canary.Load()
+	a := h.active.Load()
+	if c == nil || a == nil {
+		return adapt.Guard{}, adapt.Guard{}, false
+	}
+	return a.guardSnapshot(), c.guardSnapshot(), true
+}
+
+// EnableAdaptation attaches an online adaptation controller to a deployed
+// optimized model: live traffic is shadow-sampled into drift detectors
+// (key-reuse against the cache plan's estimate, score distribution via
+// Page–Hinkley and KS), confirmed drift re-fits the cascade threshold and
+// feature-cache budget split from a reservoir of recent requests, and the
+// re-fit plan rolls in as a guarded canary with automatic promotion or
+// rollback. Re-enabling replaces the previous controller; an operator
+// Deploy restarts adaptation on the new pipeline automatically.
+func (r *Registry) EnableAdaptation(name string, cfg adapt.Config) error {
+	r.mu.Lock()
+	h, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("serving: adapt %q: %w", name, ErrModelNotFound)
+	}
+	v := h.active.Load()
+	if v == nil || v.opt == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("serving: adapt %q: no optimized pipeline deployed", name)
+	}
+	cfgCopy := cfg
+	h.adaptCfg = &cfgCopy
+	ctl := r.newAdaptController(name, v.opt, cfg)
+	old := h.adaptCtl.Swap(ctl)
+	r.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	ctl.Start()
+	return nil
+}
+
+// DisableAdaptation stops a model's adaptation controller and discards
+// any canary it had in flight.
+func (r *Registry) DisableAdaptation(name string) error {
+	r.mu.Lock()
+	h, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("serving: adapt %q: %w", name, ErrModelNotFound)
+	}
+	ctl := h.adaptCtl.Swap(nil)
+	h.adaptCfg = nil
+	r.mu.Unlock()
+	if ctl != nil {
+		ctl.Close()
+	}
+	h.canaryPermille.Store(0)
+	if c := h.canary.Swap(nil); c != nil {
+		c.beginDrain()
+	}
+	return nil
+}
+
+// AdaptationSnapshot returns the model's adaptation-controller state; ok
+// is false when adaptation is not enabled.
+func (r *Registry) AdaptationSnapshot(name string) (adapt.Snapshot, bool) {
+	r.mu.RLock()
+	h, found := r.models[name]
+	r.mu.RUnlock()
+	if !found {
+		return adapt.Snapshot{}, false
+	}
+	ctl := h.adaptCtl.Load()
+	if ctl == nil {
+		return adapt.Snapshot{}, false
+	}
+	return ctl.Snapshot(), true
+}
+
+// newAdaptController wires a controller to this registry's canary
+// machinery through closures, so internal/adapt never imports serving.
+func (r *Registry) newAdaptController(name string, opt *core.Optimized, cfg adapt.Config) *adapt.Controller {
+	return adapt.New(opt, cfg, adapt.Hooks{
+		StartCanary: func(tag string, cand *core.Optimized, fraction float64) error {
+			return r.StartCanary(name, tag, cand, fraction)
+		},
+		Promote:  func() error { return r.PromoteCanary(name) },
+		Rollback: func() error { return r.RollbackCanary(name) },
+		Guards:   func() (adapt.Guard, adapt.Guard, bool) { return r.canaryGuards(name) },
+	})
+}
+
+// readaptAfterDeploy restarts a model's adaptation controller on a newly
+// deployed pipeline and abandons any canary the old controller had in
+// flight. No-op for models without adaptation enabled.
+func (r *Registry) readaptAfterDeploy(name string, o *core.Optimized) {
+	r.mu.Lock()
+	h, ok := r.models[name]
+	if !ok || h.adaptCfg == nil {
+		r.mu.Unlock()
+		return
+	}
+	ctl := r.newAdaptController(name, o, *h.adaptCfg)
+	old := h.adaptCtl.Swap(ctl)
+	r.mu.Unlock()
+	h.canaryPermille.Store(0)
+	if c := h.canary.Swap(nil); c != nil {
+		c.beginDrain()
+	}
+	if old != nil {
+		old.Close()
+	}
+	ctl.Start()
 }
 
 // enqueue admits one request to the model's active version, retrying when
@@ -724,6 +1122,7 @@ func (v *version) runBatch(batch []*pending) {
 		preds, err := pred.PredictBatch(ctx, p0.inputs)
 		cancel()
 		v.admit.Observe(time.Since(execStart), time.Since(p0.enq), p0.n)
+		v.guard.record(time.Since(p0.enq), err)
 		if err == nil && degraded != "" {
 			v.admit.CountDegraded(degraded)
 		}
@@ -771,6 +1170,7 @@ func (v *version) runBatch(batch []*pending) {
 		cat, err := concatValues(vs)
 		if err != nil {
 			for _, p := range batch {
+				v.guard.record(time.Since(p.enq), err)
 				p.done <- batchResult{err: err}
 			}
 			return
@@ -797,6 +1197,7 @@ func (v *version) runBatch(batch []*pending) {
 	v.admit.Observe(time.Since(execStart), time.Since(batch[0].enq), rows)
 	if err != nil {
 		for _, p := range batch {
+			v.guard.record(time.Since(p.enq), err)
 			p.done <- batchResult{err: err}
 		}
 		return
@@ -806,6 +1207,7 @@ func (v *version) runBatch(batch []*pending) {
 		if degraded != "" {
 			v.admit.CountDegraded(degraded)
 		}
+		v.guard.record(time.Since(p.enq), nil)
 		p.done <- batchResult{preds: preds[off : off+p.n], degraded: degraded}
 		off += p.n
 	}

@@ -299,6 +299,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name stri
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// Shadow-sample the request into the adaptation controller's drift
+	// detectors (a nil controller is a no-op; the call never blocks).
+	h.adaptCtl.Load().ObserveRequest(inputs, n)
 	// The handler owns the request's trace lifecycle: the sampling decision
 	// is made here and the trace rides the request context through queue,
 	// batcher, and pipeline (whose own entry points see it and don't begin a
@@ -409,19 +412,29 @@ var errPredictedMiss = fmt.Errorf("%w: predicted completion exceeds deadline", E
 // caller abandoned a pending the batcher may still reach, so anything the
 // request's context carries (its trace) remains referenced by the batcher.
 func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[string]value.Value, n int, crit admission.Criticality) (preds []float64, degraded string, delivered bool, err error) {
-	v := h.active.Load()
-	level := h.admit.LevelFor(crit)
+	// Canary routing happens before admission: each arm runs its own
+	// admission controller (the canary's is primed from the incumbent's
+	// forecast at start), so a misbehaving candidate sheds only its own
+	// traffic slice and never drags the incumbent's forecast with it. For
+	// versions installed by Deploy the arm controller IS the hosted one.
+	v := h.route()
+	admit := h.admit
+	if v != nil {
+		admit = v.admit
+	}
+	level := admit.LevelFor(crit)
 	if level >= admission.LevelCacheOnly && v != nil && v.cache != nil {
 		// Deepest brownout rung: answer from the prediction cache without
 		// touching the saturated pipeline. A miss sheds low/normal traffic;
 		// high-criticality requests fall through and still compute (one
 		// rung down, they arrive here only under extreme pressure).
 		if cached, ok := v.cache.Peek(inputs); ok {
-			h.admit.CountDegraded(admission.DegradedCache)
+			admit.CountDegraded(admission.DegradedCache)
 			return cached, admission.DegradedCache, true, nil
 		}
 		if crit != admission.CritHigh {
-			h.admit.CountShedBrownout()
+			admit.CountShedBrownout()
+			v.guard.sheds.Add(1)
 			return nil, "", true, fmt.Errorf("%w: brownout cache-only, no cached answer", ErrOverloaded)
 		}
 	}
@@ -433,15 +446,18 @@ func (s *Server) executeBatched(rctx context.Context, h *Hosted, inputs map[stri
 	if v != nil {
 		queued = len(v.queue)
 	}
-	if d := h.admit.Admit(queued, budget, crit); d.Shed {
+	if d := admit.Admit(queued, budget, crit); d.Shed {
+		if v != nil {
+			v.guard.sheds.Add(1)
+		}
 		return nil, "", true, errPredictedMiss
 	}
-	defer h.admit.Release()
+	defer admit.Release()
 	p := &pending{
 		ctx: rctx, inputs: inputs, n: n, enq: time.Now(), done: make(chan batchResult, 1),
 		small: level >= admission.LevelDegrade,
 	}
-	if err := h.enqueue(p); err != nil {
+	if err := h.enqueueTo(v, p); err != nil {
 		return nil, "", true, err
 	}
 	// p.done is buffered, so the batcher never blocks on an abandoned waiter.
@@ -749,6 +765,30 @@ func toWireStats(st ModelStats) wireStats {
 			Pressure:          st.Admission.Pressure,
 		}
 	}
+	if st.Adaptation != nil {
+		out.Adaptation = &wireAdaptation{
+			State:            st.Adaptation.State,
+			CanaryTag:        st.Adaptation.CanaryTag,
+			CanaryFraction:   st.Adaptation.CanaryFraction,
+			Sampled:          st.Adaptation.Sampled,
+			ShadowDropped:    st.Adaptation.ShadowDropped,
+			ReservoirRows:    st.Adaptation.ReservoirRows,
+			KeyReuseObserved: st.Adaptation.KeyReuseObserved,
+			KeyReuseExpected: st.Adaptation.KeyReuseExpected,
+			ScorePH:          st.Adaptation.ScorePH,
+			ScoreKS:          st.Adaptation.ScoreKS,
+			KeyDrift:         st.Adaptation.KeyDrift,
+			ScoreDrift:       st.Adaptation.ScoreDrift,
+			KeyDriftEvents:   st.Adaptation.KeyDriftEvents,
+			ScoreDriftEvents: st.Adaptation.ScoreDriftEvents,
+			Refits:           st.Adaptation.Refits,
+			Canaries:         st.Adaptation.Canaries,
+			Promotions:       st.Adaptation.Promotions,
+			Rollbacks:        st.Adaptation.Rollbacks,
+			CanaryErrors:     st.Adaptation.CanaryErrors,
+			LastRollback:     st.Adaptation.LastRollback,
+		}
+	}
 	return out
 }
 
@@ -817,6 +857,30 @@ func fromWireStats(ws wireStats) ModelStats {
 			ForecastService:   time.Duration(ws.Admission.ForecastServiceMS * float64(time.Millisecond)),
 			ForecastError:     time.Duration(ws.Admission.ForecastErrorMS * float64(time.Millisecond)),
 			Pressure:          ws.Admission.Pressure,
+		}
+	}
+	if ws.Adaptation != nil {
+		out.Adaptation = &AdaptationStats{
+			State:            ws.Adaptation.State,
+			CanaryTag:        ws.Adaptation.CanaryTag,
+			CanaryFraction:   ws.Adaptation.CanaryFraction,
+			Sampled:          ws.Adaptation.Sampled,
+			ShadowDropped:    ws.Adaptation.ShadowDropped,
+			ReservoirRows:    ws.Adaptation.ReservoirRows,
+			KeyReuseObserved: ws.Adaptation.KeyReuseObserved,
+			KeyReuseExpected: ws.Adaptation.KeyReuseExpected,
+			ScorePH:          ws.Adaptation.ScorePH,
+			ScoreKS:          ws.Adaptation.ScoreKS,
+			KeyDrift:         ws.Adaptation.KeyDrift,
+			ScoreDrift:       ws.Adaptation.ScoreDrift,
+			KeyDriftEvents:   ws.Adaptation.KeyDriftEvents,
+			ScoreDriftEvents: ws.Adaptation.ScoreDriftEvents,
+			Refits:           ws.Adaptation.Refits,
+			Canaries:         ws.Adaptation.Canaries,
+			Promotions:       ws.Adaptation.Promotions,
+			Rollbacks:        ws.Adaptation.Rollbacks,
+			CanaryErrors:     ws.Adaptation.CanaryErrors,
+			LastRollback:     ws.Adaptation.LastRollback,
 		}
 	}
 	return out

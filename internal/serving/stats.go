@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"willump/internal/adapt"
 	"willump/internal/admission"
 	"willump/internal/cascade"
 	"willump/internal/metrics"
@@ -166,6 +167,73 @@ func admissionStats(c *admission.Controller) *AdmissionStats {
 	}
 }
 
+// AdaptationStats is a snapshot of a model's online adaptation
+// controller: drift-detector state, canary lifecycle, and cumulative
+// adaptation counters. Nil on models without adaptation enabled, so
+// legacy stats responses keep their shape.
+type AdaptationStats struct {
+	// State is the controller's phase: "idle", "canarying", "cooldown".
+	State string
+	// CanaryTag / CanaryFraction describe the in-flight canary ("" / 0
+	// outside canary rollouts).
+	CanaryTag      string
+	CanaryFraction float64
+	// Sampled counts requests shadow-sampled into the detectors;
+	// ShadowDropped those lost to a full shadow queue (never blocking the
+	// hot path); ReservoirRows the rows currently available for a re-fit.
+	Sampled       int64
+	ShadowDropped int64
+	ReservoirRows int
+	// KeyReuseObserved / KeyReuseExpected are the live key-reuse
+	// measurement and the cache plan's estimate it is checked against;
+	// ScorePH and ScoreKS the score-drift detector statistics. KeyDrift /
+	// ScoreDrift latch confirmed-but-unresolved drift.
+	KeyReuseObserved float64
+	KeyReuseExpected float64
+	ScorePH          float64
+	ScoreKS          float64
+	KeyDrift         bool
+	ScoreDrift       bool
+	// Lifecycle counters: drift confirmations by signal, plan re-fits,
+	// canaries launched, promoted, rolled back, and canary hook errors.
+	KeyDriftEvents   int64
+	ScoreDriftEvents int64
+	Refits           int64
+	Canaries         int64
+	Promotions       int64
+	Rollbacks        int64
+	CanaryErrors     int64
+	// LastRollback is the most recent rollback's reason ("" before any).
+	LastRollback string
+}
+
+// adaptationStats converts a controller snapshot to the public stats form.
+func adaptationStats(c *adapt.Controller) *AdaptationStats {
+	s := c.Snapshot()
+	return &AdaptationStats{
+		State:            s.State,
+		CanaryTag:        s.CanaryTag,
+		CanaryFraction:   s.CanaryFraction,
+		Sampled:          s.Sampled,
+		ShadowDropped:    s.ShadowDropped,
+		ReservoirRows:    s.ReservoirRows,
+		KeyReuseObserved: s.KeyReuseObserved,
+		KeyReuseExpected: s.KeyReuseExpected,
+		ScorePH:          s.ScorePH,
+		ScoreKS:          s.ScoreKS,
+		KeyDrift:         s.KeyDrift,
+		ScoreDrift:       s.ScoreDrift,
+		KeyDriftEvents:   s.KeyDriftEvents,
+		ScoreDriftEvents: s.ScoreDriftEvents,
+		Refits:           s.Refits,
+		Canaries:         s.Canaries,
+		Promotions:       s.Promotions,
+		Rollbacks:        s.Rollbacks,
+		CanaryErrors:     s.CanaryErrors,
+		LastRollback:     s.LastRollback,
+	}
+}
+
 // ModelStats is a point-in-time snapshot of one model's serving telemetry,
 // as reported on /v1/models/{name}/stats.
 type ModelStats struct {
@@ -201,6 +269,9 @@ type ModelStats struct {
 	// admission is disabled and nothing was ever shed, degraded, or
 	// expired (legacy deployments see the stats shape unchanged).
 	Admission *AdmissionStats
+	// Adaptation carries the online adaptation controller's snapshot; nil
+	// when adaptation is not enabled on the model.
+	Adaptation *AdaptationStats
 	// RecentSlow lists the model's recently retained slow or failed
 	// requests (newest first); empty unless tracing is enabled on the
 	// deployed pipeline.

@@ -144,6 +144,32 @@ type wireAdmission struct {
 	Pressure          float64 `json:"pressure,omitempty"`
 }
 
+// wireAdaptation carries the online adaptation controller's state on the
+// stats response (absent when adaptation is not enabled on the model, so
+// legacy stats responses keep their shape byte-identical).
+type wireAdaptation struct {
+	State            string  `json:"state"`
+	CanaryTag        string  `json:"canary_tag,omitempty"`
+	CanaryFraction   float64 `json:"canary_fraction,omitempty"`
+	Sampled          int64   `json:"sampled,omitempty"`
+	ShadowDropped    int64   `json:"shadow_dropped,omitempty"`
+	ReservoirRows    int     `json:"reservoir_rows,omitempty"`
+	KeyReuseObserved float64 `json:"key_reuse_observed,omitempty"`
+	KeyReuseExpected float64 `json:"key_reuse_expected,omitempty"`
+	ScorePH          float64 `json:"score_ph,omitempty"`
+	ScoreKS          float64 `json:"score_ks,omitempty"`
+	KeyDrift         bool    `json:"key_drift,omitempty"`
+	ScoreDrift       bool    `json:"score_drift,omitempty"`
+	KeyDriftEvents   int64   `json:"key_drift_events,omitempty"`
+	ScoreDriftEvents int64   `json:"score_drift_events,omitempty"`
+	Refits           int64   `json:"refits,omitempty"`
+	Canaries         int64   `json:"canaries,omitempty"`
+	Promotions       int64   `json:"promotions,omitempty"`
+	Rollbacks        int64   `json:"rollbacks,omitempty"`
+	CanaryErrors     int64   `json:"canary_errors,omitempty"`
+	LastRollback     string  `json:"last_rollback,omitempty"`
+}
+
 // wireSlow is one retained slow or failed request on the stats response.
 type wireSlow struct {
 	StartUnixNano int64   `json:"start_unix_nano"`
@@ -167,6 +193,7 @@ type wireStats struct {
 	FeatureCache *wireFeatureCache `json:"feature_cache,omitempty"`
 	FeatureStore *wireFeatureStore `json:"feature_store,omitempty"`
 	Admission    *wireAdmission    `json:"admission,omitempty"`
+	Adaptation   *wireAdaptation   `json:"adaptation,omitempty"`
 	RecentSlow   []wireSlow        `json:"recent_slow,omitempty"`
 }
 

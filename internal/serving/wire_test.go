@@ -215,6 +215,35 @@ func TestWireStatsAdmissionGolden(t *testing.T) {
 	}
 }
 
+// TestWireStatsAdaptationGolden pins the stats shape for a model with
+// online adaptation enabled, mid-canary. The block is omitempty, so the
+// legacy stats goldens above also pin that non-adapted models serialize
+// byte-identically.
+func TestWireStatsAdaptationGolden(t *testing.T) {
+	goldenCheck(t, "wire_stats_adaptation.golden.json", wireStats{
+		Model: "toxic", Version: "v5",
+		Requests: 48000, Errors: 9, QPS: 520.25,
+		LatencyMS: wireLatency{P50: 1.25, P90: 3.5, P99: 8.25},
+		Adaptation: &wireAdaptation{
+			State: "canarying", CanaryTag: "adapt-3", CanaryFraction: 0.1,
+			Sampled: 6000, ShadowDropped: 14, ReservoirRows: 512,
+			KeyReuseObserved: 0.31, KeyReuseExpected: 0.88,
+			ScorePH: 0.12, ScoreKS: 0.04,
+			KeyDrift: true, KeyDriftEvents: 3, ScoreDriftEvents: 1,
+			Refits: 3, Canaries: 3, Promotions: 1, Rollbacks: 1,
+			LastRollback: "guard regression",
+		},
+	})
+	// Non-adapted stats must not leak the block.
+	raw, err := json.Marshal(wireStats{Model: "toxic", Version: "v5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("adaptation")) {
+		t.Errorf("non-adapted stats leak an adaptation field: %s", raw)
+	}
+}
+
 // TestWireTracesGolden pins the GET /v1/traces shape: a head-sampled trace
 // with stage spans and a tail-sampled entry with totals only.
 func TestWireTracesGolden(t *testing.T) {

@@ -430,6 +430,46 @@ func (p *Program) AdoptLiveProfile() bool {
 // Fitted reports whether Fit has completed.
 func (p *Program) Fitted() bool { return p.fitted }
 
+// CloneRuntime returns a runtime clone of a fitted program for trialing an
+// alternative plan (a canary candidate) beside the original. The clone
+// shares everything that is read-only at inference time — graph, analysis,
+// fused steps, fitted operators, spine/prefetch indexes — but owns its own
+// mutable runtime state: a copied cost model, fresh feature caches built
+// from the same plan (so the candidate's hit counters don't pollute the
+// incumbent's), a fresh run-state pool (pooled states hold per-program
+// cache references), and its own live-profile accumulator when the
+// original had one.
+func (p *Program) CloneRuntime() *Program {
+	c := &Program{
+		G:             p.G,
+		A:             p.A,
+		Order:         p.Order,
+		Steps:         p.Steps,
+		Widths:        p.Widths,
+		Spans:         p.Spans,
+		Prof:          p.Prof.Clone(),
+		ifvLabels:     p.ifvLabels,
+		ifvSpine:      p.ifvSpine,
+		spineFallback: p.spineFallback,
+		allIFVs:       p.allIFVs,
+		prefetch:      p.prefetch,
+		prefetchOf:    p.prefetchOf,
+		fitted:        p.fitted,
+	}
+	if p.live != nil {
+		c.live = NewProfile()
+	}
+	if len(p.cacheSpecs) > 0 {
+		specs := make([]CacheSpec, len(p.cacheSpecs))
+		copy(specs, p.cacheSpecs)
+		c.EnableFeatureCachingSpecs(specs)
+	}
+	if p.pool != nil {
+		c.initPool()
+	}
+	return c
+}
+
 // resolveInputs maps source labels to columnar values and validates equal
 // batch lengths.
 func (p *Program) resolveInputs(inputs map[string]value.Value) ([]value.Value, int, error) {
