@@ -10,6 +10,7 @@ import (
 	"willump/internal/cache"
 	"willump/internal/core"
 	"willump/internal/value"
+	"willump/internal/weld"
 )
 
 // Config tunes one model's adaptation controller. The zero value is
@@ -248,6 +249,13 @@ type Controller struct {
 	candidate *core.Optimized
 	inputs    []string // incumbent request schema, sorted for stable keys
 
+	// shadow is a cache-free runtime clone of the incumbent that shadow
+	// predictions run on: scoring sampled rows on the incumbent itself
+	// would re-look-up keys just served through its live feature caches,
+	// inflating the hit counters the canary hit-rate guard compares arms
+	// by and biasing judgement against every candidate.
+	shadow *core.Optimized
+
 	// anchorCols are the raw source columns of the plan's highest-budget
 	// cached IFV: the key tuple whose live reuse the plan's estimate is
 	// checked against. Empty falls back to the whole request key.
@@ -317,6 +325,8 @@ func New(opt *core.Optimized, cfg Config, hooks Hooks) *Controller {
 // incumbent plan. Caller holds mu (or is the constructor).
 func (c *Controller) bindIncumbent(opt *core.Optimized) {
 	c.opt = opt
+	c.shadow = opt.CloneForRefit()
+	c.shadow.Prog.DisableFeatureCaching()
 	c.inputs = append([]string(nil), opt.Inputs()...)
 	c.anchorCols = nil
 	specs := opt.Prog.CacheSpecs()
@@ -430,7 +440,7 @@ func fnv1a(b []byte) uint64 {
 // detectors and the re-fit pair reservoir, and the row reservoir.
 func (c *Controller) processSample(s sample) {
 	c.mu.Lock()
-	opt := c.opt
+	shadow := c.shadow
 	anchor := c.anchorCols
 	if len(anchor) == 0 {
 		anchor = c.inputs
@@ -447,22 +457,24 @@ func (c *Controller) processSample(s sample) {
 	}
 	key := fnv1a(cache.AppendRowKey(nil, cols, 0))
 
-	// Shadow predictions run off the hot path on the incumbent pipeline.
-	// With an approximate model present, the small score is the drift
-	// signal and (small, full) pairs feed threshold re-fits; without one,
-	// the full score alone feeds the distribution detectors.
+	// Shadow predictions run off the hot path on the cache-free shadow
+	// clone, so they never touch the incumbent's live feature caches or
+	// its guard counters. With an approximate model present, the small
+	// score is the drift signal and (small, full) pairs feed threshold
+	// re-fits; without one, the full score alone feeds the distribution
+	// detectors.
 	var score float64
 	var small, full float64
 	haveSmall := false
-	if opt.Approx != nil {
-		sp, err := opt.Approx.SmallOnlyPredict(c.ctx, s.inputs)
+	if shadow.Approx != nil {
+		sp, err := shadow.Approx.SmallOnlyPredict(c.ctx, s.inputs)
 		if err != nil || len(sp) == 0 {
 			return
 		}
 		small, haveSmall = sp[0], true
 		score = small
 	}
-	fp, err := opt.PredictFull(c.ctx, s.inputs)
+	fp, err := shadow.PredictFull(c.ctx, s.inputs)
 	if err != nil || len(fp) == 0 {
 		return
 	}
@@ -583,13 +595,28 @@ func (c *Controller) maybeRefit() {
 		}
 	}
 	if specs, stats, err := cand.ReplanFeatureCache(ds, 0); err == nil {
+		// A replanned split identical to the incumbent's is not a change:
+		// canarying it would only churn versions (promotion resets the
+		// detectors, the same drift re-confirms, the same plan re-canaries,
+		// forever).
+		if !sameCacheSpecs(specs, cand.Prog.CacheSpecs()) {
+			changed = true
+		}
 		cand.ApplyCacheSpecs(specs, stats)
-		changed = true
 	}
 	if !changed {
-		// Nothing to adapt (no cascade, no cache budget): drop the drift
-		// flags so detection can re-arm instead of spinning every tick.
+		// Nothing to adapt — no cascade and no cache budget, or re-fitting
+		// reproduced the incumbent's own plan. The drift is real but a
+		// re-fit cannot act on it, so adopt the observed regime as the
+		// detectors' new baseline: detection re-arms against current
+		// traffic instead of re-tripping instantly on drift the controller
+		// has already established it cannot fix.
 		c.mu.Lock()
+		if obs, ok := c.reuse.Observed(); ok {
+			c.reuse.SetExpected(obs)
+			c.lastExpected = obs
+		}
+		c.ks.Reset()
 		c.clearDriftLocked()
 		c.mu.Unlock()
 		return
@@ -764,6 +791,24 @@ func (c *Controller) resetDetectorsLocked() {
 	c.fulls = c.fulls[:0]
 	c.resIdx = 0
 	c.resFull = false
+}
+
+// sameCacheSpecs reports whether two cache plans cache identical IFVs at
+// identical capacities (order-insensitive).
+func sameCacheSpecs(a, b []weld.CacheSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	caps := make(map[int]int, len(a))
+	for _, sp := range a {
+		caps[sp.IFV] = sp.Capacity
+	}
+	for _, sp := range b {
+		if capa, ok := caps[sp.IFV]; !ok || capa != sp.Capacity {
+			return false
+		}
+	}
+	return true
 }
 
 // buildDataset assembles a core.Dataset from reservoir rows (no labels —

@@ -143,9 +143,20 @@ func (k *KSWindow) Statistic() float64 {
 	i, j := 0, 0
 	n, m := len(k.ref), len(recent)
 	for i < n && j < m {
-		if k.ref[i] <= recent[j] {
+		// Advance past whole tie groups — on both sides when the heads are
+		// equal — and evaluate the CDF gap only at distinct-value
+		// boundaries. Stepping one element at a time would read the gap
+		// mid-tie-group: two identical duplicate-heavy samples (the norm
+		// for scores under high key reuse) would report D up to 1.0
+		// instead of 0 and drive spurious drift detections.
+		v := k.ref[i]
+		if recent[j] < v {
+			v = recent[j]
+		}
+		for i < n && k.ref[i] == v {
 			i++
-		} else {
+		}
+		for j < m && recent[j] == v {
 			j++
 		}
 		if diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m)); diff > d {

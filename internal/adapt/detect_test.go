@@ -142,6 +142,66 @@ func TestKSWindowDetectsDistributionShift(t *testing.T) {
 	}
 }
 
+func TestKSWindowIdenticalTieHeavySamplesAreNotDrift(t *testing.T) {
+	// Duplicate-heavy streams are the norm for scores under high key
+	// reuse: identically distributed reference and window samples over a
+	// tiny support must yield D = 0, not a mid-tie-group gap.
+	tied := func(i int) float64 {
+		if i%2 == 0 {
+			return 0.3
+		}
+		return 0.7
+	}
+	k := NewKSWindow(256, 256, 0)
+	for i := 0; i < 1_024; i++ {
+		if k.Add(tied(i)) {
+			t.Fatalf("false positive on identical tied samples at %d (stat %.4f)", i, k.Statistic())
+		}
+	}
+	if d := k.Statistic(); d != 0 {
+		t.Fatalf("KS distance %.4f on identical tied samples, want 0", d)
+	}
+
+	// Degenerate all-equal case: every observation the same value.
+	k2 := NewKSWindow(128, 128, 0)
+	for i := 0; i < 512; i++ {
+		if k2.Add(0.5) {
+			t.Fatalf("false positive on constant stream at %d (stat %.4f)", i, k2.Statistic())
+		}
+	}
+	if d := k2.Statistic(); d != 0 {
+		t.Fatalf("KS distance %.4f on constant streams, want 0", d)
+	}
+}
+
+func TestKSWindowDetectsMassShiftOnTiedSupport(t *testing.T) {
+	k := NewKSWindow(256, 256, 0)
+	// Reference: 50/50 over {0.3, 0.7}.
+	for i := 0; i < 256; i++ {
+		if i%2 == 0 {
+			k.Add(0.3)
+		} else {
+			k.Add(0.7)
+		}
+	}
+	// Recent traffic: 90/10 over the same support. The tie-group merge
+	// must still see the mass shift at the 0.3/0.7 boundary (D = 0.4).
+	detected := false
+	for i := 0; i < 512; i++ {
+		x := 0.3
+		if i%10 == 9 {
+			x = 0.7
+		}
+		if k.Add(x) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatalf("mass shift on tied support never detected (stat %.4f)", k.Statistic())
+	}
+}
+
 func TestKSWindowResetRebuildsReference(t *testing.T) {
 	k := NewKSWindow(64, 64, 0)
 	for i := 0; i < 512; i++ {

@@ -38,6 +38,14 @@ func (w *Window) Observe(x float64) {
 	w.mu.Unlock()
 }
 
+// Reset drops the windowed observations so a new judgement interval
+// starts from an empty window; the ever-recorded total is kept.
+func (w *Window) Reset() {
+	w.mu.Lock()
+	w.next, w.count = 0, 0
+	w.mu.Unlock()
+}
+
 // Total returns the number of observations ever recorded (not just those
 // still in the window).
 func (w *Window) Total() int64 {

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -326,6 +327,50 @@ func TestAdaptationBadCandidateRollsBack(t *testing.T) {
 	}
 	if !h.admit.Primed() {
 		t.Error("hosted admission controller lost its forecast across the rollback")
+	}
+}
+
+// TestShadowScoringBypassesIncumbentCaches pins guard integrity: shadow
+// predictions run on a cache-free clone of the incumbent, so sampling
+// live rows never inflates the incumbent's feature-cache counters — the
+// counters the canary hit-rate guard judges arms by.
+func TestShadowScoringBypassesIncumbentCaches(t *testing.T) {
+	opt := buildSkewedCachedPipeline(t, 64)
+	ctl := adapt.New(opt,
+		// CheckEvery an hour out: only the shadow worker runs, no re-fit.
+		adapt.Config{SampleEvery: 1, CheckEvery: time.Hour},
+		adapt.Hooks{
+			StartCanary: func(string, *core.Optimized, float64) error { return errors.New("no canary in this test") },
+			Promote:     func() error { return nil },
+			Rollback:    func() error { return nil },
+			Guards:      func() (adapt.Guard, adapt.Guard, bool) { return adapt.Guard{}, adapt.Guard{}, false },
+		})
+	ctl.Start()
+	defer ctl.Close()
+
+	before, ok := opt.FeatureCacheStats()
+	if !ok {
+		t.Fatal("pipeline has no feature caches")
+	}
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		ctl.ObserveRequest(driftInputs(i), 1)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := ctl.Snapshot()
+		if int64(snap.ReservoirRows)+snap.ShadowDropped >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow worker never drained the sample queue: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	after, _ := opt.FeatureCacheStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Errorf("shadow scoring touched the incumbent's caches: hits %d -> %d, misses %d -> %d",
+			before.Hits, after.Hits, before.Misses, after.Misses)
 	}
 }
 

@@ -126,7 +126,13 @@ func (h *Hosted) route() *version {
 // enqueueTo admits p to the routed version, falling back to the model's
 // active version when the routed arm is draining (a canary resolved
 // between routing and enqueue) — a request never fails because a canary
-// ended underneath it.
+// ended underneath it. The fallback keeps the admission slot acquired on
+// the routed arm's controller (the caller's Release pairs with that
+// Admit), so for the instant of canary resolution the work runs on the
+// active arm while the drained arm's controller carries the inflight
+// accounting and service-time observation: a bounded one-request skew
+// that self-corrects on Release, preferable to double-admitting or
+// failing the request.
 func (h *Hosted) enqueueTo(v *version, p *pending) error {
 	if v != nil {
 		if err := v.enqueue(p); !errors.Is(err, errVersionStopped) {
@@ -750,6 +756,14 @@ func (r *Registry) StartCanary(name, tag string, o *core.Optimized, fraction flo
 		defer close(v.done)
 		v.batcher()
 	}()
+	// The p99 guard compares both arms' windowed latencies: reset the
+	// incumbent's window at canary start (the analogue of the counter
+	// baselines the controller snapshots) so its p99 covers the judgement
+	// interval, not calmer pre-canary traffic — a load spike during the
+	// canary must penalize both arms alike.
+	if a := h.active.Load(); a != nil {
+		a.guard.latencies.Reset()
+	}
 	h.canary.Store(v)
 	h.canaryPermille.Store(pm)
 	return nil
